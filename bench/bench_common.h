@@ -1,0 +1,87 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every figure bench is a standalone executable that runs the emulator at the
+// paper's scale (or a scaled version via P2PCD_BENCH_SCALE) and prints the
+// exact series the paper plots, as an aligned table plus CSV on request.
+//
+// Environment knobs:
+//   P2PCD_BENCH_SCALE   "full" (paper scale) or "ci" (default: ~4x smaller,
+//                       finishes in seconds–minutes; same qualitative shape)
+//   P2PCD_BENCH_SEED    master seed (default 42)
+#ifndef P2PCD_BENCH_BENCH_COMMON_H
+#define P2PCD_BENCH_BENCH_COMMON_H
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "vod/emulator.h"
+#include "workload/scenario.h"
+
+namespace p2pcd::bench {
+
+inline bool full_scale() {
+    const char* env = std::getenv("P2PCD_BENCH_SCALE");
+    return env != nullptr && std::string(env) == "full";
+}
+
+inline std::uint64_t bench_seed() {
+    const char* env = std::getenv("P2PCD_BENCH_SEED");
+    return env != nullptr ? std::strtoull(env, nullptr, 10) : 42ull;
+}
+
+// Reduced-scale knobs: shrinking the population without shrinking the seed
+// provisioning would wash out all contention (over-seeded swarms make every
+// scheduler look alike), so the CI configs scale seeds down with the peers,
+// keeping the supply-to-demand ratio of the paper's hot videos.
+inline void apply_ci_scale(workload::scenario_config& cfg) {
+    cfg.num_videos = 12;
+    // Keep neighbor sets close to the paper's 30: thin neighborhoods starve
+    // peers of cheap local sources and overstate the auction's (rational)
+    // abstention misses relative to the paper's regime.
+    cfg.neighbor_count = 22;
+    cfg.seeds_per_isp_per_video = 1;
+    cfg.seed_upload_multiple = 4.0;
+}
+
+// The paper's static 500-peer network (Figs. 2, 4, 5), or a ~150-peer scaled
+// replica for CI runs.
+inline workload::scenario_config static_network() {
+    auto cfg = workload::scenario_config::paper_static_500();
+    cfg.master_seed = bench_seed();
+    // A population that stays online through the 250 s horizon (256 s
+    // videos): everyone joined within the last ~13 s of playback.
+    cfg.initial_position_max_fraction = 0.05;
+    if (!full_scale()) {
+        cfg.initial_peers = 150;
+        apply_ci_scale(cfg);
+    }
+    return cfg;
+}
+
+// The paper's dynamic arrival process (Figs. 3, 6).
+inline workload::scenario_config dynamic_network() {
+    auto cfg = workload::scenario_config::paper_dynamic();
+    cfg.master_seed = bench_seed();
+    if (!full_scale()) {
+        cfg.arrival_rate = 1.0;
+        apply_ci_scale(cfg);
+    }
+    return cfg;
+}
+
+inline void print_header(const std::string& figure, const std::string& what,
+                         const workload::scenario_config& cfg) {
+    std::cout << "=== " << figure << ": " << what << " ===\n"
+              << "scale: " << (full_scale() ? "full (paper)" : "ci (reduced)")
+              << "  seed: " << cfg.master_seed << "  peers: "
+              << (cfg.initial_peers > 0 ? std::to_string(cfg.initial_peers)
+                                        : "poisson(" + std::to_string(cfg.arrival_rate) +
+                                              "/s)")
+              << "  videos: " << cfg.num_videos << "  isps: " << cfg.num_isps
+              << "  horizon: " << cfg.horizon_seconds << " s\n";
+}
+
+}  // namespace p2pcd::bench
+
+#endif  // P2PCD_BENCH_BENCH_COMMON_H

@@ -1,0 +1,72 @@
+// Fig. 2 — "The evolution of a peer's price λ_u".
+//
+// Paper setup: static network of 500 peers, 10-second time slots; within each
+// slot the distributed auction runs over the real network and the unit
+// bandwidth price at a representative peer converges after ≈5 s. The paper
+// plots the window 150–250 s.
+//
+// This bench runs the emulator with the message-level auction runtime active
+// for slots starting in [150, 250), probing the busiest seed of the most
+// popular video, and reports per-slot convergence times.
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+
+int main() {
+    using namespace p2pcd;
+
+    auto cfg = bench::static_network();
+    // Sharper contention at the seeds so the eviction/re-bid cascade is long
+    // enough to watch (the figure's whole point is the iterative dynamics).
+    cfg.seed_upload_multiple = std::min(cfg.seed_upload_multiple, 2.0);
+    bench::print_header("Fig. 2", "evolution of a peer's bandwidth price λ_u", cfg);
+
+    vod::emulator_options opts;
+    opts.config = cfg;
+    opts.algo = vod::algorithm::auction;
+    opts.distributed_from = 150.0;
+    opts.distributed_to = 250.0;
+    // Emulated message latency per unit of network cost. 0.2 s/unit gives
+    // intra-ISP one-way delays of ~0.1-0.4 s and inter-ISP ~1-2 s, so the
+    // bidding takes a few simulated seconds per slot — the timescale of the
+    // paper's figure (their Java emulator converged after ≈5 s per slot).
+    opts.latency_per_cost = 0.2;
+
+    vod::emulator emu(opts);
+    emu.run();
+
+    const auto& series = emu.price_series();
+    std::cout << "representative peer: " << emu.probe_peer()
+              << " (the most contended uploader in the probe window)\n"
+              << "points recorded: " << series.size() << "\n\n";
+
+    // The series the paper plots: (time, λ_u).
+    metrics::table points({"time_s", "lambda_u"});
+    for (const auto& p : series.points()) points.add_row({p.time, p.value}, 3);
+    points.print(std::cout);
+
+    // Convergence summary per slot: the last price change inside each slot.
+    std::cout << "\nper-slot convergence (last λ change after slot start):\n";
+    metrics::table conv({"slot_start_s", "last_change_s", "converged_after_s",
+                         "final_lambda"});
+    for (double slot = 150.0; slot < 250.0; slot += cfg.slot_seconds) {
+        double last_change = slot;
+        double final_lambda = 0.0;
+        bool any = false;
+        for (const auto& p : series.points()) {
+            if (p.time < slot || p.time >= slot + cfg.slot_seconds) continue;
+            if (p.value != final_lambda || !any) last_change = p.time;
+            final_lambda = p.value;
+            any = true;
+        }
+        conv.add_row({slot, last_change, last_change - slot, final_lambda}, 2);
+    }
+    conv.print(std::cout);
+
+    std::cout << "\npaper shape check: λ_u restarts at 0 each slot, rises in steps "
+                 "and flattens within ~5 s — see converged_after_s above.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 3 — "Comparison of social welfare".
+//
+// Paper setup: dynamic network, Poisson(1/s) arrivals, peers stay until their
+// video ends; per-slot social welfare over 0–250 s. The auction's welfare
+// grows with the population; the simple locality baseline's declines and goes
+// negative (it schedules transfers whose network cost exceeds the chunk's
+// valuation).
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "metrics/time_series.h"
+
+int main() {
+    using namespace p2pcd;
+
+    auto cfg = bench::dynamic_network();
+    bench::print_header("Fig. 3", "social welfare per time slot (dynamic arrivals)",
+                        cfg);
+
+    metrics::time_series auction_series("auction");
+    metrics::time_series locality_series("simple_locality");
+    std::vector<std::size_t> peers_per_slot;
+
+    {
+        vod::emulator_options opts;
+        opts.config = cfg;
+        opts.algo = vod::algorithm::auction;
+        vod::emulator emu(opts);
+        emu.run();
+        for (const auto& s : emu.slots()) {
+            auction_series.record(s.time, s.social_welfare);
+            peers_per_slot.push_back(s.online_peers);
+        }
+    }
+    {
+        vod::emulator_options opts;
+        opts.config = cfg;
+        opts.algo = vod::algorithm::simple_locality;
+        vod::emulator emu(opts);
+        emu.run();
+        for (const auto& s : emu.slots()) locality_series.record(s.time, s.social_welfare);
+    }
+
+    metrics::table t({"time_s", "peers", "auction_welfare", "locality_welfare"});
+    const auto& a = auction_series.points();
+    const auto& l = locality_series.points();
+    for (std::size_t k = 0; k < a.size(); ++k) {
+        t.add_row({metrics::format_double(a[k].time, 0),
+                   std::to_string(peers_per_slot[k]),
+                   metrics::format_double(a[k].value, 1),
+                   metrics::format_double(l[k].value, 1)});
+    }
+    t.print(std::cout);
+
+    double auction_late = auction_series.mean_in_window(cfg.horizon_seconds * 0.6,
+                                                        cfg.horizon_seconds);
+    double locality_late = locality_series.mean_in_window(cfg.horizon_seconds * 0.6,
+                                                          cfg.horizon_seconds);
+    std::cout << "\nlate-window mean welfare: auction = "
+              << metrics::format_double(auction_late, 1)
+              << ", locality = " << metrics::format_double(locality_late, 1) << "\n"
+              << "paper shape check: auction grows with population; locality "
+                 "declines (often below zero). Reproduced: "
+              << (auction_late > locality_late ? "YES" : "NO") << "\n";
+    return 0;
+}

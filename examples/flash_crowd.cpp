@@ -1,0 +1,51 @@
+// Flash crowd: a burst of peers all arriving at once for the same hot video
+// (a premiere). Shows the auction's price mechanism rationing seed bandwidth
+// by urgency, and the system absorbing the spike within a few slots.
+//
+//   $ ./flash_crowd
+#include <iostream>
+
+#include "metrics/report.h"
+#include "vod/emulator.h"
+
+int main() {
+    using namespace p2pcd;
+
+    auto cfg = workload::scenario_config::paper_static_500();
+    cfg.num_videos = 5;
+    cfg.video_size_mb = 4.0;
+    cfg.initial_peers = 0;
+    cfg.arrival_rate = 8.0;      // a stampede: 8 joins per second
+    cfg.horizon_seconds = 120.0;
+    cfg.seeds_per_isp_per_video = 1;
+    cfg.seed_upload_multiple = 4.0;
+    cfg.neighbor_count = 15;
+    cfg.master_seed = 3;
+
+    std::cout << "Flash crowd: Poisson(" << cfg.arrival_rate
+              << "/s) arrivals into a " << cfg.num_videos
+              << "-video catalog (Zipf-Mandelbrot popularity, most arrivals hit "
+                 "the top video)\n\n";
+
+    vod::emulator_options opts;
+    opts.config = cfg;
+    opts.algo = vod::algorithm::auction;
+    vod::emulator emu(opts);
+
+    metrics::table t({"slot_start_s", "viewers", "requests", "transfers",
+                      "welfare", "inter_isp_%", "miss_%"});
+    for (std::size_t k = 0; k < cfg.num_slots(); ++k) {
+        const auto& m = emu.step();
+        t.add_row({metrics::format_double(m.time, 0), std::to_string(m.online_peers),
+                   std::to_string(m.requests), std::to_string(m.transfers),
+                   metrics::format_double(m.social_welfare, 1),
+                   metrics::format_double(100.0 * m.inter_isp_fraction, 2),
+                   metrics::format_double(100.0 * m.miss_rate, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: early slots are seed-bound (prices spike, some "
+                 "prefetch deferred); as the crowd accumulates chunks it becomes "
+                 "its own CDN and the miss rate settles near zero.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+// What happens as inter-ISP transit gets more expensive? This sweep raises
+// the inter-ISP cost mean and shows the auction adaptively pulling traffic
+// inside ISP boundaries while the locality baseline's welfare collapses —
+// the economic argument of the paper in one table.
+//
+//   $ ./isp_peering_sweep
+#include <iostream>
+
+#include "metrics/report.h"
+#include "vod/emulator.h"
+
+int main() {
+    using namespace p2pcd;
+
+    std::cout << "Sweep of inter-ISP cost (transit price) — static population\n\n";
+
+    metrics::table t({"inter_cost_mean", "algo", "welfare", "inter_isp_%", "miss_%"});
+    for (double inter_mean : {2.0, 4.0, 6.0, 8.0}) {
+        for (bool use_auction : {true, false}) {
+            auto cfg = workload::scenario_config::paper_static_500();
+            cfg.initial_peers = 100;
+            cfg.num_videos = 10;
+            cfg.video_size_mb = 4.0;
+            cfg.seeds_per_isp_per_video = 1;
+            cfg.seed_upload_multiple = 4.0;
+            cfg.neighbor_count = 15;
+            cfg.horizon_seconds = 100.0;
+            cfg.master_seed = 11;
+            cfg.costs.inter_mean = inter_mean;
+            cfg.costs.inter_lo = inter_mean / 5.0;
+            cfg.costs.inter_hi = 2.0 * inter_mean;
+
+            vod::emulator_options opts;
+            opts.config = cfg;
+            opts.algo = use_auction ? vod::algorithm::auction
+                                    : vod::algorithm::simple_locality;
+            vod::emulator emu(opts);
+            emu.run();
+            t.add_row({metrics::format_double(inter_mean, 1),
+                       use_auction ? "auction" : "locality",
+                       metrics::format_double(emu.total_welfare(), 1),
+                       metrics::format_double(100.0 * emu.overall_inter_isp_fraction(), 2),
+                       metrics::format_double(100.0 * emu.overall_miss_rate(), 2)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nreading: as transit gets pricier the auction trades remote "
+                 "downloads for local ones (inter-ISP % falls, welfare degrades "
+                 "gracefully); the cost-blind baseline keeps shipping across "
+                 "boundaries and pays for it.\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: build one slot's chunk-scheduling problem by hand, solve it
+// with the primal-dual auction, and verify the result against the exact
+// transportation optimum — the library's core loop in ~80 lines.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/auction.h"
+#include "core/exact.h"
+#include "core/welfare.h"
+
+int main() {
+    using namespace p2pcd;
+
+    // --- the scene ------------------------------------------------------
+    // Two uploaders: a local peer with little spare bandwidth and a seed in
+    // another ISP with plenty. Three requests with different urgencies.
+    core::scheduling_problem problem;
+    auto local_peer = problem.add_uploader(peer_id(1), /*capacity=*/1);
+    auto remote_seed = problem.add_uploader(peer_id(2), /*capacity=*/8);
+
+    // Valuations follow the paper's deadline scheme: urgent chunks are worth
+    // up to 8, background prefetch as little as 0.8.
+    auto urgent = problem.add_request(peer_id(10), chunk_id(100), /*valuation=*/8.0);
+    auto soon = problem.add_request(peer_id(11), chunk_id(101), /*valuation=*/2.5);
+    auto prefetch = problem.add_request(peer_id(12), chunk_id(102), /*valuation=*/0.9);
+
+    // Network costs: intra-ISP ≈ 0.5, inter-ISP ≈ 4.
+    problem.add_candidate(urgent, local_peer, 0.5);
+    problem.add_candidate(urgent, remote_seed, 4.0);
+    problem.add_candidate(soon, local_peer, 0.5);
+    problem.add_candidate(soon, remote_seed, 4.0);
+    problem.add_candidate(prefetch, local_peer, 0.5);
+    problem.add_candidate(prefetch, remote_seed, 4.0);
+
+    // --- the auction ------------------------------------------------------
+    core::auction_solver auction({.bidding = {core::bid_policy::epsilon, 1e-3}});
+    auto result = auction.run(problem);
+
+    std::cout << "auction schedule:\n";
+    const char* names[] = {"urgent  (v=8.0)", "soon    (v=2.5)", "prefetch(v=0.9)"};
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        std::cout << "  " << names[r] << " -> ";
+        if (result.sched.choice[r] == core::no_candidate) {
+            std::cout << "unserved (cost would exceed value)\n";
+            continue;
+        }
+        const auto& cand =
+            problem.candidates(r)[static_cast<std::size_t>(result.sched.choice[r])];
+        std::cout << (cand.uploader == local_peer ? "local peer" : "remote seed")
+                  << "  (net utility " << problem.net_value(r, static_cast<std::size_t>(
+                                              result.sched.choice[r]))
+                  << ")\n";
+    }
+
+    std::cout << "\nbandwidth prices (dual λ):  local=" << result.prices[local_peer]
+              << "  remote=" << result.prices[remote_seed] << '\n';
+
+    auto stats = core::compute_stats(problem, result.sched);
+    std::cout << "social welfare: " << stats.welfare << '\n';
+
+    // --- verification ----------------------------------------------------
+    core::exact_scheduler exact;
+    auto best = exact.run(problem);
+    std::cout << "exact optimum:  " << best.welfare
+              << "   (auction is within n*epsilon — Theorem 1)\n";
+
+    // What to expect: the urgent chunk wins the cheap local unit or pays the
+    // remote cost (8 − 4 > 0); "soon" takes what remains profitably; the 0.9
+    // prefetch refuses to pay an inter-ISP cost of 4 and stays unserved
+    // unless the local unit is free.
+    return 0;
+}

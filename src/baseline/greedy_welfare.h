@@ -1,0 +1,21 @@
+// Centralized greedy ablation: sort all (request, candidate) edges by net
+// utility and take every profitable edge that still fits. Requires global
+// knowledge like the exact solver, but runs in O(E log E). It brackets the
+// auction from above in simplicity and from below in welfare — the ablation
+// benches report all three (greedy ≤ auction ≤ exact on welfare).
+#ifndef P2PCD_BASELINE_GREEDY_WELFARE_H
+#define P2PCD_BASELINE_GREEDY_WELFARE_H
+
+#include "core/problem.h"
+
+namespace p2pcd::baseline {
+
+class greedy_welfare_scheduler final : public core::scheduler {
+public:
+    [[nodiscard]] core::schedule solve(const core::scheduling_problem& problem) override;
+    [[nodiscard]] std::string_view name() const override { return "greedy-welfare"; }
+};
+
+}  // namespace p2pcd::baseline
+
+#endif  // P2PCD_BASELINE_GREEDY_WELFARE_H

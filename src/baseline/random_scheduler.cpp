@@ -1,0 +1,68 @@
+#include "baseline/random_scheduler.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace p2pcd::baseline {
+
+random_scheduler::random_scheduler(std::uint64_t seed, std::size_t max_rounds)
+    : rng_(seed), max_rounds_(max_rounds) {}
+
+core::schedule random_scheduler::solve(const core::scheduling_problem& problem) {
+    const std::size_t nr = problem.num_requests();
+    const std::size_t nu = problem.num_uploaders();
+
+    core::schedule sched;
+    sched.choice.assign(nr, core::no_candidate);
+
+    std::vector<std::int64_t> remaining(nu);
+    for (std::size_t u = 0; u < nu; ++u) remaining[u] = problem.uploader(u).capacity;
+
+    // Random visiting order per request (sampling without replacement).
+    std::vector<std::vector<std::size_t>> order(nr);
+    std::vector<std::size_t> cursor(nr, 0);
+    for (std::size_t r = 0; r < nr; ++r) {
+        order[r].resize(problem.candidates(r).size());
+        std::iota(order[r].begin(), order[r].end(), std::size_t{0});
+        std::shuffle(order[r].begin(), order[r].end(), rng_.engine());
+    }
+
+    struct knock {
+        std::size_t request;
+        std::size_t candidate;
+        double valuation;
+    };
+
+    for (std::size_t round = 0; round < max_rounds_; ++round) {
+        std::vector<std::vector<knock>> inbox(nu);
+        bool any = false;
+        for (std::size_t r = 0; r < nr; ++r) {
+            if (sched.choice[r] != core::no_candidate) continue;
+            if (cursor[r] >= order[r].size()) continue;
+            std::size_t ci = order[r][cursor[r]];
+            inbox[problem.candidates(r)[ci].uploader].push_back(
+                {r, ci, problem.request(r).valuation});
+            any = true;
+        }
+        if (!any) break;
+        for (std::size_t u = 0; u < nu; ++u) {
+            auto& knocks = inbox[u];
+            std::stable_sort(knocks.begin(), knocks.end(),
+                             [](const knock& a, const knock& b) {
+                                 return a.valuation > b.valuation;
+                             });
+            for (const auto& k : knocks) {
+                if (remaining[u] > 0) {
+                    --remaining[u];
+                    sched.choice[k.request] = static_cast<std::ptrdiff_t>(k.candidate);
+                } else {
+                    ++cursor[k.request];
+                }
+            }
+        }
+    }
+    return sched;
+}
+
+}  // namespace p2pcd::baseline

@@ -1,0 +1,30 @@
+// Network-agnostic baseline: requests pick uniformly random caching neighbors
+// (exactly what "most existing P2P protocols" in the paper's introduction do),
+// uploaders still serve the most urgent chunks first. Used in the ablation
+// benches to show how much of the auction's gain comes from ISP awareness
+// versus plain urgency-driven allocation.
+#ifndef P2PCD_BASELINE_RANDOM_SCHEDULER_H
+#define P2PCD_BASELINE_RANDOM_SCHEDULER_H
+
+#include <cstdint>
+
+#include "core/problem.h"
+#include "sim/rng.h"
+
+namespace p2pcd::baseline {
+
+class random_scheduler final : public core::scheduler {
+public:
+    explicit random_scheduler(std::uint64_t seed, std::size_t max_rounds = 3);
+
+    [[nodiscard]] core::schedule solve(const core::scheduling_problem& problem) override;
+    [[nodiscard]] std::string_view name() const override { return "random"; }
+
+private:
+    sim::rng_stream rng_;
+    std::size_t max_rounds_;
+};
+
+}  // namespace p2pcd::baseline
+
+#endif  // P2PCD_BASELINE_RANDOM_SCHEDULER_H

@@ -1,0 +1,33 @@
+// Lightweight contract checks in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// These are plain functions rather than macros; callers pass a message that
+// identifies the violated precondition. Violations throw `contract_violation`
+// so that tests can assert on them (gtest EXPECT_THROW) and callers higher up
+// can translate them into protocol errors.
+#ifndef P2PCD_COMMON_CONTRACTS_H
+#define P2PCD_COMMON_CONTRACTS_H
+
+#include <stdexcept>
+#include <string>
+
+namespace p2pcd {
+
+class contract_violation : public std::logic_error {
+public:
+    explicit contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+// Precondition check: call at function entry.
+inline void expects(bool condition, const char* message) {
+    if (!condition) throw contract_violation(std::string("precondition violated: ") + message);
+}
+
+// Postcondition / invariant check: call before returning or after mutating.
+inline void ensures(bool condition, const char* message) {
+    if (!condition) throw contract_violation(std::string("postcondition violated: ") + message);
+}
+
+}  // namespace p2pcd
+
+#endif  // P2PCD_COMMON_CONTRACTS_H

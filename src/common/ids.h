@@ -1,0 +1,67 @@
+// Strong identifier types for the P2P content-distribution library.
+//
+// Every entity in the system (peer, ISP, video, chunk) gets its own distinct
+// integral id type so that a peer id cannot be silently passed where a chunk
+// id is expected. The wrapper is a trivially copyable value type with full
+// comparison support and std::hash integration.
+#ifndef P2PCD_COMMON_IDS_H
+#define P2PCD_COMMON_IDS_H
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace p2pcd {
+
+// A strongly typed integral identifier. `tag` makes each instantiation a
+// distinct type; `rep` is the underlying representation.
+template <typename tag, typename rep = std::int64_t>
+class strong_id {
+public:
+    using rep_type = rep;
+
+    constexpr strong_id() noexcept = default;
+    constexpr explicit strong_id(rep value) noexcept : value_(value) {}
+
+    [[nodiscard]] constexpr rep value() const noexcept { return value_; }
+
+    // Identifiers created by default construction are "invalid": they compare
+    // unequal to every id minted by the factories below.
+    [[nodiscard]] constexpr bool valid() const noexcept { return value_ >= 0; }
+
+    friend constexpr auto operator<=>(strong_id, strong_id) noexcept = default;
+
+    friend std::ostream& operator<<(std::ostream& os, strong_id id) {
+        return os << id.value_;
+    }
+
+private:
+    rep value_ = -1;
+};
+
+struct peer_tag {};
+struct isp_tag {};
+struct video_tag {};
+struct chunk_tag {};
+struct request_tag {};
+
+using peer_id = strong_id<peer_tag, std::int32_t>;
+using isp_id = strong_id<isp_tag, std::int32_t>;
+using video_id = strong_id<video_tag, std::int32_t>;
+// A chunk id is global across the catalog: video index * chunks_per_video + offset.
+using chunk_id = strong_id<chunk_tag, std::int64_t>;
+using request_id = strong_id<request_tag, std::int64_t>;
+
+}  // namespace p2pcd
+
+namespace std {
+template <typename tag, typename rep>
+struct hash<p2pcd::strong_id<tag, rep>> {
+    size_t operator()(p2pcd::strong_id<tag, rep> id) const noexcept {
+        return std::hash<rep>{}(id.value());
+    }
+};
+}  // namespace std
+
+#endif  // P2PCD_COMMON_IDS_H

@@ -1,0 +1,37 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace p2pcd {
+
+namespace {
+std::atomic<log_level> g_level{log_level::warn};
+
+constexpr const char* level_name(log_level level) {
+    switch (level) {
+        case log_level::trace: return "trace";
+        case log_level::debug: return "debug";
+        case log_level::info: return "info";
+        case log_level::warn: return "warn";
+        case log_level::error: return "error";
+        case log_level::off: return "off";
+    }
+    return "?";
+}
+}  // namespace
+
+void set_log_level(log_level level) { g_level.store(level, std::memory_order_relaxed); }
+
+log_level get_log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(log_level level, std::string_view component, std::string_view message) {
+    if (level < get_log_level()) return;
+    std::cerr << '[' << level_name(level) << "] " << component << ": " << message << '\n';
+}
+
+log_stream::~log_stream() {
+    if (level_ >= get_log_level()) log_line(level_, component_, buffer_.str());
+}
+
+}  // namespace p2pcd

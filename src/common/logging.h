@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// The library is a simulation/emulation codebase: logging is used sparingly,
+// mostly by the emulator and the examples. The default level is `warn` so that
+// unit tests and benchmarks stay quiet; examples raise it to `info`.
+#ifndef P2PCD_COMMON_LOGGING_H
+#define P2PCD_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string_view>
+
+namespace p2pcd {
+
+enum class log_level { trace, debug, info, warn, error, off };
+
+// Global log threshold; messages below it are discarded.
+void set_log_level(log_level level);
+[[nodiscard]] log_level get_log_level();
+
+// Writes one formatted line ("[level] component: message") to stderr.
+void log_line(log_level level, std::string_view component, std::string_view message);
+
+// Stream-style convenience: log(level, "emulator") << "slot " << t;
+class log_stream {
+public:
+    log_stream(log_level level, std::string_view component)
+        : level_(level), component_(component) {}
+    log_stream(const log_stream&) = delete;
+    log_stream& operator=(const log_stream&) = delete;
+    ~log_stream();
+
+    template <typename T>
+    log_stream& operator<<(const T& value) {
+        if (level_ >= get_log_level()) buffer_ << value;
+        return *this;
+    }
+
+private:
+    log_level level_;
+    std::string component_;
+    std::ostringstream buffer_;
+};
+
+inline log_stream log(log_level level, std::string_view component) {
+    return {level, component};
+}
+
+}  // namespace p2pcd
+
+#endif  // P2PCD_COMMON_LOGGING_H

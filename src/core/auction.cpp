@@ -1,0 +1,210 @@
+#include "core/auction.h"
+
+#include <deque>
+#include <limits>
+
+#include "common/contracts.h"
+#include "core/auctioneer.h"
+
+namespace p2pcd::core {
+
+auction_solver::auction_solver(auction_options options) : options_(options) {
+    expects(options.bidding.epsilon >= 0.0, "epsilon must be non-negative");
+    expects(options.bidding.policy == bid_policy::paper_literal ||
+                options.bidding.epsilon > 0.0,
+            "the epsilon policy requires a positive epsilon");
+    if (options.epsilon_scaling) {
+        expects(options.bidding.policy == bid_policy::epsilon,
+                "epsilon scaling requires the epsilon bid policy");
+        expects(options.scaling_factor > 1.0, "scaling factor must exceed 1");
+        expects(options.scaling_initial_epsilon >= options.bidding.epsilon,
+                "initial epsilon must not be below the final epsilon");
+    }
+}
+
+namespace {
+
+// One complete Gauss-Seidel auction at a fixed ε, warm-started from
+// `initial_prices` (all zero on the first/only phase). Returns per-seller
+// final prices through the same vector.
+void run_phase(const scheduling_problem& problem, const auction_options& options,
+               double epsilon, std::vector<double>& initial_prices,
+               auction_result& result) {
+    const std::size_t nr = problem.num_requests();
+    const std::size_t nu = problem.num_uploaders();
+
+    bidder_options bidding = options.bidding;
+    bidding.epsilon = epsilon;
+
+    result.sched.choice.assign(nr, no_candidate);
+
+    std::vector<auctioneer> sellers;
+    sellers.reserve(nu);
+    for (std::size_t u = 0; u < nu; ++u)
+        sellers.emplace_back(problem.uploader(u).capacity, initial_prices[u]);
+
+    // Bidding queue plus the parked list for the literal policy: a parked
+    // request wakes up only when some price has changed since it parked.
+    std::deque<std::size_t> open;
+    for (std::size_t r = 0; r < nr; ++r) open.push_back(r);
+    struct parked_entry {
+        std::size_t request;
+        std::uint64_t price_version;
+    };
+    std::vector<parked_entry> parked;
+    std::uint64_t price_version = 0;
+
+    std::vector<double> net_values;
+    std::vector<double> prices;
+    std::uint64_t iterations = 0;
+
+    while (true) {
+        if (open.empty()) {
+            // Wake parked bidders that have seen a price change.
+            std::vector<parked_entry> still_parked;
+            for (const auto& p : parked) {
+                if (p.price_version < price_version) open.push_back(p.request);
+                else still_parked.push_back(p);
+            }
+            parked = std::move(still_parked);
+            if (open.empty()) break;  // converged: nobody wishes to bid again
+        }
+        ensures(iterations < options.max_bid_iterations,
+                "auction exceeded its bid-iteration budget");
+        ++iterations;
+
+        std::size_t r = open.front();
+        open.pop_front();
+        const auto& cands = problem.candidates(r);
+        if (cands.empty()) {
+            ++result.abstentions;
+            continue;
+        }
+
+        net_values.clear();
+        prices.clear();
+        for (const auto& c : cands) {
+            net_values.push_back(problem.request(r).valuation - c.cost);
+            prices.push_back(sellers[c.uploader].price());
+        }
+        bid_decision decision = compute_bid(net_values, prices, bidding);
+
+        switch (decision.action) {
+            case bid_action::abstain:
+                // Prices only rise, so a negative best margin is permanent.
+                ++result.abstentions;
+                break;
+            case bid_action::park:
+                parked.push_back({r, price_version});
+                break;
+            case bid_action::submit: {
+                ++result.bids_submitted;
+                std::size_t u = cands[decision.candidate].uploader;
+                auto outcome = sellers[u].offer(r, decision.amount);
+                // Against current prices a submitted bid always clears λ_u.
+                ensures(outcome.accepted, "synchronous bid must be accepted");
+                result.sched.choice[r] = static_cast<std::ptrdiff_t>(decision.candidate);
+                if (outcome.evicted) {
+                    ++result.evictions;
+                    std::size_t loser = *outcome.evicted;
+                    result.sched.choice[loser] = no_candidate;
+                    open.push_back(loser);
+                }
+                if (outcome.price_changed) ++price_version;
+                break;
+            }
+        }
+    }
+
+    result.converged = true;
+    result.parked_at_termination = parked.size();
+
+    for (std::size_t u = 0; u < nu; ++u)
+        if (problem.uploader(u).capacity > 0) initial_prices[u] = sellers[u].price();
+}
+
+}  // namespace
+
+auction_result auction_solver::run(const scheduling_problem& problem) const {
+    const std::size_t nu = problem.num_uploaders();
+
+    // The ε schedule: a single phase normally; a geometric descent from the
+    // initial ε down to the target when scaling is on.
+    std::vector<double> schedule;
+    if (options_.epsilon_scaling) {
+        double eps = options_.scaling_initial_epsilon;
+        while (eps > options_.bidding.epsilon) {
+            schedule.push_back(eps);
+            eps /= options_.scaling_factor;
+        }
+    }
+    schedule.push_back(options_.bidding.epsilon);
+
+    auction_result result;
+    std::vector<double> prices(nu, 0.0);
+    for (std::size_t k = 0; k < schedule.size(); ++k) {
+        auction_result phase;
+        run_phase(problem, options_, schedule[k], prices, phase);
+        // Counters accumulate across phases; the schedule of the last phase
+        // is the answer.
+        phase.bids_submitted += result.bids_submitted;
+        phase.evictions += result.evictions;
+        phase.abstentions += result.abstentions;
+        result = std::move(phase);
+
+        // Between phases, repair complementary slackness condition 1: a
+        // seller that ended the phase with spare capacity cannot honestly
+        // quote a positive price, so its carried-over price falls back to 0.
+        // Without this, coarse-phase prices strand cheap capacity for good.
+        if (k + 1 < schedule.size()) {
+            std::vector<std::int64_t> used(nu, 0);
+            for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+                std::ptrdiff_t c = result.sched.choice[r];
+                if (c != no_candidate)
+                    ++used[problem.candidates(r)[static_cast<std::size_t>(c)].uploader];
+            }
+            for (std::size_t u = 0; u < nu; ++u)
+                if (used[u] < problem.uploader(u).capacity) prices[u] = 0.0;
+        }
+    }
+
+    result.prices = std::move(prices);
+    result.request_utility = derive_request_utilities(problem, result.prices);
+    return result;
+}
+
+std::vector<double> derive_request_utilities(const scheduling_problem& problem,
+                                             std::vector<double>& prices) {
+    expects(prices.size() == problem.num_uploaders(),
+            "price vector must cover every uploader");
+    const std::size_t nu = problem.num_uploaders();
+    const std::size_t nr = problem.num_requests();
+
+    // Zero-capacity uploaders never sell; their dual price is free in the
+    // objective (B(u)·λ_u = 0), so lift it just enough for dual feasibility.
+    std::vector<double> zero_cap_price(nu, 0.0);
+    std::vector<double> utilities(nr, 0.0);
+    for (std::size_t r = 0; r < nr; ++r) {
+        double best = 0.0;
+        for (const auto& c : problem.candidates(r)) {
+            double margin = problem.request(r).valuation - c.cost;
+            if (problem.uploader(c.uploader).capacity == 0) {
+                if (margin > zero_cap_price[c.uploader])
+                    zero_cap_price[c.uploader] = margin;
+                continue;
+            }
+            margin -= prices[c.uploader];
+            if (margin > best) best = margin;
+        }
+        utilities[r] = best;
+    }
+    for (std::size_t u = 0; u < nu; ++u)
+        if (problem.uploader(u).capacity == 0) prices[u] = zero_cap_price[u];
+    return utilities;
+}
+
+schedule auction_solver::solve(const scheduling_problem& problem) {
+    return run(problem).sched;
+}
+
+}  // namespace p2pcd::core

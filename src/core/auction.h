@@ -1,0 +1,80 @@
+// Synchronous (Gauss-Seidel) driver of the paper's distributed auctions.
+//
+// Bids are processed one at a time against up-to-date prices; this computes
+// the same fixed point as the message-level runtime in src/vod (both satisfy
+// ε-complementary slackness at termination) and is what the emulator uses for
+// per-slot scheduling. Theorem 1's guarantees, as verified by the test suite:
+//  * terminates for every instance under the ε policy;
+//  * the schedule is primal feasible and the prices λ dual feasible;
+//  * welfare ≥ optimal − (#assigned)·ε — exactly optimal on integer-valued
+//    instances when ε < 1/(#requests).
+#ifndef P2PCD_CORE_AUCTION_H
+#define P2PCD_CORE_AUCTION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bidder.h"
+#include "core/problem.h"
+
+namespace p2pcd::core {
+
+struct auction_options {
+    bidder_options bidding;
+    // Safety valve; a correct ε-auction terminates long before this.
+    std::uint64_t max_bid_iterations = 100'000'000;
+
+    // ε-scaling (Bertsekas & Castañón 1989): run the auction in phases with
+    // ε shrinking geometrically from `scaling_initial_epsilon` down to
+    // bidding.epsilon, warm-starting each phase from the previous phase's
+    // prices. Cuts total bids on contended instances. Caveat (documented in
+    // EXPERIMENTS.md and quantified by bench/convergence_scaling): with
+    // scarce supply, warm-started prices on spare capacity can strand
+    // low-value requests, so the strict n·ε bound holds only for the
+    // unscaled auction; scaling trades a little welfare for speed.
+    bool epsilon_scaling = false;
+    double scaling_initial_epsilon = 1.0;
+    double scaling_factor = 4.0;
+};
+
+struct auction_result {
+    schedule sched;
+    // Final dual variables: λ per uploader, η per request (η is derived via
+    // the paper's closed form η = max(0, max_u v − w − λ_u)).
+    std::vector<double> prices;
+    std::vector<double> request_utility;
+    // Diagnostics.
+    std::uint64_t bids_submitted = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t abstentions = 0;
+    std::uint64_t parked_at_termination = 0;
+    bool converged = false;
+};
+
+// Completes a set of final bandwidth prices into a full dual solution:
+//  * `prices` must hold λ for every positive-capacity uploader; entries for
+//    zero-capacity uploaders are overwritten with the cheapest dual-feasible
+//    lift (their B(u)·λ_u term is free in the dual objective);
+//  * returns η per request via the paper's closed form
+//    η_d = max(0, max_u v − w_u − λ_u).
+[[nodiscard]] std::vector<double> derive_request_utilities(
+    const scheduling_problem& problem, std::vector<double>& prices);
+
+class auction_solver final : public scheduler {
+public:
+    explicit auction_solver(auction_options options = {});
+
+    [[nodiscard]] auction_result run(const scheduling_problem& problem) const;
+
+    [[nodiscard]] schedule solve(const scheduling_problem& problem) override;
+    [[nodiscard]] std::string_view name() const override { return "auction"; }
+
+    [[nodiscard]] const auction_options& options() const noexcept { return options_; }
+
+private:
+    auction_options options_;
+};
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_AUCTION_H

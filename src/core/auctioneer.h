@@ -1,0 +1,83 @@
+// Bandwidth allocation at an upstream peer — "Bandwidth Allocation at Peer u"
+// in Sec. IV-B (the auctioneer half of Alg. 1).
+//
+// The auctioneer keeps the B(u) highest bids in its assignment set. While the
+// set is not full the unit price λ_u stays at its initial 0; once full, λ_u is
+// the lowest accepted bid, and a new accepted bid evicts that lowest bidder.
+// λ_u is non-decreasing over the auction's lifetime.
+#ifndef P2PCD_CORE_AUCTIONEER_H
+#define P2PCD_CORE_AUCTIONEER_H
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace p2pcd::core {
+
+class auctioneer {
+public:
+    // `initial_price` > 0 is used by ε-scaling re-runs, which warm-start each
+    // phase from the previous phase's prices (Bertsekas & Castañón 1989).
+    explicit auctioneer(std::int32_t capacity, double initial_price = 0.0);
+
+    struct outcome {
+        bool accepted = false;
+        // Request evicted to make room (only when accepted into a full set).
+        std::optional<std::size_t> evicted = std::nullopt;
+        // True when λ_u changed (the peer would broadcast the new price).
+        bool price_changed = false;
+    };
+
+    // A bid of `amount` from `request`. Rejected iff amount <= λ_u (or the
+    // auctioneer has no capacity at all).
+    outcome offer(std::size_t request, double amount);
+
+    // Current unit bandwidth price λ_u. +inf for a zero-capacity auctioneer
+    // (it can never sell, so no finite bid should target it).
+    [[nodiscard]] double price() const noexcept;
+
+    [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
+    [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+    [[nodiscard]] bool full() const noexcept {
+        return static_cast<std::int64_t>(set_.size()) >= capacity_;
+    }
+
+    // Requests currently holding a bandwidth unit, with their standing bids.
+    struct held_bid {
+        std::size_t request = 0;
+        double amount = 0.0;
+    };
+    [[nodiscard]] std::vector<held_bid> assignment_set() const;
+
+    // Releases `request`'s unit (peer-departure handling, Sec. IV-C). When
+    // the set is no longer full the price falls back to 0, consistent with
+    // the paper's rule that λ_u is only lifted off its initial value while
+    // all B(u) units are allocated — this re-opens the market so bidders that
+    // had been priced out can return. Returns false when the request held
+    // nothing here.
+    bool remove(std::size_t request);
+
+private:
+    struct entry {
+        double amount = 0.0;
+        std::uint64_t seq = 0;  // FIFO tie-break: equal bids evict oldest first
+        std::size_t request = 0;
+    };
+    struct greater_entry {
+        bool operator()(const entry& a, const entry& b) const noexcept {
+            if (a.amount != b.amount) return a.amount > b.amount;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::int32_t capacity_;
+    double price_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    // Min-heap on (amount, seq): top() is the eviction victim / price setter.
+    std::priority_queue<entry, std::vector<entry>, greater_entry> set_;
+};
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_AUCTIONEER_H

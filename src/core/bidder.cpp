@@ -1,0 +1,59 @@
+#include "core/bidder.h"
+
+#include <limits>
+
+#include "common/contracts.h"
+
+namespace p2pcd::core {
+
+bid_decision compute_bid(std::span<const double> net_values,
+                         std::span<const double> prices, const bidder_options& options) {
+    expects(net_values.size() == prices.size(),
+            "net value and price arrays must be parallel");
+    bid_decision decision;
+
+    constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+    double best = neg_inf;
+    double second = neg_inf;
+    std::size_t best_index = SIZE_MAX;
+    for (std::size_t i = 0; i < net_values.size(); ++i) {
+        double margin = net_values[i] - prices[i];
+        if (margin > best) {
+            second = best;
+            best = margin;
+            best_index = i;
+        } else if (margin > second) {
+            second = margin;
+        }
+    }
+
+    // The outside option (remain unserved, utility 0) competes as the "null
+    // object": it caps how much of its margin the bidder is willing to give up.
+    if (second < 0.0) second = 0.0;
+
+    if (best_index == SIZE_MAX || best < 0.0) {
+        decision.action = bid_action::abstain;
+        return decision;
+    }
+    decision.candidate = best_index;
+    decision.best_margin = best;
+    decision.second_margin = second;
+
+    double increment = best - second;
+    if (options.policy == bid_policy::epsilon) {
+        decision.action = bid_action::submit;
+        decision.amount = prices[best_index] + increment + options.epsilon;
+        return decision;
+    }
+    // Paper-literal: b = λ_{u*} + φ* − φ̂; when the increment is zero the bid
+    // would equal the standing price and lose, so the bidder parks.
+    if (increment <= 0.0) {
+        decision.action = bid_action::park;
+        return decision;
+    }
+    decision.action = bid_action::submit;
+    decision.amount = prices[best_index] + increment;
+    return decision;
+}
+
+}  // namespace p2pcd::core

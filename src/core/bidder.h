@@ -1,0 +1,56 @@
+// Bidding strategy of a downstream peer — "Bidding of Peer d" in Sec. IV-B.
+//
+// Given the request's net values v − w per candidate uploader and the current
+// (possibly stale, in the distributed runtime) bandwidth prices λ, the bidder
+//  * targets u* = argmax (v − w − λ),
+//  * bids b = λ_{u*} + φ* − φ̂ (+ ε under the ε policy), where φ̂ is the
+//    second-best margin including the outside option of staying unserved (0),
+//  * abstains when even the best margin is negative (the request is better
+//    off unserved — this realizes the dual constraint η ≥ 0),
+//  * under the paper-literal policy, parks on an exact tie (b would equal
+//    λ_{u*}; the paper says the peer "waits until the bandwidth prices ...
+//    change").
+#ifndef P2PCD_CORE_BIDDER_H
+#define P2PCD_CORE_BIDDER_H
+
+#include <cstddef>
+#include <span>
+
+namespace p2pcd::core {
+
+enum class bid_policy {
+    // Bertsekas ε-auction: every bid raises the price by at least ε, which
+    // guarantees termination and welfare within (#assigned)·ε of optimal.
+    epsilon,
+    // Exactly the paper's Alg. 1: zero increment on ties, bidder waits.
+    paper_literal,
+};
+
+struct bidder_options {
+    bid_policy policy = bid_policy::epsilon;
+    double epsilon = 1e-3;
+};
+
+enum class bid_action {
+    submit,   // send `amount` to `candidate`
+    abstain,  // best margin < 0: stay unserved, permanently (prices only rise)
+    park,     // literal-policy tie: wait for a price change
+};
+
+struct bid_decision {
+    bid_action action = bid_action::abstain;
+    std::size_t candidate = 0;   // ordinal of u* in the candidate list
+    double amount = 0.0;         // b(d, c, u*)
+    double best_margin = 0.0;    // φ* = v − w_{u*} − λ_{u*}
+    double second_margin = 0.0;  // φ̂ (includes the outside option 0)
+};
+
+// `net_values[i]` = v − w for candidate i; `prices[i]` = λ of candidate i's
+// uploader (+inf marks an uploader that cannot sell, e.g. zero capacity).
+[[nodiscard]] bid_decision compute_bid(std::span<const double> net_values,
+                                       std::span<const double> prices,
+                                       const bidder_options& options);
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_BIDDER_H

@@ -1,0 +1,32 @@
+#include "core/exact.h"
+
+#include "common/contracts.h"
+#include "opt/transportation.h"
+
+namespace p2pcd::core {
+
+exact_result exact_scheduler::run(const scheduling_problem& problem) const {
+    auto instance = problem.to_transportation();
+    auto solution = opt::solve_exact(instance);
+    auto origins = problem.edge_origins();
+
+    exact_result result;
+    result.sched.choice.assign(problem.num_requests(), no_candidate);
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        std::ptrdiff_t edge = solution.edge_of_source[r];
+        if (edge == opt::unassigned) continue;
+        const auto& origin = origins[static_cast<std::size_t>(edge)];
+        ensures(origin.request == r, "edge origin bookkeeping out of sync");
+        result.sched.choice[r] = static_cast<std::ptrdiff_t>(origin.candidate);
+    }
+    result.welfare = solution.welfare;
+    result.prices = std::move(solution.sink_price);
+    result.request_utility = std::move(solution.source_utility);
+    return result;
+}
+
+schedule exact_scheduler::solve(const scheduling_problem& problem) {
+    return run(problem).sched;
+}
+
+}  // namespace p2pcd::core

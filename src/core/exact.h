@@ -1,0 +1,33 @@
+// Centralized exact scheduler: solves problem (1) to optimality through the
+// transportation solver (min-cost max-flow). This is the reference the test
+// suite holds the auction against (Theorem 1), and the "offline optimum"
+// series in the ablation benches. It is not a practical P2P protocol — it
+// needs global knowledge — which is precisely why the paper wants the
+// distributed auction to match it.
+#ifndef P2PCD_CORE_EXACT_H
+#define P2PCD_CORE_EXACT_H
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace p2pcd::core {
+
+struct exact_result {
+    schedule sched;
+    double welfare = 0.0;
+    std::vector<double> prices;           // optimal λ per uploader
+    std::vector<double> request_utility;  // optimal η per request
+};
+
+class exact_scheduler final : public scheduler {
+public:
+    [[nodiscard]] exact_result run(const scheduling_problem& problem) const;
+
+    [[nodiscard]] schedule solve(const scheduling_problem& problem) override;
+    [[nodiscard]] std::string_view name() const override { return "exact"; }
+};
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_EXACT_H

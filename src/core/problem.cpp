@@ -1,0 +1,71 @@
+#include "core/problem.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::core {
+
+std::size_t scheduling_problem::add_uploader(peer_id who, std::int32_t capacity) {
+    expects(capacity >= 0, "uploader capacity must be non-negative");
+    uploaders_.push_back({who, capacity});
+    return uploaders_.size() - 1;
+}
+
+std::size_t scheduling_problem::add_request(peer_id downstream, chunk_id chunk,
+                                            double valuation) {
+    requests_.push_back({downstream, chunk, valuation});
+    candidates_.emplace_back();
+    return requests_.size() - 1;
+}
+
+void scheduling_problem::add_candidate(std::size_t request, std::size_t uploader,
+                                       double cost) {
+    expects(request < requests_.size(), "candidate for unknown request");
+    expects(uploader < uploaders_.size(), "candidate references unknown uploader");
+    candidates_[request].push_back({uploader, cost});
+    ++total_candidates_;
+}
+
+const uploader_info& scheduling_problem::uploader(std::size_t u) const {
+    expects(u < uploaders_.size(), "uploader index out of range");
+    return uploaders_[u];
+}
+
+const request_info& scheduling_problem::request(std::size_t r) const {
+    expects(r < requests_.size(), "request index out of range");
+    return requests_[r];
+}
+
+const std::vector<candidate_info>& scheduling_problem::candidates(std::size_t r) const {
+    expects(r < candidates_.size(), "request index out of range");
+    return candidates_[r];
+}
+
+double scheduling_problem::net_value(std::size_t r, std::size_t i) const {
+    const auto& cands = candidates(r);
+    expects(i < cands.size(), "candidate ordinal out of range");
+    return requests_[r].valuation - cands[i].cost;
+}
+
+opt::transportation_instance scheduling_problem::to_transportation() const {
+    opt::transportation_instance instance;
+    instance.num_sources = requests_.size();
+    instance.sink_capacity.reserve(uploaders_.size());
+    for (const auto& u : uploaders_) instance.sink_capacity.push_back(u.capacity);
+    instance.edges.reserve(total_candidates_);
+    for (std::size_t r = 0; r < requests_.size(); ++r)
+        for (const auto& cand : candidates_[r])
+            instance.edges.push_back(
+                {r, cand.uploader, requests_[r].valuation - cand.cost});
+    return instance;
+}
+
+std::vector<scheduling_problem::edge_origin_entry> scheduling_problem::edge_origins()
+    const {
+    std::vector<edge_origin_entry> origins;
+    origins.reserve(total_candidates_);
+    for (std::size_t r = 0; r < requests_.size(); ++r)
+        for (std::size_t i = 0; i < candidates_[r].size(); ++i) origins.push_back({r, i});
+    return origins;
+}
+
+}  // namespace p2pcd::core

@@ -1,0 +1,98 @@
+// The per-time-slot chunk-scheduling problem — problem (1) of the paper.
+//
+// One instance collects, for a single time slot t:
+//  * uploaders: every peer u willing to serve, with capacity B(u) chunks/slot;
+//  * requests: every (downstream peer d, chunk c) pair in R_t(d), with the
+//    downstream peer's valuation v^{(c)}(d);
+//  * candidates: for each request, the neighbors that cache chunk c, each with
+//    the network cost w_{u→d}.
+//
+// A `schedule` is the binary decision a^{(c)}_{u→d}: for each request, either
+// one of its candidates or `no_candidate` (request unserved this slot).
+#ifndef P2PCD_CORE_PROBLEM_H
+#define P2PCD_CORE_PROBLEM_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "opt/transportation.h"
+
+namespace p2pcd::core {
+
+struct uploader_info {
+    peer_id who;
+    std::int32_t capacity = 0;  // B(u): chunks this peer can upload per slot
+};
+
+struct request_info {
+    peer_id downstream;
+    chunk_id chunk;
+    double valuation = 0.0;  // v^{(c)}(d)
+};
+
+struct candidate_info {
+    std::size_t uploader = 0;  // index into the problem's uploader table
+    double cost = 0.0;         // w_{u→d}
+};
+
+class scheduling_problem {
+public:
+    // Returns the new uploader's index.
+    std::size_t add_uploader(peer_id who, std::int32_t capacity);
+
+    // Returns the new request's index.
+    std::size_t add_request(peer_id downstream, chunk_id chunk, double valuation);
+
+    void add_candidate(std::size_t request, std::size_t uploader, double cost);
+
+    [[nodiscard]] std::size_t num_uploaders() const noexcept { return uploaders_.size(); }
+    [[nodiscard]] std::size_t num_requests() const noexcept { return requests_.size(); }
+    [[nodiscard]] std::size_t num_candidates() const noexcept { return total_candidates_; }
+
+    [[nodiscard]] const uploader_info& uploader(std::size_t u) const;
+    [[nodiscard]] const request_info& request(std::size_t r) const;
+    [[nodiscard]] const std::vector<candidate_info>& candidates(std::size_t r) const;
+
+    // Net utility v − w of serving request r through its i-th candidate.
+    [[nodiscard]] double net_value(std::size_t r, std::size_t i) const;
+
+    // Lossless conversion to the transportation form of Sec. IV-A. Edge k of
+    // the result corresponds to candidate `edge_origin(k)`.
+    [[nodiscard]] opt::transportation_instance to_transportation() const;
+    struct edge_origin_entry {
+        std::size_t request = 0;
+        std::size_t candidate = 0;  // ordinal within candidates(request)
+    };
+    [[nodiscard]] std::vector<edge_origin_entry> edge_origins() const;
+
+private:
+    std::vector<uploader_info> uploaders_;
+    std::vector<request_info> requests_;
+    std::vector<std::vector<candidate_info>> candidates_;
+    std::size_t total_candidates_ = 0;
+};
+
+inline constexpr std::ptrdiff_t no_candidate = -1;
+
+// For each request: ordinal of the chosen candidate, or `no_candidate`.
+struct schedule {
+    std::vector<std::ptrdiff_t> choice;
+
+    [[nodiscard]] bool assigned(std::size_t r) const {
+        return choice[r] != no_candidate;
+    }
+};
+
+// Common interface for all scheduling algorithms (auction, baselines, exact).
+class scheduler {
+public:
+    virtual ~scheduler() = default;
+    [[nodiscard]] virtual schedule solve(const scheduling_problem& problem) = 0;
+    [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_PROBLEM_H

@@ -1,0 +1,63 @@
+#include "core/strategic.h"
+
+#include "common/contracts.h"
+#include "core/welfare.h"
+
+namespace p2pcd::core {
+
+scheduling_problem shade_valuations(const scheduling_problem& problem,
+                                    peer_id strategist, double theta) {
+    expects(theta > 0.0, "shading factor must be positive");
+    scheduling_problem shaded;
+    for (std::size_t u = 0; u < problem.num_uploaders(); ++u)
+        shaded.add_uploader(problem.uploader(u).who, problem.uploader(u).capacity);
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        const auto& req = problem.request(r);
+        double v = req.downstream == strategist ? theta * req.valuation : req.valuation;
+        std::size_t nr = shaded.add_request(req.downstream, req.chunk, v);
+        for (const auto& c : problem.candidates(r))
+            shaded.add_candidate(nr, c.uploader, c.cost);
+    }
+    return shaded;
+}
+
+double realized_utility(const scheduling_problem& true_problem, const schedule& sched,
+                        peer_id who) {
+    expects(sched.choice.size() == true_problem.num_requests(),
+            "schedule does not match problem");
+    double utility = 0.0;
+    for (std::size_t r = 0; r < true_problem.num_requests(); ++r) {
+        if (true_problem.request(r).downstream != who) continue;
+        std::ptrdiff_t c = sched.choice[r];
+        if (c == no_candidate) continue;
+        utility += true_problem.request(r).valuation -
+                   true_problem.candidates(r)[static_cast<std::size_t>(c)].cost;
+    }
+    return utility;
+}
+
+shading_outcome evaluate_shading(const scheduling_problem& true_problem,
+                                 peer_id strategist, double theta,
+                                 const auction_options& options) {
+    shading_outcome outcome;
+    outcome.theta = theta;
+
+    auction_solver solver(options);
+    auto truthful = solver.run(true_problem);
+    outcome.strategist_truthful = realized_utility(true_problem, truthful.sched,
+                                                   strategist);
+    outcome.welfare_truthful =
+        compute_stats(true_problem, truthful.sched).welfare;
+
+    auto shaded_problem = shade_valuations(true_problem, strategist, theta);
+    auto strategic = solver.run(shaded_problem);
+    // Schedules map 1:1 (same request/candidate ordering), so the shaded
+    // schedule can be scored directly against the true problem.
+    outcome.strategist_strategic = realized_utility(true_problem, strategic.sched,
+                                                    strategist);
+    outcome.welfare_strategic =
+        compute_stats(true_problem, strategic.sched).welfare;
+    return outcome;
+}
+
+}  // namespace p2pcd::core

@@ -1,0 +1,55 @@
+// Strategic (selfish) bidding analysis — the paper's announced future work
+// ("we are improving the auction mechanism design to enforce truthfulness of
+// the bids in cases of selfish peers"), made measurable.
+//
+// A shading peer reports θ·v instead of its true valuation v (θ < 1 under-
+// reports to win cheaper slots less often but at lower implied prices; θ > 1
+// over-reports to win more often). These helpers run the auction on the
+// distorted problem and score the outcome against TRUE valuations, exposing
+//  * whether shading can raise the strategist's own realized utility
+//    (if yes, the mechanism is manipulable — hence the future work), and
+//  * what the manipulation costs everyone else (social-welfare loss).
+#ifndef P2PCD_CORE_STRATEGIC_H
+#define P2PCD_CORE_STRATEGIC_H
+
+#include <vector>
+
+#include "core/auction.h"
+#include "core/problem.h"
+
+namespace p2pcd::core {
+
+// Copy of `problem` where the valuations of all requests issued by
+// `strategist` are scaled by `theta` (candidates and capacities untouched,
+// so schedules map 1:1 between the two problems).
+[[nodiscard]] scheduling_problem shade_valuations(const scheduling_problem& problem,
+                                                  peer_id strategist, double theta);
+
+// Realized (true-valuation) utility of `who`'s requests under a schedule:
+// Σ over its served requests of v_true − w.
+[[nodiscard]] double realized_utility(const scheduling_problem& true_problem,
+                                      const schedule& sched, peer_id who);
+
+struct shading_outcome {
+    double theta = 1.0;
+    double strategist_truthful = 0.0;   // utility when bidding truthfully
+    double strategist_strategic = 0.0;  // utility when shading by theta
+    double welfare_truthful = 0.0;      // social welfare (true v), all truthful
+    double welfare_strategic = 0.0;     // social welfare (true v) with shading
+    [[nodiscard]] double manipulation_gain() const {
+        return strategist_strategic - strategist_truthful;
+    }
+    [[nodiscard]] double welfare_damage() const {
+        return welfare_truthful - welfare_strategic;
+    }
+};
+
+// Runs the auction twice (truthful and shaded) and scores both with true
+// valuations.
+[[nodiscard]] shading_outcome evaluate_shading(const scheduling_problem& true_problem,
+                                               peer_id strategist, double theta,
+                                               const auction_options& options = {});
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_STRATEGIC_H

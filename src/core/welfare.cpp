@@ -1,0 +1,48 @@
+#include "core/welfare.h"
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::core {
+
+bool schedule_feasible(const scheduling_problem& problem, const schedule& sched) {
+    if (sched.choice.size() != problem.num_requests()) return false;
+    std::vector<std::int64_t> used(problem.num_uploaders(), 0);
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        std::ptrdiff_t c = sched.choice[r];
+        if (c == no_candidate) continue;
+        if (c < 0) return false;
+        const auto& cands = problem.candidates(r);
+        if (static_cast<std::size_t>(c) >= cands.size()) return false;
+        ++used[cands[static_cast<std::size_t>(c)].uploader];
+    }
+    for (std::size_t u = 0; u < problem.num_uploaders(); ++u)
+        if (used[u] > problem.uploader(u).capacity) return false;
+    return true;
+}
+
+schedule_stats compute_stats(const scheduling_problem& problem, const schedule& sched,
+                             const crossing_predicate& crosses) {
+    expects(sched.choice.size() == problem.num_requests(),
+            "schedule size must match request count");
+    schedule_stats stats;
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        std::ptrdiff_t c = sched.choice[r];
+        if (c == no_candidate) {
+            ++stats.unassigned;
+            continue;
+        }
+        const auto& req = problem.request(r);
+        const auto& cand = problem.candidates(r)[static_cast<std::size_t>(c)];
+        ++stats.assigned;
+        stats.served_valuation += req.valuation;
+        stats.network_cost += cand.cost;
+        stats.welfare += req.valuation - cand.cost;
+        if (crosses && crosses(problem.uploader(cand.uploader).who, req.downstream))
+            ++stats.inter_isp_transfers;
+    }
+    return stats;
+}
+
+}  // namespace p2pcd::core

@@ -1,0 +1,35 @@
+// Social-welfare and traffic accounting over a schedule.
+#ifndef P2PCD_CORE_WELFARE_H
+#define P2PCD_CORE_WELFARE_H
+
+#include <functional>
+
+#include "core/problem.h"
+
+namespace p2pcd::core {
+
+struct schedule_stats {
+    double welfare = 0.0;                // Σ (v − w) over served requests
+    double served_valuation = 0.0;       // Σ v over served requests
+    double network_cost = 0.0;           // Σ w over served requests
+    std::size_t assigned = 0;
+    std::size_t unassigned = 0;
+    std::size_t inter_isp_transfers = 0;  // only when a crossing predicate is given
+};
+
+// True iff every choice is a valid candidate ordinal (or no_candidate) and no
+// uploader exceeds its capacity.
+[[nodiscard]] bool schedule_feasible(const scheduling_problem& problem,
+                                     const schedule& sched);
+
+// `crosses(u, d)` returns true when an u→d transfer is inter-ISP; pass nullptr
+// to skip traffic accounting (pure-core callers without topology knowledge).
+using crossing_predicate = std::function<bool(peer_id uploader, peer_id downstream)>;
+
+[[nodiscard]] schedule_stats compute_stats(const scheduling_problem& problem,
+                                           const schedule& sched,
+                                           const crossing_predicate& crosses = nullptr);
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_WELFARE_H

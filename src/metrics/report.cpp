@@ -1,0 +1,49 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace p2pcd::metrics {
+
+std::string format_double(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+table::table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    expects(!headers_.empty(), "table requires at least one column");
+}
+
+void table::add_row(std::vector<std::string> cells) {
+    expects(cells.size() == headers_.size(), "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+void table::add_row(const std::vector<double>& cells, int precision) {
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (double v : cells) formatted.push_back(format_double(v, precision));
+    add_row(std::move(formatted));
+}
+
+void table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& row : rows_)
+        for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::setw(static_cast<int>(width[i])) << row[i];
+            os << (i + 1 == row.size() ? "\n" : "  ");
+        }
+    };
+    emit(headers_);
+    for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace p2pcd::metrics

@@ -1,0 +1,36 @@
+// Fixed-width table printer for benchmark output: every figure bench prints
+// the series the paper plots as aligned rows, so the "shape" comparison with
+// the paper is readable straight off the terminal.
+#ifndef P2PCD_METRICS_REPORT_H
+#define P2PCD_METRICS_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace p2pcd::metrics {
+
+class table {
+public:
+    explicit table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    // Convenience: formats doubles with the given precision.
+    void add_row(const std::vector<double>& cells, int precision = 3);
+
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (no trailing-zero stripping).
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+
+}  // namespace p2pcd::metrics
+
+#endif  // P2PCD_METRICS_REPORT_H

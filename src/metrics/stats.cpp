@@ -1,0 +1,47 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::metrics {
+
+double mean(std::span<const double> sample) {
+    if (sample.empty()) return 0.0;
+    return std::accumulate(sample.begin(), sample.end(), 0.0) /
+           static_cast<double>(sample.size());
+}
+
+double percentile(std::span<const double> sample, double q) {
+    expects(!sample.empty(), "percentile of empty sample");
+    expects(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+summary summarize(std::span<const double> sample) {
+    summary s;
+    if (sample.empty()) return s;
+    s.count = sample.size();
+    s.min = *std::min_element(sample.begin(), sample.end());
+    s.max = *std::max_element(sample.begin(), sample.end());
+    s.mean = mean(sample);
+    double var = 0.0;
+    for (double x : sample) var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(sample.size()));
+    s.p50 = percentile(sample, 0.50);
+    s.p90 = percentile(sample, 0.90);
+    s.p99 = percentile(sample, 0.99);
+    return s;
+}
+
+}  // namespace p2pcd::metrics

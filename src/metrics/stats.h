@@ -1,0 +1,31 @@
+// Summary statistics over a sample of doubles.
+#ifndef P2PCD_METRICS_STATS_H
+#define P2PCD_METRICS_STATS_H
+
+#include <cstddef>
+#include <span>
+
+namespace p2pcd::metrics {
+
+struct summary {
+    std::size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;  // population standard deviation
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
+// Computes a full summary; returns a zeroed summary for an empty sample.
+[[nodiscard]] summary summarize(std::span<const double> sample);
+
+// Linear-interpolation percentile, q in [0, 1]; precondition: non-empty.
+[[nodiscard]] double percentile(std::span<const double> sample, double q);
+
+[[nodiscard]] double mean(std::span<const double> sample);
+
+}  // namespace p2pcd::metrics
+
+#endif  // P2PCD_METRICS_STATS_H

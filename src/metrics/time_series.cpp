@@ -1,0 +1,53 @@
+#include "metrics/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+namespace p2pcd::metrics {
+
+std::vector<double> time_series::values() const {
+    std::vector<double> v;
+    v.reserve(points_.size());
+    for (const auto& p : points_) v.push_back(p.value);
+    return v;
+}
+
+double time_series::mean_in_window(double t_lo, double t_hi) const {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& p : points_) {
+        if (p.time >= t_lo && p.time < t_hi) {
+            sum += p.value;
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+void write_csv(std::ostream& os, const std::vector<const time_series*>& series) {
+    os << "time";
+    for (const auto* s : series) os << ',' << s->name();
+    os << '\n';
+
+    // Collect the union of timestamps, then emit one row per timestamp.
+    std::map<double, std::vector<double>> rows;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        for (const auto& p : series[i]->points()) {
+            auto& row = rows[p.time];
+            row.resize(series.size(), std::numeric_limits<double>::quiet_NaN());
+            row[i] = p.value;
+        }
+    }
+    for (const auto& [t, row] : rows) {
+        os << t;
+        for (double v : row) {
+            os << ',';
+            if (!std::isnan(v)) os << v;
+        }
+        os << '\n';
+    }
+}
+
+}  // namespace p2pcd::metrics

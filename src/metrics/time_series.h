@@ -1,0 +1,50 @@
+// Named (time, value) series collected during a run — the raw material for
+// every figure reproduction.
+#ifndef P2PCD_METRICS_TIME_SERIES_H
+#define P2PCD_METRICS_TIME_SERIES_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace p2pcd::metrics {
+
+struct sample_point {
+    double time = 0.0;
+    double value = 0.0;
+};
+
+class time_series {
+public:
+    time_series() = default;
+    explicit time_series(std::string name) : name_(std::move(name)) {}
+
+    void record(double time, double value) { points_.push_back({time, value}); }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] const std::vector<sample_point>& points() const noexcept { return points_; }
+    [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+
+    [[nodiscard]] std::vector<double> values() const;
+
+    // Mean of values whose time lies in [t_lo, t_hi).
+    [[nodiscard]] double mean_in_window(double t_lo, double t_hi) const;
+
+    void clear() { points_.clear(); }
+
+private:
+    std::string name_;
+    std::vector<sample_point> points_;
+};
+
+// Writes aligned series as CSV: `time,<name1>,<name2>,...`. All series must
+// have identical timestamps row by row (the emulator samples per slot, so
+// this holds by construction); rows where some series lacks a point are
+// filled with empty cells.
+void write_csv(std::ostream& os, const std::vector<const time_series*>& series);
+
+}  // namespace p2pcd::metrics
+
+#endif  // P2PCD_METRICS_TIME_SERIES_H

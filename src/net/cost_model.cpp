@@ -1,0 +1,49 @@
+#include "net/cost_model.h"
+
+#include <limits>
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace p2pcd::net {
+
+cost_model::cost_model(const isp_topology& topology, const cost_params& params,
+                       sim::rng_stream& rng)
+    : topology_(&topology),
+      params_(params),
+      link_seed_(static_cast<std::uint64_t>(rng.uniform_int(
+          0, std::numeric_limits<std::int64_t>::max() - 1))),
+      inter_(params.inter_mean, params.inter_stddev, params.inter_lo, params.inter_hi),
+      intra_(params.intra_mean, params.intra_stddev, params.intra_lo, params.intra_hi) {}
+
+double cost_model::isp_cost(isp_id m, isp_id n) const {
+    expects(m.valid() && static_cast<std::size_t>(m.value()) < topology_->num_isps(),
+            "ISP id out of range");
+    expects(n.valid() && static_cast<std::size_t>(n.value()) < topology_->num_isps(),
+            "ISP id out of range");
+    return m == n ? params_.intra_mean : params_.inter_mean;
+}
+
+double cost_model::cost(peer_id u, peer_id d) const {
+    auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(u.value()));
+    auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.value()));
+    if (params_.symmetric && a > b) std::swap(a, b);  // canonical link direction
+    std::uint64_t key = (a << 32) | b;
+
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    // The draw is a pure function of (link_seed, key): mix them into a seed
+    // for a throwaway stream, so costs are reproducible and churn-proof.
+    std::uint64_t mixed = link_seed_ ^ (key * 0x9e3779b97f4a7c15ull);
+    mixed ^= mixed >> 29;
+    mixed *= 0xbf58476d1ce4e5b9ull;
+    mixed ^= mixed >> 32;
+    sim::rng_stream link_rng(mixed);
+    bool crosses = topology_->isp_of(u) != topology_->isp_of(d);
+    double w = crosses ? inter_.sample(link_rng) : intra_.sample(link_rng);
+    cache_.emplace(key, w);
+    return w;
+}
+
+}  // namespace p2pcd::net

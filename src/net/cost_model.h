@@ -1,0 +1,64 @@
+// Network cost w_{u→d} between peers.
+//
+// Sec. V of the paper: "inter-ISP link delay costs and intra-ISP link delay
+// costs follow truncated normal distributions" — the cost is per *link*
+// (ordered peer pair), with the distribution picked by whether the pair
+// crosses an ISP boundary: inter N(5, 1) on [1, 10], intra N(1, 1) on [0, 2].
+//
+// Costs are sampled lazily and deterministically: the draw for a pair is a
+// pure function of (seed, u, d), so the model is reproducible, needs no
+// upfront O(peers²) table, and survives churn (a re-queried pair always gets
+// the same cost). `symmetric` (default) makes w(u,d) == w(d,u), as expected
+// of link latency.
+#ifndef P2PCD_NET_COST_MODEL_H
+#define P2PCD_NET_COST_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "net/isp_topology.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace p2pcd::net {
+
+struct cost_params {
+    double inter_mean = 5.0;
+    double inter_stddev = 1.0;
+    double inter_lo = 1.0;
+    double inter_hi = 10.0;
+    double intra_mean = 1.0;
+    double intra_stddev = 1.0;
+    double intra_lo = 0.0;
+    double intra_hi = 2.0;
+    bool symmetric = true;  // w(u,d) == w(d,u)
+};
+
+class cost_model {
+public:
+    cost_model(const isp_topology& topology, const cost_params& params,
+               sim::rng_stream& rng);
+
+    // Cost of shipping one chunk over the u → d link.
+    [[nodiscard]] double cost(peer_id u, peer_id d) const;
+
+    // Expected cost between two ISPs (the relevant distribution's mean);
+    // useful for latency scaling and diagnostics.
+    [[nodiscard]] double isp_cost(isp_id m, isp_id n) const;
+
+    [[nodiscard]] const cost_params& params() const noexcept { return params_; }
+
+private:
+    const isp_topology* topology_;
+    cost_params params_;
+    std::uint64_t link_seed_;
+    sim::truncated_normal inter_;
+    sim::truncated_normal intra_;
+    // Lazily filled link-cost cache; key packs both peer ids.
+    mutable std::unordered_map<std::uint64_t, double> cache_;
+};
+
+}  // namespace p2pcd::net
+
+#endif  // P2PCD_NET_COST_MODEL_H

@@ -1,0 +1,48 @@
+#include "net/isp_topology.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace p2pcd::net {
+
+isp_topology::isp_topology(std::size_t num_isps) : peers_by_isp_(num_isps) {
+    expects(num_isps > 0, "topology requires at least one ISP");
+}
+
+void isp_topology::add_peer(peer_id peer, isp_id isp) {
+    expects(peer.valid(), "cannot add an invalid peer id");
+    expects(isp.valid() && static_cast<std::size_t>(isp.value()) < peers_by_isp_.size(),
+            "ISP id out of range");
+    expects(!isp_of_.contains(peer), "peer already registered");
+    isp_of_.emplace(peer, isp);
+    peers_by_isp_[static_cast<std::size_t>(isp.value())].push_back(peer);
+}
+
+void isp_topology::remove_peer(peer_id peer) {
+    auto it = isp_of_.find(peer);
+    expects(it != isp_of_.end(), "removing unknown peer");
+    auto& bucket = peers_by_isp_[static_cast<std::size_t>(it->second.value())];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), peer), bucket.end());
+    isp_of_.erase(it);
+}
+
+bool isp_topology::contains(peer_id peer) const { return isp_of_.contains(peer); }
+
+isp_id isp_topology::isp_of(peer_id peer) const {
+    auto it = isp_of_.find(peer);
+    expects(it != isp_of_.end(), "isp_of for unknown peer");
+    return it->second;
+}
+
+const std::vector<peer_id>& isp_topology::peers_in(isp_id isp) const {
+    expects(isp.valid() && static_cast<std::size_t>(isp.value()) < peers_by_isp_.size(),
+            "ISP id out of range");
+    return peers_by_isp_[static_cast<std::size_t>(isp.value())];
+}
+
+bool isp_topology::crosses_isps(peer_id u, peer_id d) const {
+    return isp_of(u) != isp_of(d);
+}
+
+}  // namespace p2pcd::net

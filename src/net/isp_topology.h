@@ -1,0 +1,36 @@
+// ISP membership map: which peer lives in which ISP (the paper's P_m sets).
+#ifndef P2PCD_NET_ISP_TOPOLOGY_H
+#define P2PCD_NET_ISP_TOPOLOGY_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace p2pcd::net {
+
+class isp_topology {
+public:
+    explicit isp_topology(std::size_t num_isps);
+
+    [[nodiscard]] std::size_t num_isps() const noexcept { return peers_by_isp_.size(); }
+
+    void add_peer(peer_id peer, isp_id isp);
+    void remove_peer(peer_id peer);
+
+    [[nodiscard]] bool contains(peer_id peer) const;
+    [[nodiscard]] isp_id isp_of(peer_id peer) const;
+    [[nodiscard]] const std::vector<peer_id>& peers_in(isp_id isp) const;
+    [[nodiscard]] std::size_t num_peers() const noexcept { return isp_of_.size(); }
+
+    // True when u and d belong to different ISPs (inter-ISP traffic).
+    [[nodiscard]] bool crosses_isps(peer_id u, peer_id d) const;
+
+private:
+    std::unordered_map<peer_id, isp_id> isp_of_;
+    std::vector<std::vector<peer_id>> peers_by_isp_;
+};
+
+}  // namespace p2pcd::net
+
+#endif  // P2PCD_NET_ISP_TOPOLOGY_H

@@ -1,0 +1,77 @@
+// Simulated point-to-point message network over the discrete-event engine.
+//
+// This substitutes for the real TCP traffic of the paper's emulator: a send
+// schedules the receiver's handler `latency(from, to)` seconds in the future.
+// Delivery is in-order per (from, to) link because the latency function is
+// time-invariant per pair and the event queue breaks timestamp ties FIFO.
+#ifndef P2PCD_NET_MESSAGE_NETWORK_H
+#define P2PCD_NET_MESSAGE_NETWORK_H
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+#include "sim/simulator.h"
+
+namespace p2pcd::net {
+
+template <typename message>
+class message_network {
+public:
+    using handler = std::function<void(peer_id from, const message&)>;
+    using latency_fn = std::function<double(peer_id from, peer_id to)>;
+
+    message_network(sim::simulator& simulator, latency_fn latency)
+        : simulator_(&simulator), latency_(std::move(latency)) {
+        expects(latency_ != nullptr, "message network requires a latency function");
+    }
+
+    void attach(peer_id who, handler h) {
+        expects(h != nullptr, "handler must be callable");
+        handlers_[who] = std::move(h);
+    }
+
+    void detach(peer_id who) { handlers_.erase(who); }
+
+    [[nodiscard]] bool attached(peer_id who) const { return handlers_.contains(who); }
+
+    // Sends `msg` from `from` to `to`. Messages to detached peers at delivery
+    // time are dropped silently — exactly what happens when a peer departs
+    // mid-auction (Sec. IV-C), and the algorithm must tolerate it.
+    void send(peer_id from, peer_id to, message msg) {
+        double delay = latency_(from, to);
+        expects(delay >= 0.0, "latency must be non-negative");
+        ++messages_sent_;
+        simulator_->schedule_in(delay, [this, from, to, m = std::move(msg)]() {
+            auto it = handlers_.find(to);
+            if (it == handlers_.end()) {
+                ++messages_dropped_;
+                return;
+            }
+            ++messages_delivered_;
+            it->second(from, m);
+        });
+    }
+
+    [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+    [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+        return messages_delivered_;
+    }
+    [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+        return messages_dropped_;
+    }
+
+private:
+    sim::simulator* simulator_;
+    latency_fn latency_;
+    std::unordered_map<peer_id, handler> handlers_;
+    std::uint64_t messages_sent_ = 0;
+    std::uint64_t messages_delivered_ = 0;
+    std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace p2pcd::net
+
+#endif  // P2PCD_NET_MESSAGE_NETWORK_H

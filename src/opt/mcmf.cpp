@@ -1,0 +1,135 @@
+#include "opt/mcmf.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/contracts.h"
+
+namespace p2pcd::opt {
+
+namespace {
+constexpr double inf = std::numeric_limits<double>::infinity();
+}
+
+min_cost_flow::node min_cost_flow::add_nodes(std::size_t count) {
+    node first = adjacency_.size();
+    adjacency_.resize(adjacency_.size() + count);
+    return first;
+}
+
+min_cost_flow::edge_id min_cost_flow::add_edge(node from, node to, std::int64_t capacity,
+                                               double cost) {
+    expects(from < adjacency_.size() && to < adjacency_.size(), "edge endpoint out of range");
+    expects(capacity >= 0, "edge capacity must be non-negative");
+    edge_id fwd = arcs_.size();
+    arcs_.push_back({to, capacity, cost, fwd + 1});
+    arcs_.push_back({from, 0, -cost, fwd});
+    adjacency_[from].push_back(fwd);
+    adjacency_[to].push_back(fwd + 1);
+    user_edge_.push_back(fwd);
+    return user_edge_.size() - 1;
+}
+
+void min_cost_flow::bellman_ford(node s) {
+    potential_.assign(adjacency_.size(), inf);
+    potential_[s] = 0.0;
+    // |V|-1 rounds with early exit; the graphs here are shallow (layered
+    // bipartite), so this converges in a handful of passes.
+    for (std::size_t round = 0; round + 1 < adjacency_.size(); ++round) {
+        bool changed = false;
+        for (node u = 0; u < adjacency_.size(); ++u) {
+            if (potential_[u] == inf) continue;
+            for (edge_id e : adjacency_[u]) {
+                const arc& a = arcs_[e];
+                if (a.capacity <= 0) continue;
+                double candidate = potential_[u] + a.cost;
+                if (candidate < potential_[a.to] - 1e-12) {
+                    potential_[a.to] = candidate;
+                    changed = true;
+                }
+            }
+        }
+        if (!changed) break;
+    }
+    // Unreachable nodes keep potential 0 so reduced costs stay finite; they
+    // can never appear on an s-t path anyway.
+    for (double& p : potential_)
+        if (p == inf) p = 0.0;
+}
+
+bool min_cost_flow::dijkstra(node s, node t, std::vector<edge_id>& parent_arc) {
+    const std::size_t n = adjacency_.size();
+    std::vector<double> dist(n, inf);
+    std::vector<bool> done(n, false);
+    parent_arc.assign(n, SIZE_MAX);
+    using item = std::pair<double, node>;
+    std::priority_queue<item, std::vector<item>, std::greater<>> heap;
+    dist[s] = 0.0;
+    heap.push({0.0, s});
+    while (!heap.empty()) {
+        auto [d, u] = heap.top();
+        heap.pop();
+        if (done[u]) continue;
+        done[u] = true;
+        for (edge_id e : adjacency_[u]) {
+            const arc& a = arcs_[e];
+            if (a.capacity <= 0 || done[a.to]) continue;
+            double reduced = a.cost + potential_[u] - potential_[a.to];
+            // Reduced costs are >= 0 up to float noise; clamp the noise.
+            if (reduced < 0.0) reduced = 0.0;
+            double candidate = d + reduced;
+            if (candidate < dist[a.to] - 1e-12) {
+                dist[a.to] = candidate;
+                parent_arc[a.to] = e;
+                heap.push({candidate, a.to});
+            }
+        }
+    }
+    if (dist[t] == inf) return false;
+    for (node v = 0; v < n; ++v)
+        if (dist[v] != inf) potential_[v] += dist[v];
+    return true;
+}
+
+min_cost_flow::result min_cost_flow::solve(node s, node t, std::int64_t max_flow) {
+    expects(s < adjacency_.size() && t < adjacency_.size(), "terminal out of range");
+    expects(s != t, "source and sink must differ");
+    result out;
+    bellman_ford(s);
+    std::vector<edge_id> parent_arc;
+    while (out.flow < max_flow) {
+        if (!dijkstra(s, t, parent_arc)) break;
+        // Bottleneck along the s-t path.
+        std::int64_t push = max_flow - out.flow;
+        for (node v = t; v != s;) {
+            const arc& a = arcs_[parent_arc[v]];
+            push = std::min(push, a.capacity);
+            v = arcs_[a.reverse].to;
+        }
+        ensures(push > 0, "augmenting path must carry positive flow");
+        for (node v = t; v != s;) {
+            arc& a = arcs_[parent_arc[v]];
+            a.capacity -= push;
+            arcs_[a.reverse].capacity += push;
+            out.cost += static_cast<double>(push) * a.cost;
+            v = arcs_[a.reverse].to;
+        }
+        out.flow += push;
+    }
+    return out;
+}
+
+std::int64_t min_cost_flow::flow_on(edge_id e) const {
+    expects(e < user_edge_.size(), "unknown edge id");
+    // Flow on the forward arc equals the residual capacity of its reverse.
+    return arcs_[arcs_[user_edge_[e]].reverse].capacity;
+}
+
+double min_cost_flow::potential(node v) const {
+    expects(v < adjacency_.size(), "node out of range");
+    expects(!potential_.empty(), "potentials exist only after solve()");
+    return potential_[v];
+}
+
+}  // namespace p2pcd::opt

@@ -1,0 +1,36 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace p2pcd::sim {
+
+void event_queue::push(sim_time at, event_fn fn) {
+    expects(fn != nullptr, "event function must be callable");
+    heap_.push(entry{at, next_seq_++, std::move(fn)});
+}
+
+sim_time event_queue::next_time() const {
+    expects(!heap_.empty(), "next_time on empty event queue");
+    return heap_.top().at;
+}
+
+event_fn event_queue::pop(sim_time* at) {
+    expects(!heap_.empty(), "pop on empty event queue");
+    // std::priority_queue::top() returns a const reference; the function body
+    // is moved out via const_cast, which is safe because the entry is removed
+    // immediately afterwards and never observed again.
+    auto& top = const_cast<entry&>(heap_.top());
+    if (at != nullptr) *at = top.at;
+    event_fn fn = std::move(top.fn);
+    heap_.pop();
+    return fn;
+}
+
+void event_queue::clear() {
+    heap_ = {};
+    next_seq_ = 0;
+}
+
+}  // namespace p2pcd::sim

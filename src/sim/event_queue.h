@@ -1,0 +1,56 @@
+// Priority queue of timestamped events for the discrete-event engine.
+//
+// Events with equal timestamps are delivered in insertion order (FIFO): the
+// queue is keyed on (time, sequence number). This makes simulations fully
+// deterministic for a fixed seed, which the reproduction relies on.
+#ifndef P2PCD_SIM_EVENT_QUEUE_H
+#define P2PCD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2pcd::sim {
+
+// Simulated time, in seconds.
+using sim_time = double;
+
+using event_fn = std::function<void()>;
+
+class event_queue {
+public:
+    // Enqueues `fn` to run at absolute simulated time `at`.
+    void push(sim_time at, event_fn fn);
+
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+    // Timestamp of the next event; precondition: !empty().
+    [[nodiscard]] sim_time next_time() const;
+
+    // Removes and returns the next event (earliest time, FIFO on ties).
+    event_fn pop(sim_time* at = nullptr);
+
+    void clear();
+
+private:
+    struct entry {
+        sim_time at;
+        std::uint64_t seq;
+        event_fn fn;
+    };
+    struct later {
+        bool operator()(const entry& a, const entry& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<entry, std::vector<entry>, later> heap_;
+    std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p2pcd::sim
+
+#endif  // P2PCD_SIM_EVENT_QUEUE_H

@@ -1,0 +1,72 @@
+// Deterministic random-number streams.
+//
+// Every stochastic component (cost model, arrivals, video choice, upload
+// capacities, ...) draws from its own named stream derived from one master
+// seed. Components therefore stay reproducible independently of each other:
+// adding draws to one stream never perturbs another.
+#ifndef P2PCD_SIM_RNG_H
+#define P2PCD_SIM_RNG_H
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace p2pcd::sim {
+
+class rng_stream {
+public:
+    explicit rng_stream(std::uint64_t seed) : engine_(seed) {}
+
+    // Uniform integer in [lo, hi] (inclusive).
+    [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    // Uniform real in [lo, hi).
+    [[nodiscard]] double uniform_real(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    [[nodiscard]] bool bernoulli(double p) {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    [[nodiscard]] double exponential(double rate) {
+        return std::exponential_distribution<double>(rate)(engine_);
+    }
+
+    [[nodiscard]] double normal(double mean, double stddev) {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    std::mt19937_64& engine() noexcept { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+// Derives independent streams from a master seed by hashing stream names
+// (FNV-1a, stable across platforms).
+class rng_factory {
+public:
+    explicit rng_factory(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+    [[nodiscard]] rng_stream stream(std::string_view name) const {
+        std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+        for (char c : name) {
+            h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+            h *= 1099511628211ull;  // FNV prime
+        }
+        h ^= master_seed_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return rng_stream(h);
+    }
+
+    [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }
+
+private:
+    std::uint64_t master_seed_;
+};
+
+}  // namespace p2pcd::sim
+
+#endif  // P2PCD_SIM_RNG_H

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace p2pcd::sim {
+
+void simulator::schedule_in(sim_time delay, event_fn fn) {
+    expects(delay >= 0.0, "schedule_in requires a non-negative delay");
+    queue_.push(now_ + delay, std::move(fn));
+}
+
+void simulator::schedule_at(sim_time at, event_fn fn) {
+    expects(at >= now_, "schedule_at requires a time not in the past");
+    queue_.push(at, std::move(fn));
+}
+
+std::uint64_t simulator::run_until(sim_time deadline) {
+    std::uint64_t ran = 0;
+    while (!queue_.empty() && queue_.next_time() <= deadline) {
+        sim_time at = 0.0;
+        event_fn fn = queue_.pop(&at);
+        now_ = at;
+        fn();
+        ++ran;
+    }
+    if (now_ < deadline) now_ = deadline;
+    executed_ += ran;
+    return ran;
+}
+
+std::uint64_t simulator::run_all(std::uint64_t max_events) {
+    std::uint64_t ran = 0;
+    while (!queue_.empty()) {
+        ensures(ran < max_events, "simulator exceeded max_events; runaway event loop?");
+        sim_time at = 0.0;
+        event_fn fn = queue_.pop(&at);
+        now_ = at;
+        fn();
+        ++ran;
+    }
+    executed_ += ran;
+    return ran;
+}
+
+void simulator::reset() {
+    queue_.clear();
+    now_ = 0.0;
+    executed_ = 0;
+}
+
+}  // namespace p2pcd::sim

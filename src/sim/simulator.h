@@ -1,0 +1,50 @@
+// Discrete-event simulator: a clock plus an event queue.
+//
+// This is the substrate substituting for the paper's Java emulator deployed on
+// a blade-server cluster: message sends become events scheduled `latency`
+// seconds in the future, and the auction's convergence ("no bidder wishes to
+// bid again") becomes quiescence of the queue.
+#ifndef P2PCD_SIM_SIMULATOR_H
+#define P2PCD_SIM_SIMULATOR_H
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+
+namespace p2pcd::sim {
+
+class simulator {
+public:
+    [[nodiscard]] sim_time now() const noexcept { return now_; }
+
+    // Schedules `fn` to run `delay` seconds from now (delay >= 0).
+    void schedule_in(sim_time delay, event_fn fn);
+
+    // Schedules `fn` at absolute time `at` (at >= now()).
+    void schedule_at(sim_time at, event_fn fn);
+
+    // Runs events until the queue is empty or the next event is after
+    // `deadline`; the clock ends at min(deadline, last event time).
+    // Returns the number of events executed.
+    std::uint64_t run_until(sim_time deadline);
+
+    // Runs until quiescence (empty queue). `max_events` guards against
+    // runaway self-scheduling loops; returns the number of events executed.
+    std::uint64_t run_all(std::uint64_t max_events = 100'000'000);
+
+    [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+    [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
+    [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
+
+    // Drops all pending events and resets the clock to zero.
+    void reset();
+
+private:
+    event_queue queue_;
+    sim_time now_ = 0.0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace p2pcd::sim
+
+#endif  // P2PCD_SIM_SIMULATOR_H

@@ -1,0 +1,65 @@
+// Per-peer chunk availability bitmap for one video — the "buffer map"
+// exchanged between neighbors in the paper's system model (Sec. III-A).
+#ifndef P2PCD_VOD_BUFFER_MAP_H
+#define P2PCD_VOD_BUFFER_MAP_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+
+class buffer_map {
+public:
+    buffer_map() = default;
+    explicit buffer_map(std::size_t num_chunks) : have_(num_chunks, false) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return have_.size(); }
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+    [[nodiscard]] bool has(std::size_t index) const {
+        expects(index < have_.size(), "buffer index out of range");
+        return have_[index];
+    }
+
+    // Returns true when this set() newly added the chunk.
+    bool set(std::size_t index) {
+        expects(index < have_.size(), "buffer index out of range");
+        if (have_[index]) return false;
+        have_[index] = true;
+        ++count_;
+        return true;
+    }
+
+    // Marks chunks [0, end) as present (seeding / watched-prefix setup).
+    void fill_prefix(std::size_t end) {
+        expects(end <= have_.size(), "prefix end out of range");
+        for (std::size_t i = 0; i < end; ++i)
+            if (!have_[i]) {
+                have_[i] = true;
+                ++count_;
+            }
+    }
+
+    void fill_all() { fill_prefix(have_.size()); }
+
+    [[nodiscard]] bool complete() const noexcept { return count_ == have_.size(); }
+
+    // Number of missing chunks in [begin, end).
+    [[nodiscard]] std::size_t missing_in(std::size_t begin, std::size_t end) const {
+        expects(begin <= end && end <= have_.size(), "range out of bounds");
+        std::size_t missing = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            if (!have_[i]) ++missing;
+        return missing;
+    }
+
+private:
+    std::vector<bool> have_;
+    std::size_t count_ = 0;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_BUFFER_MAP_H

@@ -1,0 +1,40 @@
+// Video catalog: fixed-size videos cut into equal chunks (Sec. III-A).
+//
+// Chunk ids are global across the catalog: video v's i-th chunk has id
+// v * chunks_per_video + i, so a single integer identifies (video, offset).
+#ifndef P2PCD_VOD_CATALOG_H
+#define P2PCD_VOD_CATALOG_H
+
+#include <cstdint>
+
+#include "common/ids.h"
+
+namespace p2pcd::vod {
+
+class video_catalog {
+public:
+    video_catalog(std::size_t num_videos, std::size_t chunks_per_video,
+                  double chunks_per_second);
+
+    [[nodiscard]] std::size_t num_videos() const noexcept { return num_videos_; }
+    [[nodiscard]] std::size_t chunks_per_video() const noexcept {
+        return chunks_per_video_;
+    }
+    [[nodiscard]] double chunks_per_second() const noexcept { return chunks_per_second_; }
+    [[nodiscard]] double video_duration() const noexcept {
+        return static_cast<double>(chunks_per_video_) / chunks_per_second_;
+    }
+
+    [[nodiscard]] chunk_id chunk_of(video_id video, std::size_t index) const;
+    [[nodiscard]] video_id video_of(chunk_id chunk) const;
+    [[nodiscard]] std::size_t index_of(chunk_id chunk) const;
+
+private:
+    std::size_t num_videos_;
+    std::size_t chunks_per_video_;
+    double chunks_per_second_;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_CATALOG_H

@@ -1,0 +1,437 @@
+#include "vod/emulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/greedy_welfare.h"
+#include "baseline/random_scheduler.h"
+#include "common/contracts.h"
+#include "core/exact.h"
+#include "core/welfare.h"
+#include "vod/auction_runtime.h"
+
+namespace p2pcd::vod {
+
+emulator::emulator(emulator_options options)
+    : options_(std::move(options)),
+      catalog_(options_.config.num_videos, options_.config.chunks_per_video(),
+               options_.config.chunks_per_second()),
+      topology_(options_.config.num_isps),
+      rng_factory_(options_.config.master_seed),
+      arrival_rng_(rng_factory_.stream("arrivals")),
+      peer_rng_(rng_factory_.stream("peers")),
+      video_popularity_(options_.config.num_videos, 0.78, 4.0),
+      valuation_(options_.config.valuation_alpha, options_.config.valuation_beta,
+                 options_.config.valuation_min, options_.config.valuation_max) {
+    options_.config.validate();
+    auto cost_rng = rng_factory_.stream("costs");
+    costs_.emplace(topology_, options_.config.costs, cost_rng);
+
+    add_seeds();
+    add_initial_peers();
+    if (options_.config.arrival_rate > 0.0) {
+        arrivals_.emplace(options_.config.arrival_rate);
+        next_arrival_ = arrivals_->next_arrival(arrival_rng_);
+    }
+}
+
+void emulator::add_seeds() {
+    const auto& cfg = options_.config;
+    const auto seed_capacity = static_cast<std::int32_t>(
+        cfg.seed_upload_multiple * static_cast<double>(cfg.chunks_per_slot()));
+    for (std::size_t v = 0; v < cfg.num_videos; ++v) {
+        for (std::size_t m = 0; m < cfg.num_isps; ++m) {
+            for (std::size_t s = 0; s < cfg.seeds_per_isp_per_video; ++s) {
+                peer_state seed;
+                seed.id = peer_id(next_peer_id_++);
+                seed.isp = isp_id(static_cast<std::int32_t>(m));
+                seed.video = video_id(static_cast<std::int32_t>(v));
+                seed.seed = true;
+                seed.upload_capacity = seed_capacity;
+                seed.buffer = buffer_map(cfg.chunks_per_video());
+                seed.buffer.fill_all();
+                topology_.add_peer(seed.id, seed.isp);
+                tracker_.register_peer(seed.id, seed.video, /*seed=*/true);
+                peer_index_.emplace(seed.id, peers_.size());
+                if (v == 0 && m == 0 && s == 0) default_probe_ = seed.id;
+                peers_.push_back(std::move(seed));
+            }
+        }
+    }
+}
+
+peer_state& emulator::spawn_viewer(double join_time, bool pre_warmed) {
+    const auto& cfg = options_.config;
+    peer_state viewer;
+    viewer.id = peer_id(next_peer_id_++);
+    // "distributed in the 5 ISPs evenly"
+    viewer.isp = isp_id(static_cast<std::int32_t>(
+        static_cast<std::size_t>(viewer.id.value()) % cfg.num_isps));
+    viewer.video = video_id(
+        static_cast<std::int32_t>(video_popularity_.sample(peer_rng_) - 1));
+    double multiple = peer_rng_.uniform_real(cfg.peer_upload_min_multiple,
+                                             cfg.peer_upload_max_multiple);
+    viewer.upload_capacity = static_cast<std::int32_t>(
+        multiple * static_cast<double>(cfg.chunks_per_slot()));
+    viewer.join_time = join_time;
+    viewer.buffer = buffer_map(cfg.chunks_per_video());
+
+    if (pre_warmed) {
+        // Steady-state viewer: already mid-video with its watched prefix (and
+        // nothing else) in the buffer.
+        auto max_position = static_cast<std::int64_t>(
+            cfg.initial_position_max_fraction *
+            static_cast<double>(cfg.chunks_per_video() - 1));
+        auto position = static_cast<std::size_t>(
+            peer_rng_.uniform_int(0, std::max<std::int64_t>(1, max_position)));
+        viewer.playback_position = static_cast<double>(position);
+        viewer.playback_start = join_time;
+        viewer.buffer.fill_prefix(position);
+    } else {
+        viewer.playback_position = 0.0;
+        // One slot of startup prefetch before playback begins.
+        viewer.playback_start = join_time + cfg.slot_seconds;
+    }
+
+    double remaining_seconds =
+        (static_cast<double>(cfg.chunks_per_video()) - viewer.playback_position) /
+        cfg.chunks_per_second();
+    if (cfg.departure_probability > 0.0 &&
+        peer_rng_.bernoulli(cfg.departure_probability)) {
+        // Early quitter: leaves at a uniformly random point of its session.
+        viewer.planned_departure =
+            viewer.playback_start + peer_rng_.uniform_real(0.0, remaining_seconds);
+    }
+
+    topology_.add_peer(viewer.id, viewer.isp);
+    tracker_.register_peer(viewer.id, viewer.video, /*seed=*/false);
+    tracker_.update_position(viewer.id, viewer.playback_position);
+    peer_index_.emplace(viewer.id, peers_.size());
+    peers_.push_back(std::move(viewer));
+    return peers_.back();
+}
+
+void emulator::add_initial_peers() {
+    for (std::size_t i = 0; i < options_.config.initial_peers; ++i)
+        spawn_viewer(0.0, /*pre_warmed=*/true);
+}
+
+void emulator::process_arrivals(double until) {
+    if (!arrivals_) return;
+    while (next_arrival_ <= until) {
+        spawn_viewer(next_arrival_, /*pre_warmed=*/false);
+        next_arrival_ = arrivals_->next_arrival(arrival_rng_);
+    }
+}
+
+void emulator::process_departures() {
+    for (auto& peer : peers_) {
+        if (peer.seed || peer.departed) continue;
+        bool finished = peer.finished(catalog_.chunks_per_video());
+        bool quits = peer.planned_departure >= 0.0 && peer.planned_departure <= now_;
+        if (!finished && !quits) continue;
+        peer.departed = true;
+        topology_.remove_peer(peer.id);
+        tracker_.unregister_peer(peer.id);
+    }
+}
+
+void emulator::refresh_neighbors() {
+    for (auto& peer : peers_) {
+        if (peer.seed || peer.departed) continue;
+        peer.neighbors = tracker_.bootstrap(peer.id, options_.config.neighbor_count);
+    }
+}
+
+emulator::slot_problem emulator::build_problem(
+    double now, const std::vector<std::int32_t>& round_capacity) {
+    slot_problem sp;
+    sp.uploader_of_peer.assign(peers_.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+        const auto& peer = peers_[i];
+        if (peer.departed || round_capacity[i] <= 0) continue;
+        sp.uploader_of_peer[i] = sp.problem.add_uploader(peer.id, round_capacity[i]);
+    }
+
+    const auto& cfg = options_.config;
+    const std::size_t n_chunks = cfg.chunks_per_video();
+    for (const auto& peer : peers_) {
+        if (peer.seed || peer.departed || peer.join_time > now) continue;
+        auto window_begin =
+            static_cast<std::size_t>(std::ceil(peer.playback_position));
+        std::size_t window_end = std::min(window_begin + cfg.prefetch_chunks, n_chunks);
+        for (std::size_t idx = window_begin; idx < window_end; ++idx) {
+            if (peer.buffer.has(idx)) continue;
+            // Deadline: the moment playback reaches this chunk.
+            double deadline =
+                now < peer.playback_start
+                    ? peer.playback_start +
+                          static_cast<double>(idx) / cfg.chunks_per_second()
+                    : now + (static_cast<double>(idx) - peer.playback_position) /
+                                cfg.chunks_per_second();
+            double ttl = std::max(0.0, deadline - now);
+            std::size_t request = SIZE_MAX;
+            for (peer_id n : peer.neighbors) {
+                const auto& neighbor = peers_[peer_index_.at(n)];
+                if (neighbor.departed || !neighbor.buffer.has(idx)) continue;
+                std::size_t uploader = sp.uploader_of_peer[peer_index_.at(n)];
+                if (uploader == SIZE_MAX) continue;
+                if (request == SIZE_MAX)
+                    request = sp.problem.add_request(
+                        peer.id, catalog_.chunk_of(peer.video, idx),
+                        valuation_.value(ttl));
+                sp.problem.add_candidate(request, uploader,
+                                         costs_->cost(n, peer.id));
+            }
+        }
+    }
+    return sp;
+}
+
+core::schedule emulator::dispatch(const slot_problem& sp, double round_start,
+                                  double duration, slot_metrics& metrics,
+                                  std::unordered_map<peer_id, double>& slot_prices) {
+    switch (options_.algo) {
+        case algorithm::auction: {
+            bool distributed = round_start >= options_.distributed_from &&
+                               round_start < options_.distributed_to;
+            if (distributed) {
+                runtime_options ro;
+                ro.bidding = options_.auction.bidding;
+                ro.duration = duration;
+                ro.time_offset = round_start;
+                ro.record_price_log = true;
+                ro.initial_prices.resize(sp.problem.num_uploaders(), 0.0);
+                for (std::size_t u = 0; u < sp.problem.num_uploaders(); ++u) {
+                    auto it = slot_prices.find(sp.problem.uploader(u).who);
+                    if (it != slot_prices.end()) ro.initial_prices[u] = it->second;
+                }
+                ro.latency = [this](peer_id a, peer_id b) {
+                    return options_.latency_per_cost * costs_->cost(a, b);
+                };
+                auction_runtime runtime(sp.problem, std::move(ro));
+                auto result = runtime.run();
+                for (std::size_t u = 0; u < sp.problem.num_uploaders(); ++u)
+                    slot_prices[sp.problem.uploader(u).who] = result.auction.prices[u];
+                for (const auto& ev : result.price_log)
+                    price_events_.push_back(
+                        {sp.problem.uploader(ev.uploader).who, ev.time, ev.price});
+                price_series_built_ = false;
+                metrics.auction_bids += result.auction.bids_submitted;
+                return std::move(result.auction.sched);
+            }
+            core::auction_solver solver(options_.auction);
+            auto result = solver.run(sp.problem);
+            metrics.auction_bids += result.bids_submitted;
+            return std::move(result.sched);
+        }
+        case algorithm::simple_locality: {
+            baseline::simple_locality_scheduler solver(options_.locality);
+            return solver.solve(sp.problem);
+        }
+        case algorithm::random_select: {
+            baseline::random_scheduler solver(
+                options_.config.master_seed ^
+                static_cast<std::uint64_t>(round_start * 1000.0));
+            return solver.solve(sp.problem);
+        }
+        case algorithm::greedy_welfare: {
+            baseline::greedy_welfare_scheduler solver;
+            return solver.solve(sp.problem);
+        }
+        case algorithm::exact: {
+            core::exact_scheduler solver;
+            return solver.solve(sp.problem);
+        }
+    }
+    ensures(false, "unknown scheduling algorithm");
+    return {};
+}
+
+void emulator::apply_schedule(const slot_problem& sp, const core::schedule& sched,
+                              slot_metrics& metrics,
+                              std::vector<std::int32_t>& remaining_capacity) {
+    for (std::size_t r = 0; r < sp.problem.num_requests(); ++r) {
+        std::ptrdiff_t choice = sched.choice[r];
+        if (choice == core::no_candidate) continue;
+        const auto& request = sp.problem.request(r);
+        const auto& cand = sp.problem.candidates(r)[static_cast<std::size_t>(choice)];
+        const auto& seller = sp.problem.uploader(cand.uploader);
+
+        auto& downstream = peers_[peer_index_.at(request.downstream)];
+        std::size_t idx = catalog_.index_of(request.chunk);
+        if (!downstream.buffer.set(idx)) continue;  // duplicate delivery guard
+        ++downstream.chunks_downloaded;
+        std::size_t seller_index = peer_index_.at(seller.who);
+        ++peers_[seller_index].chunks_uploaded;
+        --remaining_capacity[seller_index];
+
+        ++metrics.transfers;
+        metrics.social_welfare += request.valuation - cand.cost;
+        if (topology_.isp_of(seller.who) != peers_[peer_index_.at(request.downstream)].isp)
+            ++metrics.inter_isp_transfers;
+    }
+    metrics.inter_isp_fraction =
+        metrics.transfers == 0
+            ? 0.0
+            : static_cast<double>(metrics.inter_isp_transfers) /
+                  static_cast<double>(metrics.transfers);
+}
+
+void emulator::advance_playback(double from, double to, slot_metrics& metrics) {
+    const auto& cfg = options_.config;
+    const auto n_chunks = static_cast<double>(cfg.chunks_per_video());
+    for (auto& peer : peers_) {
+        if (peer.seed || peer.departed) continue;
+        double play_from = std::max(from, peer.playback_start);
+        if (play_from >= to) continue;
+        double new_position = std::min(
+            peer.playback_position + (to - play_from) * cfg.chunks_per_second(),
+            n_chunks);
+        for (auto idx = static_cast<std::size_t>(std::ceil(peer.playback_position));
+             static_cast<double>(idx) < new_position; ++idx) {
+            ++peer.chunks_due;
+            ++metrics.chunks_due;
+            if (!peer.buffer.has(idx)) {
+                ++peer.chunks_missed;
+                ++metrics.chunks_missed;
+            }
+        }
+        peer.playback_position = new_position;
+        tracker_.update_position(peer.id, new_position);
+    }
+    metrics.miss_rate = metrics.chunks_due == 0
+                            ? 0.0
+                            : static_cast<double>(metrics.chunks_missed) /
+                                  static_cast<double>(metrics.chunks_due);
+}
+
+const slot_metrics& emulator::step() {
+    const double slot_start = now_;
+    const double slot_end = now_ + options_.config.slot_seconds;
+
+    process_arrivals(slot_start);
+    process_departures();
+    refresh_neighbors();
+
+    slot_metrics metrics;
+    metrics.time = slot_start;
+    metrics.online_peers = online_viewers();
+
+    bool distributed = options_.algo == algorithm::auction &&
+                       slot_start >= options_.distributed_from &&
+                       slot_start < options_.distributed_to;
+    if (distributed) distributed_slot_starts_.push_back(slot_start);
+    const std::size_t rounds = std::max<std::size_t>(1, options_.bid_rounds_per_slot);
+    const double round_length = options_.config.slot_seconds /
+                                static_cast<double>(rounds);
+    // Prices persist across the rounds of one slot and reset at slot
+    // boundaries — the slot is the bidding cycle of Sec. IV-C.
+    std::unordered_map<peer_id, double> slot_prices;
+
+    std::vector<std::int32_t> remaining(peers_.size(), 0);
+    for (std::size_t i = 0; i < peers_.size(); ++i)
+        remaining[i] = peers_[i].departed ? 0 : peers_[i].upload_capacity;
+
+    for (std::size_t r = 0; r < rounds; ++r) {
+        const double round_start = slot_start + static_cast<double>(r) * round_length;
+        const double round_end = round_start + round_length;
+
+        // Even share of the remaining slot budget over the remaining rounds,
+        // so capacity unused early stays available to urgent late bids.
+        std::vector<std::int32_t> round_capacity(peers_.size(), 0);
+        auto rounds_left = static_cast<std::int32_t>(rounds - r);
+        for (std::size_t i = 0; i < peers_.size(); ++i)
+            round_capacity[i] = (remaining[i] + rounds_left - 1) / rounds_left;
+
+        auto sp = build_problem(round_start, round_capacity);
+        metrics.requests += sp.problem.num_requests();
+
+        auto sched = dispatch(sp, round_start, round_length, metrics, slot_prices);
+        apply_schedule(sp, sched, metrics, remaining);
+
+        // Playback of this round is checked against the post-transfer buffer:
+        // transfers complete within the bidding round.
+        advance_playback(round_start, round_end, metrics);
+    }
+
+    slots_.push_back(metrics);
+    now_ = slot_end;
+    return slots_.back();
+}
+
+void emulator::run() {
+    expects(slots_.empty(), "emulator::run may only be called once");
+    const std::size_t n = options_.config.num_slots();
+    for (std::size_t k = 0; k < n; ++k) step();
+}
+
+const metrics::time_series& emulator::price_series() const {
+    if (price_series_built_) return price_series_;
+    price_series_.clear();
+    // Representative = the uploader whose λ rose highest anywhere in the
+    // window; with no λ movement at all, fall back to the default probe.
+    probe_peer_ = default_probe_;
+    double best = -1.0;
+    for (const auto& ev : price_events_) {
+        if (ev.price > best) {
+            best = ev.price;
+            probe_peer_ = ev.uploader;
+        }
+    }
+    // The figure's per-slot restart: λ is 0 at every slot start...
+    std::vector<logged_price_event> merged;
+    for (double t : distributed_slot_starts_) merged.push_back({probe_peer_, t, 0.0});
+    // ...then follows the representative peer's recorded changes.
+    for (const auto& ev : price_events_)
+        if (ev.uploader == probe_peer_) merged.push_back(ev);
+    // stable: events sharing a timestamp keep their emission order, so the
+    // per-slot staircase stays monotone.
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const logged_price_event& a, const logged_price_event& b) {
+                         return a.time < b.time;
+                     });
+    for (const auto& ev : merged) price_series_.record(ev.time, ev.price);
+    price_series_built_ = true;
+    return price_series_;
+}
+
+peer_id emulator::probe_peer() const {
+    (void)price_series();  // ensures the representative is chosen
+    return probe_peer_;
+}
+
+std::size_t emulator::online_viewers() const {
+    std::size_t n = 0;
+    for (const auto& peer : peers_)
+        if (!peer.seed && !peer.departed && peer.join_time <= now_) ++n;
+    return n;
+}
+
+double emulator::total_welfare() const {
+    double total = 0.0;
+    for (const auto& s : slots_) total += s.social_welfare;
+    return total;
+}
+
+double emulator::overall_inter_isp_fraction() const {
+    std::uint64_t inter = 0;
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) {
+        inter += s.inter_isp_transfers;
+        total += s.transfers;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(total);
+}
+
+double emulator::overall_miss_rate() const {
+    std::uint64_t missed = 0;
+    std::uint64_t due = 0;
+    for (const auto& s : slots_) {
+        missed += s.chunks_missed;
+        due += s.chunks_due;
+    }
+    return due == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(due);
+}
+
+}  // namespace p2pcd::vod

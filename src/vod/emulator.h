@@ -1,0 +1,185 @@
+// The P2P VoD system emulator — the C++ discrete-time substitute for the
+// paper's Java cluster emulator (see DESIGN.md §2 for the substitution
+// argument).
+//
+// One emulator owns the catalog, ISP topology, cost model, tracker, seeds and
+// viewers, and advances slot by slot:
+//   1. process arrivals (peers joining during slot k bid from slot k+1,
+//      exactly the paper's "delay handling of new bids" rule) and departures;
+//   2. advance playback over the elapsed slot, counting missed deadlines;
+//   3. refresh neighbors, build the slot's scheduling_problem from buffer
+//      maps and the interest windows R_t(d);
+//   4. schedule with the configured algorithm (auction / baselines / exact /
+//      message-level distributed auction), apply the transfers, record
+//      per-slot metrics.
+//
+// Transfer semantics: chunks scheduled in slot k land in the downstream
+// buffer at the end of slot k ("actual chunk transfers happen as soon as the
+// auction converges ... and can be finished into the next time slot").
+#ifndef P2PCD_VOD_EMULATOR_H
+#define P2PCD_VOD_EMULATOR_H
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/simple_locality.h"
+#include "core/auction.h"
+#include "core/problem.h"
+#include "metrics/time_series.h"
+#include "net/cost_model.h"
+#include "net/isp_topology.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+#include "vod/catalog.h"
+#include "vod/peer_state.h"
+#include "vod/tracker.h"
+#include "vod/valuation.h"
+#include "workload/scenario.h"
+
+namespace p2pcd::vod {
+
+enum class algorithm {
+    auction,          // synchronous primal-dual auction (the paper's Alg. 1)
+    simple_locality,  // the paper's baseline
+    random_select,    // network-agnostic ablation
+    greedy_welfare,   // centralized greedy ablation
+    exact,            // offline optimum (min-cost flow)
+};
+
+struct emulator_options {
+    workload::scenario_config config;
+    algorithm algo = algorithm::auction;
+    core::auction_options auction{.bidding = {core::bid_policy::epsilon, 0.05}};
+    baseline::locality_options locality;
+
+    // "During one time slot, a peer keeps bidding in order to acquire the
+    // bandwidth to receive the 100 chunks it wants next" (Sec. V-A): each
+    // slot is split into this many bidding rounds. A chunk unserved in an
+    // early round is re-bid later at a higher deadline valuation, and B(u)
+    // is shared across the slot's rounds. 1 disables intra-slot re-bidding.
+    std::size_t bid_rounds_per_slot = 5;
+
+    // Message-level distributed auction (Fig. 2): slots whose start time lies
+    // in [distributed_from, distributed_to) run over the simulated network
+    // instead of the synchronous solver (one full-slot auction, matching the
+    // figure's per-slot price evolution), recording the probe peer's λ.
+    double distributed_from = -1.0;
+    double distributed_to = -1.0;
+    // One-way latency = latency_per_cost × w_{u→d} seconds.
+    double latency_per_cost = 0.05;
+};
+
+struct slot_metrics {
+    double time = 0.0;  // slot start
+    std::size_t online_peers = 0;
+    std::size_t requests = 0;
+    std::size_t transfers = 0;
+    std::size_t inter_isp_transfers = 0;
+    double inter_isp_fraction = 0.0;  // of this slot's transfers
+    double social_welfare = 0.0;      // Σ (v − w) realized this slot
+    std::size_t chunks_due = 0;
+    std::size_t chunks_missed = 0;
+    double miss_rate = 0.0;  // of this slot's due chunks
+    std::uint64_t auction_bids = 0;
+};
+
+class emulator {
+public:
+    explicit emulator(emulator_options options);
+
+    // Runs the full horizon. Can only be called once per emulator.
+    void run();
+
+    // Advances exactly one slot (exposed for tests); returns its metrics.
+    const slot_metrics& step();
+
+    [[nodiscard]] const std::vector<slot_metrics>& slots() const noexcept {
+        return slots_;
+    }
+    // λ(t) of the representative peer during distributed slots — Fig. 2's
+    // series. The representative is the uploader whose price rose highest in
+    // the window (the paper plots "a representative peer", i.e. a contended
+    // one); the series restarts at 0 at each distributed slot start, exactly
+    // like the figure. Built lazily after the run.
+    [[nodiscard]] const metrics::time_series& price_series() const;
+    // The representative peer picked for the price series (valid after
+    // price_series() on a run with distributed slots; otherwise the probe
+    // default: a seed of the most popular video in ISP 0).
+    [[nodiscard]] peer_id probe_peer() const;
+
+    [[nodiscard]] const net::isp_topology& topology() const noexcept { return topology_; }
+    [[nodiscard]] const video_catalog& catalog() const noexcept { return catalog_; }
+    [[nodiscard]] std::size_t online_viewers() const;
+    [[nodiscard]] double now() const noexcept { return now_; }
+
+    // Aggregate outcome over the whole run.
+    [[nodiscard]] double total_welfare() const;
+    [[nodiscard]] double overall_inter_isp_fraction() const;
+    [[nodiscard]] double overall_miss_rate() const;
+
+private:
+    struct slot_problem {
+        core::scheduling_problem problem;
+        std::vector<std::size_t> uploader_of_peer;  // peer table index -> uploader
+    };
+
+    void add_seeds();
+    void add_initial_peers();
+    peer_state& spawn_viewer(double join_time, bool pre_warmed);
+    void process_arrivals(double until);
+    void process_departures();
+    void advance_playback(double from, double to, slot_metrics& metrics);
+    void refresh_neighbors();
+    // Builds the round's problem; `round_capacity[i]` is what peer-table
+    // entry i may upload in this round.
+    slot_problem build_problem(double now,
+                               const std::vector<std::int32_t>& round_capacity);
+    // `slot_prices` carries each uploader's λ across the bidding rounds of
+    // one distributed slot (prices reset at slot boundaries, Sec. IV-C).
+    core::schedule dispatch(const slot_problem& sp, double round_start,
+                            double duration, slot_metrics& metrics,
+                            std::unordered_map<peer_id, double>& slot_prices);
+    void apply_schedule(const slot_problem& sp, const core::schedule& sched,
+                        slot_metrics& metrics,
+                        std::vector<std::int32_t>& remaining_capacity);
+
+    emulator_options options_;
+    video_catalog catalog_;
+    net::isp_topology topology_;
+    sim::rng_factory rng_factory_;
+    sim::rng_stream arrival_rng_;
+    sim::rng_stream peer_rng_;
+    std::optional<net::cost_model> costs_;
+    sim::zipf_mandelbrot video_popularity_;
+    deadline_valuation valuation_;
+    tracker tracker_;
+
+    std::vector<peer_state> peers_;  // stable storage; departed stay (flagged)
+    std::unordered_map<peer_id, std::size_t> peer_index_;
+    std::int32_t next_peer_id_ = 0;
+
+    double now_ = 0.0;
+    double next_arrival_ = 0.0;
+    std::optional<sim::poisson_process> arrivals_;
+    std::vector<slot_metrics> slots_;
+
+    // Raw λ-change log from distributed slots plus the slot starts, from
+    // which the representative peer's series is assembled on demand.
+    struct logged_price_event {
+        peer_id uploader;
+        double time = 0.0;
+        double price = 0.0;
+    };
+    std::vector<logged_price_event> price_events_;
+    std::vector<double> distributed_slot_starts_;
+    mutable metrics::time_series price_series_{"lambda_u"};
+    mutable bool price_series_built_ = false;
+    mutable peer_id probe_peer_;
+    peer_id default_probe_;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_EMULATOR_H

@@ -1,0 +1,50 @@
+// Full state of one emulated peer (seed or viewer).
+#ifndef P2PCD_VOD_PEER_STATE_H
+#define P2PCD_VOD_PEER_STATE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "vod/buffer_map.h"
+
+namespace p2pcd::vod {
+
+struct peer_state {
+    peer_id id;
+    isp_id isp;
+    video_id video;
+    bool seed = false;
+
+    // B(u): chunks this peer can upload per time slot.
+    std::int32_t upload_capacity = 0;
+
+    double join_time = 0.0;
+    // When playback starts (join + startup prefetch delay); seeds never play.
+    double playback_start = 0.0;
+    // Playback position in chunks (fractional; advances at chunks_per_second).
+    double playback_position = 0.0;
+    // Planned departure for early quitters (< 0: stays to the end of video).
+    double planned_departure = -1.0;
+    bool departed = false;
+
+    buffer_map buffer;
+    std::vector<peer_id> neighbors;
+
+    // Lifetime counters.
+    std::uint64_t chunks_due = 0;
+    std::uint64_t chunks_missed = 0;
+    std::uint64_t chunks_downloaded = 0;
+    std::uint64_t chunks_uploaded = 0;
+
+    [[nodiscard]] bool playing(double now) const {
+        return !seed && !departed && now >= playback_start;
+    }
+    [[nodiscard]] bool finished(std::size_t chunks_per_video) const {
+        return playback_position >= static_cast<double>(chunks_per_video);
+    }
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_PEER_STATE_H

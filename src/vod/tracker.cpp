@@ -1,0 +1,72 @@
+#include "vod/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+
+void tracker::register_peer(peer_id peer, video_id video, bool seed) {
+    expects(!records_.contains(peer), "peer already registered with tracker");
+    records_.emplace(peer, peer_record{video, 0.0, seed});
+    by_video_[video].push_back(peer);
+}
+
+void tracker::update_position(peer_id peer, double playback_position) {
+    auto it = records_.find(peer);
+    expects(it != records_.end(), "position update for unknown peer");
+    it->second.playback_position = playback_position;
+}
+
+void tracker::unregister_peer(peer_id peer) {
+    auto it = records_.find(peer);
+    expects(it != records_.end(), "unregistering unknown peer");
+    auto& bucket = by_video_[it->second.video];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), peer), bucket.end());
+    records_.erase(it);
+}
+
+std::size_t tracker::num_online(video_id video) const {
+    auto it = by_video_.find(video);
+    return it == by_video_.end() ? 0 : it->second.size();
+}
+
+std::vector<peer_id> tracker::bootstrap(peer_id who, std::size_t count) const {
+    auto self = records_.find(who);
+    expects(self != records_.end(), "bootstrap for unknown peer");
+    const auto& pool = by_video_.at(self->second.video);
+
+    std::vector<peer_id> seeds;
+    std::vector<peer_id> viewers;
+    for (peer_id p : pool) {
+        if (p == who) continue;
+        if (records_.at(p).seed) seeds.push_back(p);
+        else viewers.push_back(p);
+    }
+    double my_pos = self->second.playback_position;
+    std::stable_sort(viewers.begin(), viewers.end(), [&](peer_id a, peer_id b) {
+        return std::fabs(records_.at(a).playback_position - my_pos) <
+               std::fabs(records_.at(b).playback_position - my_pos);
+    });
+
+    // Mix seeds with swarm neighbors: seeds get at most a third of the list
+    // (they can serve any position, but a seed-stuffed neighborhood would
+    // starve the peer-to-peer exchange the paper studies), except when there
+    // are too few viewers to fill the remainder.
+    std::vector<peer_id> neighbors;
+    neighbors.reserve(count);
+    std::size_t seed_quota = std::max<std::size_t>(
+        count / 3, count > viewers.size() ? count - viewers.size() : 0);
+    for (peer_id p : seeds) {
+        if (neighbors.size() >= std::min(seed_quota, count)) break;
+        neighbors.push_back(p);
+    }
+    for (peer_id p : viewers) {
+        if (neighbors.size() >= count) break;
+        neighbors.push_back(p);
+    }
+    return neighbors;
+}
+
+}  // namespace p2pcd::vod

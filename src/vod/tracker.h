@@ -1,0 +1,41 @@
+// Tracker server: keeps track of online peers and bootstraps joining peers
+// with neighbors that have close playback positions (Sec. V), seeds first —
+// seeds cache the whole video and can serve any position.
+#ifndef P2PCD_VOD_TRACKER_H
+#define P2PCD_VOD_TRACKER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace p2pcd::vod {
+
+class tracker {
+public:
+    struct peer_record {
+        video_id video;
+        double playback_position = 0.0;
+        bool seed = false;
+    };
+
+    void register_peer(peer_id peer, video_id video, bool seed);
+    void update_position(peer_id peer, double playback_position);
+    void unregister_peer(peer_id peer);
+
+    [[nodiscard]] bool online(peer_id peer) const { return records_.contains(peer); }
+    [[nodiscard]] std::size_t num_online() const noexcept { return records_.size(); }
+    [[nodiscard]] std::size_t num_online(video_id video) const;
+
+    // Neighbor list for `who`: all seeds of its video, then non-seed viewers
+    // of the same video ordered by |playback distance|, capped at `count`.
+    [[nodiscard]] std::vector<peer_id> bootstrap(peer_id who, std::size_t count) const;
+
+private:
+    std::unordered_map<peer_id, peer_record> records_;
+    std::unordered_map<video_id, std::vector<peer_id>> by_video_;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_TRACKER_H

@@ -1,0 +1,24 @@
+#include "vod/valuation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+
+deadline_valuation::deadline_valuation(double alpha, double beta, double min_value,
+                                       double max_value)
+    : alpha_(alpha), beta_(beta), min_value_(min_value), max_value_(max_value) {
+    expects(alpha > 0.0, "valuation alpha must be positive");
+    expects(beta > 1.0, "valuation beta must exceed 1 so ln(beta + d) > 0");
+    expects(min_value <= max_value, "valuation clamp range must be ordered");
+}
+
+double deadline_valuation::value(double seconds_to_deadline) const {
+    expects(seconds_to_deadline >= 0.0, "deadline already passed");
+    double raw = alpha_ / std::log(beta_ + seconds_to_deadline);
+    return std::clamp(raw, min_value_, max_value_);
+}
+
+}  // namespace p2pcd::vod

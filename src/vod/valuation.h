@@ -1,0 +1,31 @@
+// Deadline-based chunk valuation (Sec. V): v = α_d / ln(β_d + d), where d is
+// the time to the chunk's playback deadline in seconds, clamped to the
+// paper's stated range [0.8, 8] (α_d = 2, β_d = 1.2). The closer the
+// deadline, the higher the value — urgency drives the bids.
+#ifndef P2PCD_VOD_VALUATION_H
+#define P2PCD_VOD_VALUATION_H
+
+namespace p2pcd::vod {
+
+class deadline_valuation {
+public:
+    deadline_valuation(double alpha = 2.0, double beta = 1.2, double min_value = 0.8,
+                       double max_value = 8.0);
+
+    // Value of a chunk whose playback deadline is `seconds_to_deadline` away
+    // (>= 0; chunks past their deadline are not requested).
+    [[nodiscard]] double value(double seconds_to_deadline) const;
+
+    [[nodiscard]] double min_value() const noexcept { return min_value_; }
+    [[nodiscard]] double max_value() const noexcept { return max_value_; }
+
+private:
+    double alpha_;
+    double beta_;
+    double min_value_;
+    double max_value_;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_VALUATION_H

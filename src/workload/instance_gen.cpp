@@ -1,0 +1,104 @@
+#include "workload/instance_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace p2pcd::workload {
+
+namespace {
+
+// Picks `k` distinct uploader indices uniformly (partial Fisher-Yates).
+std::vector<std::size_t> sample_distinct(std::size_t n, std::size_t k,
+                                         sim::rng_stream& rng) {
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{0});
+    k = std::min(k, n);
+    for (std::size_t i = 0; i < k; ++i) {
+        auto j = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n - 1)));
+        std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+}
+
+}  // namespace
+
+core::scheduling_problem make_uniform_instance(const uniform_instance_params& params) {
+    expects(params.num_uploaders > 0, "instance needs at least one uploader");
+    expects(params.capacity_min >= 0 && params.capacity_max >= params.capacity_min,
+            "capacity range must be ordered and non-negative");
+    sim::rng_stream rng(params.seed);
+    core::scheduling_problem problem;
+
+    auto draw = [&](double lo, double hi) {
+        if (params.integer_values)
+            return static_cast<double>(rng.uniform_int(static_cast<std::int64_t>(lo),
+                                                       static_cast<std::int64_t>(hi)));
+        return rng.uniform_real(lo, hi);
+    };
+
+    for (std::size_t u = 0; u < params.num_uploaders; ++u)
+        problem.add_uploader(
+            peer_id(static_cast<std::int32_t>(u)),
+            static_cast<std::int32_t>(rng.uniform_int(params.capacity_min,
+                                                      params.capacity_max)));
+
+    for (std::size_t r = 0; r < params.num_requests; ++r) {
+        std::size_t req = problem.add_request(
+            peer_id(static_cast<std::int32_t>(params.num_uploaders + r)),
+            chunk_id(static_cast<std::int64_t>(r)),
+            draw(params.valuation_min, params.valuation_max));
+        for (std::size_t u :
+             sample_distinct(params.num_uploaders, params.candidates_per_request, rng))
+            problem.add_candidate(req, u, draw(params.cost_min, params.cost_max));
+    }
+    return problem;
+}
+
+isp_instance make_isp_instance(const isp_instance_params& params) {
+    expects(params.num_isps > 0 && params.peers_per_isp > 0,
+            "ISP instance needs at least one peer");
+    sim::rng_stream rng(params.seed);
+    isp_instance out;
+
+    const std::size_t total_peers = params.num_isps * params.peers_per_isp;
+    sim::truncated_normal intra(params.intra_cost_mean, 1.0, 0.0,
+                                2.0 * params.intra_cost_mean);
+    sim::truncated_normal inter(params.inter_cost_mean, 1.0,
+                                params.inter_cost_mean / 5.0,
+                                2.0 * params.inter_cost_mean);
+
+    for (std::size_t p = 0; p < total_peers; ++p) {
+        out.uploader_isp.push_back(p % params.num_isps);
+        out.problem.add_uploader(
+            peer_id(static_cast<std::int32_t>(p)),
+            static_cast<std::int32_t>(rng.uniform_int(params.capacity_min,
+                                                      params.capacity_max)));
+    }
+
+    for (std::size_t p = 0; p < total_peers; ++p) {
+        std::size_t downstream_isp = out.uploader_isp[p];
+        for (std::size_t k = 0; k < params.requests_per_peer; ++k) {
+            std::size_t req = out.problem.add_request(
+                peer_id(static_cast<std::int32_t>(p)),
+                chunk_id(static_cast<std::int64_t>(p * params.requests_per_peer + k)),
+                rng.uniform_real(params.valuation_min, params.valuation_max));
+            out.request_isp.push_back(downstream_isp);
+            for (std::size_t u :
+                 sample_distinct(total_peers, params.candidates_per_request, rng)) {
+                double cost = out.uploader_isp[u] == downstream_isp ? intra.sample(rng)
+                                                                    : inter.sample(rng);
+                out.problem.add_candidate(req, u, cost);
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace p2pcd::workload

@@ -1,0 +1,63 @@
+// Random scheduling_problem generators for tests and benches.
+//
+// Two flavours:
+//  * uniform_instance — generic assignment instances (optionally with integer
+//    valuations/costs, for which the ε-auction with ε < 1/n is provably exact);
+//  * isp_instance     — two-tier cost structure mimicking the paper's setup:
+//    requests and uploaders are spread over ISPs and the cost of an edge
+//    depends on whether it crosses ISPs.
+#ifndef P2PCD_WORKLOAD_INSTANCE_GEN_H
+#define P2PCD_WORKLOAD_INSTANCE_GEN_H
+
+#include <cstdint>
+
+#include "core/problem.h"
+
+namespace p2pcd::workload {
+
+struct uniform_instance_params {
+    std::size_t num_requests = 20;
+    std::size_t num_uploaders = 8;
+    std::size_t candidates_per_request = 4;  // capped by num_uploaders
+    std::int32_t capacity_min = 1;
+    std::int32_t capacity_max = 4;
+    double valuation_min = 0.8;
+    double valuation_max = 8.0;
+    double cost_min = 0.0;
+    double cost_max = 10.0;
+    // When true, valuations and costs are integers (drawn uniformly from the
+    // rounded ranges); with ε < 1/num_requests the auction is exactly optimal.
+    bool integer_values = false;
+    std::uint64_t seed = 1;
+};
+
+[[nodiscard]] core::scheduling_problem make_uniform_instance(
+    const uniform_instance_params& params);
+
+struct isp_instance_params {
+    std::size_t num_isps = 5;
+    std::size_t peers_per_isp = 10;
+    std::size_t requests_per_peer = 5;
+    std::size_t candidates_per_request = 6;
+    std::int32_t capacity_min = 2;
+    std::int32_t capacity_max = 8;
+    double valuation_min = 0.8;
+    double valuation_max = 8.0;
+    double intra_cost_mean = 1.0;
+    double inter_cost_mean = 5.0;
+    std::uint64_t seed = 1;
+};
+
+struct isp_instance {
+    core::scheduling_problem problem;
+    // ISP of each uploader / of each request's downstream peer, for traffic
+    // accounting in benches without a full topology object.
+    std::vector<std::size_t> uploader_isp;
+    std::vector<std::size_t> request_isp;
+};
+
+[[nodiscard]] isp_instance make_isp_instance(const isp_instance_params& params);
+
+}  // namespace p2pcd::workload
+
+#endif  // P2PCD_WORKLOAD_INSTANCE_GEN_H

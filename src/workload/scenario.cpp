@@ -1,0 +1,68 @@
+#include "workload/scenario.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::workload {
+
+void scenario_config::validate() const {
+    expects(num_videos > 0, "scenario needs at least one video");
+    expects(num_isps > 0, "scenario needs at least one ISP");
+    expects(chunk_size_kb > 0.0 && video_size_mb > 0.0, "catalog sizes must be positive");
+    expects(bitrate_kbps > 0.0, "bitrate must be positive");
+    expects(slot_seconds > 0.0, "slot duration must be positive");
+    expects(horizon_seconds >= slot_seconds, "horizon must cover at least one slot");
+    expects(peer_upload_min_multiple > 0.0 &&
+                peer_upload_max_multiple >= peer_upload_min_multiple,
+            "peer upload range must be positive and ordered");
+    expects(departure_probability >= 0.0 && departure_probability <= 1.0,
+            "departure probability must be in [0,1]");
+    expects(valuation_min <= valuation_max, "valuation clamp range must be ordered");
+    expects(chunks_per_video() > 0, "videos must contain at least one chunk");
+    expects(prefetch_chunks >= chunks_per_slot(),
+            "prefetch window must cover one slot of playback, or the window "
+            "itself caps throughput");
+    expects(initial_position_max_fraction > 0.0 && initial_position_max_fraction <= 1.0,
+            "initial position fraction must be in (0, 1]");
+}
+
+scenario_config scenario_config::paper_dynamic() {
+    scenario_config config;  // defaults are the paper's numbers
+    config.arrival_rate = 1.0;
+    config.initial_peers = 0;
+    config.departure_probability = 0.0;
+    return config;
+}
+
+scenario_config scenario_config::paper_static_500() {
+    scenario_config config;
+    config.arrival_rate = 0.0;
+    config.initial_peers = 500;
+    config.departure_probability = 0.0;
+    return config;
+}
+
+scenario_config scenario_config::paper_churn() {
+    scenario_config config;
+    config.arrival_rate = 1.0;
+    config.initial_peers = 0;
+    config.departure_probability = 0.6;
+    return config;
+}
+
+scenario_config scenario_config::small_test() {
+    scenario_config config;
+    config.num_videos = 5;
+    config.video_size_mb = 1.0;   // 128 chunks ≈ 12.8 s of video
+    config.num_isps = 3;
+    config.neighbor_count = 10;
+    // Must cover at least one slot of consumption (chunks_per_slot = 100),
+    // otherwise the window itself caps throughput and misses are structural.
+    config.prefetch_chunks = 110;
+    config.seeds_per_isp_per_video = 1;
+    config.horizon_seconds = 60.0;
+    config.arrival_rate = 0.0;
+    config.initial_peers = 30;
+    return config;
+}
+
+}  // namespace p2pcd::workload

@@ -1,0 +1,89 @@
+// Scenario configuration: every number in Sec. V of the paper, in one struct.
+//
+// Named constructors give the three experimental setups used by the figures:
+//  * paper_dynamic()    — Poisson(1/s) arrivals, peers stay to video end
+//                         (Fig. 3),
+//  * paper_static_500() — 500 peers in steady state (Figs. 2, 4, 5),
+//  * paper_churn()      — arrivals plus probability-0.6 early departures
+//                         (Fig. 6).
+#ifndef P2PCD_WORKLOAD_SCENARIO_H
+#define P2PCD_WORKLOAD_SCENARIO_H
+
+#include <cstdint>
+
+#include "net/cost_model.h"
+
+namespace p2pcd::workload {
+
+struct scenario_config {
+    // --- catalog (YouTube-like short videos, Sec. V) ---
+    std::size_t num_videos = 100;
+    double video_size_mb = 20.0;
+    double chunk_size_kb = 8.0;
+    double bitrate_kbps = 640.0;  // 360p-like playback rate
+
+    // --- network ---
+    std::size_t num_isps = 5;
+    net::cost_params costs;  // inter N(5,1)|[1,10], intra N(1,1)|[0,2]
+
+    // --- peers ---
+    std::size_t neighbor_count = 30;
+    std::size_t prefetch_chunks = 100;  // ≈ 10 s of video at 640 Kbps / 8 KB
+    double peer_upload_min_multiple = 1.0;  // upload ∈ U[1,4] × bitrate
+    double peer_upload_max_multiple = 4.0;
+    std::size_t seeds_per_isp_per_video = 2;
+    double seed_upload_multiple = 8.0;
+
+    // --- valuation: v(d) = α_d / ln(β_d + d), clamped to [0.8, 8] ---
+    double valuation_alpha = 2.0;
+    double valuation_beta = 1.2;
+    double valuation_min = 0.8;
+    double valuation_max = 8.0;
+
+    // --- dynamics ---
+    double slot_seconds = 10.0;
+    double horizon_seconds = 250.0;
+    double arrival_rate = 1.0;       // peers per second (0 disables arrivals)
+    std::size_t initial_peers = 0;   // pre-populated static peers at t = 0
+    // Pre-populated peers start at a playback position uniform in
+    // [0, fraction × video length]. 1.0 spreads them across the whole video;
+    // a small value (the figure benches use 0.05) models a static population
+    // that joined recently and stays online for the whole horizon — which is
+    // what keeps the population constant in the paper's "static network"
+    // experiments (Figs. 2, 4, 5) given 256 s videos and a 250 s horizon.
+    double initial_position_max_fraction = 1.0;
+    // Fig. 6: a peer is an early quitter with this probability, departing at a
+    // uniformly random point of its viewing session instead of at video end.
+    double departure_probability = 0.0;
+
+    std::uint64_t master_seed = 42;
+
+    // --- derived quantities ---
+    [[nodiscard]] std::size_t chunks_per_video() const {
+        return static_cast<std::size_t>(video_size_mb * 1024.0 / chunk_size_kb);
+    }
+    [[nodiscard]] double chunks_per_second() const {
+        return bitrate_kbps / 8.0 / chunk_size_kb;  // 640/8/8 = 10 chunks/s
+    }
+    [[nodiscard]] std::size_t chunks_per_slot() const {
+        return static_cast<std::size_t>(chunks_per_second() * slot_seconds);
+    }
+    [[nodiscard]] double video_duration_seconds() const {
+        return static_cast<double>(chunks_per_video()) / chunks_per_second();
+    }
+    [[nodiscard]] std::size_t num_slots() const {
+        return static_cast<std::size_t>(horizon_seconds / slot_seconds);
+    }
+
+    void validate() const;  // throws contract_violation on nonsense configs
+
+    [[nodiscard]] static scenario_config paper_dynamic();
+    [[nodiscard]] static scenario_config paper_static_500();
+    [[nodiscard]] static scenario_config paper_churn();
+    // Scaled-down variant for unit/integration tests (seconds, not minutes).
+    [[nodiscard]] static scenario_config small_test();
+};
+
+}  // namespace p2pcd::workload
+
+#endif  // P2PCD_WORKLOAD_SCENARIO_H

@@ -1,0 +1,167 @@
+// Message-level auction: the Jacobi runtime with stale prices must reach the
+// same ε-CS fixed points as the synchronous solver, tolerate churn, and
+// produce the monotone price staircase Fig. 2 shows.
+#include "vod/auction_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact.h"
+#include "core/welfare.h"
+#include "workload/instance_gen.h"
+
+namespace p2pcd::vod {
+namespace {
+
+runtime_options make_options(double latency = 0.05, double duration = 30.0) {
+    runtime_options ro;
+    ro.bidding = {core::bid_policy::epsilon, 1e-3};
+    ro.latency = [latency](peer_id, peer_id) { return latency; };
+    ro.duration = duration;
+    return ro;
+}
+
+TEST(auction_runtime, single_request_gets_served) {
+    core::scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto r = p.add_request(peer_id(1), chunk_id(0), 5.0);
+    p.add_candidate(r, u, 1.0);
+    auction_runtime runtime(p, make_options());
+    auto result = runtime.run();
+    EXPECT_TRUE(result.auction.converged);
+    EXPECT_NE(result.auction.sched.choice[0], core::no_candidate);
+    EXPECT_GT(result.messages_sent, 0u);
+}
+
+class runtime_vs_exact : public ::testing::TestWithParam<int> {};
+
+TEST_P(runtime_vs_exact, matches_exact_welfare_within_epsilon_bound) {
+    workload::uniform_instance_params params;
+    params.num_requests = 30;
+    params.num_uploaders = 8;
+    params.candidates_per_request = 4;
+    params.capacity_min = 1;
+    params.capacity_max = 3;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 917 + 5;
+    auto p = workload::make_uniform_instance(params);
+
+    auction_runtime runtime(p, make_options());
+    auto result = runtime.run();
+    ASSERT_TRUE(result.auction.converged) << "auction must quiesce within the slot";
+    EXPECT_TRUE(core::schedule_feasible(p, result.auction.sched));
+
+    core::exact_scheduler exact;
+    auto best = exact.run(p);
+    auto stats = core::compute_stats(p, result.auction.sched);
+    EXPECT_LE(stats.welfare, best.welfare + 1e-9);
+    EXPECT_GE(stats.welfare,
+              best.welfare - static_cast<double>(stats.assigned) * 1e-3 - 1e-9)
+        << "stale prices must not break the ε-CS welfare bound";
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, runtime_vs_exact, ::testing::Range(0, 10));
+
+TEST(auction_runtime, price_series_is_monotone_staircase) {
+    // Heavy contention on one uploader: its λ must rise step by step and
+    // never fall — the shape of Fig. 2.
+    core::scheduling_problem p;
+    auto hot = p.add_uploader(peer_id(0), 2);
+    auto cold = p.add_uploader(peer_id(1), 10);
+    for (int i = 0; i < 12; ++i) {
+        auto r = p.add_request(peer_id(10 + i), chunk_id(i),
+                               4.0 + 0.3 * static_cast<double>(i));
+        p.add_candidate(r, hot, 0.5);
+        p.add_candidate(r, cold, 3.0);
+    }
+    metrics::time_series series("lambda");
+    auction_runtime runtime(p, make_options());
+    auto result = runtime.run(&series, hot);
+    ASSERT_TRUE(result.auction.converged);
+    ASSERT_GE(series.size(), 2u) << "contention must move the price";
+    double prev = -1.0;
+    for (const auto& point : series.points()) {
+        EXPECT_GE(point.value, prev) << "λ never decreases within a slot";
+        prev = point.value;
+    }
+    EXPECT_GT(series.points().back().value, 0.0);
+    EXPECT_LE(result.convergence_time, 30.0);
+}
+
+TEST(auction_runtime, time_offset_shifts_reported_times) {
+    core::scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto r0 = p.add_request(peer_id(1), chunk_id(0), 5.0);
+    auto r1 = p.add_request(peer_id(2), chunk_id(1), 6.0);
+    p.add_candidate(r0, u, 1.0);
+    p.add_candidate(r1, u, 1.0);
+    auto ro = make_options();
+    ro.time_offset = 150.0;
+    metrics::time_series series("lambda");
+    auction_runtime runtime(p, std::move(ro));
+    auto result = runtime.run(&series, u);
+    ASSERT_FALSE(series.empty());
+    for (const auto& point : series.points()) EXPECT_GE(point.time, 150.0);
+    EXPECT_GE(result.convergence_time, 150.0);
+}
+
+TEST(auction_runtime, auctioneer_departure_releases_allocations) {
+    // Two uploaders; the better one departs mid-auction. Every request must
+    // end up at the survivor (or unserved), and the run must still quiesce.
+    core::scheduling_problem p;
+    auto doomed = p.add_uploader(peer_id(0), 4);
+    auto survivor = p.add_uploader(peer_id(1), 4);
+    for (int i = 0; i < 4; ++i) {
+        auto r = p.add_request(peer_id(10 + i), chunk_id(i), 6.0);
+        p.add_candidate(r, doomed, 0.5);
+        p.add_candidate(r, survivor, 2.0);
+    }
+    auction_runtime runtime(p, make_options(0.05, 60.0));
+    // Departure at t=0.02: the initial bids (landing at t=0.05) are still in
+    // flight and must be dropped by the detached handler.
+    runtime.depart_peer_at(peer_id(0), 0.02);
+    auto result = runtime.run();
+    ASSERT_TRUE(result.auction.converged);
+    for (std::size_t r = 0; r < p.num_requests(); ++r) {
+        auto choice = result.auction.sched.choice[r];
+        ASSERT_NE(choice, core::no_candidate)
+            << "survivor has capacity for everyone";
+        EXPECT_EQ(p.candidates(r)[static_cast<std::size_t>(choice)].uploader, survivor);
+    }
+    EXPECT_GT(result.messages_dropped, 0u) << "in-flight messages to the departed peer";
+}
+
+TEST(auction_runtime, bidder_departure_frees_capacity_for_rivals) {
+    core::scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto keeper = p.add_request(peer_id(1), chunk_id(0), 3.0);
+    auto quitter = p.add_request(peer_id(2), chunk_id(1), 9.0);
+    p.add_candidate(keeper, u, 0.5);
+    p.add_candidate(quitter, u, 0.5);
+    auction_runtime runtime(p, make_options(0.05, 60.0));
+    // The stronger bidder leaves after winning; the weaker one must get the
+    // freed unit.
+    runtime.depart_peer_at(peer_id(2), 5.0);
+    auto result = runtime.run();
+    ASSERT_TRUE(result.auction.converged);
+    EXPECT_NE(result.auction.sched.choice[keeper], core::no_candidate);
+    EXPECT_EQ(result.auction.sched.choice[quitter], core::no_candidate);
+}
+
+TEST(auction_runtime, duration_wall_caps_unconverged_runs) {
+    // Absurdly long latency: nothing can settle within the slot. The runtime
+    // must return (converged == false) rather than hang.
+    core::scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto r0 = p.add_request(peer_id(1), chunk_id(0), 5.0);
+    auto r1 = p.add_request(peer_id(2), chunk_id(1), 5.5);
+    p.add_candidate(r0, u, 1.0);
+    p.add_candidate(r1, u, 1.0);
+    auto ro = make_options(/*latency=*/40.0, /*duration=*/10.0);
+    auction_runtime runtime(p, std::move(ro));
+    auto result = runtime.run();
+    EXPECT_FALSE(result.auction.converged);
+    EXPECT_TRUE(core::schedule_feasible(p, result.auction.sched))
+        << "even a truncated auction yields a feasible partial schedule";
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

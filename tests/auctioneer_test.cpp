@@ -1,0 +1,127 @@
+// Unit tests for "Bandwidth Allocation at Peer u" (Sec. IV-B): the assignment
+// set, the λ update rule, rejection, eviction, and removal (churn).
+#include "core/auctioneer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::core {
+namespace {
+
+TEST(auctioneer, initial_state) {
+    auctioneer a(3);
+    EXPECT_DOUBLE_EQ(a.price(), 0.0);
+    EXPECT_EQ(a.capacity(), 3);
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_FALSE(a.full());
+}
+
+TEST(auctioneer, accepts_until_full_without_price_change) {
+    auctioneer a(2);
+    auto o1 = a.offer(1, 5.0);
+    EXPECT_TRUE(o1.accepted);
+    EXPECT_FALSE(o1.price_changed);
+    EXPECT_DOUBLE_EQ(a.price(), 0.0) << "price stays 0 while set not full";
+
+    auto o2 = a.offer(2, 3.0);
+    EXPECT_TRUE(o2.accepted);
+    EXPECT_TRUE(o2.price_changed) << "set became full: λ = min accepted bid";
+    EXPECT_DOUBLE_EQ(a.price(), 3.0);
+}
+
+TEST(auctioneer, rejects_bid_at_or_below_price) {
+    auctioneer a(1);
+    EXPECT_TRUE(a.offer(1, 2.0).accepted);
+    EXPECT_DOUBLE_EQ(a.price(), 2.0);
+    auto equal_bid = a.offer(2, 2.0);  // "if b <= λ_u, reject"
+    EXPECT_FALSE(equal_bid.accepted);
+    auto low_bid = a.offer(3, 1.0);
+    EXPECT_FALSE(low_bid.accepted);
+    EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(auctioneer, evicts_lowest_bid_when_full) {
+    auctioneer a(2);
+    a.offer(1, 5.0);
+    a.offer(2, 3.0);
+    auto o = a.offer(3, 4.0);
+    ASSERT_TRUE(o.accepted);
+    ASSERT_TRUE(o.evicted.has_value());
+    EXPECT_EQ(*o.evicted, 2u) << "the λ-setting lowest bid is evicted";
+    EXPECT_DOUBLE_EQ(a.price(), 4.0);
+    EXPECT_TRUE(o.price_changed);
+}
+
+TEST(auctioneer, price_is_monotone_across_offers) {
+    auctioneer a(2);
+    double last = a.price();
+    double bids[] = {1.0, 2.0, 2.5, 4.0, 3.0, 5.0, 6.0};
+    for (std::size_t i = 0; i < std::size(bids); ++i) {
+        a.offer(10 + i, bids[i]);
+        EXPECT_GE(a.price(), last);
+        last = a.price();
+    }
+}
+
+TEST(auctioneer, equal_bids_evict_oldest_first) {
+    auctioneer a(2);
+    a.offer(1, 3.0);
+    a.offer(2, 3.0);
+    auto o = a.offer(3, 4.0);
+    ASSERT_TRUE(o.evicted.has_value());
+    EXPECT_EQ(*o.evicted, 1u) << "FIFO tie-break for deterministic runs";
+}
+
+TEST(auctioneer, zero_capacity_rejects_everything) {
+    auctioneer a(0);
+    EXPECT_TRUE(std::isinf(a.price()));
+    EXPECT_FALSE(a.offer(1, 100.0).accepted);
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(auctioneer, assignment_set_reports_holders) {
+    auctioneer a(2);
+    a.offer(7, 5.0);
+    a.offer(9, 3.0);
+    auto held = a.assignment_set();
+    ASSERT_EQ(held.size(), 2u);
+    // Min-heap order: lowest bid first.
+    EXPECT_EQ(held[0].request, 9u);
+    EXPECT_DOUBLE_EQ(held[0].amount, 3.0);
+    EXPECT_EQ(held[1].request, 7u);
+}
+
+TEST(auctioneer, remove_reopens_the_market) {
+    auctioneer a(2);
+    a.offer(1, 5.0);
+    a.offer(2, 3.0);
+    EXPECT_DOUBLE_EQ(a.price(), 3.0);
+    EXPECT_TRUE(a.remove(1));
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_FALSE(a.full());
+    EXPECT_DOUBLE_EQ(a.price(), 0.0)
+        << "λ is only lifted while all units are allocated (Sec. IV-B); a "
+           "freed unit sells at the initial price again";
+    EXPECT_FALSE(a.remove(1)) << "double removal reports absence";
+}
+
+TEST(auctioneer, refill_after_removal_updates_price_again) {
+    auctioneer a(2);
+    a.offer(1, 5.0);
+    a.offer(2, 4.0);
+    a.remove(2);
+    auto o = a.offer(3, 6.0);
+    EXPECT_TRUE(o.accepted);
+    EXPECT_FALSE(o.evicted.has_value()) << "freed unit absorbs the new bid";
+    EXPECT_DOUBLE_EQ(a.price(), 5.0);
+}
+
+TEST(auctioneer, negative_capacity_is_rejected) {
+    EXPECT_THROW(auctioneer(-1), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::core

@@ -1,0 +1,119 @@
+// Unit tests for "Bidding of Peer d" (Sec. IV-B): target selection, the
+// second-best bid formula, the outside option, and the tie rules.
+#include "core/bidder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::core {
+namespace {
+
+bidder_options epsilon_opts(double eps = 0.01) {
+    return {bid_policy::epsilon, eps};
+}
+bidder_options literal_opts() { return {bid_policy::paper_literal, 0.0}; }
+
+TEST(bidder, targets_best_net_margin) {
+    // v - w: {5, 7, 6}; prices {0, 3, 1} -> margins {5, 4, 5}: first wins
+    // (ties broken by order), bid = λ + (φ* - φ̂) + ε = 0 + 0 + ε.
+    std::vector<double> net{5.0, 7.0, 6.0};
+    std::vector<double> prices{0.0, 3.0, 1.0};
+    auto d = compute_bid(net, prices, epsilon_opts());
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_EQ(d.candidate, 0u);
+    EXPECT_DOUBLE_EQ(d.best_margin, 5.0);
+    EXPECT_DOUBLE_EQ(d.second_margin, 5.0);
+    EXPECT_DOUBLE_EQ(d.amount, 0.01);
+}
+
+TEST(bidder, bid_equals_paper_formula) {
+    // b = λ_{u*} + φ* − φ̂  ==  w_û − w_{u*} + λ_û for a common valuation v:
+    // margins 8-2-1=5 (u0) and 8-3-1=4 (u1) -> b = 1 + 5 - 4 = 2
+    //                                            = w_û − w_u* + λ_û = 3-2+1.
+    std::vector<double> net{6.0, 5.0};
+    std::vector<double> prices{1.0, 1.0};
+    auto d = compute_bid(net, prices, literal_opts());
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_EQ(d.candidate, 0u);
+    EXPECT_DOUBLE_EQ(d.amount, 2.0);
+}
+
+TEST(bidder, single_candidate_bids_full_margin) {
+    // With one neighbor the second-best is the outside option (utility 0), so
+    // the bidder is willing to pay its entire margin.
+    std::vector<double> net{4.0};
+    std::vector<double> prices{1.0};
+    auto d = compute_bid(net, prices, epsilon_opts(0.5));
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_DOUBLE_EQ(d.best_margin, 3.0);
+    EXPECT_DOUBLE_EQ(d.second_margin, 0.0);
+    EXPECT_DOUBLE_EQ(d.amount, 1.0 + 3.0 + 0.5);
+}
+
+TEST(bidder, abstains_when_all_margins_negative) {
+    std::vector<double> net{1.0, 2.0};
+    std::vector<double> prices{5.0, 9.0};
+    EXPECT_EQ(compute_bid(net, prices, epsilon_opts()).action, bid_action::abstain);
+    EXPECT_EQ(compute_bid(net, prices, literal_opts()).action, bid_action::abstain);
+}
+
+TEST(bidder, abstains_with_no_candidates) {
+    std::vector<double> empty;
+    EXPECT_EQ(compute_bid(empty, empty, epsilon_opts()).action, bid_action::abstain);
+}
+
+TEST(bidder, negative_second_margin_is_floored_by_outside_option) {
+    // Margins {3, -2}: φ̂ must be 0 (outside), not -2 — otherwise the bid
+    // would overpay beyond the bidder's alternative of staying unserved.
+    std::vector<double> net{3.0, -2.0};
+    std::vector<double> prices{0.0, 0.0};
+    auto d = compute_bid(net, prices, epsilon_opts(0.1));
+    EXPECT_DOUBLE_EQ(d.second_margin, 0.0);
+    EXPECT_DOUBLE_EQ(d.amount, 0.0 + 3.0 + 0.1);
+}
+
+TEST(bidder, literal_policy_parks_on_tie) {
+    std::vector<double> net{4.0, 4.0};
+    std::vector<double> prices{1.0, 1.0};
+    auto d = compute_bid(net, prices, literal_opts());
+    EXPECT_EQ(d.action, bid_action::park);
+}
+
+TEST(bidder, epsilon_policy_always_outbids_the_price) {
+    std::vector<double> net{4.0, 4.0};
+    std::vector<double> prices{1.0, 1.0};
+    auto d = compute_bid(net, prices, epsilon_opts(0.25));
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_GT(d.amount, prices[d.candidate]);
+}
+
+TEST(bidder, zero_margin_is_still_biddable) {
+    // Margin exactly 0 is not negative: serving at zero utility is allowed
+    // (constraint η >= 0 binds), and the ε bid still clears the price.
+    std::vector<double> net{2.0};
+    std::vector<double> prices{2.0};
+    auto d = compute_bid(net, prices, epsilon_opts());
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_DOUBLE_EQ(d.best_margin, 0.0);
+}
+
+TEST(bidder, infinite_price_excludes_candidate) {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> net{9.0, 3.0};
+    std::vector<double> prices{inf, 0.0};  // zero-capacity/departed uploader
+    auto d = compute_bid(net, prices, epsilon_opts());
+    EXPECT_EQ(d.action, bid_action::submit);
+    EXPECT_EQ(d.candidate, 1u);
+}
+
+TEST(bidder, mismatched_arrays_throw) {
+    std::vector<double> net{1.0};
+    std::vector<double> prices{0.0, 0.0};
+    EXPECT_THROW((void)compute_bid(net, prices, epsilon_opts()), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::core

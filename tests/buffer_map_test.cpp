@@ -1,0 +1,67 @@
+#include "vod/buffer_map.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+TEST(buffer_map, starts_empty) {
+    buffer_map b(16);
+    EXPECT_EQ(b.size(), 16u);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_FALSE(b.has(0));
+    EXPECT_FALSE(b.complete());
+}
+
+TEST(buffer_map, set_is_idempotent) {
+    buffer_map b(4);
+    EXPECT_TRUE(b.set(2));
+    EXPECT_FALSE(b.set(2)) << "second set of the same chunk reports no change";
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_TRUE(b.has(2));
+}
+
+TEST(buffer_map, fill_prefix_models_watched_history) {
+    buffer_map b(10);
+    b.fill_prefix(4);
+    EXPECT_EQ(b.count(), 4u);
+    EXPECT_TRUE(b.has(3));
+    EXPECT_FALSE(b.has(4));
+    b.fill_prefix(2);  // shrinking prefix is a no-op
+    EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(buffer_map, fill_all_makes_a_seed) {
+    buffer_map b(8);
+    b.fill_all();
+    EXPECT_TRUE(b.complete());
+    EXPECT_EQ(b.count(), 8u);
+}
+
+TEST(buffer_map, missing_in_range) {
+    buffer_map b(10);
+    b.set(1);
+    b.set(3);
+    EXPECT_EQ(b.missing_in(0, 5), 3u);
+    EXPECT_EQ(b.missing_in(1, 2), 0u);
+    EXPECT_EQ(b.missing_in(5, 5), 0u);
+}
+
+TEST(buffer_map, bounds_checked) {
+    buffer_map b(4);
+    EXPECT_THROW((void)b.has(4), contract_violation);
+    EXPECT_THROW((void)b.set(4), contract_violation);
+    EXPECT_THROW(b.fill_prefix(5), contract_violation);
+    EXPECT_THROW((void)b.missing_in(3, 2), contract_violation);
+}
+
+TEST(buffer_map, default_constructed_is_zero_sized) {
+    buffer_map b;
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_TRUE(b.complete());
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -1,0 +1,44 @@
+#include "vod/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+TEST(catalog, chunk_ids_are_global_and_invertible) {
+    video_catalog cat(100, 2560, 10.0);
+    auto c = cat.chunk_of(video_id(3), 17);
+    EXPECT_EQ(c.value(), 3 * 2560 + 17);
+    EXPECT_EQ(cat.video_of(c), video_id(3));
+    EXPECT_EQ(cat.index_of(c), 17u);
+}
+
+TEST(catalog, round_trips_every_boundary) {
+    video_catalog cat(4, 10, 10.0);
+    for (int v = 0; v < 4; ++v) {
+        for (std::size_t i : {std::size_t{0}, std::size_t{9}}) {
+            auto c = cat.chunk_of(video_id(v), i);
+            EXPECT_EQ(cat.video_of(c), video_id(v));
+            EXPECT_EQ(cat.index_of(c), i);
+        }
+    }
+}
+
+TEST(catalog, duration_follows_bitrate) {
+    video_catalog cat(1, 2560, 10.0);
+    EXPECT_DOUBLE_EQ(cat.video_duration(), 256.0);
+}
+
+TEST(catalog, bounds_are_enforced) {
+    video_catalog cat(2, 10, 10.0);
+    EXPECT_THROW((void)cat.chunk_of(video_id(2), 0), contract_violation);
+    EXPECT_THROW((void)cat.chunk_of(video_id(0), 10), contract_violation);
+    EXPECT_THROW((void)cat.video_of(chunk_id(20)), contract_violation);
+    EXPECT_THROW((void)cat.video_of(chunk_id()), contract_violation);
+    EXPECT_THROW(video_catalog(0, 1, 1.0), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

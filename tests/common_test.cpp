@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+#include "common/logging.h"
+
+namespace p2pcd {
+namespace {
+
+TEST(ids, default_constructed_is_invalid) {
+    peer_id p;
+    EXPECT_FALSE(p.valid());
+    EXPECT_TRUE(peer_id(0).valid());
+    EXPECT_TRUE(peer_id(41).valid());
+}
+
+TEST(ids, distinct_tag_types_do_not_mix) {
+    static_assert(!std::is_convertible_v<peer_id, chunk_id>);
+    static_assert(!std::is_convertible_v<int, peer_id>);  // explicit ctor
+    static_assert(std::is_trivially_copyable_v<peer_id>);
+}
+
+TEST(ids, comparison_and_ordering) {
+    EXPECT_EQ(peer_id(3), peer_id(3));
+    EXPECT_NE(peer_id(3), peer_id(4));
+    EXPECT_LT(peer_id(3), peer_id(4));
+    EXPECT_GT(video_id(9), video_id(1));
+}
+
+TEST(ids, hashing_supports_unordered_containers) {
+    std::unordered_set<peer_id> set;
+    set.insert(peer_id(1));
+    set.insert(peer_id(2));
+    set.insert(peer_id(1));
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(peer_id(2)));
+}
+
+TEST(ids, streams_its_value) {
+    std::ostringstream os;
+    os << peer_id(17);
+    EXPECT_EQ(os.str(), "17");
+}
+
+TEST(contracts, expects_throws_with_message) {
+    EXPECT_NO_THROW(expects(true, "fine"));
+    try {
+        expects(false, "peer id must be valid");
+        FAIL() << "expects should have thrown";
+    } catch (const contract_violation& e) {
+        EXPECT_NE(std::string(e.what()).find("peer id must be valid"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+    }
+}
+
+TEST(contracts, ensures_marks_postconditions) {
+    try {
+        ensures(false, "welfare must be finite");
+        FAIL() << "ensures should have thrown";
+    } catch (const contract_violation& e) {
+        EXPECT_NE(std::string(e.what()).find("postcondition"), std::string::npos);
+    }
+}
+
+TEST(logging, threshold_filters_messages) {
+    auto previous = get_log_level();
+    set_log_level(log_level::error);
+    EXPECT_EQ(get_log_level(), log_level::error);
+    // A warn below the threshold is discarded (observable only as no crash;
+    // the formatting path is still exercised at error level).
+    log(log_level::warn, "test") << "dropped";
+    log(log_level::error, "test") << "kept " << 42;
+    set_log_level(previous);
+}
+
+}  // namespace
+}  // namespace p2pcd

@@ -1,0 +1,142 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace p2pcd::net {
+namespace {
+
+isp_topology five_isps_four_peers_each() {
+    isp_topology topo(5);
+    for (int i = 0; i < 20; ++i) topo.add_peer(peer_id(i), isp_id(i % 5));
+    return topo;
+}
+
+TEST(cost_model, link_costs_follow_the_papers_ranges) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(11);
+    cost_model costs(topo, cost_params{}, rng);
+    for (int u = 0; u < 20; ++u) {
+        for (int d = 0; d < 20; ++d) {
+            if (u == d) continue;
+            double w = costs.cost(peer_id(u), peer_id(d));
+            if (u % 5 == d % 5) {  // same ISP
+                EXPECT_GE(w, 0.0);
+                EXPECT_LE(w, 2.0);
+            } else {
+                EXPECT_GE(w, 1.0);
+                EXPECT_LE(w, 10.0);
+            }
+        }
+    }
+}
+
+TEST(cost_model, per_link_costs_vary_within_one_isp_pair) {
+    // The paper samples costs per *link*: two different intra-ISP links must
+    // (generically) have different costs. This is what makes the cheapest
+    // local neighbor cheaper than the valuation floor and enables profitable
+    // prefetching.
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(12);
+    cost_model costs(topo, cost_params{}, rng);
+    // Peers 0, 5, 10, 15 are all in ISP 0.
+    double w1 = costs.cost(peer_id(0), peer_id(5));
+    double w2 = costs.cost(peer_id(0), peer_id(10));
+    double w3 = costs.cost(peer_id(5), peer_id(15));
+    EXPECT_FALSE(w1 == w2 && w2 == w3) << "per-link sampling, not per-ISP-pair";
+}
+
+TEST(cost_model, queries_are_stable) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(13);
+    cost_model costs(topo, cost_params{}, rng);
+    double first = costs.cost(peer_id(2), peer_id(7));
+    for (int i = 0; i < 5; ++i)
+        EXPECT_DOUBLE_EQ(costs.cost(peer_id(2), peer_id(7)), first);
+}
+
+TEST(cost_model, symmetric_by_default) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(14);
+    cost_model costs(topo, cost_params{}, rng);
+    for (int u = 0; u < 10; ++u)
+        for (int d = u + 1; d < 10; ++d)
+            EXPECT_DOUBLE_EQ(costs.cost(peer_id(u), peer_id(d)),
+                             costs.cost(peer_id(d), peer_id(u)));
+}
+
+TEST(cost_model, asymmetric_when_configured) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(15);
+    cost_params params;
+    params.symmetric = false;
+    cost_model costs(topo, params, rng);
+    bool any_asymmetric = false;
+    for (int u = 0; u < 10 && !any_asymmetric; ++u)
+        for (int d = u + 1; d < 10; ++d)
+            if (costs.cost(peer_id(u), peer_id(d)) != costs.cost(peer_id(d), peer_id(u)))
+                any_asymmetric = true;
+    EXPECT_TRUE(any_asymmetric);
+}
+
+TEST(cost_model, deterministic_for_fixed_seed) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng_a(55);
+    sim::rng_stream rng_b(55);
+    cost_model a(topo, cost_params{}, rng_a);
+    cost_model b(topo, cost_params{}, rng_b);
+    for (int u = 0; u < 20; ++u)
+        for (int d = 0; d < 20; ++d)
+            if (u != d)
+                EXPECT_DOUBLE_EQ(a.cost(peer_id(u), peer_id(d)),
+                                 b.cost(peer_id(u), peer_id(d)));
+}
+
+TEST(cost_model, intra_cheaper_than_inter_on_average) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(16);
+    cost_model costs(topo, cost_params{}, rng);
+    double intra_sum = 0.0;
+    double inter_sum = 0.0;
+    int intra_n = 0;
+    int inter_n = 0;
+    for (int u = 0; u < 20; ++u)
+        for (int d = 0; d < 20; ++d) {
+            if (u == d) continue;
+            double w = costs.cost(peer_id(u), peer_id(d));
+            if (u % 5 == d % 5) {
+                intra_sum += w;
+                ++intra_n;
+            } else {
+                inter_sum += w;
+                ++inter_n;
+            }
+        }
+    EXPECT_LT(intra_sum / intra_n, inter_sum / inter_n);
+}
+
+TEST(cost_model, isp_cost_reports_distribution_means) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(17);
+    cost_model costs(topo, cost_params{}, rng);
+    EXPECT_DOUBLE_EQ(costs.isp_cost(isp_id(0), isp_id(0)), 1.0);
+    EXPECT_DOUBLE_EQ(costs.isp_cost(isp_id(0), isp_id(1)), 5.0);
+}
+
+TEST(cost_model, cheapest_local_link_beats_valuation_floor) {
+    // The enabling fact for low miss rates: the min over a handful of intra
+    // links is typically below the 0.8 valuation floor, so even the least
+    // urgent window chunk is worth prefetching from the best local neighbor.
+    auto topo = isp_topology(1);
+    for (int i = 0; i < 8; ++i) topo.add_peer(peer_id(i), isp_id(0));
+    sim::rng_stream rng(18);
+    cost_model costs(topo, cost_params{}, rng);
+    double cheapest = 1e9;
+    for (int d = 1; d < 8; ++d)
+        cheapest = std::min(cheapest, costs.cost(peer_id(0), peer_id(d)));
+    EXPECT_LT(cheapest, 0.8);
+}
+
+}  // namespace
+}  // namespace p2pcd::net

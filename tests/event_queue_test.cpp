@@ -1,0 +1,62 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::sim {
+namespace {
+
+TEST(event_queue, orders_by_time) {
+    event_queue q;
+    std::vector<int> order;
+    q.push(3.0, [&] { order.push_back(3); });
+    q.push(1.0, [&] { order.push_back(1); });
+    q.push(2.0, [&] { order.push_back(2); });
+    while (!q.empty()) q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(event_queue, fifo_on_equal_timestamps) {
+    event_queue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) q.push(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty()) q.pop()();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(event_queue, pop_reports_timestamp) {
+    event_queue q;
+    q.push(2.5, [] {});
+    sim_time at = 0.0;
+    auto fn = q.pop(&at);
+    EXPECT_DOUBLE_EQ(at, 2.5);
+    EXPECT_TRUE(fn != nullptr);
+}
+
+TEST(event_queue, next_time_peeks_without_removal) {
+    event_queue q;
+    q.push(7.0, [] {});
+    EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(event_queue, empty_queue_contracts) {
+    event_queue q;
+    EXPECT_THROW((void)q.next_time(), contract_violation);
+    EXPECT_THROW((void)q.pop(), contract_violation);
+    EXPECT_THROW(q.push(0.0, nullptr), contract_violation);
+}
+
+TEST(event_queue, clear_resets_state) {
+    event_queue q;
+    q.push(1.0, [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pcd::sim

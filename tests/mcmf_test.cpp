@@ -1,0 +1,108 @@
+#include "opt/mcmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace p2pcd::opt {
+namespace {
+
+TEST(mcmf, single_edge_carries_flow) {
+    min_cost_flow flow;
+    auto s = flow.add_nodes(2);
+    auto e = flow.add_edge(s, s + 1, 5, 2.0);
+    auto result = flow.solve(s, s + 1);
+    EXPECT_EQ(result.flow, 5);
+    EXPECT_DOUBLE_EQ(result.cost, 10.0);
+    EXPECT_EQ(flow.flow_on(e), 5);
+}
+
+TEST(mcmf, respects_max_flow_limit) {
+    min_cost_flow flow;
+    auto s = flow.add_nodes(2);
+    flow.add_edge(s, s + 1, 5, 1.0);
+    auto result = flow.solve(s, s + 1, 3);
+    EXPECT_EQ(result.flow, 3);
+    EXPECT_DOUBLE_EQ(result.cost, 3.0);
+}
+
+TEST(mcmf, prefers_cheaper_path) {
+    // Two parallel 2-hop paths; the cheap one must fill first.
+    min_cost_flow flow;
+    auto base = flow.add_nodes(4);  // 0=s, 1=a, 2=b, 3=t
+    auto cheap_1 = flow.add_edge(base + 0, base + 1, 1, 1.0);
+    flow.add_edge(base + 1, base + 3, 1, 1.0);
+    auto pricey_1 = flow.add_edge(base + 0, base + 2, 1, 5.0);
+    flow.add_edge(base + 2, base + 3, 1, 5.0);
+    auto result = flow.solve(base, base + 3, 1);
+    EXPECT_EQ(result.flow, 1);
+    EXPECT_DOUBLE_EQ(result.cost, 2.0);
+    EXPECT_EQ(flow.flow_on(cheap_1), 1);
+    EXPECT_EQ(flow.flow_on(pricey_1), 0);
+}
+
+TEST(mcmf, handles_negative_costs) {
+    // A profitable (negative-cost) detour must be taken.
+    min_cost_flow flow;
+    auto base = flow.add_nodes(3);  // s, mid, t
+    flow.add_edge(base, base + 1, 1, -4.0);
+    flow.add_edge(base + 1, base + 2, 1, 1.0);
+    flow.add_edge(base, base + 2, 1, 0.0);
+    auto result = flow.solve(base, base + 2, 2);
+    EXPECT_EQ(result.flow, 2);
+    EXPECT_DOUBLE_EQ(result.cost, -3.0);
+}
+
+TEST(mcmf, reroutes_through_residual_edges) {
+    // Classic case where the second augmentation must undo part of the first.
+    min_cost_flow flow;
+    auto base = flow.add_nodes(4);  // s=0 a=1 b=2 t=3
+    flow.add_edge(base + 0, base + 1, 1, 1.0);
+    flow.add_edge(base + 0, base + 2, 1, 4.0);
+    flow.add_edge(base + 1, base + 2, 1, 1.0);
+    flow.add_edge(base + 1, base + 3, 1, 6.0);
+    flow.add_edge(base + 2, base + 3, 2, 1.0);
+    auto result = flow.solve(base, base + 3, 2);
+    EXPECT_EQ(result.flow, 2);
+    // Optimal: s->a->b->t (3) + s->b->t (5) = 8.
+    EXPECT_DOUBLE_EQ(result.cost, 8.0);
+}
+
+TEST(mcmf, disconnected_sink_yields_zero_flow) {
+    min_cost_flow flow;
+    auto base = flow.add_nodes(3);
+    flow.add_edge(base, base + 1, 1, 1.0);  // t (base+2) unreachable
+    auto result = flow.solve(base, base + 2);
+    EXPECT_EQ(result.flow, 0);
+    EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+TEST(mcmf, zero_capacity_edge_carries_nothing) {
+    min_cost_flow flow;
+    auto base = flow.add_nodes(2);
+    auto e = flow.add_edge(base, base + 1, 0, 1.0);
+    auto result = flow.solve(base, base + 1);
+    EXPECT_EQ(result.flow, 0);
+    EXPECT_EQ(flow.flow_on(e), 0);
+}
+
+TEST(mcmf, rejects_invalid_endpoints) {
+    min_cost_flow flow;
+    flow.add_nodes(2);
+    EXPECT_THROW(flow.add_edge(0, 7, 1, 0.0), contract_violation);
+    EXPECT_THROW(flow.add_edge(0, 1, -1, 0.0), contract_violation);
+    EXPECT_THROW((void)flow.solve(0, 0), contract_violation);
+}
+
+TEST(mcmf, bottleneck_augmentation_pushes_bulk_flow) {
+    min_cost_flow flow;
+    auto base = flow.add_nodes(3);
+    flow.add_edge(base, base + 1, 10, 1.0);
+    flow.add_edge(base + 1, base + 2, 7, 1.0);
+    auto result = flow.solve(base, base + 2);
+    EXPECT_EQ(result.flow, 7);
+    EXPECT_DOUBLE_EQ(result.cost, 14.0);
+}
+
+}  // namespace
+}  // namespace p2pcd::opt

@@ -1,0 +1,71 @@
+// Cross-validation of the two independent exact solvers: the min-cost-flow
+// transportation solver and the dense simplex must agree on the LP optimum of
+// random instances — two implementations, two algorithms, one number.
+#include <gtest/gtest.h>
+
+#include "opt/lp_model.h"
+#include "opt/simplex.h"
+#include "opt/transportation.h"
+#include "sim/rng.h"
+
+namespace p2pcd::opt {
+namespace {
+
+transportation_instance random_instance(std::uint64_t seed) {
+    sim::rng_stream rng(seed);
+    transportation_instance instance;
+    instance.num_sources = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    auto sinks = static_cast<std::size_t>(rng.uniform_int(1, 5));
+    for (std::size_t u = 0; u < sinks; ++u)
+        instance.sink_capacity.push_back(rng.uniform_int(0, 4));
+    for (std::size_t d = 0; d < instance.num_sources; ++d) {
+        auto degree = static_cast<std::size_t>(rng.uniform_int(0, sinks));
+        for (std::size_t k = 0; k < degree; ++k)
+            instance.edges.push_back(
+                {d,
+                 static_cast<std::size_t>(
+                     rng.uniform_int(0, static_cast<std::int64_t>(sinks) - 1)),
+                 rng.uniform_real(-4.0, 9.0)});
+    }
+    return instance;
+}
+
+lp_model as_lp(const transportation_instance& instance) {
+    lp_model model(objective_sense::maximize);
+    std::vector<std::vector<lp_term>> by_source(instance.num_sources);
+    std::vector<std::vector<lp_term>> by_sink(instance.num_sinks());
+    for (const auto& e : instance.edges) {
+        auto var = model.add_variable(e.profit);
+        by_source[e.source].push_back({var, 1.0});
+        by_sink[e.sink].push_back({var, 1.0});
+    }
+    for (auto& terms : by_source)
+        if (!terms.empty())
+            model.add_constraint(std::move(terms), relation::less_equal, 1.0);
+    for (std::size_t u = 0; u < by_sink.size(); ++u)
+        if (!by_sink[u].empty())
+            model.add_constraint(std::move(by_sink[u]), relation::less_equal,
+                                 static_cast<double>(instance.sink_capacity[u]));
+    return model;
+}
+
+class solver_cross_validation : public ::testing::TestWithParam<int> {};
+
+TEST_P(solver_cross_validation, mcmf_equals_simplex_optimum) {
+    auto instance = random_instance(static_cast<std::uint64_t>(GetParam()) * 613 + 31);
+    auto flow_solution = solve_exact(instance);
+    auto lp = as_lp(instance);
+    auto lp_solution = solve_simplex(lp);
+    if (instance.edges.empty()) {
+        EXPECT_DOUBLE_EQ(flow_solution.welfare, 0.0);
+        return;
+    }
+    ASSERT_EQ(lp_solution.status, solve_status::optimal);
+    EXPECT_NEAR(flow_solution.welfare, lp_solution.objective, 1e-7)
+        << "two independent exact solvers disagree";
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, solver_cross_validation, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace p2pcd::opt

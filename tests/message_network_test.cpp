@@ -1,0 +1,111 @@
+#include "net/message_network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace p2pcd::net {
+namespace {
+
+struct test_message {
+    int payload = 0;
+};
+
+TEST(message_network, delivers_after_latency) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return 0.25; });
+    std::vector<std::pair<double, int>> received;
+    net.attach(peer_id(2), [&](peer_id from, const test_message& m) {
+        EXPECT_EQ(from, peer_id(1));
+        received.push_back({sim.now(), m.payload});
+    });
+    net.send(peer_id(1), peer_id(2), {7});
+    sim.run_all();
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_DOUBLE_EQ(received[0].first, 0.25);
+    EXPECT_EQ(received[0].second, 7);
+}
+
+TEST(message_network, in_order_per_link) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return 0.1; });
+    std::vector<int> received;
+    net.attach(peer_id(2), [&](peer_id, const test_message& m) {
+        received.push_back(m.payload);
+    });
+    for (int i = 0; i < 10; ++i) net.send(peer_id(1), peer_id(2), {i});
+    sim.run_all();
+    EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(message_network, latency_differs_per_pair) {
+    sim::simulator sim;
+    // "Distance" keyed on peer ids: 1->2 slow, 3->2 fast.
+    message_network<test_message> net(sim, [](peer_id from, peer_id) {
+        return from == peer_id(1) ? 1.0 : 0.1;
+    });
+    std::vector<int> order;
+    net.attach(peer_id(2), [&](peer_id, const test_message& m) {
+        order.push_back(m.payload);
+    });
+    net.send(peer_id(1), peer_id(2), {1});  // arrives at t=1.0
+    net.send(peer_id(3), peer_id(2), {3});  // arrives at t=0.1
+    sim.run_all();
+    EXPECT_EQ(order, (std::vector<int>{3, 1}));
+}
+
+TEST(message_network, drops_messages_to_detached_peers) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return 0.5; });
+    int received = 0;
+    net.attach(peer_id(2), [&](peer_id, const test_message&) { ++received; });
+    net.send(peer_id(1), peer_id(2), {1});
+    net.detach(peer_id(2));  // departs before delivery
+    sim.run_all();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(net.messages_sent(), 1u);
+    EXPECT_EQ(net.messages_dropped(), 1u);
+    EXPECT_EQ(net.messages_delivered(), 0u);
+}
+
+TEST(message_network, detach_mid_flight_only_affects_later_arrivals) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return 1.0; });
+    int received = 0;
+    net.attach(peer_id(2), [&](peer_id, const test_message&) { ++received; });
+    net.send(peer_id(1), peer_id(2), {1});
+    sim.schedule_in(2.0, [&] { net.detach(peer_id(2)); });
+    sim.schedule_in(3.0, [&] { net.send(peer_id(1), peer_id(2), {2}); });
+    sim.run_all();
+    EXPECT_EQ(received, 1);
+    EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(message_network, handlers_can_reply) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return 0.1; });
+    std::vector<double> ping_times;
+    net.attach(peer_id(1), [&](peer_id, const test_message&) {
+        ping_times.push_back(sim.now());
+    });
+    net.attach(peer_id(2), [&](peer_id from, const test_message& m) {
+        if (m.payload < 3) net.send(peer_id(2), from, {m.payload + 1});
+    });
+    net.send(peer_id(1), peer_id(2), {0});
+    // 1->2 (0.1), reply 2->1 (0.2): one round trip recorded at peer 1.
+    sim.run_all();
+    ASSERT_EQ(ping_times.size(), 1u);
+    EXPECT_DOUBLE_EQ(ping_times[0], 0.2);
+}
+
+TEST(message_network, contract_checks) {
+    sim::simulator sim;
+    message_network<test_message> net(sim, [](peer_id, peer_id) { return -1.0; });
+    net.attach(peer_id(1), [](peer_id, const test_message&) {});
+    EXPECT_THROW(net.send(peer_id(0), peer_id(1), {0}), contract_violation);
+    EXPECT_THROW(net.attach(peer_id(3), nullptr), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::net

@@ -1,0 +1,47 @@
+#include "metrics/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/contracts.h"
+
+namespace p2pcd::metrics {
+namespace {
+
+TEST(report, formats_doubles) {
+    EXPECT_EQ(format_double(3.14159, 2), "3.14");
+    EXPECT_EQ(format_double(-1.0, 3), "-1.000");
+    EXPECT_EQ(format_double(0.5, 0), "0");  // rounds to even
+}
+
+TEST(report, aligns_columns) {
+    table t({"t", "value"});
+    t.add_row({std::string("0"), std::string("1.5")});
+    t.add_row({std::string("100"), std::string("-22.75")});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str(),
+              "  t   value\n"
+              "  0     1.5\n"
+              "100  -22.75\n");
+}
+
+TEST(report, numeric_rows_use_precision) {
+    table t({"a", "b"});
+    t.add_row({1.23456, 2.0}, 2);
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("1.23"), std::string::npos);
+    EXPECT_NE(os.str().find("2.00"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(report, rejects_ragged_rows) {
+    table t({"one", "two"});
+    EXPECT_THROW(t.add_row({std::string("only-one")}), contract_violation);
+    EXPECT_THROW(table({}), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::metrics

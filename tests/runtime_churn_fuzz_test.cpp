@@ -1,0 +1,72 @@
+// Failure-injection fuzz for the message-level auction: random instances with
+// random peer-departure schedules. Invariants: the run always terminates, the
+// surviving schedule is feasible, departed uploaders hold no allocations, and
+// departed bidders get nothing.
+#include <gtest/gtest.h>
+
+#include "core/welfare.h"
+#include "sim/rng.h"
+#include "vod/auction_runtime.h"
+#include "workload/instance_gen.h"
+
+namespace p2pcd::vod {
+namespace {
+
+class churn_fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(churn_fuzz, survives_random_departures) {
+    sim::rng_stream rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+
+    workload::uniform_instance_params params;
+    params.num_requests = 40;
+    params.num_uploaders = 10;
+    params.candidates_per_request = 4;
+    params.capacity_min = 1;
+    params.capacity_max = 4;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 271 + 9;
+    auto problem = workload::make_uniform_instance(params);
+
+    runtime_options ro;
+    ro.bidding = {core::bid_policy::epsilon, 1e-3};
+    ro.latency = [&](peer_id, peer_id) { return 0.05; };
+    ro.duration = 120.0;
+    auction_runtime runtime(problem, std::move(ro));
+
+    // Kill a random subset of peers (uploaders and/or bidders) at random
+    // times during the bidding storm.
+    std::vector<peer_id> victims;
+    auto kill_count = static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t k = 0; k < kill_count; ++k) {
+        bool uploader_side = rng.bernoulli(0.5);
+        std::int64_t hi = uploader_side
+                              ? static_cast<std::int64_t>(problem.num_uploaders()) - 1
+                              : static_cast<std::int64_t>(problem.num_requests()) - 1;
+        auto pick = static_cast<std::size_t>(rng.uniform_int(0, hi));
+        peer_id victim = uploader_side ? problem.uploader(pick).who
+                                       : problem.request(pick).downstream;
+        victims.push_back(victim);
+        runtime.depart_peer_at(victim, rng.uniform_real(0.0, 1.5));
+    }
+
+    auto result = runtime.run();
+    EXPECT_TRUE(result.auction.converged) << "churn must not prevent quiescence";
+    EXPECT_TRUE(core::schedule_feasible(problem, result.auction.sched));
+
+    for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+        std::ptrdiff_t c = result.auction.sched.choice[r];
+        if (c == core::no_candidate) continue;
+        peer_id seller =
+            problem.uploader(problem.candidates(r)[static_cast<std::size_t>(c)].uploader)
+                .who;
+        peer_id buyer = problem.request(r).downstream;
+        for (peer_id victim : victims) {
+            EXPECT_NE(seller, victim) << "departed uploader still holds allocations";
+            EXPECT_NE(buyer, victim) << "departed bidder still assigned";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, churn_fuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -1,0 +1,99 @@
+// ε-scaling (Bertsekas & Castañón warm-started phases) and its trade-offs.
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "core/auction.h"
+#include "core/exact.h"
+#include "core/welfare.h"
+#include "workload/instance_gen.h"
+
+namespace p2pcd::core {
+namespace {
+
+auction_options scaled(double final_eps = 1e-3) {
+    auction_options options;
+    options.bidding = {bid_policy::epsilon, final_eps};
+    options.epsilon_scaling = true;
+    options.scaling_initial_epsilon = 1.0;
+    options.scaling_factor = 4.0;
+    return options;
+}
+
+TEST(epsilon_scaling, validates_options) {
+    auto bad_policy = scaled();
+    bad_policy.bidding.policy = bid_policy::paper_literal;
+    EXPECT_THROW(auction_solver{bad_policy}, contract_violation);
+
+    auto bad_factor = scaled();
+    bad_factor.scaling_factor = 1.0;
+    EXPECT_THROW(auction_solver{bad_factor}, contract_violation);
+
+    auto bad_initial = scaled();
+    bad_initial.scaling_initial_epsilon = 1e-6;
+    EXPECT_THROW(auction_solver{bad_initial}, contract_violation);
+}
+
+class epsilon_scaling_property : public ::testing::TestWithParam<int> {};
+
+TEST_P(epsilon_scaling_property, feasible_and_close_to_optimal) {
+    workload::uniform_instance_params params;
+    params.num_requests = 60;
+    params.num_uploaders = 12;
+    params.candidates_per_request = 5;
+    params.capacity_min = 2;
+    params.capacity_max = 8;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 37 + 11;
+    auto problem = workload::make_uniform_instance(params);
+
+    auction_solver solver(scaled());
+    auto result = solver.run(problem);
+    ASSERT_TRUE(result.converged);
+    EXPECT_TRUE(schedule_feasible(problem, result.sched));
+
+    exact_scheduler exact;
+    auto best = exact.run(problem);
+    auto stats = compute_stats(problem, result.sched);
+    EXPECT_LE(stats.welfare, best.welfare + 1e-9);
+    // Warm-started prices forfeit the strict n·ε guarantee (see auction.h):
+    // a request priced out in an early phase stays out even if the final-ε
+    // equilibrium would admit it (prices never fall). The measured envelope
+    // on this contended family is ~10%; the bench quantifies the trade-off.
+    EXPECT_GE(stats.welfare, 0.85 * best.welfare - 1e-9);
+}
+
+TEST_P(epsilon_scaling_property, matches_unscaled_when_supply_is_abundant) {
+    workload::uniform_instance_params params;
+    params.num_requests = 40;
+    params.num_uploaders = 20;
+    params.candidates_per_request = 6;
+    params.capacity_min = 5;
+    params.capacity_max = 10;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 53 + 3;
+    auto problem = workload::make_uniform_instance(params);
+
+    auction_solver plain({.bidding = {bid_policy::epsilon, 1e-3}});
+    auction_solver phased(scaled());
+    auto plain_stats = compute_stats(problem, plain.run(problem).sched);
+    auto phased_stats = compute_stats(problem, phased.run(problem).sched);
+    EXPECT_NEAR(plain_stats.welfare, phased_stats.welfare,
+                0.02 * std::max(1.0, plain_stats.welfare));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, epsilon_scaling_property, ::testing::Range(0, 8));
+
+TEST(epsilon_scaling, counters_accumulate_across_phases) {
+    auto problem = workload::make_uniform_instance(
+        {.num_requests = 50, .num_uploaders = 6, .candidates_per_request = 4,
+         .capacity_min = 1, .capacity_max = 3, .seed = 5});
+    auction_solver phased(scaled());
+    auction_solver plain({.bidding = {bid_policy::epsilon, 1e-3}});
+    auto phased_result = phased.run(problem);
+    auto plain_result = plain.run(problem);
+    // Each phase bids at least once per request, so the scaled run's counter
+    // must exceed a single phase's minimum.
+    EXPECT_GE(phased_result.bids_submitted + phased_result.abstentions,
+              plain_result.bids_submitted > 0 ? problem.num_requests() : 0);
+}
+
+}  // namespace
+}  // namespace p2pcd::core

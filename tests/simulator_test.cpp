@@ -1,0 +1,86 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::sim {
+namespace {
+
+TEST(simulator, clock_advances_with_events) {
+    simulator s;
+    double seen = -1.0;
+    s.schedule_in(5.0, [&] { seen = s.now(); });
+    s.run_all();
+    EXPECT_DOUBLE_EQ(seen, 5.0);
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(simulator, events_can_schedule_events) {
+    simulator s;
+    std::vector<double> times;
+    s.schedule_in(1.0, [&] {
+        times.push_back(s.now());
+        s.schedule_in(2.0, [&] { times.push_back(s.now()); });
+    });
+    s.run_all();
+    EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(simulator, run_until_stops_at_deadline) {
+    simulator s;
+    int fired = 0;
+    s.schedule_in(1.0, [&] { ++fired; });
+    s.schedule_in(10.0, [&] { ++fired; });
+    auto ran = s.run_until(5.0);
+    EXPECT_EQ(ran, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_DOUBLE_EQ(s.now(), 5.0);  // clock lands on the deadline
+    EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(simulator, run_until_deadline_inclusive) {
+    simulator s;
+    int fired = 0;
+    s.schedule_in(5.0, [&] { ++fired; });
+    s.run_until(5.0);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(simulator, rejects_past_scheduling) {
+    simulator s;
+    s.schedule_in(2.0, [] {});
+    s.run_all();
+    EXPECT_THROW(s.schedule_at(1.0, [] {}), contract_violation);
+    EXPECT_THROW(s.schedule_in(-1.0, [] {}), contract_violation);
+}
+
+TEST(simulator, runaway_loop_is_stopped) {
+    simulator s;
+    std::function<void()> rearm = [&] { s.schedule_in(0.1, rearm); };
+    s.schedule_in(0.0, rearm);
+    EXPECT_THROW((void)s.run_all(1000), contract_violation);
+}
+
+TEST(simulator, reset_clears_everything) {
+    simulator s;
+    s.schedule_in(1.0, [] {});
+    s.run_all();
+    s.schedule_in(4.0, [] {});
+    s.reset();
+    EXPECT_TRUE(s.idle());
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_EQ(s.executed_events(), 0u);
+}
+
+TEST(simulator, executed_event_count_accumulates) {
+    simulator s;
+    for (int i = 0; i < 7; ++i) s.schedule_in(static_cast<double>(i), [] {});
+    s.run_all();
+    EXPECT_EQ(s.executed_events(), 7u);
+}
+
+}  // namespace
+}  // namespace p2pcd::sim

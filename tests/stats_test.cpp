@@ -1,0 +1,62 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::metrics {
+namespace {
+
+TEST(stats, empty_sample_is_zeroed) {
+    auto s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(stats, single_value) {
+    std::vector<double> v{3.5};
+    auto s = summarize(v);
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.min, 3.5);
+    EXPECT_DOUBLE_EQ(s.max, 3.5);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.p50, 3.5);
+}
+
+TEST(stats, known_distribution) {
+    std::vector<double> v{1, 2, 3, 4, 5};
+    auto s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.mean, 3.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(stats, percentile_interpolates) {
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 10.0);
+}
+
+TEST(stats, percentile_is_order_insensitive) {
+    std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+}
+
+TEST(stats, percentile_contracts) {
+    std::vector<double> v{1.0};
+    EXPECT_THROW((void)percentile({}, 0.5), contract_violation);
+    EXPECT_THROW((void)percentile(v, 1.5), contract_violation);
+}
+
+TEST(stats, mean_of_empty_is_zero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+}  // namespace
+}  // namespace p2pcd::metrics

@@ -1,0 +1,124 @@
+// Strategic (selfish) bidding — mechanizing the paper's future-work concern
+// that the auction is not truthful.
+#include "core/strategic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "workload/instance_gen.h"
+
+namespace p2pcd::core {
+namespace {
+
+TEST(strategic, shading_rescales_only_the_strategist) {
+    scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 2);
+    auto mine = p.add_request(peer_id(1), chunk_id(0), 4.0);
+    auto theirs = p.add_request(peer_id(2), chunk_id(1), 6.0);
+    p.add_candidate(mine, u, 1.0);
+    p.add_candidate(theirs, u, 1.0);
+
+    auto shaded = shade_valuations(p, peer_id(1), 0.5);
+    EXPECT_DOUBLE_EQ(shaded.request(mine).valuation, 2.0);
+    EXPECT_DOUBLE_EQ(shaded.request(theirs).valuation, 6.0);
+    EXPECT_EQ(shaded.num_uploaders(), p.num_uploaders());
+    EXPECT_DOUBLE_EQ(shaded.candidates(mine)[0].cost, 1.0);
+    EXPECT_THROW((void)shade_valuations(p, peer_id(1), 0.0), contract_violation);
+}
+
+TEST(strategic, realized_utility_scores_true_valuations) {
+    scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto r = p.add_request(peer_id(1), chunk_id(0), 5.0);
+    p.add_candidate(r, u, 2.0);
+    schedule served;
+    served.choice = {0};
+    EXPECT_DOUBLE_EQ(realized_utility(p, served, peer_id(1)), 3.0);
+    EXPECT_DOUBLE_EQ(realized_utility(p, served, peer_id(9)), 0.0);
+    schedule unserved;
+    unserved.choice = {no_candidate};
+    EXPECT_DOUBLE_EQ(realized_utility(p, unserved, peer_id(1)), 0.0);
+}
+
+TEST(strategic, truthful_run_is_the_baseline) {
+    auto p = workload::make_uniform_instance({.num_requests = 20, .seed = 8});
+    auto outcome = evaluate_shading(p, p.request(0).downstream, 1.0);
+    EXPECT_DOUBLE_EQ(outcome.manipulation_gain(), 0.0);
+    EXPECT_DOUBLE_EQ(outcome.welfare_damage(), 0.0);
+}
+
+TEST(strategic, overbidding_can_grab_a_slot_and_hurt_welfare) {
+    // Two bidders, one unit. The truthful loser (v=4) over-reports ×3 and
+    // steals the unit from the v=6 bidder: its own realized utility rises,
+    // social welfare falls — the mechanism is manipulable, exactly why the
+    // paper lists truthfulness as future work.
+    scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto weak = p.add_request(peer_id(1), chunk_id(0), 4.0);
+    auto strong = p.add_request(peer_id(2), chunk_id(1), 6.0);
+    p.add_candidate(weak, u, 1.0);
+    p.add_candidate(strong, u, 1.0);
+
+    auto outcome = evaluate_shading(p, peer_id(1), 3.0);
+    EXPECT_GT(outcome.manipulation_gain(), 0.0)
+        << "over-reporting must benefit the strategist here";
+    EXPECT_GT(outcome.welfare_damage(), 0.0)
+        << "and cost society the difference in valuations";
+    EXPECT_NEAR(outcome.welfare_damage(), 2.0, 0.1);  // (6-1) - (4-1)
+}
+
+TEST(strategic, underbidding_forfeits_wins) {
+    scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 1);
+    auto a = p.add_request(peer_id(1), chunk_id(0), 6.0);
+    auto b = p.add_request(peer_id(2), chunk_id(1), 4.0);
+    p.add_candidate(a, u, 1.0);
+    p.add_candidate(b, u, 1.0);
+    auto outcome = evaluate_shading(p, peer_id(1), 0.1);  // reports 0.6 < 4
+    EXPECT_LT(outcome.manipulation_gain(), 0.0)
+        << "under-reporting below the rival's value loses the slot";
+}
+
+TEST(strategic, shading_is_harmless_without_contention) {
+    // With spare capacity everywhere and profitable margins, moderate shading
+    // changes nothing: the strategist still wins its units.
+    scheduling_problem p;
+    auto u = p.add_uploader(peer_id(0), 10);
+    for (int i = 0; i < 3; ++i) {
+        auto r = p.add_request(peer_id(1), chunk_id(i), 6.0);
+        p.add_candidate(r, u, 1.0);
+    }
+    auto outcome = evaluate_shading(p, peer_id(1), 0.5);
+    EXPECT_DOUBLE_EQ(outcome.manipulation_gain(), 0.0);
+    EXPECT_DOUBLE_EQ(outcome.welfare_damage(), 0.0);
+}
+
+class strategic_sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(strategic_sweep, manipulation_never_helps_society) {
+    // Property: whatever a strategist does, social welfare (scored with true
+    // valuations) cannot exceed the truthful outcome by more than the
+    // auction's own ε slack — shading only redistributes or destroys value.
+    workload::uniform_instance_params params;
+    params.num_requests = 30;
+    params.num_uploaders = 6;
+    params.candidates_per_request = 4;
+    params.capacity_min = 1;
+    params.capacity_max = 3;
+    params.seed = static_cast<std::uint64_t>(GetParam()) * 13 + 2;
+    auto problem = workload::make_uniform_instance(params);
+
+    peer_id strategist = problem.request(0).downstream;
+    for (double theta : {0.25, 0.5, 2.0, 4.0}) {
+        auto outcome = evaluate_shading(problem, strategist, theta);
+        double slack =
+            static_cast<double>(problem.num_requests()) * 1e-3 + 1e-6;
+        EXPECT_LE(outcome.welfare_strategic, outcome.welfare_truthful + slack)
+            << "theta=" << theta;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, strategic_sweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace p2pcd::core

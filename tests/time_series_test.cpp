@@ -1,0 +1,64 @@
+#include "metrics/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace p2pcd::metrics {
+namespace {
+
+TEST(time_series, records_points_in_order) {
+    time_series ts("welfare");
+    ts.record(0.0, 1.0);
+    ts.record(10.0, 2.0);
+    EXPECT_EQ(ts.name(), "welfare");
+    ASSERT_EQ(ts.size(), 2u);
+    EXPECT_DOUBLE_EQ(ts.points()[1].time, 10.0);
+    EXPECT_EQ(ts.values(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(time_series, window_mean) {
+    time_series ts;
+    for (int i = 0; i < 10; ++i) ts.record(i, i);  // value == time
+    EXPECT_DOUBLE_EQ(ts.mean_in_window(0.0, 10.0), 4.5);
+    EXPECT_DOUBLE_EQ(ts.mean_in_window(5.0, 8.0), 6.0);  // {5,6,7}
+    EXPECT_DOUBLE_EQ(ts.mean_in_window(100.0, 200.0), 0.0);
+}
+
+TEST(time_series, clear_empties) {
+    time_series ts;
+    ts.record(1.0, 1.0);
+    ts.clear();
+    EXPECT_TRUE(ts.empty());
+}
+
+TEST(time_series, csv_aligns_multiple_series) {
+    time_series a("auction");
+    time_series b("locality");
+    a.record(0.0, 1.5);
+    a.record(10.0, 2.5);
+    b.record(0.0, -1.0);
+    b.record(10.0, -2.0);
+    std::ostringstream os;
+    write_csv(os, {&a, &b});
+    EXPECT_EQ(os.str(),
+              "time,auction,locality\n"
+              "0,1.5,-1\n"
+              "10,2.5,-2\n");
+}
+
+TEST(time_series, csv_fills_gaps_with_empty_cells) {
+    time_series a("a");
+    time_series b("b");
+    a.record(0.0, 1.0);
+    b.record(5.0, 2.0);
+    std::ostringstream os;
+    write_csv(os, {&a, &b});
+    EXPECT_EQ(os.str(),
+              "time,a,b\n"
+              "0,1,\n"
+              "5,,2\n");
+}
+
+}  // namespace
+}  // namespace p2pcd::metrics

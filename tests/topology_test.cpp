@@ -1,0 +1,52 @@
+#include "net/isp_topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace p2pcd::net {
+namespace {
+
+TEST(topology, registers_and_looks_up_peers) {
+    isp_topology topo(3);
+    topo.add_peer(peer_id(1), isp_id(0));
+    topo.add_peer(peer_id(2), isp_id(2));
+    EXPECT_EQ(topo.num_isps(), 3u);
+    EXPECT_EQ(topo.num_peers(), 2u);
+    EXPECT_EQ(topo.isp_of(peer_id(1)), isp_id(0));
+    EXPECT_EQ(topo.peers_in(isp_id(2)).size(), 1u);
+    EXPECT_TRUE(topo.contains(peer_id(1)));
+    EXPECT_FALSE(topo.contains(peer_id(9)));
+}
+
+TEST(topology, crossing_detection) {
+    isp_topology topo(2);
+    topo.add_peer(peer_id(1), isp_id(0));
+    topo.add_peer(peer_id(2), isp_id(0));
+    topo.add_peer(peer_id(3), isp_id(1));
+    EXPECT_FALSE(topo.crosses_isps(peer_id(1), peer_id(2)));
+    EXPECT_TRUE(topo.crosses_isps(peer_id(1), peer_id(3)));
+}
+
+TEST(topology, removal_clears_membership) {
+    isp_topology topo(2);
+    topo.add_peer(peer_id(1), isp_id(1));
+    topo.remove_peer(peer_id(1));
+    EXPECT_FALSE(topo.contains(peer_id(1)));
+    EXPECT_TRUE(topo.peers_in(isp_id(1)).empty());
+    EXPECT_THROW(topo.remove_peer(peer_id(1)), contract_violation);
+}
+
+TEST(topology, contract_checks) {
+    isp_topology topo(2);
+    EXPECT_THROW(topo.add_peer(peer_id(1), isp_id(5)), contract_violation);
+    EXPECT_THROW(topo.add_peer(peer_id(), isp_id(0)), contract_violation);
+    topo.add_peer(peer_id(1), isp_id(0));
+    EXPECT_THROW(topo.add_peer(peer_id(1), isp_id(1)), contract_violation);
+    EXPECT_THROW((void)topo.isp_of(peer_id(9)), contract_violation);
+    EXPECT_THROW((void)topo.peers_in(isp_id(7)), contract_violation);
+    EXPECT_THROW(isp_topology(0), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::net

@@ -1,0 +1,90 @@
+#include "vod/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+TEST(tracker, registration_lifecycle) {
+    tracker t;
+    t.register_peer(peer_id(1), video_id(0), false);
+    EXPECT_TRUE(t.online(peer_id(1)));
+    EXPECT_EQ(t.num_online(), 1u);
+    EXPECT_EQ(t.num_online(video_id(0)), 1u);
+    t.unregister_peer(peer_id(1));
+    EXPECT_FALSE(t.online(peer_id(1)));
+    EXPECT_EQ(t.num_online(video_id(0)), 0u);
+}
+
+TEST(tracker, duplicate_registration_throws) {
+    tracker t;
+    t.register_peer(peer_id(1), video_id(0), false);
+    EXPECT_THROW(t.register_peer(peer_id(1), video_id(1), false), contract_violation);
+    EXPECT_THROW(t.unregister_peer(peer_id(9)), contract_violation);
+    EXPECT_THROW(t.update_position(peer_id(9), 1.0), contract_violation);
+}
+
+TEST(tracker, bootstrap_prefers_seeds_then_close_positions) {
+    tracker t;
+    t.register_peer(peer_id(0), video_id(0), true);  // seed
+    for (int i = 1; i <= 5; ++i) {
+        t.register_peer(peer_id(i), video_id(0), false);
+        t.update_position(peer_id(i), 100.0 * i);
+    }
+    t.register_peer(peer_id(42), video_id(0), false);
+    t.update_position(peer_id(42), 290.0);
+
+    auto neighbors = t.bootstrap(peer_id(42), 3);
+    ASSERT_EQ(neighbors.size(), 3u);
+    EXPECT_EQ(neighbors[0], peer_id(0)) << "seed always first";
+    // Closest viewers to position 290: peer 3 (300), then peer 2 (200).
+    EXPECT_EQ(neighbors[1], peer_id(3));
+    EXPECT_EQ(neighbors[2], peer_id(2));
+}
+
+TEST(tracker, bootstrap_excludes_self_and_other_videos) {
+    tracker t;
+    t.register_peer(peer_id(1), video_id(0), false);
+    t.register_peer(peer_id(2), video_id(0), false);
+    t.register_peer(peer_id(3), video_id(1), false);  // different video
+    auto neighbors = t.bootstrap(peer_id(1), 10);
+    ASSERT_EQ(neighbors.size(), 1u);
+    EXPECT_EQ(neighbors[0], peer_id(2));
+}
+
+TEST(tracker, bootstrap_caps_at_requested_count) {
+    tracker t;
+    t.register_peer(peer_id(0), video_id(0), false);
+    for (int i = 1; i <= 50; ++i) t.register_peer(peer_id(i), video_id(0), false);
+    EXPECT_EQ(t.bootstrap(peer_id(0), 30).size(), 30u);
+}
+
+TEST(tracker, bootstrap_for_unknown_peer_throws) {
+    tracker t;
+    EXPECT_THROW((void)t.bootstrap(peer_id(1), 5), contract_violation);
+}
+
+TEST(tracker, positions_update_neighbor_choice) {
+    tracker t;
+    t.register_peer(peer_id(0), video_id(0), false);
+    t.register_peer(peer_id(1), video_id(0), false);
+    t.register_peer(peer_id(2), video_id(0), false);
+    t.update_position(peer_id(0), 50.0);
+    t.update_position(peer_id(1), 60.0);
+    t.update_position(peer_id(2), 500.0);
+    auto n = t.bootstrap(peer_id(0), 1);
+    ASSERT_EQ(n.size(), 1u);
+    EXPECT_EQ(n[0], peer_id(1));
+    // Peer 1 seeks far ahead; now peer 2 is closer.
+    t.update_position(peer_id(1), 1000.0);
+    t.update_position(peer_id(0), 400.0);
+    n = t.bootstrap(peer_id(0), 1);
+    EXPECT_EQ(n[0], peer_id(2));
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -1,0 +1,65 @@
+#include "vod/valuation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+TEST(valuation, matches_paper_formula_in_midrange) {
+    deadline_valuation v;  // α=2, β=1.2, clamp [0.8, 8]
+    // d = 5 s: 2 / ln(6.2) ≈ 1.0966 — inside the clamp window.
+    EXPECT_NEAR(v.value(5.0), 2.0 / std::log(6.2), 1e-12);
+}
+
+TEST(valuation, urgent_chunks_hit_the_cap) {
+    deadline_valuation v;
+    // d → 0: 2 / ln(1.2) ≈ 10.97, clamped to 8.
+    EXPECT_DOUBLE_EQ(v.value(0.0), 8.0);
+    EXPECT_DOUBLE_EQ(v.value(0.05), 8.0);
+}
+
+TEST(valuation, distant_chunks_hit_the_floor) {
+    deadline_valuation v;
+    // d = 11 s: 2 / ln(12.2) ≈ 0.7996 < 0.8 — clamped to the floor; the
+    // paper's 10 s prefetch window keeps valuations in [0.8, 8].
+    EXPECT_DOUBLE_EQ(v.value(11.0), 0.8);
+    EXPECT_DOUBLE_EQ(v.value(1000.0), 0.8);
+}
+
+TEST(valuation, monotonically_non_increasing_in_deadline) {
+    deadline_valuation v;
+    double prev = v.value(0.0);
+    for (double d = 0.1; d < 15.0; d += 0.1) {
+        double now = v.value(d);
+        EXPECT_LE(now, prev + 1e-12);
+        prev = now;
+    }
+}
+
+TEST(valuation, range_within_paper_bounds_over_prefetch_window) {
+    deadline_valuation v;
+    for (double d = 0.0; d <= 10.0; d += 0.25) {
+        EXPECT_GE(v.value(d), 0.8);
+        EXPECT_LE(v.value(d), 8.0);
+    }
+}
+
+TEST(valuation, custom_parameters) {
+    deadline_valuation v(1.0, 2.0, 0.0, 100.0);
+    EXPECT_NEAR(v.value(0.0), 1.0 / std::log(2.0), 1e-12);
+}
+
+TEST(valuation, contracts) {
+    EXPECT_THROW(deadline_valuation(0.0, 1.2, 0.8, 8.0), contract_violation);
+    EXPECT_THROW(deadline_valuation(2.0, 1.0, 0.8, 8.0), contract_violation);
+    EXPECT_THROW(deadline_valuation(2.0, 1.2, 9.0, 8.0), contract_violation);
+    deadline_valuation v;
+    EXPECT_THROW((void)v.value(-1.0), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

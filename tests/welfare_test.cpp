@@ -1,0 +1,76 @@
+#include "core/welfare.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pcd::core {
+namespace {
+
+scheduling_problem two_by_two() {
+    scheduling_problem p;
+    auto u0 = p.add_uploader(peer_id(0), 1);
+    auto u1 = p.add_uploader(peer_id(1), 1);
+    auto r0 = p.add_request(peer_id(2), chunk_id(0), 5.0);
+    auto r1 = p.add_request(peer_id(3), chunk_id(1), 2.0);
+    p.add_candidate(r0, u0, 1.0);
+    p.add_candidate(r0, u1, 4.0);
+    p.add_candidate(r1, u1, 3.0);
+    return p;
+}
+
+TEST(welfare, stats_accumulate_values_and_costs) {
+    auto p = two_by_two();
+    schedule s;
+    s.choice = {0, 0};  // r0 -> u0 (5-1), r1 -> u1 (2-3)
+    auto stats = compute_stats(p, s);
+    EXPECT_DOUBLE_EQ(stats.welfare, 4.0 + (-1.0));
+    EXPECT_DOUBLE_EQ(stats.served_valuation, 7.0);
+    EXPECT_DOUBLE_EQ(stats.network_cost, 4.0);
+    EXPECT_EQ(stats.assigned, 2u);
+    EXPECT_EQ(stats.unassigned, 0u);
+}
+
+TEST(welfare, negative_welfare_is_possible) {
+    // The paper's Fig. 3 shows the locality baseline going negative: the
+    // accounting must not clamp.
+    auto p = two_by_two();
+    schedule s;
+    s.choice = {no_candidate, 0};
+    auto stats = compute_stats(p, s);
+    EXPECT_DOUBLE_EQ(stats.welfare, -1.0);
+    EXPECT_EQ(stats.unassigned, 1u);
+}
+
+TEST(welfare, crossing_predicate_counts_inter_isp) {
+    auto p = two_by_two();
+    schedule s;
+    s.choice = {1, 0};  // r0 -> u1, r1 -> u1
+    auto stats = compute_stats(p, s, [](peer_id u, peer_id d) {
+        // Pretend peer 1 is in another ISP than everyone else.
+        return (u == peer_id(1)) != (d == peer_id(1));
+    });
+    EXPECT_EQ(stats.inter_isp_transfers, 2u);
+}
+
+TEST(welfare, feasibility_detects_overload) {
+    auto p = two_by_two();
+    schedule fits;
+    fits.choice = {1, no_candidate};
+    EXPECT_TRUE(schedule_feasible(p, fits));
+
+    schedule overload;
+    overload.choice = {1, 0};  // both requests on u1 (capacity 1)
+    EXPECT_FALSE(schedule_feasible(p, overload));
+}
+
+TEST(welfare, feasibility_detects_bad_ordinals) {
+    auto p = two_by_two();
+    schedule bad;
+    bad.choice = {5, no_candidate};
+    EXPECT_FALSE(schedule_feasible(p, bad));
+    schedule wrong_size;
+    wrong_size.choice = {0};
+    EXPECT_FALSE(schedule_feasible(p, wrong_size));
+}
+
+}  // namespace
+}  // namespace p2pcd::core
