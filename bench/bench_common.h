@@ -8,13 +8,17 @@
 //   P2PCD_BENCH_SCALE   "full" (paper scale) or "ci" (default: ~4x smaller,
 //                       finishes in seconds–minutes; same qualitative shape)
 //   P2PCD_BENCH_SEED    master seed (default 42)
+//   P2PCD_BENCH_OUT     directory for the <bench>.json artifacts (default ".";
+//                       set to "" to suppress artifact writing)
 #ifndef P2PCD_BENCH_BENCH_COMMON_H
 #define P2PCD_BENCH_BENCH_COMMON_H
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "metrics/report.h"
 #include "vod/emulator.h"
 #include "workload/scenario.h"
 
@@ -80,6 +84,32 @@ inline void print_header(const std::string& figure, const std::string& what,
                                               "/s)")
               << "  videos: " << cfg.num_videos << "  isps: " << cfg.num_isps
               << "  horizon: " << cfg.horizon_seconds << " s\n";
+}
+
+// Records the standard run metadata every artifact carries.
+inline void add_config_scalars(metrics::json_report& rep,
+                               const workload::scenario_config& cfg) {
+    rep.add_scalar("scale", full_scale() ? "full" : "ci");
+    rep.add_scalar("seed", static_cast<double>(cfg.master_seed));
+    rep.add_scalar("num_videos", static_cast<double>(cfg.num_videos));
+    rep.add_scalar("num_isps", static_cast<double>(cfg.num_isps));
+    rep.add_scalar("horizon_seconds", cfg.horizon_seconds);
+}
+
+// Writes `<name>.json` into $P2PCD_BENCH_OUT (default: the working directory).
+// An empty P2PCD_BENCH_OUT suppresses the artifact entirely.
+inline void write_artifact(const std::string& name, const metrics::json_report& rep) {
+    std::string dir = ".";
+    if (const char* env = std::getenv("P2PCD_BENCH_OUT")) dir = env;
+    if (dir.empty()) return;
+    const std::string path = dir + "/" + name + ".json";
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "warning: could not open " << path << " for writing\n";
+        return;
+    }
+    rep.write(out);
+    std::cout << "\nartifact written: " << path << "\n";
 }
 
 }  // namespace p2pcd::bench

@@ -6,6 +6,8 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_common.h"
+
 #include "core/auction.h"
 #include "core/exact.h"
 #include "core/welfare.h"
@@ -59,5 +61,9 @@ int main() {
 
     std::cout << "\nsmaller ε buys a welfare ratio closer to 1.0 with more bids; "
                  "the literal policy matches ε→0 on tie-free instances.\n";
+
+    metrics::json_report rep("convergence_scaling");
+    rep.add_table("convergence_by_size_and_policy", t);
+    bench::write_artifact("convergence_scaling", rep);
     return 0;
 }

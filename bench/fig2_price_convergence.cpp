@@ -68,5 +68,12 @@ int main() {
 
     std::cout << "\npaper shape check: λ_u restarts at 0 each slot, rises in steps "
                  "and flattens within ~5 s — see converged_after_s above.\n";
+
+    metrics::json_report rep("fig2_price_convergence");
+    bench::add_config_scalars(rep, cfg);
+    rep.add_scalar("probe_peer", static_cast<double>(emu.probe_peer().value()));
+    rep.add_table("lambda_series", points);
+    rep.add_table("per_slot_convergence", conv);
+    bench::write_artifact("fig2_price_convergence", rep);
     return 0;
 }

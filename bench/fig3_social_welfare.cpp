@@ -63,5 +63,13 @@ int main() {
               << "paper shape check: auction grows with population; locality "
                  "declines (often below zero). Reproduced: "
               << (auction_late > locality_late ? "YES" : "NO") << "\n";
+
+    metrics::json_report rep("fig3_social_welfare");
+    bench::add_config_scalars(rep, cfg);
+    rep.add_scalar("auction_late_window_mean", auction_late);
+    rep.add_scalar("locality_late_window_mean", locality_late);
+    rep.add_scalar("reproduced", auction_late > locality_late);
+    rep.add_table("welfare_per_slot", t);
+    bench::write_artifact("fig3_social_welfare", rep);
     return 0;
 }

@@ -56,5 +56,13 @@ int main() {
               << ", locality = " << metrics::format_double(locality_overall, 4) << "\n"
               << "paper shape check: auction < locality. Reproduced: "
               << (auction_overall < locality_overall ? "YES" : "NO") << "\n";
+
+    metrics::json_report rep("fig4_inter_isp_traffic");
+    bench::add_config_scalars(rep, cfg);
+    rep.add_scalar("auction_overall_inter_isp_fraction", auction_overall);
+    rep.add_scalar("locality_overall_inter_isp_fraction", locality_overall);
+    rep.add_scalar("reproduced", auction_overall < locality_overall);
+    rep.add_table("inter_isp_fraction_per_slot", t);
+    bench::write_artifact("fig4_inter_isp_traffic", rep);
     return 0;
 }

@@ -52,5 +52,13 @@ int main() {
               << "paper shape check: both small (<~0.1), auction at or below "
                  "locality in steady state. Reproduced: "
               << (auction_steady <= locality_steady + 0.01 ? "YES" : "NO") << "\n";
+
+    metrics::json_report rep("fig5_miss_rate");
+    bench::add_config_scalars(rep, cfg);
+    rep.add_scalar("auction_steady_state_miss_rate", auction_steady);
+    rep.add_scalar("locality_steady_state_miss_rate", locality_steady);
+    rep.add_scalar("reproduced", auction_steady <= locality_steady + 0.01);
+    rep.add_table("miss_rate_per_slot", t);
+    bench::write_artifact("fig5_miss_rate", rep);
     return 0;
 }

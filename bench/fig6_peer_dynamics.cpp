@@ -69,5 +69,14 @@ int main() {
               << "\n  (a) welfare:   " << (welfare_ok ? "YES" : "NO")
               << "\n  (b) inter-ISP: " << (inter_ok ? "YES" : "NO")
               << "\n  (c) miss rate: " << (miss_ok ? "YES" : "NO") << "\n";
+
+    metrics::json_report rep("fig6_peer_dynamics");
+    bench::add_config_scalars(rep, cfg);
+    rep.add_scalar("departure_probability", cfg.departure_probability);
+    rep.add_scalar("welfare_reproduced", welfare_ok);
+    rep.add_scalar("inter_isp_reproduced", inter_ok);
+    rep.add_scalar("miss_rate_reproduced", miss_ok);
+    rep.add_table("series_per_slot", t);
+    bench::write_artifact("fig6_peer_dynamics", rep);
     return 0;
 }

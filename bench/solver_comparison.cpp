@@ -7,6 +7,8 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
+
 #include "baseline/greedy_welfare.h"
 #include "baseline/random_scheduler.h"
 #include "baseline/simple_locality.h"
@@ -19,8 +21,10 @@
 int main() {
     using namespace p2pcd;
 
+    constexpr std::uint64_t seeds_per_family = 5;
     std::cout << "=== Scheduler welfare relative to the exact optimum ===\n"
-              << "(mean over 5 seeds per family; ISP-structured instances)\n\n";
+              << "(mean over " << seeds_per_family
+              << " seeds per family; ISP-structured instances)\n\n";
 
     struct family {
         const char* name;
@@ -48,7 +52,7 @@ int main() {
         double greedy_sum = 0.0;
         double locality_sum = 0.0;
         double random_sum = 0.0;
-        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        for (std::uint64_t seed = 1; seed <= seeds_per_family; ++seed) {
             auto params = f.params;
             params.seed = seed;
             auto inst = workload::make_isp_instance(params);
@@ -69,11 +73,11 @@ int main() {
             baseline::random_scheduler random(seed);
             random_sum += core::compute_stats(p, random.solve(p)).welfare;
         }
-        t.add_row({f.name, metrics::format_double(exact_sum / 5.0, 1),
-                   metrics::format_double(auction_sum / 5.0, 1),
-                   metrics::format_double(greedy_sum / 5.0, 1),
-                   metrics::format_double(locality_sum / 5.0, 1),
-                   metrics::format_double(random_sum / 5.0, 1)});
+        t.add_row({f.name, metrics::format_double(exact_sum / static_cast<double>(seeds_per_family), 1),
+                   metrics::format_double(auction_sum / static_cast<double>(seeds_per_family), 1),
+                   metrics::format_double(greedy_sum / static_cast<double>(seeds_per_family), 1),
+                   metrics::format_double(locality_sum / static_cast<double>(seeds_per_family), 1),
+                   metrics::format_double(random_sum / static_cast<double>(seeds_per_family), 1)});
     }
     t.print(std::cout);
 
@@ -82,7 +86,7 @@ int main() {
     for (std::size_t rounds : {1u, 2u, 3u, 5u, 10u, 30u}) {
         double welfare = 0.0;
         double assigned = 0.0;
-        for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        for (std::uint64_t seed = 1; seed <= seeds_per_family; ++seed) {
             auto params = families[0].params;
             params.seed = seed;
             auto inst = workload::make_isp_instance(params);
@@ -91,11 +95,17 @@ int main() {
             welfare += stats.welfare;
             assigned += static_cast<double>(stats.assigned);
         }
-        rt.add_row({std::to_string(rounds), metrics::format_double(welfare / 5.0, 1),
-                    metrics::format_double(assigned / 5.0, 1)});
+        rt.add_row({std::to_string(rounds), metrics::format_double(welfare / static_cast<double>(seeds_per_family), 1),
+                    metrics::format_double(assigned / static_cast<double>(seeds_per_family), 1)});
     }
     rt.print(std::cout);
     std::cout << "\nmore retries serve more requests but chase costlier and even "
                  "negative-utility links — welfare is not monotone in rounds.\n";
+
+    metrics::json_report rep("solver_comparison");
+    rep.add_scalar("seeds_per_family", static_cast<double>(seeds_per_family));
+    rep.add_table("welfare_by_family", t);
+    rep.add_table("locality_retry_sweep", rt);
+    bench::write_artifact("solver_comparison", rep);
     return 0;
 }

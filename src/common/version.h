@@ -1,0 +1,30 @@
+// Library version, surfaced both as macros (injected by CMake on the
+// p2pcd_common target) and as constexpr accessors. A translation unit that is
+// compiled without the CMake-provided definitions fails at preprocessing time,
+// which is exactly the "misconfigured build fails loudly" behaviour the build
+// sanity test relies on.
+#ifndef P2PCD_COMMON_VERSION_H
+#define P2PCD_COMMON_VERSION_H
+
+#ifndef P2PCD_VERSION_MAJOR
+#error "P2PCD_VERSION_MAJOR is not defined: build through CMake (target p2pcd_common)"
+#endif
+#ifndef P2PCD_VERSION_MINOR
+#error "P2PCD_VERSION_MINOR is not defined: build through CMake (target p2pcd_common)"
+#endif
+#ifndef P2PCD_VERSION_PATCH
+#error "P2PCD_VERSION_PATCH is not defined: build through CMake (target p2pcd_common)"
+#endif
+#ifndef P2PCD_HAVE_CMAKE_BUILD
+#error "P2PCD_HAVE_CMAKE_BUILD is not defined: build through CMake (target p2pcd_common)"
+#endif
+
+namespace p2pcd {
+
+[[nodiscard]] constexpr int version_major() noexcept { return P2PCD_VERSION_MAJOR; }
+[[nodiscard]] constexpr int version_minor() noexcept { return P2PCD_VERSION_MINOR; }
+[[nodiscard]] constexpr int version_patch() noexcept { return P2PCD_VERSION_PATCH; }
+
+}  // namespace p2pcd
+
+#endif  // P2PCD_COMMON_VERSION_H

@@ -1,6 +1,8 @@
 #include "metrics/report.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 
@@ -28,6 +30,118 @@ void table::add_row(const std::vector<double>& cells, int precision) {
     formatted.reserve(cells.size());
     for (double v : cells) formatted.push_back(format_double(v, precision));
     add_row(std::move(formatted));
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+// True when the cell is a valid JSON number literal (RFC 8259 grammar:
+// -?int frac? exp?). strtod accepts a wider grammar ("+1", ".5", "0x1f",
+// "inf") that JSON forbids, so the check is spelled out rather than delegated.
+bool is_json_number(const std::string& cell) {
+    std::size_t i = 0;
+    const std::size_t n = cell.size();
+    auto digits = [&] {
+        std::size_t start = i;
+        while (i < n && cell[i] >= '0' && cell[i] <= '9') ++i;
+        return i > start;
+    };
+    if (i < n && cell[i] == '-') ++i;
+    if (!digits()) return false;
+    if (i < n && cell[i] == '.') {
+        ++i;
+        if (!digits()) return false;
+    }
+    if (i < n && (cell[i] == 'e' || cell[i] == 'E')) {
+        ++i;
+        if (i < n && (cell[i] == '+' || cell[i] == '-')) ++i;
+        if (!digits()) return false;
+    }
+    return i == n;
+}
+
+// Renders a cell as a JSON value: a bare numeric literal when the whole cell
+// already is one, a quoted string otherwise.
+std::string cell_to_json(const std::string& cell) {
+    if (is_json_number(cell)) return cell;
+    return '"' + json_escape(cell) + '"';
+}
+
+}  // namespace
+
+json_report::json_report(std::string title) : title_(std::move(title)) {
+    expects(!title_.empty(), "json_report requires a non-empty title");
+}
+
+void json_report::add_scalar(const std::string& key, double value) {
+    expects(std::isfinite(value), "json_report scalar must be finite");
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    scalars_.push_back({key, os.str()});
+}
+
+void json_report::add_scalar(const std::string& key, const std::string& value) {
+    scalars_.push_back({key, '"' + json_escape(value) + '"'});
+}
+
+void json_report::add_scalar(const std::string& key, const char* value) {
+    add_scalar(key, std::string(value));
+}
+
+void json_report::add_scalar(const std::string& key, bool value) {
+    scalars_.push_back({key, value ? "true" : "false"});
+}
+
+void json_report::add_table(const std::string& key, const table& t) {
+    tables_.emplace_back(key, t);
+}
+
+void json_report::write(std::ostream& os) const {
+    os << "{\n  \"report\": \"" << json_escape(title_) << "\",\n  \"scalars\": {";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+        os << (i ? ",\n    " : "\n    ") << '"' << json_escape(scalars_[i].key)
+           << "\": " << scalars_[i].literal;
+    }
+    os << (scalars_.empty() ? "" : "\n  ") << "},\n  \"tables\": {";
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        const auto& [name, t] = tables_[i];
+        os << (i ? ",\n    " : "\n    ") << '"' << json_escape(name)
+           << "\": {\"columns\": [";
+        for (std::size_t c = 0; c < t.headers().size(); ++c)
+            os << (c ? ", " : "") << '"' << json_escape(t.headers()[c]) << '"';
+        os << "], \"rows\": [";
+        for (std::size_t r = 0; r < t.data().size(); ++r) {
+            os << (r ? ",\n      " : "\n      ") << '[';
+            const auto& row = t.data()[r];
+            for (std::size_t c = 0; c < row.size(); ++c)
+                os << (c ? ", " : "") << cell_to_json(row[c]);
+            os << ']';
+        }
+        os << (t.data().empty() ? "" : "\n    ") << "]}";
+    }
+    os << (tables_.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
 void table::print(std::ostream& os) const {

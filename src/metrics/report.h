@@ -1,6 +1,8 @@
 // Fixed-width table printer for benchmark output: every figure bench prints
 // the series the paper plots as aligned rows, so the "shape" comparison with
-// the paper is readable straight off the terminal.
+// the paper is readable straight off the terminal. `json_report` additionally
+// serializes the same tables (plus scalar summary metrics) as a machine-
+// readable artifact — see docs/REPRODUCING.md for the schema.
 #ifndef P2PCD_METRICS_REPORT_H
 #define P2PCD_METRICS_REPORT_H
 
@@ -22,6 +24,12 @@ public:
     void print(std::ostream& os) const;
 
     [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+    [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+        return headers_;
+    }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& data() const noexcept {
+        return rows_;
+    }
 
 private:
     std::vector<std::string> headers_;
@@ -30,6 +38,39 @@ private:
 
 // Formats a double with fixed precision (no trailing-zero stripping).
 [[nodiscard]] std::string format_double(double v, int precision = 3);
+
+// Accumulates scalar metrics and named tables, then writes them as a single
+// JSON object:
+//   {"report": <title>, "scalars": {...}, "tables": {<name>:
+//    {"columns": [...], "rows": [[...], ...]}}}
+// Cells that parse as finite numbers are emitted as JSON numbers, everything
+// else as strings. Insertion order is preserved.
+class json_report {
+public:
+    explicit json_report(std::string title);
+
+    void add_scalar(const std::string& key, double value);
+    void add_scalar(const std::string& key, const std::string& value);
+    // Without this overload a string literal would convert to bool (standard
+    // conversion beats the user-defined one to std::string).
+    void add_scalar(const std::string& key, const char* value);
+    void add_scalar(const std::string& key, bool value);
+    void add_table(const std::string& key, const table& t);
+
+    void write(std::ostream& os) const;
+
+private:
+    struct scalar {
+        std::string key;
+        std::string literal;  // pre-rendered JSON value
+    };
+    std::string title_;
+    std::vector<scalar> scalars_;
+    std::vector<std::pair<std::string, table>> tables_;
+};
+
+// Escapes a string for embedding in a JSON document (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& s);
 
 }  // namespace p2pcd::metrics
 

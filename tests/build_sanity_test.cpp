@@ -1,0 +1,36 @@
+// Build-configuration sanity checks. These assertions fail loudly when the
+// build is misconfigured: wrong language standard, missing CMake-injected
+// version macros, or a compiler that silently downgraded required features.
+#include <gtest/gtest.h>
+
+#include "common/version.h"
+
+// The library requires C++20 (<compare>, defaulted operator<=>).
+static_assert(__cplusplus >= 202002L, "p2pcd requires C++20 or newer");
+
+TEST(build_sanity, version_macros_match_accessors) {
+    EXPECT_EQ(p2pcd::version_major(), P2PCD_VERSION_MAJOR);
+    EXPECT_EQ(p2pcd::version_minor(), P2PCD_VERSION_MINOR);
+    EXPECT_EQ(p2pcd::version_patch(), P2PCD_VERSION_PATCH);
+}
+
+TEST(build_sanity, version_is_sane) {
+    EXPECT_GE(p2pcd::version_major(), 0);
+    EXPECT_GE(p2pcd::version_minor(), 0);
+    EXPECT_GE(p2pcd::version_patch(), 0);
+    // The seed build system stamps 0.1.0; bump this alongside project(VERSION).
+    EXPECT_EQ(p2pcd::version_major(), 0);
+    EXPECT_EQ(p2pcd::version_minor(), 1);
+}
+
+TEST(build_sanity, cmake_build_flag_present) {
+    EXPECT_EQ(P2PCD_HAVE_CMAKE_BUILD, 1);
+}
+
+TEST(build_sanity, feature_spaceship_available) {
+#if defined(__cpp_impl_three_way_comparison)
+    SUCCEED();
+#else
+    FAIL() << "three-way comparison support missing; strong_id comparisons would not compile";
+#endif
+}

@@ -88,9 +88,10 @@ TEST(cost_model, deterministic_for_fixed_seed) {
     cost_model b(topo, cost_params{}, rng_b);
     for (int u = 0; u < 20; ++u)
         for (int d = 0; d < 20; ++d)
-            if (u != d)
+            if (u != d) {
                 EXPECT_DOUBLE_EQ(a.cost(peer_id(u), peer_id(d)),
                                  b.cost(peer_id(u), peer_id(d)));
+            }
 }
 
 TEST(cost_model, intra_cheaper_than_inter_on_average) {

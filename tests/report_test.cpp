@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "common/contracts.h"
@@ -41,6 +42,90 @@ TEST(report, rejects_ragged_rows) {
     table t({"one", "two"});
     EXPECT_THROW(t.add_row({std::string("only-one")}), contract_violation);
     EXPECT_THROW(table({}), contract_violation);
+}
+
+TEST(report, table_exposes_headers_and_data) {
+    table t({"x", "y"});
+    t.add_row({1.0, 2.0}, 0);
+    ASSERT_EQ(t.headers().size(), 2u);
+    EXPECT_EQ(t.headers()[1], "y");
+    ASSERT_EQ(t.data().size(), 1u);
+    EXPECT_EQ(t.data()[0][0], "1");
+}
+
+TEST(json_report, escapes_strings) {
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(json_report, writes_scalars_and_tables) {
+    json_report rep("fig_test");
+    rep.add_scalar("seed", 42.0);
+    rep.add_scalar("scale", std::string("ci"));
+    rep.add_scalar("reproduced", true);
+
+    table t({"time_s", "policy", "value"});
+    t.add_row({std::string("0"), std::string("eps=0.1"), std::string("1.500")});
+    rep.add_table("series", t);
+
+    std::ostringstream os;
+    rep.write(os);
+    const std::string json = os.str();
+
+    // Title, scalar typing (number / string / bool), and table schema.
+    EXPECT_NE(json.find("\"report\": \"fig_test\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+    EXPECT_NE(json.find("\"scale\": \"ci\""), std::string::npos);
+    EXPECT_NE(json.find("\"reproduced\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"time_s\", \"policy\", \"value\"]"),
+              std::string::npos);
+    // Numeric cells stay numbers; non-numeric cells are quoted.
+    EXPECT_NE(json.find("[0, \"eps=0.1\", 1.500]"), std::string::npos);
+}
+
+TEST(json_report, quotes_cells_outside_the_json_number_grammar) {
+    // strtod accepts all of these, JSON does not — they must be quoted.
+    table t({"c"});
+    for (const char* cell : {"+1", ".5", "1.", "0x1f", "inf", "nan"})
+        t.add_row({std::string(cell)});
+    // Valid JSON numbers stay bare (the grammar has no magnitude limit, so
+    // "1e999" is a legal literal too).
+    t.add_row({std::string("-0.5e+3")});
+    t.add_row({std::string("1e999")});
+
+    json_report rep("grammar");
+    rep.add_table("cells", t);
+    std::ostringstream os;
+    rep.write(os);
+    const std::string json = os.str();
+    for (const char* quoted :
+         {"\"+1\"", "\".5\"", "\"1.\"", "\"0x1f\"", "\"inf\"", "\"nan\""})
+        EXPECT_NE(json.find(quoted), std::string::npos) << quoted;
+    EXPECT_NE(json.find("[-0.5e+3]"), std::string::npos);
+    EXPECT_NE(json.find("[1e999]"), std::string::npos);
+}
+
+TEST(json_report, string_literal_scalar_is_a_string_not_a_bool) {
+    json_report rep("overloads");
+    rep.add_scalar("scale", "full");  // must hit const char*, not bool
+    std::ostringstream os;
+    rep.write(os);
+    EXPECT_NE(os.str().find("\"scale\": \"full\""), std::string::npos);
+}
+
+TEST(json_report, empty_sections_are_valid) {
+    json_report rep("empty");
+    std::ostringstream os;
+    rep.write(os);
+    EXPECT_EQ(os.str(),
+              "{\n  \"report\": \"empty\",\n  \"scalars\": {},\n  \"tables\": {}\n}\n");
+}
+
+TEST(json_report, rejects_bad_input) {
+    EXPECT_THROW(json_report(""), contract_violation);
+    json_report rep("r");
+    EXPECT_THROW(rep.add_scalar("nan", std::nan("")), contract_violation);
 }
 
 }  // namespace
