@@ -21,6 +21,7 @@
 #include "metrics/report.h"
 #include "vod/emulator.h"
 #include "workload/scenario.h"
+#include "workload/scenario_registry.h"
 
 namespace p2pcd::bench {
 
@@ -49,9 +50,9 @@ inline void apply_ci_scale(workload::scenario_config& cfg) {
 }
 
 // The paper's static 500-peer network (Figs. 2, 4, 5), or a ~150-peer scaled
-// replica for CI runs.
+// replica for CI runs. Resolved by name through the scenario registry.
 inline workload::scenario_config static_network() {
-    auto cfg = workload::scenario_config::paper_static_500();
+    auto cfg = workload::builtin_scenarios().make("paper_static_500");
     cfg.master_seed = bench_seed();
     // A population that stays online through the 250 s horizon (256 s
     // videos): everyone joined within the last ~13 s of playback.
@@ -65,7 +66,7 @@ inline workload::scenario_config static_network() {
 
 // The paper's dynamic arrival process (Figs. 3, 6).
 inline workload::scenario_config dynamic_network() {
-    auto cfg = workload::scenario_config::paper_dynamic();
+    auto cfg = workload::builtin_scenarios().make("paper_dynamic");
     cfg.master_seed = bench_seed();
     if (!full_scale()) {
         cfg.arrival_rate = 1.0;

@@ -26,7 +26,7 @@ int main() {
 
     vod::emulator_options opts;
     opts.config = cfg;
-    opts.algo = vod::algorithm::auction;
+    opts.scheduler = "auction";
     opts.distributed_from = 150.0;
     opts.distributed_to = 250.0;
     // Emulated message latency per unit of network cost. 0.2 s/unit gives

@@ -25,7 +25,7 @@ int main() {
     {
         vod::emulator_options opts;
         opts.config = cfg;
-        opts.algo = vod::algorithm::auction;
+        opts.scheduler = "auction";
         vod::emulator emu(opts);
         emu.run();
         for (const auto& s : emu.slots()) {
@@ -36,7 +36,7 @@ int main() {
     {
         vod::emulator_options opts;
         opts.config = cfg;
-        opts.algo = vod::algorithm::simple_locality;
+        opts.scheduler = "simple-locality";
         vod::emulator emu(opts);
         emu.run();
         for (const auto& s : emu.slots()) locality_series.record(s.time, s.social_welfare);

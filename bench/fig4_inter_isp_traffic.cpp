@@ -24,7 +24,7 @@ int main() {
     {
         vod::emulator_options opts;
         opts.config = cfg;
-        opts.algo = vod::algorithm::auction;
+        opts.scheduler = "auction";
         vod::emulator emu(opts);
         emu.run();
         for (const auto& s : emu.slots())
@@ -34,7 +34,7 @@ int main() {
     {
         vod::emulator_options opts;
         opts.config = cfg;
-        opts.algo = vod::algorithm::simple_locality;
+        opts.scheduler = "simple-locality";
         vod::emulator emu(opts);
         emu.run();
         for (const auto& s : emu.slots())

@@ -31,8 +31,8 @@ int main() {
     for (bool use_auction : {true, false}) {
         vod::emulator_options opts;
         opts.config = cfg;
-        opts.algo = use_auction ? vod::algorithm::auction
-                                : vod::algorithm::simple_locality;
+        opts.scheduler = use_auction ? "auction"
+                                : "simple-locality";
         vod::emulator emu(opts);
         emu.run();
         auto& out = use_auction ? auction : locality;

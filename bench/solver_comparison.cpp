@@ -1,19 +1,20 @@
-// Ablation table: welfare of every scheduler relative to the exact optimum,
-// across instance families (DESIGN.md §5). Also sweeps the locality
-// baseline's retry budget — the knob behind "as much as possible".
+// Ablation table: welfare of every registered scheduler relative to the
+// exact optimum, across instance families (DESIGN.md §5). Also sweeps the
+// locality baseline's retry budget — the knob behind "as much as possible".
 //
-// Expected ordering per row: exact = 1.0 >= auction >= greedy >> locality,
-// with the auction within n·ε of 1.0.
+// Schedulers are resolved by name through the built-in registry
+// (baseline/registry.h): registering a new algorithm adds a column here with
+// no bench edits. Expected ordering per row: exact >= auction >= greedy >>
+// locality, with the auction within n·ε of exact.
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
 
-#include "baseline/greedy_welfare.h"
-#include "baseline/random_scheduler.h"
+#include "baseline/registry.h"
 #include "baseline/simple_locality.h"
-#include "core/auction.h"
-#include "core/exact.h"
+#include "core/scheduler_registry.h"
 #include "core/welfare.h"
 #include "metrics/report.h"
 #include "workload/instance_gen.h"
@@ -22,6 +23,9 @@ int main() {
     using namespace p2pcd;
 
     constexpr std::uint64_t seeds_per_family = 5;
+    const auto& registry = baseline::builtin_schedulers();
+    const auto names = registry.names();
+
     std::cout << "=== Scheduler welfare relative to the exact optimum ===\n"
               << "(mean over " << seeds_per_family
               << " seeds per family; ISP-structured instances)\n\n";
@@ -45,39 +49,35 @@ int main() {
                          .capacity_max = 6, .inter_cost_mean = 8.0}},
     };
 
-    metrics::table t({"family", "exact", "auction", "greedy", "locality", "random"});
+    core::scheduler_params solver_params;
+    solver_params.auction = {.bidding = {core::bid_policy::epsilon, 1e-3}};
+
+    std::vector<std::string> columns = {"family"};
+    columns.insert(columns.end(), names.begin(), names.end());
+    metrics::table t(columns);
     for (const auto& f : families) {
-        double exact_sum = 0.0;
-        double auction_sum = 0.0;
-        double greedy_sum = 0.0;
-        double locality_sum = 0.0;
-        double random_sum = 0.0;
+        // One long-lived scheduler per name: workspaces persist across the
+        // family's seeds (the deployment pattern the emulator uses).
+        std::vector<std::unique_ptr<core::scheduler>> solvers;
+        for (const auto& name : names) solvers.push_back(registry.make(name, solver_params));
+
+        std::vector<double> welfare_sum(names.size(), 0.0);
         for (std::uint64_t seed = 1; seed <= seeds_per_family; ++seed) {
             auto params = f.params;
             params.seed = seed;
             auto inst = workload::make_isp_instance(params);
-            const auto& p = inst.problem;
-
-            core::exact_scheduler exact;
-            exact_sum += exact.run(p).welfare;
-
-            core::auction_solver auction({.bidding = {core::bid_policy::epsilon, 1e-3}});
-            auction_sum += core::compute_stats(p, auction.solve(p)).welfare;
-
-            baseline::greedy_welfare_scheduler greedy;
-            greedy_sum += core::compute_stats(p, greedy.solve(p)).welfare;
-
-            baseline::simple_locality_scheduler locality;
-            locality_sum += core::compute_stats(p, locality.solve(p)).welfare;
-
-            baseline::random_scheduler random(seed);
-            random_sum += core::compute_stats(p, random.solve(p)).welfare;
+            for (std::size_t i = 0; i < solvers.size(); ++i) {
+                solvers[i]->reseed(seed);
+                welfare_sum[i] +=
+                    core::compute_stats(inst.problem, solvers[i]->solve(inst.problem))
+                        .welfare;
+            }
         }
-        t.add_row({f.name, metrics::format_double(exact_sum / static_cast<double>(seeds_per_family), 1),
-                   metrics::format_double(auction_sum / static_cast<double>(seeds_per_family), 1),
-                   metrics::format_double(greedy_sum / static_cast<double>(seeds_per_family), 1),
-                   metrics::format_double(locality_sum / static_cast<double>(seeds_per_family), 1),
-                   metrics::format_double(random_sum / static_cast<double>(seeds_per_family), 1)});
+        std::vector<std::string> row = {f.name};
+        for (double sum : welfare_sum)
+            row.push_back(metrics::format_double(
+                sum / static_cast<double>(seeds_per_family), 1));
+        t.add_row(row);
     }
     t.print(std::cout);
 
@@ -86,12 +86,14 @@ int main() {
     for (std::size_t rounds : {1u, 2u, 3u, 5u, 10u, 30u}) {
         double welfare = 0.0;
         double assigned = 0.0;
+        core::scheduler_params sweep_params;
+        sweep_params.locality_max_rounds = rounds;
+        auto locality = registry.make("simple-locality", sweep_params);
         for (std::uint64_t seed = 1; seed <= seeds_per_family; ++seed) {
             auto params = families[0].params;
             params.seed = seed;
             auto inst = workload::make_isp_instance(params);
-            baseline::simple_locality_scheduler locality({.max_rounds = rounds});
-            auto stats = core::compute_stats(inst.problem, locality.solve(inst.problem));
+            auto stats = core::compute_stats(inst.problem, locality->solve(inst.problem));
             welfare += stats.welfare;
             assigned += static_cast<double>(stats.assigned);
         }

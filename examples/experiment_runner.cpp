@@ -1,33 +1,45 @@
 // General-purpose experiment driver: run any scenario from the command line
 // and get per-slot metrics as a table or CSV. This is the "make your own
-// figure" tool — every knob the benches use is exposed as a flag.
+// figure" tool — every knob the benches use is exposed as a flag, and both
+// the algorithm and the base scenario are resolved by name through the
+// registries (core/scheduler_registry, workload/scenario_registry), so newly
+// registered algorithms/scenarios are available here with no edits.
 //
 //   $ ./experiment_runner --algo auction --peers 200 --videos 20 --csv out.csv
-//   $ ./experiment_runner --algo locality --arrival 1.0 --horizon 250
+//   $ ./experiment_runner --scenario metro_5k --algo greedy-welfare
+//   $ ./experiment_runner --list
 //
 // Flags (defaults in brackets):
-//   --algo auction|locality|random|greedy|exact   [auction]
-//   --peers N        static initial peers                    [150]
-//   --arrival R      Poisson arrival rate, peers/s           [0]
-//   --departure P    early-quitter probability               [0]
-//   --videos N       catalog size                            [12]
-//   --isps N         number of ISPs                          [5]
-//   --neighbors N    neighbor-set size                       [15]
-//   --seeds N        seeds per ISP per video                 [1]
-//   --seed-upload X  seed upload multiple of bitrate         [4]
-//   --horizon S      emulated seconds                        [250]
-//   --seed N         master RNG seed                         [42]
-//   --rounds N       bidding rounds per slot                 [5]
-//   --epsilon E      auction ε                               [0.05]
+//   --list           print registered schedulers and scenarios, then exit
+//   --algo NAME      registered scheduler name                 [auction]
+//                    (aliases: locality, greedy)
+//   --scenario NAME  registered base scenario; the other flags override it
+//                    regardless of argument order
+//                    [paper_static_500 scaled to the defaults below]
+//   --peers N        static initial peers                      [150]
+//   --arrival R      Poisson arrival rate, peers/s             [0]
+//   --departure P    early-quitter probability                 [0]
+//   --videos N       catalog size                              [12]
+//   --isps N         number of ISPs                            [5]
+//   --neighbors N    neighbor-set size                         [15]
+//   --seeds N        seeds per ISP per video                   [1]
+//   --seed-upload X  seed upload multiple of bitrate           [4]
+//   --horizon S      emulated seconds                          [250]
+//   --seed N         master RNG seed                           [42]
+//   --rounds N       bidding rounds per slot                   [5]
+//   --epsilon E      auction ε                                 [0.05]
+//   --warm-rounds    warm-start auction prices across a slot's rounds
 //   --csv FILE       also write per-slot series as CSV
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "baseline/registry.h"
 #include "metrics/report.h"
 #include "metrics/time_series.h"
 #include "vod/emulator.h"
+#include "workload/scenario_registry.h"
 
 namespace {
 
@@ -39,13 +51,21 @@ using namespace p2pcd;
     std::exit(2);
 }
 
-vod::algorithm parse_algo(const std::string& name) {
-    if (name == "auction") return vod::algorithm::auction;
-    if (name == "locality") return vod::algorithm::simple_locality;
-    if (name == "random") return vod::algorithm::random_select;
-    if (name == "greedy") return vod::algorithm::greedy_welfare;
-    if (name == "exact") return vod::algorithm::exact;
-    usage("unknown algorithm '" + name + "'");
+std::string canonical_algo(std::string name) {
+    // Back-compat aliases for the old enum spellings.
+    if (name == "locality") return "simple-locality";
+    if (name == "greedy") return "greedy-welfare";
+    return name;
+}
+
+void print_registries() {
+    std::cout << "registered schedulers:\n";
+    for (const auto& name : baseline::builtin_schedulers().names())
+        std::cout << "  " << name << '\n';
+    std::cout << "registered scenarios:\n";
+    for (const auto& name : workload::builtin_scenarios().names())
+        std::cout << "  " << name << " — "
+                  << workload::builtin_scenarios().describe(name) << '\n';
 }
 
 }  // namespace
@@ -53,7 +73,7 @@ vod::algorithm parse_algo(const std::string& name) {
 int main(int argc, char** argv) {
     vod::emulator_options opts;
     auto& cfg = opts.config;
-    cfg = workload::scenario_config::paper_static_500();
+    cfg = workload::builtin_scenarios().make("paper_static_500");
     cfg.initial_peers = 150;
     cfg.num_videos = 12;
     cfg.neighbor_count = 15;
@@ -63,13 +83,31 @@ int main(int argc, char** argv) {
     cfg.arrival_rate = 0.0;
     std::string csv_path;
 
+    // --scenario replaces the whole base config, so it is applied in a
+    // pre-pass: the other flags always override it regardless of their
+    // position on the command line.
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--scenario") {
+            if (i + 1 >= argc) usage("flag --scenario needs a value");
+            std::string name = argv[i + 1];
+            if (!workload::builtin_scenarios().contains(name))
+                usage("unknown scenario '" + name + "' (try --list)");
+            cfg = workload::builtin_scenarios().make(name);
+        }
+    }
+
     for (int i = 1; i < argc; ++i) {
         std::string flag = argv[i];
         auto next = [&]() -> std::string {
             if (i + 1 >= argc) usage("flag " + flag + " needs a value");
             return argv[++i];
         };
-        if (flag == "--algo") opts.algo = parse_algo(next());
+        if (flag == "--list") {
+            print_registries();
+            return 0;
+        }
+        else if (flag == "--algo") opts.scheduler = canonical_algo(next());
+        else if (flag == "--scenario") (void)next();  // applied in the pre-pass
         else if (flag == "--peers") cfg.initial_peers = std::stoul(next());
         else if (flag == "--arrival") cfg.arrival_rate = std::stod(next());
         else if (flag == "--departure") cfg.departure_probability = std::stod(next());
@@ -82,10 +120,13 @@ int main(int argc, char** argv) {
         else if (flag == "--seed") cfg.master_seed = std::stoull(next());
         else if (flag == "--rounds") opts.bid_rounds_per_slot = std::stoul(next());
         else if (flag == "--epsilon") opts.auction.bidding.epsilon = std::stod(next());
+        else if (flag == "--warm-rounds") opts.warm_start_rounds = true;
         else if (flag == "--csv") csv_path = next();
         else usage("unknown flag '" + flag + "'");
     }
 
+    if (!baseline::builtin_schedulers().contains(opts.scheduler))
+        usage("unknown scheduler '" + opts.scheduler + "' (try --list)");
     try {
         cfg.validate();
     } catch (const contract_violation& broken) {

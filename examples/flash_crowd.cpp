@@ -29,7 +29,7 @@ int main() {
 
     vod::emulator_options opts;
     opts.config = cfg;
-    opts.algo = vod::algorithm::auction;
+    opts.scheduler = "auction";
     vod::emulator emu(opts);
 
     metrics::table t({"slot_start_s", "viewers", "requests", "transfers",

@@ -32,8 +32,7 @@ int main() {
 
             vod::emulator_options opts;
             opts.config = cfg;
-            opts.algo = use_auction ? vod::algorithm::auction
-                                    : vod::algorithm::simple_locality;
+            opts.scheduler = use_auction ? "auction" : "simple-locality";
             vod::emulator emu(opts);
             emu.run();
             t.add_row({metrics::format_double(inter_mean, 1),

@@ -19,7 +19,7 @@ int main() {
 
     vod::emulator_options opts;
     opts.config = cfg;
-    opts.algo = vod::algorithm::auction;
+    opts.scheduler = "auction";
 
     std::cout << "P2P VoD emulation: " << cfg.num_videos << " videos ("
               << cfg.chunks_per_video() << " chunks of " << cfg.chunk_size_kb

@@ -1,39 +1,33 @@
 #include "baseline/greedy_welfare.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace p2pcd::baseline {
 
-core::schedule greedy_welfare_scheduler::solve(const core::scheduling_problem& problem) {
-    struct edge {
-        std::size_t request;
-        std::size_t candidate;
-        std::size_t uploader;
-        double profit;
-    };
-    std::vector<edge> edges;
-    edges.reserve(problem.num_candidates());
+core::schedule greedy_welfare_scheduler::solve(const core::problem_view& problem) {
+    edges_.clear();
+    edges_.reserve(problem.num_candidates());
     for (std::size_t r = 0; r < problem.num_requests(); ++r) {
-        const auto& cands = problem.candidates(r);
+        const auto cands = problem.candidates(r);
+        const double v = problem.request(r).valuation;
         for (std::size_t i = 0; i < cands.size(); ++i) {
-            double profit = problem.request(r).valuation - cands[i].cost;
-            if (profit > 0.0) edges.push_back({r, i, cands[i].uploader, profit});
+            double profit = v - cands[i].cost;
+            if (profit > 0.0) edges_.push_back({r, i, cands[i].uploader, profit});
         }
     }
-    std::stable_sort(edges.begin(), edges.end(),
+    std::stable_sort(edges_.begin(), edges_.end(),
                      [](const edge& a, const edge& b) { return a.profit > b.profit; });
 
     core::schedule sched;
     sched.choice.assign(problem.num_requests(), core::no_candidate);
-    std::vector<std::int64_t> remaining(problem.num_uploaders());
+    remaining_.assign(problem.num_uploaders(), 0);
     for (std::size_t u = 0; u < problem.num_uploaders(); ++u)
-        remaining[u] = problem.uploader(u).capacity;
+        remaining_[u] = problem.uploader(u).capacity;
 
-    for (const auto& e : edges) {
+    for (const auto& e : edges_) {
         if (sched.choice[e.request] != core::no_candidate) continue;
-        if (remaining[e.uploader] <= 0) continue;
-        --remaining[e.uploader];
+        if (remaining_[e.uploader] <= 0) continue;
+        --remaining_[e.uploader];
         sched.choice[e.request] = static_cast<std::ptrdiff_t>(e.candidate);
     }
     return sched;

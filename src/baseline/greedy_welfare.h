@@ -6,14 +6,27 @@
 #ifndef P2PCD_BASELINE_GREEDY_WELFARE_H
 #define P2PCD_BASELINE_GREEDY_WELFARE_H
 
+#include <vector>
+
 #include "core/problem.h"
 
 namespace p2pcd::baseline {
 
 class greedy_welfare_scheduler final : public core::scheduler {
 public:
-    [[nodiscard]] core::schedule solve(const core::scheduling_problem& problem) override;
+    [[nodiscard]] core::schedule solve(const core::problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "greedy-welfare"; }
+
+private:
+    struct edge {
+        std::size_t request;
+        std::size_t candidate;
+        std::size_t uploader;
+        double profit;
+    };
+    // Persistent workspaces (see core::scheduler contract).
+    std::vector<edge> edges_;
+    std::vector<std::int64_t> remaining_;
 };
 
 }  // namespace p2pcd::baseline

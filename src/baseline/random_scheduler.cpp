@@ -2,62 +2,63 @@
 
 #include <algorithm>
 #include <numeric>
-#include <vector>
 
 namespace p2pcd::baseline {
 
 random_scheduler::random_scheduler(std::uint64_t seed, std::size_t max_rounds)
     : rng_(seed), max_rounds_(max_rounds) {}
 
-core::schedule random_scheduler::solve(const core::scheduling_problem& problem) {
+void random_scheduler::reseed(std::uint64_t seed) { rng_ = sim::rng_stream(seed); }
+
+core::schedule random_scheduler::solve(const core::problem_view& problem) {
     const std::size_t nr = problem.num_requests();
     const std::size_t nu = problem.num_uploaders();
 
     core::schedule sched;
     sched.choice.assign(nr, core::no_candidate);
 
-    std::vector<std::int64_t> remaining(nu);
-    for (std::size_t u = 0; u < nu; ++u) remaining[u] = problem.uploader(u).capacity;
+    remaining_.assign(nu, 0);
+    for (std::size_t u = 0; u < nu; ++u) remaining_[u] = problem.uploader(u).capacity;
 
-    // Random visiting order per request (sampling without replacement).
-    std::vector<std::vector<std::size_t>> order(nr);
-    std::vector<std::size_t> cursor(nr, 0);
+    // Random visiting order per request (sampling without replacement),
+    // flat in CSR order.
+    order_.resize(problem.num_candidates());
+    cursor_.assign(nr, 0);
     for (std::size_t r = 0; r < nr; ++r) {
-        order[r].resize(problem.candidates(r).size());
-        std::iota(order[r].begin(), order[r].end(), std::size_t{0});
-        std::shuffle(order[r].begin(), order[r].end(), rng_.engine());
+        const std::size_t base = problem.candidate_offset(r);
+        auto begin = order_.begin() + static_cast<std::ptrdiff_t>(base);
+        auto end = begin + static_cast<std::ptrdiff_t>(problem.candidates(r).size());
+        std::iota(begin, end, std::size_t{0});
+        std::shuffle(begin, end, rng_.engine());
     }
 
-    struct knock {
-        std::size_t request;
-        std::size_t candidate;
-        double valuation;
-    };
+    if (inbox_.size() < nu) inbox_.resize(nu);
 
     for (std::size_t round = 0; round < max_rounds_; ++round) {
-        std::vector<std::vector<knock>> inbox(nu);
+        for (std::size_t u = 0; u < nu; ++u) inbox_[u].clear();
         bool any = false;
         for (std::size_t r = 0; r < nr; ++r) {
             if (sched.choice[r] != core::no_candidate) continue;
-            if (cursor[r] >= order[r].size()) continue;
-            std::size_t ci = order[r][cursor[r]];
-            inbox[problem.candidates(r)[ci].uploader].push_back(
+            const auto cands = problem.candidates(r);
+            if (cursor_[r] >= cands.size()) continue;
+            std::size_t ci = order_[problem.candidate_offset(r) + cursor_[r]];
+            inbox_[cands[ci].uploader].push_back(
                 {r, ci, problem.request(r).valuation});
             any = true;
         }
         if (!any) break;
         for (std::size_t u = 0; u < nu; ++u) {
-            auto& knocks = inbox[u];
+            auto& knocks = inbox_[u];
             std::stable_sort(knocks.begin(), knocks.end(),
                              [](const knock& a, const knock& b) {
                                  return a.valuation > b.valuation;
                              });
             for (const auto& k : knocks) {
-                if (remaining[u] > 0) {
-                    --remaining[u];
+                if (remaining_[u] > 0) {
+                    --remaining_[u];
                     sched.choice[k.request] = static_cast<std::ptrdiff_t>(k.candidate);
                 } else {
-                    ++cursor[k.request];
+                    ++cursor_[k.request];
                 }
             }
         }

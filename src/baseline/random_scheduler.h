@@ -7,6 +7,7 @@
 #define P2PCD_BASELINE_RANDOM_SCHEDULER_H
 
 #include <cstdint>
+#include <vector>
 
 #include "core/problem.h"
 #include "sim/rng.h"
@@ -17,12 +18,29 @@ class random_scheduler final : public core::scheduler {
 public:
     explicit random_scheduler(std::uint64_t seed, std::size_t max_rounds = 3);
 
-    [[nodiscard]] core::schedule solve(const core::scheduling_problem& problem) override;
+    [[nodiscard]] core::schedule solve(const core::problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "random"; }
 
+    // Re-keys the visiting-order RNG. The emulator calls this once per
+    // bidding round with a seed derived from (slot, round) via
+    // sim::rng_factory, so rounds are independent and reproducible.
+    void reseed(std::uint64_t seed) override;
+
 private:
+    struct knock {
+        std::size_t request;
+        std::size_t candidate;
+        double valuation;
+    };
+
     sim::rng_stream rng_;
     std::size_t max_rounds_;
+    // Persistent workspaces (see core::scheduler contract). `order_` is the
+    // per-request shuffled candidate ordinals, flat in CSR order.
+    std::vector<std::size_t> order_;
+    std::vector<std::size_t> cursor_;
+    std::vector<std::vector<knock>> inbox_;
+    std::vector<std::int64_t> remaining_;
 };
 
 }  // namespace p2pcd::baseline

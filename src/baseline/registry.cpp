@@ -1,0 +1,34 @@
+#include "baseline/registry.h"
+
+#include <memory>
+
+#include "baseline/greedy_welfare.h"
+#include "baseline/random_scheduler.h"
+#include "baseline/simple_locality.h"
+
+namespace p2pcd::baseline {
+
+void register_baseline_schedulers(core::scheduler_registry& registry) {
+    registry.add("simple-locality", [](const core::scheduler_params& params) {
+        return std::make_unique<simple_locality_scheduler>(
+            locality_options{.max_rounds = params.locality_max_rounds});
+    });
+    registry.add("greedy-welfare", [](const core::scheduler_params&) {
+        return std::make_unique<greedy_welfare_scheduler>();
+    });
+    registry.add("random", [](const core::scheduler_params& params) {
+        return std::make_unique<random_scheduler>(params.seed);
+    });
+}
+
+const core::scheduler_registry& builtin_schedulers() {
+    static const core::scheduler_registry registry = [] {
+        core::scheduler_registry r;
+        core::register_core_schedulers(r);
+        register_baseline_schedulers(r);
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace p2pcd::baseline

@@ -1,0 +1,22 @@
+// Registration of the comparison baselines plus the fully-populated built-in
+// scheduler registry (core algorithms + baselines). This lives in `baseline`
+// because it is the highest pure-solver module that sees both sides; anything
+// that links the umbrella target can call it.
+#ifndef P2PCD_BASELINE_REGISTRY_H
+#define P2PCD_BASELINE_REGISTRY_H
+
+#include "core/scheduler_registry.h"
+
+namespace p2pcd::baseline {
+
+// Registers "simple-locality", "greedy-welfare" and "random".
+void register_baseline_schedulers(core::scheduler_registry& registry);
+
+// The registry every dispatcher defaults to: "auction", "exact",
+// "simple-locality", "greedy-welfare", "random". One immutable instance —
+// copy it and add() to extend with custom algorithms.
+[[nodiscard]] const core::scheduler_registry& builtin_schedulers();
+
+}  // namespace p2pcd::baseline
+
+#endif  // P2PCD_BASELINE_REGISTRY_H

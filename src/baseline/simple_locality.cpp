@@ -2,71 +2,68 @@
 
 #include <algorithm>
 #include <numeric>
-#include <vector>
 
 namespace p2pcd::baseline {
 
 simple_locality_scheduler::simple_locality_scheduler(locality_options options)
     : options_(options) {}
 
-core::schedule simple_locality_scheduler::solve(const core::scheduling_problem& problem) {
+core::schedule simple_locality_scheduler::solve(const core::problem_view& problem) {
     const std::size_t nr = problem.num_requests();
     const std::size_t nu = problem.num_uploaders();
 
     core::schedule sched;
     sched.choice.assign(nr, core::no_candidate);
 
-    std::vector<std::int64_t> remaining(nu);
-    for (std::size_t u = 0; u < nu; ++u) remaining[u] = problem.uploader(u).capacity;
+    remaining_.assign(nu, 0);
+    for (std::size_t u = 0; u < nu; ++u) remaining_[u] = problem.uploader(u).capacity;
 
-    // Per request: candidate ordinals sorted by ascending network cost, and a
-    // cursor to the next one to try.
-    std::vector<std::vector<std::size_t>> by_cost(nr);
-    std::vector<std::size_t> cursor(nr, 0);
+    // Per request: candidate ordinals sorted by ascending network cost (flat,
+    // CSR-aligned), and a cursor to the next one to try.
+    by_cost_.resize(problem.num_candidates());
+    cursor_.assign(nr, 0);
     for (std::size_t r = 0; r < nr; ++r) {
-        const auto& cands = problem.candidates(r);
-        by_cost[r].resize(cands.size());
-        std::iota(by_cost[r].begin(), by_cost[r].end(), std::size_t{0});
-        std::stable_sort(by_cost[r].begin(), by_cost[r].end(),
-                         [&](std::size_t a, std::size_t b) {
-                             return cands[a].cost < cands[b].cost;
-                         });
+        const auto cands = problem.candidates(r);
+        const std::size_t base = problem.candidate_offset(r);
+        auto begin = by_cost_.begin() + static_cast<std::ptrdiff_t>(base);
+        auto end = begin + static_cast<std::ptrdiff_t>(cands.size());
+        std::iota(begin, end, std::size_t{0});
+        std::stable_sort(begin, end, [&](std::size_t a, std::size_t b) {
+            return cands[a].cost < cands[b].cost;
+        });
     }
 
-    struct knock {
-        std::size_t request;
-        std::size_t candidate;  // ordinal within the request's candidate list
-        double valuation;
-    };
+    if (inbox_.size() < nu) inbox_.resize(nu);
 
     for (std::size_t round = 0; round < options_.max_rounds; ++round) {
         // Every unserved request knocks at its next cheapest candidate.
-        std::vector<std::vector<knock>> inbox(nu);
+        for (std::size_t u = 0; u < nu; ++u) inbox_[u].clear();
         bool any = false;
         for (std::size_t r = 0; r < nr; ++r) {
             if (sched.choice[r] != core::no_candidate) continue;
-            if (cursor[r] >= by_cost[r].size()) continue;  // out of neighbors
-            std::size_t ci = by_cost[r][cursor[r]];
-            std::size_t u = problem.candidates(r)[ci].uploader;
-            inbox[u].push_back({r, ci, problem.request(r).valuation});
+            const auto cands = problem.candidates(r);
+            if (cursor_[r] >= cands.size()) continue;  // out of neighbors
+            std::size_t ci = by_cost_[problem.candidate_offset(r) + cursor_[r]];
+            std::size_t u = cands[ci].uploader;
+            inbox_[u].push_back({r, ci, problem.request(r).valuation});
             any = true;
         }
         if (!any) break;
 
         // Uploaders grant remaining capacity to the most urgent chunks first.
         for (std::size_t u = 0; u < nu; ++u) {
-            auto& knocks = inbox[u];
+            auto& knocks = inbox_[u];
             if (knocks.empty()) continue;
             std::stable_sort(knocks.begin(), knocks.end(),
                              [](const knock& a, const knock& b) {
                                  return a.valuation > b.valuation;
                              });
             for (const auto& k : knocks) {
-                if (remaining[u] > 0) {
-                    --remaining[u];
+                if (remaining_[u] > 0) {
+                    --remaining_[u];
                     sched.choice[k.request] = static_cast<std::ptrdiff_t>(k.candidate);
                 } else {
-                    ++cursor[k.request];  // rejected: try the next cheapest
+                    ++cursor_[k.request];  // rejected: try the next cheapest
                 }
             }
         }

@@ -16,6 +16,8 @@
 #ifndef P2PCD_BASELINE_SIMPLE_LOCALITY_H
 #define P2PCD_BASELINE_SIMPLE_LOCALITY_H
 
+#include <vector>
+
 #include "core/problem.h"
 
 namespace p2pcd::baseline {
@@ -31,11 +33,23 @@ class simple_locality_scheduler final : public core::scheduler {
 public:
     explicit simple_locality_scheduler(locality_options options = {});
 
-    [[nodiscard]] core::schedule solve(const core::scheduling_problem& problem) override;
+    [[nodiscard]] core::schedule solve(const core::problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "simple-locality"; }
 
 private:
+    struct knock {
+        std::size_t request;
+        std::size_t candidate;  // ordinal within the request's candidate list
+        double valuation;
+    };
+
     locality_options options_;
+    // Persistent workspaces (see core::scheduler contract). `by_cost_` is the
+    // per-request cost-sorted candidate ordinals, flat in CSR order.
+    std::vector<std::size_t> by_cost_;
+    std::vector<std::size_t> cursor_;
+    std::vector<std::vector<knock>> inbox_;
+    std::vector<std::int64_t> remaining_;
 };
 
 }  // namespace p2pcd::baseline

@@ -1,10 +1,8 @@
 #include "core/auction.h"
 
-#include <deque>
-#include <limits>
+#include <algorithm>
 
 #include "common/contracts.h"
-#include "core/auctioneer.h"
 
 namespace p2pcd::core {
 
@@ -22,72 +20,87 @@ auction_solver::auction_solver(auction_options options) : options_(options) {
     }
 }
 
-namespace {
-
-// One complete Gauss-Seidel auction at a fixed ε, warm-started from
-// `initial_prices` (all zero on the first/only phase). Returns per-seller
-// final prices through the same vector.
-void run_phase(const scheduling_problem& problem, const auction_options& options,
-               double epsilon, std::vector<double>& initial_prices,
-               auction_result& result) {
+// One complete Gauss-Seidel auction at a fixed ε, warm-started from `prices`
+// (all zero on a cold first/only phase). Returns per-seller final prices
+// through the same vector. With `fill_flat_arrays` set (first phase of a
+// solve), the fresh sweep populates the dense v − w / uploader arrays from
+// the AoS candidates as it first touches each row — one pass instead of two.
+void auction_solver::run_phase(const problem_view& problem, double epsilon,
+                               std::vector<double>& prices, auction_result& result,
+                               bool fill_flat_arrays) {
     const std::size_t nr = problem.num_requests();
     const std::size_t nu = problem.num_uploaders();
+    const auto uploaders = problem.all_uploaders();
 
-    bidder_options bidding = options.bidding;
+    bidder_options bidding = options_.bidding;
     bidding.epsilon = epsilon;
 
     result.sched.choice.assign(nr, no_candidate);
 
-    std::vector<auctioneer> sellers;
-    sellers.reserve(nu);
-    for (std::size_t u = 0; u < nu; ++u)
-        sellers.emplace_back(problem.uploader(u).capacity, initial_prices[u]);
+    sellers_.resize(nu);
+    price_cache_.resize(nu);
+    for (std::size_t u = 0; u < nu; ++u) {
+        sellers_[u].reset(uploaders[u].capacity, prices[u]);
+        price_cache_[u] = sellers_[u].price();  // +inf for zero capacity
+    }
 
-    // Bidding queue plus the parked list for the literal policy: a parked
-    // request wakes up only when some price has changed since it parked.
-    std::deque<std::size_t> open;
-    for (std::size_t r = 0; r < nr; ++r) open.push_back(r);
-    struct parked_entry {
-        std::size_t request;
-        std::uint64_t price_version;
-    };
-    std::vector<parked_entry> parked;
+    // Requests 0..nr-1 are implicitly queued first (the fresh sweep); the
+    // explicit queue only carries evicted losers and woken parked bidders,
+    // which FIFO-follow the sweep exactly as if everything had been pushed.
+    queue_.clear();
+    std::size_t queue_head = 0;
+    std::size_t next_fresh = 0;
+    parked_.clear();
     std::uint64_t price_version = 0;
 
-    std::vector<double> net_values;
-    std::vector<double> prices;
     std::uint64_t iterations = 0;
 
+    // Raw CSR arrays for the hot loop — no per-iteration bounds checks.
+    const std::size_t* offsets = problem.offsets().data();
+    const candidate_info* all_cands = problem.all_candidates().data();
+    const request_info* all_requests = problem.all_requests().data();
+    std::uint32_t* uploader_of = uploader_of_candidate_.data();
+    double* net_values = net_values_.data();
+    const double* price_cache = price_cache_.data();
+
     while (true) {
-        if (open.empty()) {
-            // Wake parked bidders that have seen a price change.
-            std::vector<parked_entry> still_parked;
-            for (const auto& p : parked) {
-                if (p.price_version < price_version) open.push_back(p.request);
-                else still_parked.push_back(p);
+        std::size_t r;
+        if (next_fresh < nr) {
+            r = next_fresh++;
+            if (fill_flat_arrays) {
+                const double v = all_requests[r].valuation;
+                for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+                    net_values[k] = v - all_cands[k].cost;
+                    uploader_of[k] = static_cast<std::uint32_t>(all_cands[k].uploader);
+                }
             }
-            parked = std::move(still_parked);
-            if (open.empty()) break;  // converged: nobody wishes to bid again
+        } else {
+            if (queue_head == queue_.size()) {
+                // Wake parked bidders that have seen a price change.
+                std::size_t kept = 0;
+                for (const auto& p : parked_) {
+                    if (p.price_version < price_version) queue_.push_back(p.request);
+                    else parked_[kept++] = p;
+                }
+                parked_.resize(kept);
+                if (queue_head == queue_.size()) break;  // converged: no more bids
+            }
+            r = queue_[queue_head++];
         }
-        ensures(iterations < options.max_bid_iterations,
+        ensures(iterations < options_.max_bid_iterations,
                 "auction exceeded its bid-iteration budget");
         ++iterations;
-
-        std::size_t r = open.front();
-        open.pop_front();
-        const auto& cands = problem.candidates(r);
-        if (cands.empty()) {
+        const std::size_t base = offsets[r];
+        const std::size_t n_cands = offsets[r + 1] - base;
+        if (n_cands == 0) {
             ++result.abstentions;
             continue;
         }
 
-        net_values.clear();
-        prices.clear();
-        for (const auto& c : cands) {
-            net_values.push_back(problem.request(r).valuation - c.cost);
-            prices.push_back(sellers[c.uploader].price());
-        }
-        bid_decision decision = compute_bid(net_values, prices, bidding);
+        const std::uint32_t* cand_uploader = uploader_of + base;
+        bid_decision decision = compute_bid_with(
+            n_cands, net_values + base,
+            [&](std::size_t i) { return price_cache[cand_uploader[i]]; }, bidding);
 
         switch (decision.action) {
             case bid_action::abstain:
@@ -95,12 +108,12 @@ void run_phase(const scheduling_problem& problem, const auction_options& options
                 ++result.abstentions;
                 break;
             case bid_action::park:
-                parked.push_back({r, price_version});
+                parked_.push_back({r, price_version});
                 break;
             case bid_action::submit: {
                 ++result.bids_submitted;
-                std::size_t u = cands[decision.candidate].uploader;
-                auto outcome = sellers[u].offer(r, decision.amount);
+                std::size_t u = cand_uploader[decision.candidate];
+                auto outcome = sellers_[u].offer(r, decision.amount);
                 // Against current prices a submitted bid always clears λ_u.
                 ensures(outcome.accepted, "synchronous bid must be accepted");
                 result.sched.choice[r] = static_cast<std::ptrdiff_t>(decision.candidate);
@@ -108,25 +121,42 @@ void run_phase(const scheduling_problem& problem, const auction_options& options
                     ++result.evictions;
                     std::size_t loser = *outcome.evicted;
                     result.sched.choice[loser] = no_candidate;
-                    open.push_back(loser);
+                    queue_.push_back(loser);
                 }
-                if (outcome.price_changed) ++price_version;
+                if (outcome.price_changed) {
+                    price_cache_[u] = sellers_[u].price();
+                    ++price_version;
+                }
                 break;
             }
         }
     }
 
     result.converged = true;
-    result.parked_at_termination = parked.size();
+    result.parked_at_termination = parked_.size();
 
     for (std::size_t u = 0; u < nu; ++u)
-        if (problem.uploader(u).capacity > 0) initial_prices[u] = sellers[u].price();
+        if (uploaders[u].capacity > 0) prices[u] = sellers_[u].price();
 }
 
-}  // namespace
+auction_result auction_solver::run(const problem_view& problem) {
+    return run(problem, {});
+}
 
-auction_result auction_solver::run(const scheduling_problem& problem) const {
+auction_result auction_solver::run(const problem_view& problem,
+                                   std::span<const double> initial_prices) {
     const std::size_t nu = problem.num_uploaders();
+    const std::size_t nr = problem.num_requests();
+    expects(initial_prices.empty() || initial_prices.size() == nu,
+            "initial price vector must cover every uploader");
+
+    // v − w is invariant across the whole solve (and so is each candidate's
+    // uploader). The arrays are sized here and filled lazily by the first
+    // phase's fresh sweep, which touches every row anyway.
+    const auto cands = problem.all_candidates();
+    const std::size_t* offsets = problem.offsets().data();
+    net_values_.resize(cands.size());
+    uploader_of_candidate_.resize(cands.size());
 
     // The ε schedule: a single phase normally; a geometric descent from the
     // initial ε down to the target when scaling is on.
@@ -142,9 +172,11 @@ auction_result auction_solver::run(const scheduling_problem& problem) const {
 
     auction_result result;
     std::vector<double> prices(nu, 0.0);
+    if (!initial_prices.empty())
+        std::copy(initial_prices.begin(), initial_prices.end(), prices.begin());
     for (std::size_t k = 0; k < schedule.size(); ++k) {
         auction_result phase;
-        run_phase(problem, options_, schedule[k], prices, phase);
+        run_phase(problem, schedule[k], prices, phase, /*fill_flat_arrays=*/k == 0);
         // Counters accumulate across phases; the schedule of the last phase
         // is the answer.
         phase.bids_submitted += result.bids_submitted;
@@ -157,23 +189,42 @@ auction_result auction_solver::run(const scheduling_problem& problem) const {
         // quote a positive price, so its carried-over price falls back to 0.
         // Without this, coarse-phase prices strand cheap capacity for good.
         if (k + 1 < schedule.size()) {
-            std::vector<std::int64_t> used(nu, 0);
-            for (std::size_t r = 0; r < problem.num_requests(); ++r) {
+            used_scratch_.assign(nu, 0);
+            for (std::size_t r = 0; r < nr; ++r) {
                 std::ptrdiff_t c = result.sched.choice[r];
                 if (c != no_candidate)
-                    ++used[problem.candidates(r)[static_cast<std::size_t>(c)].uploader];
+                    ++used_scratch_[problem.candidates(r)[static_cast<std::size_t>(c)]
+                                        .uploader];
             }
             for (std::size_t u = 0; u < nu; ++u)
-                if (used[u] < problem.uploader(u).capacity) prices[u] = 0.0;
+                if (used_scratch_[u] < problem.uploader(u).capacity) prices[u] = 0.0;
         }
     }
 
     result.prices = std::move(prices);
-    result.request_utility = derive_request_utilities(problem, result.prices);
+    // Dual recovery. With zero-capacity uploaders present the general helper
+    // handles their price lift; the common all-positive case reuses the flat
+    // v − w array (identical arithmetic: (v − w) − λ in both paths).
+    bool any_zero_capacity = false;
+    for (std::size_t u = 0; u < nu && !any_zero_capacity; ++u)
+        any_zero_capacity = problem.uploader(u).capacity == 0;
+    if (any_zero_capacity) {
+        result.request_utility = derive_request_utilities(problem, result.prices);
+    } else {
+        result.request_utility.assign(nr, 0.0);
+        for (std::size_t r = 0; r < nr; ++r) {
+            double best = 0.0;
+            for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+                double margin = net_values_[k] - result.prices[cands[k].uploader];
+                if (margin > best) best = margin;
+            }
+            result.request_utility[r] = best;
+        }
+    }
     return result;
 }
 
-std::vector<double> derive_request_utilities(const scheduling_problem& problem,
+std::vector<double> derive_request_utilities(const problem_view& problem,
                                              std::vector<double>& prices) {
     expects(prices.size() == problem.num_uploaders(),
             "price vector must cover every uploader");
@@ -203,7 +254,7 @@ std::vector<double> derive_request_utilities(const scheduling_problem& problem,
     return utilities;
 }
 
-schedule auction_solver::solve(const scheduling_problem& problem) {
+schedule auction_solver::solve(const problem_view& problem) {
     return run(problem).sched;
 }
 

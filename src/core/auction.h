@@ -8,12 +8,20 @@
 //  * the schedule is primal feasible and the prices λ dual feasible;
 //  * welfare ≥ optimal − (#assigned)·ε — exactly optimal on integer-valued
 //    instances when ε < 1/(#requests).
+//
+// The solver is long-lived: auctioneer heaps, the bidding queue and the
+// flat net-value scratch persist across run()/solve() calls, so repeated
+// solves on similarly-sized problems allocate ~nothing. run() may also be
+// warm-started from a previous round's prices (Sec. IV-C's slot price cycle),
+// mirroring what vod::auction_runtime does with its `initial_prices`.
 #ifndef P2PCD_CORE_AUCTION_H
 #define P2PCD_CORE_AUCTION_H
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "core/auctioneer.h"
 #include "core/bidder.h"
 #include "core/problem.h"
 
@@ -58,21 +66,55 @@ struct auction_result {
 //  * returns η per request via the paper's closed form
 //    η_d = max(0, max_u v − w_u − λ_u).
 [[nodiscard]] std::vector<double> derive_request_utilities(
-    const scheduling_problem& problem, std::vector<double>& prices);
+    const problem_view& problem, std::vector<double>& prices);
 
 class auction_solver final : public scheduler {
 public:
     explicit auction_solver(auction_options options = {});
 
-    [[nodiscard]] auction_result run(const scheduling_problem& problem) const;
+    // Cold start: all prices begin at 0.
+    [[nodiscard]] auction_result run(const problem_view& problem);
 
-    [[nodiscard]] schedule solve(const scheduling_problem& problem) override;
+    // Warm start: λ_u begins at initial_prices[u] (must cover every uploader;
+    // empty = cold start). With ε-scaling enabled only the first phase is
+    // warm-started. The emulator threads a slot's prices through its bidding
+    // rounds this way when `warm_start_rounds` is on.
+    [[nodiscard]] auction_result run(const problem_view& problem,
+                                     std::span<const double> initial_prices);
+
+    [[nodiscard]] schedule solve(const problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "auction"; }
 
     [[nodiscard]] const auction_options& options() const noexcept { return options_; }
 
 private:
+    void run_phase(const problem_view& problem, double epsilon,
+                   std::vector<double>& prices, auction_result& result,
+                   bool fill_flat_arrays);
+
     auction_options options_;
+
+    // --- persistent workspaces (cleared/resized per solve, never shrunk) ---
+    std::vector<auctioneer> sellers_;
+    // FIFO bidding queue as a grow-only vector with a read head: total pushes
+    // per phase are bounded by initial requests + evictions + wake-ups.
+    std::vector<std::size_t> queue_;
+    struct parked_entry {
+        std::size_t request;
+        std::uint64_t price_version;
+    };
+    std::vector<parked_entry> parked_;
+    // v − w per candidate, flat in CSR order — invariant across one solve.
+    std::vector<double> net_values_;
+    // Uploader index per candidate, flat in CSR order, narrowed to 32 bits:
+    // the bid loop's gather only needs the index, and the narrow copy halves
+    // its cache traffic relative to re-reading candidate_info.
+    std::vector<std::uint32_t> uploader_of_candidate_;
+    // λ per uploader, mirrored out of the auctioneers into one dense array
+    // (+inf for zero capacity): the per-bid gather reads this, not the
+    // auctioneer objects.
+    std::vector<double> price_cache_;
+    std::vector<std::int64_t> used_scratch_;  // ε-scaling inter-phase repair
 };
 
 }  // namespace p2pcd::core

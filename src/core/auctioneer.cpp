@@ -1,70 +1,44 @@
 #include "core/auctioneer.h"
 
-#include <limits>
+#include <algorithm>
 
 #include "common/contracts.h"
 
 namespace p2pcd::core {
 
-auctioneer::auctioneer(std::int32_t capacity, double initial_price)
-    : capacity_(capacity), price_(initial_price) {
+auctioneer::auctioneer(std::int32_t capacity, double initial_price) {
+    reset(capacity, initial_price);
+}
+
+void auctioneer::reset(std::int32_t capacity, double initial_price) {
     expects(capacity >= 0, "auctioneer capacity must be non-negative");
     expects(initial_price >= 0.0, "initial price must be non-negative");
-}
-
-double auctioneer::price() const noexcept {
-    if (capacity_ == 0) return std::numeric_limits<double>::infinity();
-    return price_;
-}
-
-auctioneer::outcome auctioneer::offer(std::size_t request, double amount) {
-    outcome result;
-    if (capacity_ == 0) return result;  // nothing to sell; reject
-    if (amount <= price_) return result;  // "if b(d,c,u) <= λ_u, reject"
-
-    if (full()) {
-        // Evict the lowest bid to make room for the higher one.
-        result.evicted = set_.top().request;
-        set_.pop();
-    }
-    set_.push({amount, next_seq_++, request});
-    result.accepted = true;
-
-    if (full()) {
-        // "update λ_u to the smallest bid among all requests in A"
-        double new_price = set_.top().amount;
-        ensures(new_price >= price_,
-                "bandwidth price must be non-decreasing during an auction");
-        if (new_price != price_) {
-            price_ = new_price;
-            result.price_changed = true;
-        }
-    }
-    return result;
+    capacity_ = capacity;
+    price_ = initial_price;
+    next_seq_ = 0;
+    set_.clear();
 }
 
 bool auctioneer::remove(std::size_t request) {
-    std::vector<entry> kept;
-    kept.reserve(set_.size());
-    bool found = false;
-    while (!set_.empty()) {
-        if (!found && set_.top().request == request) found = true;
-        else kept.push_back(set_.top());
-        set_.pop();
-    }
-    for (auto& e : kept) set_.push(std::move(e));
-    if (found && !full()) price_ = 0.0;  // unsold units sell at the initial price
-    return found;
+    auto it = std::find_if(set_.begin(), set_.end(),
+                           [&](const entry& e) { return e.request == request; });
+    if (it == set_.end()) return false;
+    set_.erase(it);
+    std::make_heap(set_.begin(), set_.end(), greater_entry{});
+    if (!full()) price_ = 0.0;  // unsold units sell at the initial price
+    return true;
 }
 
 std::vector<auctioneer::held_bid> auctioneer::assignment_set() const {
-    auto copy = set_;
     std::vector<held_bid> held;
-    held.reserve(copy.size());
-    while (!copy.empty()) {
-        held.push_back({copy.top().request, copy.top().amount});
-        copy.pop();
-    }
+    held.reserve(set_.size());
+    // Ascending (amount, seq) — the order the old priority_queue drain gave.
+    auto sorted = set_;
+    std::sort(sorted.begin(), sorted.end(), [](const entry& a, const entry& b) {
+        if (a.amount != b.amount) return a.amount < b.amount;
+        return a.seq < b.seq;
+    });
+    for (const auto& e : sorted) held.push_back({e.request, e.amount});
     return held;
 }
 

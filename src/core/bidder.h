@@ -14,7 +14,10 @@
 #define P2PCD_CORE_BIDDER_H
 
 #include <cstddef>
+#include <limits>
 #include <span>
+
+#include "common/contracts.h"
 
 namespace p2pcd::core {
 
@@ -45,11 +48,73 @@ struct bid_decision {
     double second_margin = 0.0;  // φ̂ (includes the outside option 0)
 };
 
-// `net_values[i]` = v − w for candidate i; `prices[i]` = λ of candidate i's
-// uploader (+inf marks an uploader that cannot sell, e.g. zero capacity).
-[[nodiscard]] bid_decision compute_bid(std::span<const double> net_values,
-                                       std::span<const double> prices,
-                                       const bidder_options& options);
+// Core of the bidding rule over `n` candidates: `net_values[i]` = v − w for
+// candidate i, `price_at(i)` = λ of candidate i's uploader (+inf marks an
+// uploader that cannot sell, e.g. zero capacity). Templated on the price
+// accessor so the synchronous solver can gather prices straight out of its
+// dense per-uploader cache — this is the innermost operation of every
+// auction, called once per bid iteration, and must stay inline.
+template <typename PriceAt>
+[[nodiscard]] inline bid_decision compute_bid_with(std::size_t n,
+                                                   const double* net_values,
+                                                   PriceAt&& price_at,
+                                                   const bidder_options& options) {
+    bid_decision decision;
+
+    constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+    double best = neg_inf;
+    double second = neg_inf;
+    std::size_t best_index = SIZE_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+        double margin = net_values[i] - price_at(i);
+        if (margin > best) {
+            second = best;
+            best = margin;
+            best_index = i;
+        } else if (margin > second) {
+            second = margin;
+        }
+    }
+
+    // The outside option (remain unserved, utility 0) competes as the "null
+    // object": it caps how much of its margin the bidder is willing to give up.
+    if (second < 0.0) second = 0.0;
+
+    if (best_index == SIZE_MAX || best < 0.0) {
+        decision.action = bid_action::abstain;
+        return decision;
+    }
+    decision.candidate = best_index;
+    decision.best_margin = best;
+    decision.second_margin = second;
+
+    double increment = best - second;
+    if (options.policy == bid_policy::epsilon) {
+        decision.action = bid_action::submit;
+        decision.amount = price_at(best_index) + increment + options.epsilon;
+        return decision;
+    }
+    // Paper-literal: b = λ_{u*} + φ* − φ̂; when the increment is zero the bid
+    // would equal the standing price and lose, so the bidder parks.
+    if (increment <= 0.0) {
+        decision.action = bid_action::park;
+        return decision;
+    }
+    decision.action = bid_action::submit;
+    decision.amount = price_at(best_index) + increment;
+    return decision;
+}
+
+// Span form used by the distributed runtime and the unit tests.
+[[nodiscard]] inline bid_decision compute_bid(std::span<const double> net_values,
+                                              std::span<const double> prices,
+                                              const bidder_options& options) {
+    expects(net_values.size() == prices.size(),
+            "net value and price arrays must be parallel");
+    return compute_bid_with(
+        net_values.size(), net_values.data(),
+        [&](std::size_t i) { return prices[i]; }, options);
+}
 
 }  // namespace p2pcd::core
 

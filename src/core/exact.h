@@ -1,9 +1,13 @@
-// Centralized exact scheduler: solves problem (1) to optimality through the
-// transportation solver (min-cost max-flow). This is the reference the test
-// suite holds the auction against (Theorem 1), and the "offline optimum"
-// series in the ablation benches. It is not a practical P2P protocol — it
-// needs global knowledge — which is precisely why the paper wants the
-// distributed auction to match it.
+// Centralized exact scheduler: solves problem (1) to optimality via min-cost
+// max-flow. This is the reference the test suite holds the auction against
+// (Theorem 1), and the "offline optimum" series in the ablation benches. It
+// is not a practical P2P protocol — it needs global knowledge — which is
+// precisely why the paper wants the distributed auction to match it.
+//
+// The flow network is built directly off the CSR `problem_view` (flat
+// candidate k of the view is edge k of the network), skipping the
+// transportation_instance/edge_origins copy pair the old path materialized.
+// opt/transportation keeps those reference solvers for the LP-level tests.
 #ifndef P2PCD_CORE_EXACT_H
 #define P2PCD_CORE_EXACT_H
 
@@ -22,9 +26,9 @@ struct exact_result {
 
 class exact_scheduler final : public scheduler {
 public:
-    [[nodiscard]] exact_result run(const scheduling_problem& problem) const;
+    [[nodiscard]] exact_result run(const problem_view& problem) const;
 
-    [[nodiscard]] schedule solve(const scheduling_problem& problem) override;
+    [[nodiscard]] schedule solve(const problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "exact"; }
 };
 

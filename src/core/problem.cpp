@@ -1,5 +1,7 @@
 #include "core/problem.h"
 
+#include <algorithm>
+
 #include "common/contracts.h"
 
 namespace p2pcd::core {
@@ -13,7 +15,7 @@ std::size_t scheduling_problem::add_uploader(peer_id who, std::int32_t capacity)
 std::size_t scheduling_problem::add_request(peer_id downstream, chunk_id chunk,
                                             double valuation) {
     requests_.push_back({downstream, chunk, valuation});
-    candidates_.emplace_back();
+    offsets_.push_back(candidates_.size());
     return requests_.size() - 1;
 }
 
@@ -21,8 +23,34 @@ void scheduling_problem::add_candidate(std::size_t request, std::size_t uploader
                                        double cost) {
     expects(request < requests_.size(), "candidate for unknown request");
     expects(uploader < uploaders_.size(), "candidate references unknown uploader");
-    candidates_[request].push_back({uploader, cost});
-    ++total_candidates_;
+    if (request + 1 == requests_.size()) {
+        // Append to the open (last) row — the builder's fast path.
+        candidates_.push_back({uploader, cost});
+        ++offsets_.back();
+    } else {
+        // Insert at the end of row `request`, shifting the CSR tail: every
+        // row boundary after it moves up by one.
+        candidates_.insert(
+            candidates_.begin() + static_cast<std::ptrdiff_t>(offsets_[request + 1]),
+            {uploader, cost});
+        for (std::size_t j = request + 1; j <= requests_.size(); ++j) ++offsets_[j];
+    }
+}
+
+void scheduling_problem::clear() noexcept {
+    uploaders_.clear();
+    requests_.clear();
+    candidates_.clear();
+    offsets_.clear();
+    offsets_.push_back(0);
+}
+
+void scheduling_problem::reserve(std::size_t uploaders, std::size_t requests,
+                                 std::size_t candidates) {
+    uploaders_.reserve(uploaders);
+    requests_.reserve(requests);
+    offsets_.reserve(requests + 1);
+    candidates_.reserve(candidates);
 }
 
 const uploader_info& scheduling_problem::uploader(std::size_t u) const {
@@ -35,13 +63,13 @@ const request_info& scheduling_problem::request(std::size_t r) const {
     return requests_[r];
 }
 
-const std::vector<candidate_info>& scheduling_problem::candidates(std::size_t r) const {
-    expects(r < candidates_.size(), "request index out of range");
-    return candidates_[r];
+std::span<const candidate_info> scheduling_problem::candidates(std::size_t r) const {
+    expects(r < requests_.size(), "request index out of range");
+    return {candidates_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
 }
 
 double scheduling_problem::net_value(std::size_t r, std::size_t i) const {
-    const auto& cands = candidates(r);
+    auto cands = candidates(r);
     expects(i < cands.size(), "candidate ordinal out of range");
     return requests_[r].valuation - cands[i].cost;
 }
@@ -51,9 +79,9 @@ opt::transportation_instance scheduling_problem::to_transportation() const {
     instance.num_sources = requests_.size();
     instance.sink_capacity.reserve(uploaders_.size());
     for (const auto& u : uploaders_) instance.sink_capacity.push_back(u.capacity);
-    instance.edges.reserve(total_candidates_);
+    instance.edges.reserve(candidates_.size());
     for (std::size_t r = 0; r < requests_.size(); ++r)
-        for (const auto& cand : candidates_[r])
+        for (const auto& cand : candidates(r))
             instance.edges.push_back(
                 {r, cand.uploader, requests_[r].valuation - cand.cost});
     return instance;
@@ -62,9 +90,10 @@ opt::transportation_instance scheduling_problem::to_transportation() const {
 std::vector<scheduling_problem::edge_origin_entry> scheduling_problem::edge_origins()
     const {
     std::vector<edge_origin_entry> origins;
-    origins.reserve(total_candidates_);
+    origins.reserve(candidates_.size());
     for (std::size_t r = 0; r < requests_.size(); ++r)
-        for (std::size_t i = 0; i < candidates_[r].size(); ++i) origins.push_back({r, i});
+        for (std::size_t i = 0; i < offsets_[r + 1] - offsets_[r]; ++i)
+            origins.push_back({r, i});
     return origins;
 }
 

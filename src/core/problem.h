@@ -7,15 +7,23 @@
 //  * candidates: for each request, the neighbors that cache chunk c, each with
 //    the network cost w_{u→d}.
 //
+// Storage is CSR (compressed sparse row): one contiguous candidate array with
+// per-request offsets, so a full sweep over a round's candidates is a single
+// linear scan. `scheduling_problem` is the incremental builder (reusable via
+// `clear()`, so the emulator keeps one arena across rounds); `problem_view`
+// is the flat read-only window every solver consumes.
+//
 // A `schedule` is the binary decision a^{(c)}_{u→d}: for each request, either
 // one of its candidates or `no_candidate` (request unserved this slot).
 #ifndef P2PCD_CORE_PROBLEM_H
 #define P2PCD_CORE_PROBLEM_H
 
 #include <cstdint>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/ids.h"
 #include "opt/transportation.h"
 
@@ -37,29 +45,120 @@ struct candidate_info {
     double cost = 0.0;         // w_{u→d}
 };
 
+// Trivially-copyable read-only window over one problem in CSR layout:
+// request r owns candidates [offsets[r], offsets[r+1]) of the flat array.
+// Cheap to pass by value; valid only while the owning builder is alive and
+// unmodified.
+class problem_view {
+public:
+    problem_view() = default;
+    problem_view(std::span<const uploader_info> uploaders,
+                 std::span<const request_info> requests,
+                 std::span<const std::size_t> offsets,
+                 std::span<const candidate_info> candidates) noexcept
+        : uploaders_(uploaders),
+          requests_(requests),
+          offsets_(offsets),
+          candidates_(candidates) {}
+
+    [[nodiscard]] std::size_t num_uploaders() const noexcept { return uploaders_.size(); }
+    [[nodiscard]] std::size_t num_requests() const noexcept { return requests_.size(); }
+    [[nodiscard]] std::size_t num_candidates() const noexcept { return candidates_.size(); }
+
+    [[nodiscard]] const uploader_info& uploader(std::size_t u) const {
+        expects(u < uploaders_.size(), "uploader index out of range");
+        return uploaders_[u];
+    }
+    [[nodiscard]] const request_info& request(std::size_t r) const {
+        expects(r < requests_.size(), "request index out of range");
+        return requests_[r];
+    }
+    [[nodiscard]] std::span<const candidate_info> candidates(std::size_t r) const {
+        expects(r < requests_.size(), "request index out of range");
+        return candidates_.subspan(offsets_[r], offsets_[r + 1] - offsets_[r]);
+    }
+    // Flat index of request r's first candidate — candidate ordinal i of
+    // request r lives at `candidate_offset(r) + i` in solver-side flat
+    // workspaces (net values, edge ids, ...).
+    [[nodiscard]] std::size_t candidate_offset(std::size_t r) const {
+        expects(r < requests_.size(), "request index out of range");
+        return offsets_[r];
+    }
+    [[nodiscard]] std::span<const candidate_info> all_candidates() const noexcept {
+        return candidates_;
+    }
+    // The raw CSR row starts (num_requests()+1 entries) for solvers that walk
+    // the flat layout without per-row bounds checks.
+    [[nodiscard]] std::span<const std::size_t> offsets() const noexcept {
+        return offsets_;
+    }
+    [[nodiscard]] std::span<const uploader_info> all_uploaders() const noexcept {
+        return uploaders_;
+    }
+    [[nodiscard]] std::span<const request_info> all_requests() const noexcept {
+        return requests_;
+    }
+
+    // Net utility v − w of serving request r through its i-th candidate.
+    [[nodiscard]] double net_value(std::size_t r, std::size_t i) const {
+        auto cands = candidates(r);
+        expects(i < cands.size(), "candidate ordinal out of range");
+        return requests_[r].valuation - cands[i].cost;
+    }
+
+private:
+    std::span<const uploader_info> uploaders_;
+    std::span<const request_info> requests_;
+    std::span<const std::size_t> offsets_;  // num_requests()+1 entries
+    std::span<const candidate_info> candidates_;
+};
+
 class scheduling_problem {
 public:
+    scheduling_problem() { offsets_.push_back(0); }
+
     // Returns the new uploader's index.
     std::size_t add_uploader(peer_id who, std::int32_t capacity);
 
     // Returns the new request's index.
     std::size_t add_request(peer_id downstream, chunk_id chunk, double valuation);
 
+    // O(1) when `request` is the most recently added request (the only
+    // pattern the emulator and generators use); inserting into an earlier
+    // request shifts the candidate tail and is O(num_candidates).
     void add_candidate(std::size_t request, std::size_t uploader, double cost);
+
+    // Drops all content but keeps the allocated arenas, so a builder reused
+    // across bidding rounds/slots stops allocating once warm.
+    void clear() noexcept;
+
+    // Pre-sizes the arenas (optional; clear()-reuse reaches the same steady
+    // state after the first round).
+    void reserve(std::size_t uploaders, std::size_t requests, std::size_t candidates);
 
     [[nodiscard]] std::size_t num_uploaders() const noexcept { return uploaders_.size(); }
     [[nodiscard]] std::size_t num_requests() const noexcept { return requests_.size(); }
-    [[nodiscard]] std::size_t num_candidates() const noexcept { return total_candidates_; }
+    [[nodiscard]] std::size_t num_candidates() const noexcept { return candidates_.size(); }
 
     [[nodiscard]] const uploader_info& uploader(std::size_t u) const;
     [[nodiscard]] const request_info& request(std::size_t r) const;
-    [[nodiscard]] const std::vector<candidate_info>& candidates(std::size_t r) const;
+    [[nodiscard]] std::span<const candidate_info> candidates(std::size_t r) const;
 
     // Net utility v − w of serving request r through its i-th candidate.
     [[nodiscard]] double net_value(std::size_t r, std::size_t i) const;
 
-    // Lossless conversion to the transportation form of Sec. IV-A. Edge k of
-    // the result corresponds to candidate `edge_origin(k)`.
+    // The flat window solvers consume. Implicit so every view-consuming API
+    // accepts a builder directly; invalidated by any further mutation.
+    [[nodiscard]] problem_view view() const noexcept {
+        return {uploaders_, requests_, offsets_, candidates_};
+    }
+    operator problem_view() const noexcept { return view(); }  // NOLINT(google-explicit-constructor)
+
+    // Lossless conversion to the transportation form of Sec. IV-A, kept for
+    // the opt-layer reference solvers and the LP-formulation tests. Edge k of
+    // the result corresponds to flat candidate k (CSR order), i.e. candidate
+    // `edge_origin(k)`. The hot path (core/exact) no longer goes through
+    // this copy — it builds the min-cost-flow network straight off the view.
     [[nodiscard]] opt::transportation_instance to_transportation() const;
     struct edge_origin_entry {
         std::size_t request = 0;
@@ -70,8 +169,8 @@ public:
 private:
     std::vector<uploader_info> uploaders_;
     std::vector<request_info> requests_;
-    std::vector<std::vector<candidate_info>> candidates_;
-    std::size_t total_candidates_ = 0;
+    std::vector<std::size_t> offsets_;  // CSR row starts; requests+1 entries
+    std::vector<candidate_info> candidates_;
 };
 
 inline constexpr std::ptrdiff_t no_candidate = -1;
@@ -86,11 +185,20 @@ struct schedule {
 };
 
 // Common interface for all scheduling algorithms (auction, baselines, exact).
+//
+// Schedulers are long-lived: internal workspaces persist across solve()
+// calls, so a scheduler reused round after round on similarly-sized problems
+// stops allocating once warm. A fresh scheduler and a warm one produce the
+// identical schedule for the same input (asserted by the equivalence suite).
 class scheduler {
 public:
     virtual ~scheduler() = default;
-    [[nodiscard]] virtual schedule solve(const scheduling_problem& problem) = 0;
+    [[nodiscard]] virtual schedule solve(const problem_view& problem) = 0;
     [[nodiscard]] virtual std::string_view name() const = 0;
+    // Re-keys any internal randomness before the next solve(); deterministic
+    // schedulers ignore it. The emulator calls this once per bidding round
+    // with a seed derived from (slot, round) via sim::rng_factory.
+    virtual void reseed(std::uint64_t seed) { (void)seed; }
 };
 
 }  // namespace p2pcd::core

@@ -5,10 +5,12 @@
 
 namespace p2pcd::core {
 
-scheduling_problem shade_valuations(const scheduling_problem& problem,
+scheduling_problem shade_valuations(const problem_view& problem,
                                     peer_id strategist, double theta) {
     expects(theta > 0.0, "shading factor must be positive");
     scheduling_problem shaded;
+    shaded.reserve(problem.num_uploaders(), problem.num_requests(),
+                   problem.num_candidates());
     for (std::size_t u = 0; u < problem.num_uploaders(); ++u)
         shaded.add_uploader(problem.uploader(u).who, problem.uploader(u).capacity);
     for (std::size_t r = 0; r < problem.num_requests(); ++r) {
@@ -21,7 +23,7 @@ scheduling_problem shade_valuations(const scheduling_problem& problem,
     return shaded;
 }
 
-double realized_utility(const scheduling_problem& true_problem, const schedule& sched,
+double realized_utility(const problem_view& true_problem, const schedule& sched,
                         peer_id who) {
     expects(sched.choice.size() == true_problem.num_requests(),
             "schedule does not match problem");
@@ -36,7 +38,7 @@ double realized_utility(const scheduling_problem& true_problem, const schedule& 
     return utility;
 }
 
-shading_outcome evaluate_shading(const scheduling_problem& true_problem,
+shading_outcome evaluate_shading(const problem_view& true_problem,
                                  peer_id strategist, double theta,
                                  const auction_options& options) {
     shading_outcome outcome;

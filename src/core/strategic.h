@@ -22,12 +22,12 @@ namespace p2pcd::core {
 // Copy of `problem` where the valuations of all requests issued by
 // `strategist` are scaled by `theta` (candidates and capacities untouched,
 // so schedules map 1:1 between the two problems).
-[[nodiscard]] scheduling_problem shade_valuations(const scheduling_problem& problem,
+[[nodiscard]] scheduling_problem shade_valuations(const problem_view& problem,
                                                   peer_id strategist, double theta);
 
 // Realized (true-valuation) utility of `who`'s requests under a schedule:
 // Σ over its served requests of v_true − w.
-[[nodiscard]] double realized_utility(const scheduling_problem& true_problem,
+[[nodiscard]] double realized_utility(const problem_view& true_problem,
                                       const schedule& sched, peer_id who);
 
 struct shading_outcome {
@@ -46,7 +46,7 @@ struct shading_outcome {
 
 // Runs the auction twice (truthful and shaded) and scores both with true
 // valuations.
-[[nodiscard]] shading_outcome evaluate_shading(const scheduling_problem& true_problem,
+[[nodiscard]] shading_outcome evaluate_shading(const problem_view& true_problem,
                                                peer_id strategist, double theta,
                                                const auction_options& options = {});
 

@@ -6,7 +6,7 @@
 
 namespace p2pcd::core {
 
-bool schedule_feasible(const scheduling_problem& problem, const schedule& sched) {
+bool schedule_feasible(const problem_view& problem, const schedule& sched) {
     if (sched.choice.size() != problem.num_requests()) return false;
     std::vector<std::int64_t> used(problem.num_uploaders(), 0);
     for (std::size_t r = 0; r < problem.num_requests(); ++r) {
@@ -22,7 +22,7 @@ bool schedule_feasible(const scheduling_problem& problem, const schedule& sched)
     return true;
 }
 
-schedule_stats compute_stats(const scheduling_problem& problem, const schedule& sched,
+schedule_stats compute_stats(const problem_view& problem, const schedule& sched,
                              const crossing_predicate& crosses) {
     expects(sched.choice.size() == problem.num_requests(),
             "schedule size must match request count");

@@ -19,14 +19,14 @@ struct schedule_stats {
 
 // True iff every choice is a valid candidate ordinal (or no_candidate) and no
 // uploader exceeds its capacity.
-[[nodiscard]] bool schedule_feasible(const scheduling_problem& problem,
+[[nodiscard]] bool schedule_feasible(const problem_view& problem,
                                      const schedule& sched);
 
 // `crosses(u, d)` returns true when an u→d transfer is inter-ISP; pass nullptr
 // to skip traffic accounting (pure-core callers without topology knowledge).
 using crossing_predicate = std::function<bool(peer_id uploader, peer_id downstream)>;
 
-[[nodiscard]] schedule_stats compute_stats(const scheduling_problem& problem,
+[[nodiscard]] schedule_stats compute_stats(const problem_view& problem,
                                            const schedule& sched,
                                            const crossing_predicate& crosses = nullptr);
 

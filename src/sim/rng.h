@@ -52,13 +52,20 @@ public:
     explicit rng_factory(std::uint64_t master_seed) : master_seed_(master_seed) {}
 
     [[nodiscard]] rng_stream stream(std::string_view name) const {
+        return rng_stream(derived_seed(name));
+    }
+
+    // The seed `stream(name)` would use — for components that own their RNG
+    // (e.g. reseeding a registered scheduler per bidding round) but should
+    // still derive determinism from the master seed and a stable name.
+    [[nodiscard]] std::uint64_t derived_seed(std::string_view name) const {
         std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
         for (char c : name) {
             h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
             h *= 1099511628211ull;  // FNV prime
         }
         h ^= master_seed_ + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-        return rng_stream(h);
+        return h;
     }
 
     [[nodiscard]] std::uint64_t master_seed() const noexcept { return master_seed_; }

@@ -11,9 +11,9 @@ namespace {
 constexpr double inf = std::numeric_limits<double>::infinity();
 }
 
-auction_runtime::auction_runtime(const core::scheduling_problem& problem,
+auction_runtime::auction_runtime(core::problem_view problem,
                                  runtime_options options)
-    : problem_(&problem),
+    : problem_(problem),
       options_(std::move(options)),
       network_(simulator_, [this](peer_id a, peer_id b) { return options_.latency(a, b); }) {
     expects(options_.latency != nullptr, "runtime requires a latency function");
@@ -76,7 +76,7 @@ void auction_runtime::broadcast_price(std::size_t uploader, double price) {
         price_probe_->record(options_.time_offset + simulator_.now(), price);
     if (options_.record_price_log)
         price_log_.push_back({options_.time_offset + simulator_.now(), uploader, price});
-    peer_id seller_peer = problem_->uploader(uploader).who;
+    peer_id seller_peer = problem_.uploader(uploader).who;
     message update{message::kind::price_update, 0, uploader, price};
     for (peer_id watcher : watcher_peers_[uploader])
         network_.send(seller_peer, watcher, update);
@@ -85,7 +85,7 @@ void auction_runtime::broadcast_price(std::size_t uploader, double price) {
 void auction_runtime::try_bid(std::size_t request) {
     bidder_state& st = bidders_[request];
     if (st.assigned || st.dropped || st.pending) return;
-    const auto& cands = problem_->candidates(request);
+    const auto& cands = problem_.candidates(request);
     if (cands.empty()) {
         st.dropped = true;
         ++abstentions_;
@@ -94,7 +94,7 @@ void auction_runtime::try_bid(std::size_t request) {
 
     std::vector<double> net_values(cands.size());
     for (std::size_t i = 0; i < cands.size(); ++i)
-        net_values[i] = problem_->request(request).valuation - cands[i].cost;
+        net_values[i] = problem_.request(request).valuation - cands[i].cost;
     core::bid_decision decision =
         core::compute_bid(net_values, st.cached_prices, options_.bidding);
 
@@ -112,8 +112,8 @@ void auction_runtime::try_bid(std::size_t request) {
             st.parked = false;
             st.pending_uploader = u;
             ++bids_submitted_;
-            network_.send(problem_->request(request).downstream,
-                          problem_->uploader(u).who,
+            network_.send(problem_.request(request).downstream,
+                          problem_.uploader(u).who,
                           {message::kind::bid, request, u, decision.amount});
             break;
         }
@@ -121,8 +121,8 @@ void auction_runtime::try_bid(std::size_t request) {
 }
 
 void auction_runtime::on_bid(std::size_t uploader, std::size_t request, double amount) {
-    peer_id seller_peer = problem_->uploader(uploader).who;
-    peer_id bidder_peer = problem_->request(request).downstream;
+    peer_id seller_peer = problem_.uploader(uploader).who;
+    peer_id bidder_peer = problem_.request(request).downstream;
     auto outcome = sellers_[uploader].offer(request, amount);
     if (!outcome.accepted) {
         ++rejections_;
@@ -139,7 +139,7 @@ void auction_runtime::on_bid(std::size_t uploader, std::size_t request, double a
     if (outcome.evicted) {
         ++evictions_;
         std::size_t loser = *outcome.evicted;
-        network_.send(seller_peer, problem_->request(loser).downstream,
+        network_.send(seller_peer, problem_.request(loser).downstream,
                       {message::kind::evict, loser, uploader,
                        sellers_[uploader].price()});
     }
@@ -213,23 +213,23 @@ runtime_result auction_runtime::run(metrics::time_series* price_probe,
     probe_uploader_ = probe_uploader;
     if (price_probe_ != nullptr) price_probe_->record(options_.time_offset, 0.0);
 
-    for (std::size_t r = 0; r < problem_->num_requests(); ++r) try_bid(r);
+    for (std::size_t r = 0; r < problem_.num_requests(); ++r) try_bid(r);
     simulator_.run_until(options_.duration);
 
     runtime_result result;
-    result.auction.sched.choice.assign(problem_->num_requests(), core::no_candidate);
+    result.auction.sched.choice.assign(problem_.num_requests(), core::no_candidate);
     for (std::size_t u = 0; u < sellers_.size(); ++u) {
         for (const auto& held : sellers_[u].assignment_set()) {
             result.auction.sched.choice[held.request] =
                 static_cast<std::ptrdiff_t>(ordinal_of_uploader_[held.request].at(u));
         }
     }
-    result.auction.prices.assign(problem_->num_uploaders(), 0.0);
+    result.auction.prices.assign(problem_.num_uploaders(), 0.0);
     for (std::size_t u = 0; u < sellers_.size(); ++u)
-        if (problem_->uploader(u).capacity > 0 && !uploader_departed_[u])
+        if (problem_.uploader(u).capacity > 0 && !uploader_departed_[u])
             result.auction.prices[u] = sellers_[u].price();
     result.auction.request_utility =
-        core::derive_request_utilities(*problem_, result.auction.prices);
+        core::derive_request_utilities(problem_, result.auction.prices);
     result.auction.bids_submitted = bids_submitted_;
     result.auction.evictions = evictions_;
     result.auction.abstentions = abstentions_;
@@ -257,7 +257,7 @@ void auction_runtime::depart_now(peer_id who) {
         for (std::size_t r : reqs->second) {
             bidder_state& st = bidders_[r];
             if (st.assigned) {
-                const auto& cands = problem_->candidates(r);
+                const auto& cands = problem_.candidates(r);
                 std::size_t u = cands[st.assigned_candidate].uploader;
                 double before = sellers_[u].price();
                 sellers_[u].remove(r);
@@ -285,7 +285,7 @@ void auction_runtime::depart_now(peer_id who) {
                 st.cached_prices[ordinal_of_uploader_[r].at(u)] = inf;
                 bool was_assigned_here =
                     st.assigned &&
-                    problem_->candidates(r)[st.assigned_candidate].uploader == u;
+                    problem_.candidates(r)[st.assigned_candidate].uploader == u;
                 bool was_pending_here = st.pending && st.pending_uploader == u;
                 if (was_assigned_here) st.assigned = false;
                 if (was_pending_here) st.pending = false;

@@ -64,7 +64,8 @@ struct runtime_result {
 
 class auction_runtime {
 public:
-    auction_runtime(const core::scheduling_problem& problem, runtime_options options);
+    // The view (and the builder behind it) must outlive the runtime.
+    auction_runtime(core::problem_view problem, runtime_options options);
 
     auction_runtime(const auction_runtime&) = delete;
     auction_runtime& operator=(const auction_runtime&) = delete;
@@ -108,7 +109,7 @@ private:
     void depart_now(peer_id who);
     void note_activity();
 
-    const core::scheduling_problem* problem_;
+    core::problem_view problem_;
     runtime_options options_;
     sim::simulator simulator_;
     net::message_network<message> network_;

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
-#include "baseline/greedy_welfare.h"
-#include "baseline/random_scheduler.h"
+#include "baseline/registry.h"
 #include "common/contracts.h"
-#include "core/exact.h"
 #include "core/welfare.h"
 #include "vod/auction_runtime.h"
 
@@ -24,6 +23,18 @@ emulator::emulator(emulator_options options)
       valuation_(options_.config.valuation_alpha, options_.config.valuation_beta,
                  options_.config.valuation_min, options_.config.valuation_max) {
     options_.config.validate();
+
+    // Resolve the scheduling algorithm by name, once; the instance lives as
+    // long as the emulator so its workspaces stay warm across rounds.
+    const core::scheduler_registry& registry =
+        options_.registry ? *options_.registry : baseline::builtin_schedulers();
+    core::scheduler_params params;
+    params.auction = options_.auction;
+    params.locality_max_rounds = options_.locality.max_rounds;
+    params.seed = options_.config.master_seed;
+    scheduler_ = registry.make(options_.scheduler, params);
+    auction_ = dynamic_cast<core::auction_solver*>(scheduler_.get());
+
     auto cost_rng = rng_factory_.stream("costs");
     costs_.emplace(topology_, options_.config.costs, cost_rng);
 
@@ -143,9 +154,10 @@ void emulator::refresh_neighbors() {
     }
 }
 
-emulator::slot_problem emulator::build_problem(
-    double now, const std::vector<std::int32_t>& round_capacity) {
-    slot_problem sp;
+void emulator::build_problem(double now,
+                             const std::vector<std::int32_t>& round_capacity) {
+    slot_problem& sp = round_problem_;
+    sp.problem.clear();  // arena reuse: capacity from previous rounds persists
     sp.uploader_of_peer.assign(peers_.size(), SIZE_MAX);
     for (std::size_t i = 0; i < peers_.size(); ++i) {
         const auto& peer = peers_[i];
@@ -185,72 +197,72 @@ emulator::slot_problem emulator::build_problem(
             }
         }
     }
-    return sp;
 }
 
-core::schedule emulator::dispatch(const slot_problem& sp, double round_start,
-                                  double duration, slot_metrics& metrics,
+core::schedule emulator::dispatch(double round_start, double duration,
+                                  std::size_t round, slot_metrics& metrics,
                                   std::unordered_map<peer_id, double>& slot_prices) {
-    switch (options_.algo) {
-        case algorithm::auction: {
-            bool distributed = round_start >= options_.distributed_from &&
-                               round_start < options_.distributed_to;
-            if (distributed) {
-                runtime_options ro;
-                ro.bidding = options_.auction.bidding;
-                ro.duration = duration;
-                ro.time_offset = round_start;
-                ro.record_price_log = true;
-                ro.initial_prices.resize(sp.problem.num_uploaders(), 0.0);
-                for (std::size_t u = 0; u < sp.problem.num_uploaders(); ++u) {
-                    auto it = slot_prices.find(sp.problem.uploader(u).who);
-                    if (it != slot_prices.end()) ro.initial_prices[u] = it->second;
-                }
-                ro.latency = [this](peer_id a, peer_id b) {
-                    return options_.latency_per_cost * costs_->cost(a, b);
-                };
-                auction_runtime runtime(sp.problem, std::move(ro));
-                auto result = runtime.run();
-                for (std::size_t u = 0; u < sp.problem.num_uploaders(); ++u)
-                    slot_prices[sp.problem.uploader(u).who] = result.auction.prices[u];
-                for (const auto& ev : result.price_log)
-                    price_events_.push_back(
-                        {sp.problem.uploader(ev.uploader).who, ev.time, ev.price});
-                price_series_built_ = false;
-                metrics.auction_bids += result.auction.bids_submitted;
-                return std::move(result.auction.sched);
+    const slot_problem& sp = round_problem_;
+    const core::problem_view view = sp.problem.view();
+
+    if (auction_ != nullptr) {
+        bool distributed = round_start >= options_.distributed_from &&
+                           round_start < options_.distributed_to;
+        if (distributed) {
+            runtime_options ro;
+            ro.bidding = options_.auction.bidding;
+            ro.duration = duration;
+            ro.time_offset = round_start;
+            ro.record_price_log = true;
+            ro.initial_prices.resize(view.num_uploaders(), 0.0);
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u) {
+                auto it = slot_prices.find(view.uploader(u).who);
+                if (it != slot_prices.end()) ro.initial_prices[u] = it->second;
             }
-            core::auction_solver solver(options_.auction);
-            auto result = solver.run(sp.problem);
-            metrics.auction_bids += result.bids_submitted;
-            return std::move(result.sched);
+            ro.latency = [this](peer_id a, peer_id b) {
+                return options_.latency_per_cost * costs_->cost(a, b);
+            };
+            auction_runtime runtime(view, std::move(ro));
+            auto result = runtime.run();
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                slot_prices[view.uploader(u).who] = result.auction.prices[u];
+            for (const auto& ev : result.price_log)
+                price_events_.push_back(
+                    {view.uploader(ev.uploader).who, ev.time, ev.price});
+            price_series_built_ = false;
+            metrics.auction_bids += result.auction.bids_submitted;
+            return std::move(result.auction.sched);
         }
-        case algorithm::simple_locality: {
-            baseline::simple_locality_scheduler solver(options_.locality);
-            return solver.solve(sp.problem);
+        core::auction_result result;
+        if (options_.warm_start_rounds) {
+            // Thread the slot's λ through its bidding rounds (Sec. IV-C's
+            // price cycle), exactly like the distributed path above.
+            std::vector<double> initial(view.num_uploaders(), 0.0);
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u) {
+                auto it = slot_prices.find(view.uploader(u).who);
+                if (it != slot_prices.end()) initial[u] = it->second;
+            }
+            result = auction_->run(view, initial);
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                slot_prices[view.uploader(u).who] = result.prices[u];
+        } else {
+            result = auction_->run(view);
         }
-        case algorithm::random_select: {
-            baseline::random_scheduler solver(
-                options_.config.master_seed ^
-                static_cast<std::uint64_t>(round_start * 1000.0));
-            return solver.solve(sp.problem);
-        }
-        case algorithm::greedy_welfare: {
-            baseline::greedy_welfare_scheduler solver;
-            return solver.solve(sp.problem);
-        }
-        case algorithm::exact: {
-            core::exact_scheduler solver;
-            return solver.solve(sp.problem);
-        }
+        metrics.auction_bids += result.bids_submitted;
+        return std::move(result.sched);
     }
-    ensures(false, "unknown scheduling algorithm");
-    return {};
+
+    // Any other registered scheduler: re-key its randomness from (slot,
+    // round) — deterministic per master seed, independent across rounds —
+    // and solve on the shared view.
+    scheduler_->reseed(rng_factory_.derived_seed(
+        "dispatch/" + std::to_string(slots_.size()) + "/" + std::to_string(round)));
+    return scheduler_->solve(view);
 }
 
-void emulator::apply_schedule(const slot_problem& sp, const core::schedule& sched,
-                              slot_metrics& metrics,
+void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics,
                               std::vector<std::int32_t>& remaining_capacity) {
+    const slot_problem& sp = round_problem_;
     for (std::size_t r = 0; r < sp.problem.num_requests(); ++r) {
         std::ptrdiff_t choice = sched.choice[r];
         if (choice == core::no_candidate) continue;
@@ -318,7 +330,7 @@ const slot_metrics& emulator::step() {
     metrics.time = slot_start;
     metrics.online_peers = online_viewers();
 
-    bool distributed = options_.algo == algorithm::auction &&
+    bool distributed = auction_ != nullptr &&
                        slot_start >= options_.distributed_from &&
                        slot_start < options_.distributed_to;
     if (distributed) distributed_slot_starts_.push_back(slot_start);
@@ -344,11 +356,11 @@ const slot_metrics& emulator::step() {
         for (std::size_t i = 0; i < peers_.size(); ++i)
             round_capacity[i] = (remaining[i] + rounds_left - 1) / rounds_left;
 
-        auto sp = build_problem(round_start, round_capacity);
-        metrics.requests += sp.problem.num_requests();
+        build_problem(round_start, round_capacity);
+        metrics.requests += round_problem_.problem.num_requests();
 
-        auto sched = dispatch(sp, round_start, round_length, metrics, slot_prices);
-        apply_schedule(sp, sched, metrics, remaining);
+        auto sched = dispatch(round_start, round_length, r, metrics, slot_prices);
+        apply_schedule(sched, metrics, remaining);
 
         // Playback of this round is checked against the post-transfer buffer:
         // transfers complete within the bidding round.
@@ -361,7 +373,9 @@ const slot_metrics& emulator::step() {
 }
 
 void emulator::run() {
-    expects(slots_.empty(), "emulator::run may only be called once");
+    expects(!has_run_ && slots_.empty(),
+            "emulator::run may only be called once (and not after manual steps)");
+    has_run_ = true;
     const std::size_t n = options_.config.num_slots();
     for (std::size_t k = 0; k < n; ++k) step();
 }

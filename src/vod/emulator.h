@@ -8,10 +8,17 @@
 //      exactly the paper's "delay handling of new bids" rule) and departures;
 //   2. advance playback over the elapsed slot, counting missed deadlines;
 //   3. refresh neighbors, build the slot's scheduling_problem from buffer
-//      maps and the interest windows R_t(d);
-//   4. schedule with the configured algorithm (auction / baselines / exact /
-//      message-level distributed auction), apply the transfers, record
-//      per-slot metrics.
+//      maps and the interest windows R_t(d) — into one arena reused across
+//      rounds and slots (core CSR builder, cleared not reallocated);
+//   4. schedule with the configured algorithm, resolved by name through a
+//      core::scheduler_registry (auction / baselines / exact / custom;
+//      plus the message-level distributed auction for the Fig. 2 window),
+//      apply the transfers, record per-slot metrics.
+//
+// The scheduler instance is long-lived: created once from the registry and
+// reused every bidding round, so solver workspaces stay warm. Seeded
+// schedulers are re-keyed each round via scheduler::reseed() with a seed
+// derived from (slot index, round index) through sim::rng_factory.
 //
 // Transfer semantics: chunks scheduled in slot k land in the downstream
 // buffer at the end of slot k ("actual chunk transfers happen as soon as the
@@ -21,12 +28,14 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "baseline/simple_locality.h"
 #include "core/auction.h"
 #include "core/problem.h"
+#include "core/scheduler_registry.h"
 #include "metrics/time_series.h"
 #include "net/cost_model.h"
 #include "net/isp_topology.h"
@@ -40,17 +49,17 @@
 
 namespace p2pcd::vod {
 
-enum class algorithm {
-    auction,          // synchronous primal-dual auction (the paper's Alg. 1)
-    simple_locality,  // the paper's baseline
-    random_select,    // network-agnostic ablation
-    greedy_welfare,   // centralized greedy ablation
-    exact,            // offline optimum (min-cost flow)
-};
-
 struct emulator_options {
     workload::scenario_config config;
-    algorithm algo = algorithm::auction;
+
+    // Scheduling algorithm, resolved by name at construction through
+    // `registry` (default: every built-in — "auction", "exact",
+    // "simple-locality", "greedy-welfare", "random").
+    std::string scheduler = "auction";
+    // Override to plug in custom algorithms without touching the emulator:
+    // copy baseline::builtin_schedulers(), add() yours, share it here.
+    std::shared_ptr<const core::scheduler_registry> registry;
+
     core::auction_options auction{.bidding = {core::bid_policy::epsilon, 0.05}};
     baseline::locality_options locality;
 
@@ -61,10 +70,17 @@ struct emulator_options {
     // is shared across the slot's rounds. 1 disables intra-slot re-bidding.
     std::size_t bid_rounds_per_slot = 5;
 
+    // Warm-start the synchronous auction's prices across the bidding rounds
+    // of one slot (the slot stays the price cycle of Sec. IV-C, exactly like
+    // the distributed runtime's slot_prices). Off by default: the cold-start
+    // rounds are the configuration the equivalence suite pins down.
+    bool warm_start_rounds = false;
+
     // Message-level distributed auction (Fig. 2): slots whose start time lies
     // in [distributed_from, distributed_to) run over the simulated network
     // instead of the synchronous solver (one full-slot auction, matching the
     // figure's per-slot price evolution), recording the probe peer's λ.
+    // Only meaningful when `scheduler` is "auction".
     double distributed_from = -1.0;
     double distributed_to = -1.0;
     // One-way latency = latency_per_cost × w_{u→d} seconds.
@@ -89,7 +105,9 @@ class emulator {
 public:
     explicit emulator(emulator_options options);
 
-    // Runs the full horizon. Can only be called once per emulator.
+    // Runs the full horizon. Can only be called once per emulator (enforced;
+    // a second call — or a call after manual step()s — throws
+    // contract_violation).
     void run();
 
     // Advances exactly one slot (exposed for tests); returns its metrics.
@@ -132,17 +150,17 @@ private:
     void process_departures();
     void advance_playback(double from, double to, slot_metrics& metrics);
     void refresh_neighbors();
-    // Builds the round's problem; `round_capacity[i]` is what peer-table
-    // entry i may upload in this round.
-    slot_problem build_problem(double now,
-                               const std::vector<std::int32_t>& round_capacity);
+    // (Re)builds the round's problem into the reused arena `round_problem_`;
+    // `round_capacity[i]` is what peer-table entry i may upload this round.
+    void build_problem(double now, const std::vector<std::int32_t>& round_capacity);
     // `slot_prices` carries each uploader's λ across the bidding rounds of
-    // one distributed slot (prices reset at slot boundaries, Sec. IV-C).
-    core::schedule dispatch(const slot_problem& sp, double round_start,
-                            double duration, slot_metrics& metrics,
+    // one distributed (or warm-started synchronous) slot — prices reset at
+    // slot boundaries, Sec. IV-C. `round` is the round ordinal within the
+    // slot, used to derive the per-round scheduler seed.
+    core::schedule dispatch(double round_start, double duration, std::size_t round,
+                            slot_metrics& metrics,
                             std::unordered_map<peer_id, double>& slot_prices);
-    void apply_schedule(const slot_problem& sp, const core::schedule& sched,
-                        slot_metrics& metrics,
+    void apply_schedule(const core::schedule& sched, slot_metrics& metrics,
                         std::vector<std::int32_t>& remaining_capacity);
 
     emulator_options options_;
@@ -156,6 +174,12 @@ private:
     deadline_valuation valuation_;
     tracker tracker_;
 
+    // Long-lived scheduler from the registry; `auction_` is the non-null
+    // downcast when the built-in synchronous auction is selected (it has the
+    // richer run() API: bid diagnostics and warm-start prices).
+    std::unique_ptr<core::scheduler> scheduler_;
+    core::auction_solver* auction_ = nullptr;
+
     std::vector<peer_state> peers_;  // stable storage; departed stay (flagged)
     std::unordered_map<peer_id, std::size_t> peer_index_;
     std::int32_t next_peer_id_ = 0;
@@ -164,6 +188,10 @@ private:
     double next_arrival_ = 0.0;
     std::optional<sim::poisson_process> arrivals_;
     std::vector<slot_metrics> slots_;
+    bool has_run_ = false;
+
+    // Round-problem arena, reused (cleared, not reallocated) across rounds.
+    slot_problem round_problem_;
 
     // Raw λ-change log from distributed slots plus the slot starts, from
     // which the representative peer's series is assembled on demand.

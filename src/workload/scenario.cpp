@@ -49,6 +49,33 @@ scenario_config scenario_config::paper_churn() {
     return config;
 }
 
+scenario_config scenario_config::metro_5k() {
+    scenario_config config;
+    config.num_isps = 20;
+    config.arrival_rate = 0.0;
+    config.initial_peers = 5000;
+    config.departure_probability = 0.0;
+    // Like the paper's static network: everyone joined recently and stays
+    // online through the horizon.
+    config.initial_position_max_fraction = 0.05;
+    // One seed per ISP per video (2 000 seeds) — supply stays scarce relative
+    // to the 5 000 viewers, so schedulers keep facing real contention.
+    config.seeds_per_isp_per_video = 1;
+    return config;
+}
+
+scenario_config scenario_config::flash_crowd_10k() {
+    scenario_config config;
+    // A small hot catalog is what makes it a flash crowd: demand concentrates
+    // instead of spreading over 100 titles.
+    config.num_videos = 10;
+    config.num_isps = 10;
+    config.arrival_rate = 40.0;  // ~10 000 joins over the 250 s horizon
+    config.initial_peers = 0;
+    config.departure_probability = 0.0;
+    return config;
+}
+
 scenario_config scenario_config::small_test() {
     scenario_config config;
     config.num_videos = 5;

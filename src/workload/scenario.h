@@ -82,6 +82,12 @@ struct scenario_config {
     [[nodiscard]] static scenario_config paper_churn();
     // Scaled-down variant for unit/integration tests (seconds, not minutes).
     [[nodiscard]] static scenario_config small_test();
+    // Large-scale setups past the paper's evaluation (see
+    // workload/scenario_registry.h for the catalog):
+    //  * metro_5k — 5 000 static peers spread over 20 metro ISPs;
+    //  * flash_crowd_10k — ~10 000 peers flash-crowding 10 hot videos.
+    [[nodiscard]] static scenario_config metro_5k();
+    [[nodiscard]] static scenario_config flash_crowd_10k();
 };
 
 }  // namespace p2pcd::workload

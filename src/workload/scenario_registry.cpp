@@ -1,0 +1,78 @@
+#include "workload/scenario_registry.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::workload {
+
+void scenario_registry::add(std::string name, std::string description, factory make) {
+    expects(!name.empty(), "scenario name must not be empty");
+    expects(make != nullptr, "scenario factory must not be null");
+    auto [it, inserted] =
+        entries_.emplace(std::move(name), entry{std::move(description), std::move(make)});
+    if (!inserted)
+        throw contract_violation("scenario '" + it->first + "' is already registered");
+}
+
+bool scenario_registry::contains(std::string_view name) const {
+    return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> scenario_registry::names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) out.push_back(name);
+    return out;  // std::map iterates sorted
+}
+
+namespace {
+
+[[noreturn]] void throw_unknown(std::string_view name,
+                                const std::vector<std::string>& known_names) {
+    std::string known;
+    for (const auto& n : known_names) {
+        if (!known.empty()) known += ", ";
+        known += n;
+    }
+    throw contract_violation("no scenario named '" + std::string(name) +
+                             "'; registered: [" + known + "]");
+}
+
+}  // namespace
+
+const std::string& scenario_registry::describe(std::string_view name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) throw_unknown(name, names());
+    return it->second.description;
+}
+
+scenario_config scenario_registry::make(std::string_view name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) throw_unknown(name, names());
+    scenario_config config = it->second.make();
+    config.validate();
+    return config;
+}
+
+const scenario_registry& builtin_scenarios() {
+    static const scenario_registry registry = [] {
+        scenario_registry r;
+        r.add("paper_dynamic", "Poisson(1/s) arrivals, peers stay to video end (Fig. 3)",
+              [] { return scenario_config::paper_dynamic(); });
+        r.add("paper_static_500", "500 peers in steady state (Figs. 2, 4, 5)",
+              [] { return scenario_config::paper_static_500(); });
+        r.add("paper_churn",
+              "Poisson arrivals plus probability-0.6 early departures (Fig. 6)",
+              [] { return scenario_config::paper_churn(); });
+        r.add("small_test", "seconds-scale config for unit/integration tests",
+              [] { return scenario_config::small_test(); });
+        r.add("metro_5k", "5 000 static peers across 20 metro ISPs (10x the paper)",
+              [] { return scenario_config::metro_5k(); });
+        r.add("flash_crowd_10k",
+              "~10 000 peers flash-crowding a 10-video catalog (Poisson 40/s, 10 ISPs)",
+              [] { return scenario_config::flash_crowd_10k(); });
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace p2pcd::workload

@@ -1,0 +1,62 @@
+// Named scenario registry: every experimental setup gets a string name, so
+// benches, the experiment runner and the scaling bench can resolve "which
+// system am I emulating" without hard-coding configs.
+//
+// Built-ins (builtin_scenarios()):
+//   paper_dynamic     — Poisson(1/s) arrivals, stay to video end (Fig. 3)
+//   paper_static_500  — 500 peers in steady state (Figs. 2, 4, 5)
+//   paper_churn       — arrivals + probability-0.6 early quitters (Fig. 6)
+//   small_test        — seconds-scale config for unit/integration tests
+//   metro_5k          — 5 000 static peers across 20 metro ISPs: one order of
+//                       magnitude past the paper, the scale the CSR solve
+//                       path is benchmarked at (bench/scheduler_scaling)
+//   flash_crowd_10k   — ~10 000 peers flash-crowding a small hot catalog
+//                       (Poisson 40/s over 250 s, 10 ISPs)
+#ifndef P2PCD_WORKLOAD_SCENARIO_REGISTRY_H
+#define P2PCD_WORKLOAD_SCENARIO_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/scenario.h"
+
+namespace p2pcd::workload {
+
+class scenario_registry {
+public:
+    using factory = std::function<scenario_config()>;
+
+    // Registers `make` under `name` with a one-line description. Throws
+    // contract_violation when the name is empty or already taken.
+    void add(std::string name, std::string description, factory make);
+
+    [[nodiscard]] bool contains(std::string_view name) const;
+
+    // Registered names, sorted.
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    // One-line description of a registered scenario.
+    [[nodiscard]] const std::string& describe(std::string_view name) const;
+
+    // Builds the named config (already validate()d). Unknown names throw
+    // contract_violation with a message listing every registered name.
+    [[nodiscard]] scenario_config make(std::string_view name) const;
+
+private:
+    struct entry {
+        std::string description;
+        factory make;
+    };
+    std::map<std::string, entry, std::less<>> entries_;
+};
+
+// The registry of the named setups listed in the header comment. One
+// immutable instance — copy it and add() to extend.
+[[nodiscard]] const scenario_registry& builtin_scenarios();
+
+}  // namespace p2pcd::workload
+
+#endif  // P2PCD_WORKLOAD_SCENARIO_REGISTRY_H

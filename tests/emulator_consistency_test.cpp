@@ -15,7 +15,7 @@ emulator_options churny_options(std::uint64_t seed) {
     opts.config.initial_peers = 10;
     opts.config.departure_probability = 0.7;
     opts.config.master_seed = seed;
-    opts.algo = algorithm::auction;
+    opts.scheduler = "auction";
     return opts;
 }
 

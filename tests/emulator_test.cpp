@@ -7,10 +7,10 @@
 namespace p2pcd::vod {
 namespace {
 
-emulator_options small_options(algorithm algo = algorithm::auction) {
+emulator_options small_options(const std::string& scheduler = "auction") {
     emulator_options opts;
     opts.config = workload::scenario_config::small_test();
-    opts.algo = algo;
+    opts.scheduler = scheduler;
     return opts;
 }
 
@@ -42,6 +42,41 @@ TEST(emulator, run_is_single_shot) {
     emulator emu(small_options());
     emu.run();
     EXPECT_THROW(emu.run(), contract_violation);
+}
+
+TEST(emulator, run_refuses_after_manual_steps) {
+    // run() emulates the whole horizon from t=0; after manual step()s that
+    // contract can no longer hold, so it must fail loudly instead of
+    // silently emulating a shifted horizon.
+    emulator emu(small_options());
+    (void)emu.step();
+    EXPECT_THROW(emu.run(), contract_violation);
+}
+
+TEST(emulator, random_scheduler_is_deterministic_and_round_seeded) {
+    // The random baseline derives its per-round seed from (slot, round) via
+    // sim::rng_factory: same master seed → identical runs, different master
+    // seeds → different visiting orders (a regression test for the old
+    // float-derived seeding, which collided across rounds).
+    auto opts = small_options("random");
+    emulator a(opts);
+    emulator b(opts);
+    a.run();
+    b.run();
+    ASSERT_EQ(a.slots().size(), b.slots().size());
+    for (std::size_t k = 0; k < a.slots().size(); ++k) {
+        EXPECT_EQ(a.slots()[k].transfers, b.slots()[k].transfers);
+        EXPECT_DOUBLE_EQ(a.slots()[k].social_welfare, b.slots()[k].social_welfare);
+    }
+
+    auto other = opts;
+    other.config.master_seed = opts.config.master_seed + 1;
+    emulator c(other);
+    c.run();
+    bool any_difference = false;
+    for (std::size_t k = 0; k < a.slots().size() && !any_difference; ++k)
+        any_difference = a.slots()[k].transfers != c.slots()[k].transfers;
+    EXPECT_TRUE(any_difference) << "different master seeds must change the run";
 }
 
 TEST(emulator, deterministic_for_fixed_seed) {
@@ -94,8 +129,8 @@ TEST(emulator, viewers_finish_and_depart) {
 }
 
 TEST(emulator, locality_baseline_runs_and_underperforms_auction) {
-    emulator auction_emu(small_options(algorithm::auction));
-    emulator locality_emu(small_options(algorithm::simple_locality));
+    emulator auction_emu(small_options("auction"));
+    emulator locality_emu(small_options("simple-locality"));
     auction_emu.run();
     locality_emu.run();
     EXPECT_GT(auction_emu.total_welfare(), locality_emu.total_welfare())
@@ -106,9 +141,9 @@ TEST(emulator, exact_bounds_auction_welfare) {
     // One bidding round per slot so slot 0 is a single assignment problem
     // (with multiple rounds the slot is a *sequence* of problems and the
     // per-slot bound does not apply); same seed → identical slot-0 problem.
-    auto auction_opts = small_options(algorithm::auction);
+    auto auction_opts = small_options("auction");
     auction_opts.bid_rounds_per_slot = 1;
-    auto exact_opts = small_options(algorithm::exact);
+    auto exact_opts = small_options("exact");
     exact_opts.bid_rounds_per_slot = 1;
     emulator auction_emu(auction_opts);
     emulator exact_emu(exact_opts);

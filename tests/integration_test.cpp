@@ -34,10 +34,10 @@ struct run_outcome {
     double steady_miss_rate;  // excluding the cold-start slot
 };
 
-run_outcome run_with(algorithm algo, std::uint64_t seed = 42) {
+run_outcome run_with(const std::string& scheduler, std::uint64_t seed = 42) {
     emulator_options opts;
     opts.config = mid_config(seed);
-    opts.algo = algo;
+    opts.scheduler = scheduler;
     emulator emu(opts);
     emu.run();
     std::uint64_t due = 0;
@@ -53,8 +53,8 @@ run_outcome run_with(algorithm algo, std::uint64_t seed = 42) {
 }
 
 TEST(integration, auction_beats_locality_on_all_three_metrics) {
-    auto auction = run_with(algorithm::auction);
-    auto locality = run_with(algorithm::simple_locality);
+    auto auction = run_with("auction");
+    auto locality = run_with("simple-locality");
 
     EXPECT_GT(auction.welfare, locality.welfare) << "Fig. 3 shape";
     EXPECT_LT(auction.inter_isp, locality.inter_isp) << "Fig. 4 shape";
@@ -66,16 +66,16 @@ TEST(integration, auction_beats_locality_on_all_three_metrics) {
 }
 
 TEST(integration, auction_tracks_exact_optimum_closely) {
-    auto auction = run_with(algorithm::auction);
-    auto exact = run_with(algorithm::exact);
+    auto auction = run_with("auction");
+    auto exact = run_with("exact");
     // Trajectories diverge slot by slot (different buffers), but aggregate
     // welfare should be within a few percent.
     EXPECT_GT(auction.welfare, 0.9 * exact.welfare);
 }
 
 TEST(integration, network_agnostic_baseline_pays_more_isp_cost) {
-    auto auction = run_with(algorithm::auction);
-    auto random = run_with(algorithm::random_select);
+    auto auction = run_with("auction");
+    auto random = run_with("random");
     EXPECT_LT(auction.inter_isp, random.inter_isp)
         << "random neighbor choice ships far more inter-ISP traffic";
     EXPECT_GT(auction.welfare, random.welfare);
@@ -84,7 +84,7 @@ TEST(integration, network_agnostic_baseline_pays_more_isp_cost) {
 TEST(integration, upload_capacity_is_never_exceeded) {
     emulator_options opts;
     opts.config = mid_config();
-    opts.algo = algorithm::auction;
+    opts.scheduler = "auction";
     emulator emu(opts);
     // Per-slot transfers can never exceed the sum of upload capacities; the
     // per-uploader constraint is asserted inside schedule application via
@@ -105,7 +105,7 @@ TEST(integration, downloaded_chunks_stay_downloaded) {
     // total growth of buffer counts of non-seed peers.
     emulator_options opts;
     opts.config = mid_config();
-    opts.algo = algorithm::auction;
+    opts.scheduler = "auction";
     emulator emu(opts);
     emu.run();
     std::uint64_t transfers = 0;
@@ -117,8 +117,8 @@ TEST(integration, welfare_gap_is_stable_across_seeds) {
     // The auction-vs-locality ordering must not be a fluke of one seed.
     int auction_wins = 0;
     for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
-        auto auction = run_with(algorithm::auction, seed);
-        auto locality = run_with(algorithm::simple_locality, seed);
+        auto auction = run_with("auction", seed);
+        auto locality = run_with("simple-locality", seed);
         if (auction.welfare > locality.welfare) ++auction_wins;
     }
     EXPECT_EQ(auction_wins, 3);
