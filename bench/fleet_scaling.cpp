@@ -1,0 +1,236 @@
+// Fleet scaling: aggregate solve throughput of the multi-swarm engine vs.
+// thread count — the first path to >100k emulated peers in one process.
+//
+// Each row constructs a fresh fleet from a named workload::fleet_config,
+// runs the full horizon on a `--threads N` pool, and reports the aggregate
+// scheduler-dispatch throughput (swarms × slots × bidding rounds / wall
+// seconds), the merged fleet aggregates, and the process peak RSS. The
+// merged welfare / inter-ISP / miss-rate columns must be identical across
+// rows — the engine's determinism guarantee (seeds derive from the swarm
+// index, never the thread id); the bench asserts it and records
+// `determinism_ok` in the artifact.
+//
+// Flags:
+//   --fleet NAME     registered fleet (see workload::builtin_fleets())
+//                    [fleet_metro_100x5k]
+//   --threads LIST   comma-separated pool sizes; "hw" = hardware_concurrency
+//                    [1,hw]
+//   --swarms N       override the fleet's swarm count (total_peers scales
+//                    proportionally), e.g. the CI smoke's 2 swarms
+//   --total-peers N  override the fleet's total viewer target
+//
+// Environment knobs (standard, see bench_common.h): P2PCD_BENCH_SCALE
+// ("full" runs the fleet as registered; default "ci" shrinks the base
+// scenario and swarm populations to seconds of wall time), P2PCD_BENCH_SEED,
+// P2PCD_BENCH_OUT.
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
+#include "metrics/process_stats.h"
+#include "metrics/report.h"
+#include "workload/fleet_config.h"
+
+namespace {
+
+using namespace p2pcd;
+
+[[noreturn]] void usage(const std::string& complaint) {
+    std::cerr << "fleet_scaling: " << complaint
+              << "\nsee the header of bench/fleet_scaling.cpp for flags\n";
+    std::exit(2);
+}
+
+std::vector<std::size_t> parse_threads(const std::string& list) {
+    // Deliberately strict: stoul would accept "-1" (wrapping to 1.8e19
+    // workers) and throw on "two"; both should land in usage() instead.
+    constexpr std::size_t max_threads = 1024;
+    std::vector<std::size_t> threads;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string token = list.substr(pos, comma - pos);
+        if (token == "hw") {
+            threads.push_back(engine::thread_pool::default_thread_count());
+        } else if (!token.empty()) {
+            if (token.size() > 4 ||
+                !std::all_of(token.begin(), token.end(),
+                             [](unsigned char c) { return std::isdigit(c); }))
+                usage("--threads token '" + token +
+                      "' is not a positive count or 'hw'");
+            threads.push_back(std::stoul(token));
+        }
+        pos = comma + 1;
+    }
+    std::sort(threads.begin(), threads.end());
+    threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+    if (threads.empty() || threads.front() == 0 || threads.back() > max_threads)
+        usage("--threads needs a comma-separated list of counts in [1, " +
+              std::to_string(max_threads) + "] (or 'hw')");
+    return threads;
+}
+
+struct row_result {
+    double construct_seconds = 0.0;
+    double run_seconds = 0.0;
+    double solves_per_second = 0.0;
+    double welfare = 0.0;
+    double inter_isp = 0.0;
+    double miss = 0.0;
+    double peak_rss_mb = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool full = bench::full_scale();
+
+    std::string fleet_name = "fleet_metro_100x5k";
+    std::vector<std::size_t> thread_counts;
+    std::size_t swarms_override = 0;
+    std::size_t total_peers_override = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage("flag " + flag + " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--fleet") fleet_name = next();
+        else if (flag == "--threads") thread_counts = parse_threads(next());
+        else if (flag == "--swarms") swarms_override = std::stoul(next());
+        else if (flag == "--total-peers") total_peers_override = std::stoul(next());
+        else usage("unknown flag '" + flag + "'");
+    }
+    if (thread_counts.empty()) thread_counts = parse_threads("1,hw");
+
+    const auto& fleets = workload::builtin_fleets();
+    if (!fleets.contains(fleet_name)) usage("unknown fleet '" + fleet_name + "'");
+    workload::fleet_config fleet_cfg = fleets.make(fleet_name);
+    fleet_cfg.fleet_seed = bench::bench_seed();
+    if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
+    if (total_peers_override > 0) fleet_cfg.total_peers = total_peers_override;
+
+    // Base per-swarm scenario: as registered at full scale; CI mode shrinks
+    // the catalog/seed provisioning (bench_common's standard reduction) and
+    // the populations so the smoke run finishes in seconds.
+    workload::scenario_config base =
+        workload::builtin_scenarios().make(fleet_cfg.swarm_scenario);
+    if (!full) {
+        bench::apply_ci_scale(base);
+        if (swarms_override == 0 && fleet_cfg.num_swarms > 4) fleet_cfg.num_swarms = 4;
+        if (total_peers_override == 0)
+            fleet_cfg.total_peers = 300 * fleet_cfg.num_swarms;
+        fleet_cfg.min_swarm_peers = std::min<std::size_t>(fleet_cfg.min_swarm_peers, 50);
+    }
+
+    std::cout << "=== Fleet scaling: aggregate solve throughput vs threads ===\n"
+              << "scale: " << (full ? "full" : "ci (smoke)")
+              << "  fleet: " << fleet_name << "  swarms: " << fleet_cfg.num_swarms
+              << "  scheduler: " << fleet_cfg.scheduler
+              << "  seed: " << fleet_cfg.fleet_seed
+              << "  hardware_concurrency: "
+              << engine::thread_pool::default_thread_count() << "\n\n";
+
+    metrics::table t({"fleet", "swarms", "viewers", "threads", "construct_s",
+                      "run_s", "solves", "solves_per_s", "speedup_vs_1t",
+                      "welfare", "inter_isp_%", "miss_%", "peak_rss_mb"});
+    metrics::json_report rep("fleet_scaling");
+    rep.add_scalar("scale", full ? "full" : "ci");
+    rep.add_scalar("seed", static_cast<double>(fleet_cfg.fleet_seed));
+    rep.add_scalar("fleet", fleet_name);
+    rep.add_scalar("num_swarms", static_cast<double>(fleet_cfg.num_swarms));
+    rep.add_scalar("scheduler", fleet_cfg.scheduler);
+    rep.add_scalar("hardware_concurrency",
+                   static_cast<double>(engine::thread_pool::default_thread_count()));
+
+    using clock = std::chrono::steady_clock;
+    std::vector<row_result> results;
+    double single_thread_rate = 0.0;
+    double viewers = 0.0;
+    std::uint64_t solves = 0;
+    for (const std::size_t threads : thread_counts) {
+        engine::fleet_options options;
+        options.config = fleet_cfg;
+        options.base_scenario = base;
+        options.threads = threads;
+
+        const auto t0 = clock::now();
+        engine::fleet fleet(std::move(options));
+        const auto t1 = clock::now();
+        fleet.run();
+        const auto t2 = clock::now();
+
+        row_result row;
+        row.construct_seconds = std::chrono::duration<double>(t1 - t0).count();
+        row.run_seconds = std::chrono::duration<double>(t2 - t1).count();
+        solves = fleet.solves_per_run();
+        row.solves_per_second = static_cast<double>(solves) / row.run_seconds;
+        row.welfare = fleet.total_welfare();
+        row.inter_isp = fleet.overall_inter_isp_fraction();
+        row.miss = fleet.overall_miss_rate();
+        row.peak_rss_mb = fleet.peak_rss_mb();
+        viewers = fleet.total_expected_viewers();
+        if (threads == 1) single_thread_rate = row.solves_per_second;
+        results.push_back(row);
+
+        const double speedup =
+            single_thread_rate > 0.0 ? row.solves_per_second / single_thread_rate : 0.0;
+        t.add_row({fleet_name, std::to_string(fleet_cfg.num_swarms),
+                   metrics::format_double(viewers, 0), std::to_string(threads),
+                   metrics::format_double(row.construct_seconds, 2),
+                   metrics::format_double(row.run_seconds, 2), std::to_string(solves),
+                   metrics::format_double(row.solves_per_second, 1),
+                   threads == 1 || single_thread_rate > 0.0
+                       ? metrics::format_double(speedup, 2)
+                       : "-",
+                   metrics::format_double(row.welfare, 1),
+                   metrics::format_double(100.0 * row.inter_isp, 2),
+                   metrics::format_double(100.0 * row.miss, 2),
+                   metrics::format_double(row.peak_rss_mb, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\npeak_rss_mb is the process high-water mark after the row "
+                 "finished (monotone across rows — later rows include earlier "
+                 "rows' footprint).\n";
+
+    // The engine's determinism guarantee, checked at bench scale too: the
+    // merged aggregates must not depend on the thread count.
+    bool determinism_ok = true;
+    for (const auto& row : results)
+        determinism_ok = determinism_ok && row.welfare == results.front().welfare &&
+                         row.inter_isp == results.front().inter_isp &&
+                         row.miss == results.front().miss;
+    std::cout << "\nmerged aggregates identical across thread counts: "
+              << (determinism_ok ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+    double best_rate = 0.0;
+    std::size_t best_threads = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].solves_per_second > best_rate) {
+            best_rate = results[i].solves_per_second;
+            best_threads = thread_counts[i];
+        }
+    }
+    rep.add_scalar("total_expected_viewers", viewers);
+    rep.add_scalar("solves_per_run", static_cast<double>(solves));
+    rep.add_scalar("single_thread_solves_per_s", single_thread_rate);
+    rep.add_scalar("best_solves_per_s", best_rate);
+    rep.add_scalar("best_threads", static_cast<double>(best_threads));
+    rep.add_scalar("speedup_best_vs_single",
+                   single_thread_rate > 0.0 ? best_rate / single_thread_rate : 0.0);
+    rep.add_scalar("determinism_ok", determinism_ok);
+    rep.add_table("scaling", t);
+    bench::write_artifact("fleet_scaling", rep);
+
+    return determinism_ok ? 0 : 1;
+}

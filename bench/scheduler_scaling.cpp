@@ -16,8 +16,6 @@
 //                         the ≥5000-peer scenarios, where one solve takes
 //                         minutes (it is otherwise skipped there at full
 //                         scale; smoke/ci sizes always include it)
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cmath>
 #include <iostream>
@@ -31,6 +29,7 @@
 #include "core/auction.h"
 #include "core/scheduler_registry.h"
 #include "core/welfare.h"
+#include "metrics/process_stats.h"
 #include "metrics/report.h"
 #include "workload/instance_gen.h"
 #include "workload/scenario_registry.h"
@@ -39,17 +38,10 @@ namespace {
 
 using namespace p2pcd;
 
-double peak_rss_mb() {
-    rusage usage{};
-    getrusage(RUSAGE_SELF, &usage);
-    return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB -> MiB
-}
-
-// Expected population of a named scenario: static peers, or Poisson
-// arrivals over the horizon.
+// Expected population of a named scenario (static peers + Poisson arrivals
+// over the horizon — the shared definition in workload::scenario_config).
 std::size_t scenario_population(const workload::scenario_config& cfg) {
-    if (cfg.initial_peers > 0) return cfg.initial_peers;
-    return static_cast<std::size_t>(cfg.arrival_rate * cfg.horizon_seconds);
+    return static_cast<std::size_t>(cfg.expected_viewers());
 }
 
 }  // namespace
@@ -166,7 +158,7 @@ int main() {
             }
             double solves_per_s = best_rate;
             double welfare = core::compute_stats(inst.problem, last).welfare;
-            double rss = peak_rss_mb();
+            double rss = metrics::peak_rss_mb();
 
             t.add_row({scenario_name, std::to_string(total_peers),
                        std::to_string(inst.problem.num_requests()),

@@ -7,10 +7,21 @@
 //
 //   $ ./experiment_runner --algo auction --peers 200 --videos 20 --csv out.csv
 //   $ ./experiment_runner --scenario metro_5k --algo greedy-welfare
+//   $ ./experiment_runner --fleet fleet_smoke --threads 4
 //   $ ./experiment_runner --list
 //
 // Flags (defaults in brackets):
-//   --list           print registered schedulers and scenarios, then exit
+//   --list           print registered schedulers, scenarios and fleets, exit
+//   --fleet NAME     run a registered multi-swarm fleet on the engine instead
+//                    of a single swarm; prints the merged per-slot metrics.
+//                    --algo/--rounds/--epsilon/--warm-rounds apply per swarm;
+//                    --seed sets the fleet seed (per-swarm seeds derive from
+//                    it); --csv writes the merged fleet-level series; the
+//                    other scenario flags do not apply
+//   --threads N      fleet engine thread-pool size; 0 = hardware_concurrency
+//                    [1]
+//   --swarms N       override the fleet's swarm count (viewer target scales
+//                    proportionally)
 //   --algo NAME      registered scheduler name                 [auction]
 //                    (aliases: locality, greedy)
 //   --scenario NAME  registered base scenario; the other flags override it
@@ -34,11 +45,15 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 
 #include "baseline/registry.h"
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
 #include "metrics/report.h"
 #include "metrics/time_series.h"
 #include "vod/emulator.h"
+#include "workload/fleet_config.h"
 #include "workload/scenario_registry.h"
 
 namespace {
@@ -66,6 +81,51 @@ void print_registries() {
     for (const auto& name : workload::builtin_scenarios().names())
         std::cout << "  " << name << " — "
                   << workload::builtin_scenarios().describe(name) << '\n';
+    std::cout << "registered fleets:\n";
+    for (const auto& name : workload::builtin_fleets().names())
+        std::cout << "  " << name << " — " << workload::builtin_fleets().describe(name)
+                  << '\n';
+}
+
+// Multi-swarm path: run the named fleet on the parallel engine and print the
+// merged per-slot metrics — the fleet analogue of the single-swarm table.
+int run_fleet(workload::fleet_config cfg, std::size_t threads,
+              const vod::emulator_options& swarm_options, const std::string& csv_path) {
+    engine::fleet_options options;
+    options.config = std::move(cfg);
+    options.threads = threads;
+    options.swarm_options = swarm_options;
+
+    engine::fleet fleet(std::move(options));
+    std::cout << "fleet: " << fleet.num_swarms() << " swarms, ~"
+              << metrics::format_double(fleet.total_expected_viewers(), 0)
+              << " viewers, " << fleet.threads() << " thread(s)\n";
+
+    metrics::table t({"slot_start_s", "viewers", "requests", "transfers",
+                      "inter_isp_%", "welfare", "miss_%"});
+    for (std::size_t k = 0; k < fleet.num_slots(); ++k) {
+        const auto& m = fleet.step();
+        t.add_row({metrics::format_double(m.time, 0), std::to_string(m.online_peers),
+                   std::to_string(m.requests), std::to_string(m.transfers),
+                   metrics::format_double(100.0 * m.inter_isp_fraction, 2),
+                   metrics::format_double(m.social_welfare, 1),
+                   metrics::format_double(100.0 * m.miss_rate, 2)});
+    }
+    t.print(std::cout);
+    std::cout << "\ntotals: welfare=" << metrics::format_double(fleet.total_welfare(), 1)
+              << "  inter-ISP="
+              << metrics::format_double(100.0 * fleet.overall_inter_isp_fraction(), 2)
+              << "%  miss="
+              << metrics::format_double(100.0 * fleet.overall_miss_rate(), 2) << "%\n";
+
+    if (!csv_path.empty()) {
+        std::ofstream out(csv_path);
+        if (!out) usage("cannot open CSV path '" + csv_path + "'");
+        metrics::write_csv(out, {&fleet.viewers_series(), &fleet.welfare_series(),
+                                 &fleet.inter_isp_series(), &fleet.miss_rate_series()});
+        std::cout << "per-slot fleet series written to " << csv_path << '\n';
+    }
+    return 0;
 }
 
 }  // namespace
@@ -82,6 +142,10 @@ int main(int argc, char** argv) {
     cfg.initial_position_max_fraction = 0.05;
     cfg.arrival_rate = 0.0;
     std::string csv_path;
+    std::string fleet_name;
+    std::size_t threads = 1;
+    std::size_t swarms_override = 0;
+    bool seed_given = false;
 
     // --scenario replaces the whole base config, so it is applied in a
     // pre-pass: the other flags always override it regardless of their
@@ -117,7 +181,13 @@ int main(int argc, char** argv) {
         else if (flag == "--seeds") cfg.seeds_per_isp_per_video = std::stoul(next());
         else if (flag == "--seed-upload") cfg.seed_upload_multiple = std::stod(next());
         else if (flag == "--horizon") cfg.horizon_seconds = std::stod(next());
-        else if (flag == "--seed") cfg.master_seed = std::stoull(next());
+        else if (flag == "--seed") { cfg.master_seed = std::stoull(next()); seed_given = true; }
+        else if (flag == "--fleet") fleet_name = next();
+        else if (flag == "--threads") {
+            threads = std::stoul(next());
+            if (threads == 0) threads = engine::thread_pool::default_thread_count();
+        }
+        else if (flag == "--swarms") swarms_override = std::stoul(next());
         else if (flag == "--rounds") opts.bid_rounds_per_slot = std::stoul(next());
         else if (flag == "--epsilon") opts.auction.bidding.epsilon = std::stod(next());
         else if (flag == "--warm-rounds") opts.warm_start_rounds = true;
@@ -127,6 +197,17 @@ int main(int argc, char** argv) {
 
     if (!baseline::builtin_schedulers().contains(opts.scheduler))
         usage("unknown scheduler '" + opts.scheduler + "' (try --list)");
+
+    if (!fleet_name.empty()) {
+        if (!workload::builtin_fleets().contains(fleet_name))
+            usage("unknown fleet '" + fleet_name + "' (try --list)");
+        auto fleet_cfg = workload::builtin_fleets().make(fleet_name);
+        fleet_cfg.scheduler = opts.scheduler;
+        if (seed_given) fleet_cfg.fleet_seed = cfg.master_seed;
+        if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
+        return run_fleet(std::move(fleet_cfg), threads, opts, csv_path);
+    }
+
     try {
         cfg.validate();
     } catch (const contract_violation& broken) {

@@ -1,0 +1,129 @@
+#include "engine/fleet.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+#include "metrics/process_stats.h"
+#include "workload/scenario_registry.h"
+
+namespace p2pcd::engine {
+
+fleet::fleet(fleet_options options)
+    : options_(std::move(options)), pool_(options_.threads) {
+    options_.config.validate();
+
+    const workload::scenario_config base =
+        options_.base_scenario
+            ? *options_.base_scenario
+            : workload::builtin_scenarios().make(options_.config.swarm_scenario);
+    auto specs = workload::expand_fleet(options_.config, base);
+
+    // Every swarm shares the base scenario's slot grid, so one fleet-level
+    // slot loop advances them all in lock-step.
+    num_slots_ = base.num_slots();
+    slot_seconds_ = base.slot_seconds;
+    for (const auto& spec : specs) {
+        expects(spec.config.num_slots() == num_slots_ &&
+                    spec.config.slot_seconds == slot_seconds_,
+                "all swarms of a fleet must share the slot grid");
+    }
+
+    options_.swarm_options.scheduler = options_.config.scheduler;
+
+    // Shard construction (spawning up to hundreds of thousands of peers) is
+    // itself embarrassingly parallel: each shard only touches its own world.
+    shards_.resize(specs.size());
+    const std::uint64_t fleet_seed = options_.config.fleet_seed;
+    pool_.parallel_for_each(specs.size(), [&](std::size_t i) {
+        shards_[i] = std::make_unique<shard>(std::move(specs[i]), fleet_seed,
+                                             options_.swarm_options);
+    });
+    last_slot_.resize(shards_.size());
+}
+
+const fleet_slot_metrics& fleet::step() {
+    // Parallel phase: each shard advances one slot, writing only its own
+    // scratch entry. Barrier before any merging.
+    pool_.parallel_for_each(shards_.size(),
+                            [&](std::size_t i) { last_slot_[i] = shards_[i]->step(); });
+
+    // Serial merge in swarm-index order — the floating-point sums (and
+    // therefore every downstream aggregate) are independent of the thread
+    // count and of which worker ran which shard.
+    fleet_slot_metrics merged;
+    merged.time = last_slot_.empty() ? 0.0 : last_slot_.front().time;
+    for (const auto& slot : last_slot_) {
+        merged.online_peers += slot.online_peers;
+        merged.requests += slot.requests;
+        merged.transfers += slot.transfers;
+        merged.inter_isp_transfers += slot.inter_isp_transfers;
+        merged.social_welfare += slot.social_welfare;
+        merged.chunks_due += slot.chunks_due;
+        merged.chunks_missed += slot.chunks_missed;
+        merged.auction_bids += slot.auction_bids;
+    }
+    merged.inter_isp_fraction =
+        merged.transfers == 0
+            ? 0.0
+            : static_cast<double>(merged.inter_isp_transfers) /
+                  static_cast<double>(merged.transfers);
+    merged.miss_rate = merged.chunks_due == 0
+                           ? 0.0
+                           : static_cast<double>(merged.chunks_missed) /
+                                 static_cast<double>(merged.chunks_due);
+
+    welfare_series_.record(merged.time, merged.social_welfare);
+    inter_isp_series_.record(merged.time, merged.inter_isp_fraction);
+    miss_rate_series_.record(merged.time, merged.miss_rate);
+    viewers_series_.record(merged.time, static_cast<double>(merged.online_peers));
+    slots_.push_back(merged);
+    return slots_.back();
+}
+
+void fleet::run() {
+    expects(!has_run_ && slots_.empty(),
+            "fleet::run may only be called once (and not after manual steps)");
+    has_run_ = true;
+    for (std::size_t k = 0; k < num_slots_; ++k) step();
+    peak_rss_mb_ = metrics::peak_rss_mb();
+}
+
+std::uint64_t fleet::solves_per_run() const noexcept {
+    const std::uint64_t rounds =
+        std::max<std::size_t>(1, options_.swarm_options.bid_rounds_per_slot);
+    return static_cast<std::uint64_t>(shards_.size()) * num_slots_ * rounds;
+}
+
+double fleet::total_expected_viewers() const noexcept {
+    double total = 0.0;
+    for (const auto& s : shards_) total += s->config().expected_viewers();
+    return total;
+}
+
+double fleet::total_welfare() const {
+    double total = 0.0;
+    for (const auto& s : slots_) total += s.social_welfare;
+    return total;
+}
+
+double fleet::overall_inter_isp_fraction() const {
+    std::uint64_t inter = 0;
+    std::uint64_t total = 0;
+    for (const auto& s : slots_) {
+        inter += s.inter_isp_transfers;
+        total += s.transfers;
+    }
+    return total == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(total);
+}
+
+double fleet::overall_miss_rate() const {
+    std::uint64_t missed = 0;
+    std::uint64_t due = 0;
+    for (const auto& s : slots_) {
+        missed += s.chunks_missed;
+        due += s.chunks_due;
+    }
+    return due == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(due);
+}
+
+}  // namespace p2pcd::engine

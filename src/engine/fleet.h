@@ -1,0 +1,137 @@
+// The multi-swarm fleet engine: N independent swarms advanced slot-by-slot
+// in parallel on a fixed thread pool, with per-slot metrics merged into
+// fleet-level aggregates.
+//
+// Execution model per slot k:
+//   1. `parallel_for_each` over the shards — each shard advances its own
+//      emulator exactly one slot (barrier; no shard ever observes another
+//      mid-slot);
+//   2. the caller thread merges the shards' slot metrics *in swarm-index
+//      order* into one `fleet_slot_metrics` and appends to the fleet-level
+//      time series (social welfare, inter-ISP traffic, miss rate, viewers).
+//
+// Determinism: every shard's randomness derives from (fleet_seed,
+// swarm_index) — see workload/fleet_config.h — and the merge order is the
+// swarm index, so the merged metrics are bit-identical for any `threads`
+// value (asserted by tests/fleet_determinism_test.cpp).
+#ifndef P2PCD_ENGINE_FLEET_H
+#define P2PCD_ENGINE_FLEET_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/shard.h"
+#include "engine/thread_pool.h"
+#include "metrics/time_series.h"
+#include "vod/emulator.h"
+#include "workload/fleet_config.h"
+
+namespace p2pcd::engine {
+
+struct fleet_options {
+    workload::fleet_config config;
+
+    // Base scenario for every swarm. Unset: resolved from
+    // `config.swarm_scenario` through workload::builtin_scenarios(). Set it
+    // to emulate a down-scaled or customized base (the benches' CI mode).
+    std::optional<workload::scenario_config> base_scenario;
+
+    // Thread-pool size (>= 1). The pool advances shards; merging stays on
+    // the calling thread.
+    std::size_t threads = 1;
+
+    // Per-swarm emulator knobs. `swarm_options.config` and
+    // `swarm_options.scheduler` are overwritten per shard from the expanded
+    // specs / `config.scheduler`; everything else (bid rounds, auction ε,
+    // warm-start, custom scheduler registry) applies to every swarm.
+    vod::emulator_options swarm_options;
+};
+
+// One slot's metrics summed over every swarm (index order, so the floating-
+// point sums are reproducible).
+struct fleet_slot_metrics {
+    double time = 0.0;  // slot start, shared by all swarms
+    std::size_t online_peers = 0;
+    std::size_t requests = 0;
+    std::size_t transfers = 0;
+    std::size_t inter_isp_transfers = 0;
+    double inter_isp_fraction = 0.0;  // of this slot's fleet-wide transfers
+    double social_welfare = 0.0;
+    std::size_t chunks_due = 0;
+    std::size_t chunks_missed = 0;
+    double miss_rate = 0.0;  // of this slot's fleet-wide due chunks
+    std::uint64_t auction_bids = 0;
+};
+
+class fleet {
+public:
+    explicit fleet(fleet_options options);
+
+    // Advances every shard exactly one slot (in parallel) and returns the
+    // merged metrics.
+    const fleet_slot_metrics& step();
+
+    // Runs the full horizon. Single-shot, like vod::emulator::run.
+    void run();
+
+    [[nodiscard]] std::size_t num_swarms() const noexcept { return shards_.size(); }
+    [[nodiscard]] std::size_t threads() const noexcept { return pool_.size(); }
+    [[nodiscard]] std::size_t num_slots() const noexcept { return num_slots_; }
+    [[nodiscard]] double slot_seconds() const noexcept { return slot_seconds_; }
+    // Scheduler dispatches per full run: swarms × slots × bidding rounds.
+    [[nodiscard]] std::uint64_t solves_per_run() const noexcept;
+    // Fleet-wide expected viewer population (static peers + expected
+    // arrivals per swarm, summed).
+    [[nodiscard]] double total_expected_viewers() const noexcept;
+
+    [[nodiscard]] const std::vector<fleet_slot_metrics>& slots() const noexcept {
+        return slots_;
+    }
+    [[nodiscard]] const shard& shard_at(std::size_t swarm_index) const {
+        return *shards_.at(swarm_index);
+    }
+
+    // Fleet-level per-slot series (recorded by step()).
+    [[nodiscard]] const metrics::time_series& welfare_series() const noexcept {
+        return welfare_series_;
+    }
+    [[nodiscard]] const metrics::time_series& inter_isp_series() const noexcept {
+        return inter_isp_series_;
+    }
+    [[nodiscard]] const metrics::time_series& miss_rate_series() const noexcept {
+        return miss_rate_series_;
+    }
+    [[nodiscard]] const metrics::time_series& viewers_series() const noexcept {
+        return viewers_series_;
+    }
+
+    // Aggregates over all stepped slots.
+    [[nodiscard]] double total_welfare() const;
+    [[nodiscard]] double overall_inter_isp_fraction() const;
+    [[nodiscard]] double overall_miss_rate() const;
+
+    // Peak process RSS in MiB sampled at the end of run() (0 before).
+    [[nodiscard]] double peak_rss_mb() const noexcept { return peak_rss_mb_; }
+
+private:
+    fleet_options options_;
+    thread_pool pool_;
+    std::vector<std::unique_ptr<shard>> shards_;
+    std::size_t num_slots_ = 0;
+    double slot_seconds_ = 0.0;
+
+    std::vector<fleet_slot_metrics> slots_;
+    std::vector<vod::slot_metrics> last_slot_;  // per-shard scratch, one entry each
+    metrics::time_series welfare_series_{"fleet_welfare"};
+    metrics::time_series inter_isp_series_{"fleet_inter_isp_fraction"};
+    metrics::time_series miss_rate_series_{"fleet_miss_rate"};
+    metrics::time_series viewers_series_{"fleet_viewers"};
+    bool has_run_ = false;
+    double peak_rss_mb_ = 0.0;
+};
+
+}  // namespace p2pcd::engine
+
+#endif  // P2PCD_ENGINE_FLEET_H

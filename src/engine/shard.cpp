@@ -1,0 +1,23 @@
+#include "engine/shard.h"
+
+#include <utility>
+
+#include "common/contracts.h"
+
+namespace p2pcd::engine {
+
+shard::shard(workload::swarm_spec spec, std::uint64_t fleet_seed,
+             const vod::emulator_options& base_options)
+    : spec_(std::move(spec)) {
+    // The determinism rule of the whole engine: a shard's randomness is a
+    // function of (fleet_seed, swarm_index) only. Catching a mismatch here
+    // (rather than in the fleet) also protects hand-built specs.
+    expects(spec_.config.master_seed ==
+                workload::swarm_seed(fleet_seed, spec_.swarm_index),
+            "shard seed must derive from (fleet_seed, swarm_index)");
+    vod::emulator_options options = base_options;
+    options.config = spec_.config;
+    emulator_ = std::make_unique<vod::emulator>(std::move(options));
+}
+
+}  // namespace p2pcd::engine

@@ -1,0 +1,58 @@
+// One shard = one independent video swarm inside a fleet.
+//
+// A shard owns its whole world: one `vod::emulator` (catalog, topology, cost
+// model, tracker, peers, scheduler instance) whose `sim::rng_factory`
+// streams are all keyed by the swarm's seed. That seed derives from
+// (fleet_seed, swarm_index) — never from a thread id — so a shard's
+// slot-by-slot trajectory is a pure function of its spec, and the fleet's
+// merged metrics are bit-identical for any thread count. Nothing in a shard
+// references another shard; the thread pool may run any subset of shards
+// concurrently.
+#ifndef P2PCD_ENGINE_SHARD_H
+#define P2PCD_ENGINE_SHARD_H
+
+#include <cstdint>
+#include <memory>
+
+#include "vod/emulator.h"
+#include "workload/fleet_config.h"
+
+namespace p2pcd::engine {
+
+class shard {
+public:
+    // `spec.config.master_seed` must already carry the swarm's derived seed
+    // (enforced against workload::swarm_seed(fleet_seed, swarm_index), so a
+    // mis-wired fleet cannot silently hand two shards the same stream).
+    shard(workload::swarm_spec spec, std::uint64_t fleet_seed,
+          const vod::emulator_options& base_options);
+
+    shard(const shard&) = delete;
+    shard& operator=(const shard&) = delete;
+
+    // Advances the swarm exactly one slot.
+    const vod::slot_metrics& step() { return emulator_->step(); }
+
+    [[nodiscard]] std::size_t swarm_index() const noexcept {
+        return spec_.swarm_index;
+    }
+    [[nodiscard]] double popularity() const noexcept { return spec_.popularity; }
+    [[nodiscard]] std::uint64_t seed() const noexcept {
+        return spec_.config.master_seed;
+    }
+    [[nodiscard]] const workload::scenario_config& config() const noexcept {
+        return spec_.config;
+    }
+    [[nodiscard]] const vod::emulator& emulator() const noexcept {
+        return *emulator_;
+    }
+    [[nodiscard]] vod::emulator& emulator() noexcept { return *emulator_; }
+
+private:
+    workload::swarm_spec spec_;
+    std::unique_ptr<vod::emulator> emulator_;
+};
+
+}  // namespace p2pcd::engine
+
+#endif  // P2PCD_ENGINE_SHARD_H

@@ -1,0 +1,85 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace p2pcd::engine {
+
+thread_pool::thread_pool(std::size_t num_threads) {
+    expects(num_threads >= 1, "thread_pool needs at least one worker");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+thread_pool::~thread_pool() {
+    {
+        std::lock_guard lock(mutex_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* fn = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            fn = batch_fn_;
+            count = batch_count_;
+        }
+        for (;;) {
+            const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count) break;
+            try {
+                (*fn)(i);
+            } catch (...) {
+                std::lock_guard lock(mutex_);
+                failures_.push_back({i, std::current_exception()});
+            }
+        }
+        {
+            std::lock_guard lock(mutex_);
+            if (--workers_in_batch_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void thread_pool::parallel_for_each(std::size_t count,
+                                    const std::function<void(std::size_t)>& fn) {
+    expects(fn != nullptr, "parallel_for_each requires a callable");
+    if (count == 0) return;
+
+    std::unique_lock lock(mutex_);
+    // A worker calling back into the pool would wait for its own batch to
+    // finish — surface the deadlock as a contract violation instead.
+    expects(batch_fn_ == nullptr, "parallel_for_each is not reentrant");
+    cursor_.store(0, std::memory_order_relaxed);
+    batch_count_ = count;
+    batch_fn_ = &fn;
+    failures_.clear();
+    workers_in_batch_ = workers_.size();
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return workers_in_batch_ == 0; });
+    batch_fn_ = nullptr;
+
+    if (!failures_.empty()) {
+        auto lowest = std::min_element(
+            failures_.begin(), failures_.end(),
+            [](const failure& a, const failure& b) { return a.index < b.index; });
+        std::exception_ptr error = lowest->error;
+        failures_.clear();
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+}  // namespace p2pcd::engine

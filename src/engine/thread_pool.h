@@ -1,0 +1,83 @@
+// Fixed-size thread pool with one primitive: a parallel-for barrier.
+//
+// The fleet engine needs exactly one parallel shape — "advance every shard
+// one slot, then merge" — so the pool deliberately has no task futures, no
+// per-thread deques and no work stealing. A batch hands workers a shared
+// item cursor; each worker claims the next unclaimed index until the range is
+// drained, and `parallel_for_each` returns only after every worker has left
+// the batch (the barrier the fleet's slot loop relies on).
+//
+// Determinism: which worker executes which index is scheduling-dependent, so
+// nothing observable may depend on it. Callers get determinism by keying all
+// per-item state off the *item index* (the fleet derives every shard seed
+// from (fleet_seed, swarm_index), never from a thread id) and by merging
+// results in index order after the barrier. Exceptions follow the same rule:
+// every item still runs, failures are collected, and the one with the lowest
+// item index is rethrown — identical for any thread count.
+#ifndef P2PCD_ENGINE_THREAD_POOL_H
+#define P2PCD_ENGINE_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace p2pcd::engine {
+
+class thread_pool {
+public:
+    // Spawns exactly `num_threads` workers (>= 1; enforced). The constructing
+    // thread never executes items itself — `size()` is the full degree of
+    // parallelism, which keeps "--threads N" comparisons honest.
+    explicit thread_pool(std::size_t num_threads);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+    // Runs fn(i) exactly once for every i in [0, count), then blocks until
+    // all of them finished (barrier). Reusable: batches may follow each other
+    // back to back. Not reentrant — calling it from inside a worker (i.e.
+    // from fn) throws contract_violation instead of deadlocking.
+    //
+    // If one or more fn(i) throw, the remaining items still run to the
+    // barrier; afterwards the exception of the *lowest failing index* is
+    // rethrown, so the surfaced error does not depend on thread timing.
+    void parallel_for_each(std::size_t count,
+                           const std::function<void(std::size_t)>& fn);
+
+    // Convenience for "hardware_concurrency, but never 0".
+    [[nodiscard]] static std::size_t default_thread_count() noexcept {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    }
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  // workers: a new batch is ready
+    std::condition_variable done_cv_;  // caller: all workers left the batch
+    std::uint64_t generation_ = 0;     // bumped once per batch
+    std::size_t batch_count_ = 0;
+    const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+    std::atomic<std::size_t> cursor_{0};
+    std::size_t workers_in_batch_ = 0;
+    struct failure {
+        std::size_t index;
+        std::exception_ptr error;
+    };
+    std::vector<failure> failures_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace p2pcd::engine
+
+#endif  // P2PCD_ENGINE_THREAD_POOL_H

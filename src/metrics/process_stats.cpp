@@ -1,0 +1,23 @@
+#include "metrics/process_stats.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace p2pcd::metrics {
+
+double peak_rss_mb() {
+#if defined(__APPLE__)
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#elif defined(__unix__)
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#else
+    return 0.0;
+#endif
+}
+
+}  // namespace p2pcd::metrics

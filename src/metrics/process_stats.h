@@ -1,0 +1,15 @@
+// Process-level resource sampling shared by the fleet engine and every
+// bench (previously a bench-only copy next to the scaling bench).
+#ifndef P2PCD_METRICS_PROCESS_STATS_H
+#define P2PCD_METRICS_PROCESS_STATS_H
+
+namespace p2pcd::metrics {
+
+// Peak resident-set size of this process in MiB — the high-water mark since
+// process start (monotone; it never decreases when memory is freed).
+// Returns 0.0 on platforms without getrusage.
+[[nodiscard]] double peak_rss_mb();
+
+}  // namespace p2pcd::metrics
+
+#endif  // P2PCD_METRICS_PROCESS_STATS_H

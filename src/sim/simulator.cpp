@@ -6,6 +6,19 @@
 
 namespace p2pcd::sim {
 
+namespace {
+// Restores `flag` even when an event handler throws out of the loop.
+struct running_guard {
+    explicit running_guard(bool& flag) : flag_(flag) { flag_ = true; }
+    ~running_guard() { flag_ = false; }
+    running_guard(const running_guard&) = delete;
+    running_guard& operator=(const running_guard&) = delete;
+
+private:
+    bool& flag_;
+};
+}  // namespace
+
 void simulator::schedule_in(sim_time delay, event_fn fn) {
     expects(delay >= 0.0, "schedule_in requires a non-negative delay");
     queue_.push(now_ + delay, std::move(fn));
@@ -17,6 +30,8 @@ void simulator::schedule_at(sim_time at, event_fn fn) {
 }
 
 std::uint64_t simulator::run_until(sim_time deadline) {
+    expects(!running_, "simulator event loop is not reentrant");
+    running_guard guard(running_);
     std::uint64_t ran = 0;
     while (!queue_.empty() && queue_.next_time() <= deadline) {
         sim_time at = 0.0;
@@ -31,6 +46,8 @@ std::uint64_t simulator::run_until(sim_time deadline) {
 }
 
 std::uint64_t simulator::run_all(std::uint64_t max_events) {
+    expects(!running_, "simulator event loop is not reentrant");
+    running_guard guard(running_);
     std::uint64_t ran = 0;
     while (!queue_.empty()) {
         ensures(ran < max_events, "simulator exceeded max_events; runaway event loop?");
@@ -45,6 +62,7 @@ std::uint64_t simulator::run_all(std::uint64_t max_events) {
 }
 
 void simulator::reset() {
+    expects(!running_, "cannot reset a simulator from inside its own event loop");
     queue_.clear();
     now_ = 0.0;
     executed_ = 0;

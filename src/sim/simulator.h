@@ -25,24 +25,32 @@ public:
 
     // Runs events until the queue is empty or the next event is after
     // `deadline`; the clock ends at min(deadline, last event time).
-    // Returns the number of events executed.
+    // Returns the number of events executed. Not reentrant: an event handler
+    // driving the same simulator again would corrupt the in-flight clock
+    // (enforced, like reset() below).
     std::uint64_t run_until(sim_time deadline);
 
     // Runs until quiescence (empty queue). `max_events` guards against
     // runaway self-scheduling loops; returns the number of events executed.
+    // Not reentrant (enforced).
     std::uint64_t run_all(std::uint64_t max_events = 100'000'000);
 
     [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
     [[nodiscard]] std::size_t pending_events() const noexcept { return queue_.size(); }
     [[nodiscard]] std::uint64_t executed_events() const noexcept { return executed_; }
 
-    // Drops all pending events and resets the clock to zero.
+    // Drops all pending events and resets the clock to zero, re-arming the
+    // simulator for the next run (the per-shard reuse pattern: one simulator
+    // instance per emulator, reset between slots). Calling it from inside an
+    // event handler of a run in progress would silently corrupt that run's
+    // clock, so it throws contract_violation while the event loop is active.
     void reset();
 
 private:
     event_queue queue_;
     sim_time now_ = 0.0;
     std::uint64_t executed_ = 0;
+    bool running_ = false;  // an event loop is draining this queue
 };
 
 }  // namespace p2pcd::sim

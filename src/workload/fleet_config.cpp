@@ -1,0 +1,126 @@
+#include "workload/fleet_config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/contracts.h"
+#include "sim/distributions.h"
+#include "sim/rng.h"
+
+namespace p2pcd::workload {
+
+void fleet_config::validate() const {
+    expects(!swarm_scenario.empty(), "fleet needs a base swarm scenario name");
+    expects(num_swarms > 0, "fleet needs at least one swarm");
+    expects(popularity_alpha > 0.0, "fleet popularity exponent must be positive");
+    expects(popularity_q >= 0.0, "fleet popularity shift must be non-negative");
+    expects(!scheduler.empty(), "fleet needs a scheduler name");
+}
+
+fleet_config fleet_config::metro_100x5k() {
+    fleet_config config;
+    config.swarm_scenario = "metro_5k";
+    config.num_swarms = 100;
+    config.total_peers = 500'000;
+    // A head swarm of a metro-scale catalog is a few times the base scenario,
+    // the tail a few hundred viewers — keep even rank 100 a real swarm.
+    config.min_swarm_peers = 500;
+    return config;
+}
+
+fleet_config fleet_config::flash_crowd_fleet() {
+    fleet_config config;
+    config.swarm_scenario = "flash_crowd_10k";
+    config.num_swarms = 20;
+    config.total_peers = 200'000;  // expected joins across all crowds
+    config.min_swarm_peers = 200;
+    return config;
+}
+
+fleet_config fleet_config::smoke() {
+    fleet_config config;
+    config.swarm_scenario = "small_test";
+    config.num_swarms = 3;
+    config.total_peers = 90;
+    config.min_swarm_peers = 8;
+    return config;
+}
+
+std::uint64_t swarm_seed(std::uint64_t fleet_seed, std::size_t swarm_index) {
+    return sim::rng_factory(fleet_seed)
+        .derived_seed("fleet/swarm/" + std::to_string(swarm_index));
+}
+
+fleet_config fleet_config::with_swarms(std::size_t swarms) const {
+    expects(swarms > 0, "fleet needs at least one swarm");
+    fleet_config scaled = *this;
+    // Keep the per-swarm scale: the fleet-wide viewer target shrinks (or
+    // grows) with the swarm count.
+    if (scaled.total_peers > 0)
+        scaled.total_peers =
+            std::max<std::size_t>(1, scaled.total_peers * swarms / scaled.num_swarms);
+    scaled.num_swarms = swarms;
+    return scaled;
+}
+
+std::vector<swarm_spec> expand_fleet(const fleet_config& fleet,
+                                     const scenario_config& base) {
+    fleet.validate();
+    base.validate();
+    expects(fleet.total_peers == 0 || base.expected_viewers() > 0.0,
+            "population scaling needs a base scenario with viewers");
+
+    const sim::zipf_mandelbrot popularity(fleet.num_swarms, fleet.popularity_alpha,
+                                          fleet.popularity_q);
+    std::vector<swarm_spec> swarms;
+    swarms.reserve(fleet.num_swarms);
+    for (std::size_t i = 0; i < fleet.num_swarms; ++i) {
+        swarm_spec spec;
+        spec.swarm_index = i;
+        spec.popularity = popularity.pmf(i + 1);
+        spec.config = base;
+        spec.config.master_seed = swarm_seed(fleet.fleet_seed, i);
+        if (fleet.total_peers > 0) {
+            const double target = std::max(
+                static_cast<double>(fleet.min_swarm_peers),
+                std::round(spec.popularity * static_cast<double>(fleet.total_peers)));
+            // Scale against the full expected population (static + arrivals)
+            // so a mixed base scenario keeps its swarm at the Zipf share.
+            const double scale = target / base.expected_viewers();
+            if (spec.config.initial_peers > 0)
+                spec.config.initial_peers = static_cast<std::size_t>(
+                    std::max(1.0, std::round(
+                                      static_cast<double>(spec.config.initial_peers) *
+                                      scale)));
+            spec.config.arrival_rate *= scale;
+        }
+        spec.config.validate();
+        swarms.push_back(std::move(spec));
+    }
+    return swarms;
+}
+
+std::vector<swarm_spec> expand_fleet(const fleet_config& fleet,
+                                     const scenario_registry& scenarios) {
+    fleet.validate();
+    return expand_fleet(fleet, scenarios.make(fleet.swarm_scenario));
+}
+
+const fleet_registry& builtin_fleets() {
+    static const fleet_registry registry = [] {
+        fleet_registry r;
+        r.add("fleet_metro_100x5k",
+              "100 metro swarms, 500 000 viewers total (bench/fleet_scaling)",
+              [] { return fleet_config::metro_100x5k(); });
+        r.add("fleet_flash_crowd",
+              "20 flash-crowd swarms, ~200 000 arrival-driven joins total",
+              [] { return fleet_config::flash_crowd_fleet(); });
+        r.add("fleet_smoke", "seconds-scale 3-swarm fleet for tests and CI",
+              [] { return fleet_config::smoke(); });
+        return r;
+    }();
+    return registry;
+}
+
+}  // namespace p2pcd::workload

@@ -1,0 +1,101 @@
+// Fleet workloads: many independent video swarms emulated side by side.
+//
+// The paper's auction decomposes per uploader and per time slot, so distinct
+// swarms share no state within a slot — a fleet is therefore N fully
+// independent scenario instances, one per video of a fleet-level catalog.
+// Swarm populations follow a Zipf–Mandelbrot popularity law over that
+// catalog (the same p(i) ∝ (i+q)^-α family the emulator uses for in-swarm
+// video choice), so the head video's swarm is large and the tail thin, like
+// real multi-torrent locality studies.
+//
+// `expand_fleet` turns a fleet_config into per-swarm `scenario_config`s:
+// swarm i gets the base scenario with its population scaled to the Zipf
+// share of `total_peers` and `master_seed = swarm_seed(fleet_seed, i)`.
+// Seeds derive from the swarm *index*, never from which thread runs the
+// swarm, which is what makes fleet results bit-identical for any --threads.
+//
+// Built-in fleets (builtin_fleets()):
+//   fleet_metro_100x5k — 100 metro swarms, 500 000 viewers total (the
+//                        bench/fleet_scaling headline workload)
+//   fleet_flash_crowd  — 20 arrival-driven flash-crowd swarms, ~200 000
+//                        joins total
+//   fleet_smoke        — seconds-scale fleet for tests and CI smoke runs
+#ifndef P2PCD_WORKLOAD_FLEET_CONFIG_H
+#define P2PCD_WORKLOAD_FLEET_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/scenario.h"
+#include "workload/scenario_registry.h"
+
+namespace p2pcd::workload {
+
+struct fleet_config {
+    // Base per-swarm scenario, resolved by name through a scenario_registry.
+    std::string swarm_scenario = "small_test";
+    std::size_t num_swarms = 1;
+
+    // Total viewers across the fleet, split per swarm by Zipf share (static
+    // scenarios scale initial_peers, arrival-driven ones scale arrival_rate).
+    // 0 keeps every swarm at the base scenario's own population.
+    std::size_t total_peers = 0;
+
+    // Zipf–Mandelbrot popularity over the fleet's catalog: swarm i (rank
+    // i + 1) receives a share ∝ (i + 1 + q)^-α of `total_peers`.
+    double popularity_alpha = 0.78;
+    double popularity_q = 4.0;
+
+    // Population floor so tail swarms stay non-trivial after Zipf scaling.
+    std::size_t min_swarm_peers = 8;
+
+    // Scheduling algorithm every swarm runs (core::scheduler_registry name).
+    std::string scheduler = "auction";
+
+    std::uint64_t fleet_seed = 42;
+
+    void validate() const;  // throws contract_violation on nonsense configs
+
+    // This fleet resized to `swarms` swarms, the viewer target scaled
+    // proportionally — the benches' and the runner's `--swarms` override.
+    [[nodiscard]] fleet_config with_swarms(std::size_t swarms) const;
+
+    [[nodiscard]] static fleet_config metro_100x5k();
+    [[nodiscard]] static fleet_config flash_crowd_fleet();
+    [[nodiscard]] static fleet_config smoke();
+};
+
+// The deterministic per-swarm seed: derived from (fleet_seed, swarm_index)
+// through sim::rng_factory's named-stream hash. Never a function of thread
+// ids or execution order.
+[[nodiscard]] std::uint64_t swarm_seed(std::uint64_t fleet_seed,
+                                       std::size_t swarm_index);
+
+// One swarm of an expanded fleet.
+struct swarm_spec {
+    std::size_t swarm_index = 0;
+    double popularity = 0.0;  // Zipf share of the fleet's viewers
+    scenario_config config;   // base scenario, population-scaled and seeded
+};
+
+// Expands `fleet` against an explicit base scenario config (the registry
+// overload resolves `fleet.swarm_scenario` first). Population scaling is
+// deterministic: shares come from the Zipf pmf, not from sampling.
+[[nodiscard]] std::vector<swarm_spec> expand_fleet(const fleet_config& fleet,
+                                                   const scenario_config& base);
+[[nodiscard]] std::vector<swarm_spec> expand_fleet(const fleet_config& fleet,
+                                                   const scenario_registry& scenarios);
+
+class fleet_registry : public config_registry<fleet_config> {
+public:
+    fleet_registry() : config_registry("fleet") {}
+};
+
+// The registry of the named fleets listed in the header comment. One
+// immutable instance — copy it and add() to extend.
+[[nodiscard]] const fleet_registry& builtin_fleets();
+
+}  // namespace p2pcd::workload
+
+#endif  // P2PCD_WORKLOAD_FLEET_CONFIG_H

@@ -74,6 +74,12 @@ struct scenario_config {
     [[nodiscard]] std::size_t num_slots() const {
         return static_cast<std::size_t>(horizon_seconds / slot_seconds);
     }
+    // Expected viewer population over the horizon: pre-populated static
+    // peers plus expected Poisson arrivals. The one definition every
+    // population-scaling consumer (fleet expansion, benches) shares.
+    [[nodiscard]] double expected_viewers() const {
+        return static_cast<double>(initial_peers) + arrival_rate * horizon_seconds;
+    }
 
     void validate() const;  // throws contract_violation on nonsense configs
 

@@ -1,57 +1,6 @@
 #include "workload/scenario_registry.h"
 
-#include "common/contracts.h"
-
 namespace p2pcd::workload {
-
-void scenario_registry::add(std::string name, std::string description, factory make) {
-    expects(!name.empty(), "scenario name must not be empty");
-    expects(make != nullptr, "scenario factory must not be null");
-    auto [it, inserted] =
-        entries_.emplace(std::move(name), entry{std::move(description), std::move(make)});
-    if (!inserted)
-        throw contract_violation("scenario '" + it->first + "' is already registered");
-}
-
-bool scenario_registry::contains(std::string_view name) const {
-    return entries_.find(name) != entries_.end();
-}
-
-std::vector<std::string> scenario_registry::names() const {
-    std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto& [name, e] : entries_) out.push_back(name);
-    return out;  // std::map iterates sorted
-}
-
-namespace {
-
-[[noreturn]] void throw_unknown(std::string_view name,
-                                const std::vector<std::string>& known_names) {
-    std::string known;
-    for (const auto& n : known_names) {
-        if (!known.empty()) known += ", ";
-        known += n;
-    }
-    throw contract_violation("no scenario named '" + std::string(name) +
-                             "'; registered: [" + known + "]");
-}
-
-}  // namespace
-
-const std::string& scenario_registry::describe(std::string_view name) const {
-    auto it = entries_.find(name);
-    if (it == entries_.end()) throw_unknown(name, names());
-    return it->second.description;
-}
-
-scenario_config scenario_registry::make(std::string_view name) const {
-    auto it = entries_.find(name);
-    if (it == entries_.end()) throw_unknown(name, names());
-    scenario_config config = it->second.make();
-    config.validate();
-    return config;
-}
 
 const scenario_registry& builtin_scenarios() {
     static const scenario_registry registry = [] {

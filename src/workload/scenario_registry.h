@@ -1,8 +1,13 @@
-// Named scenario registry: every experimental setup gets a string name, so
-// benches, the experiment runner and the scaling bench can resolve "which
-// system am I emulating" without hard-coding configs.
+// Named configuration registries: every experimental setup gets a string
+// name, so benches, the experiment runner and the scaling benches can resolve
+// "which system am I emulating" without hard-coding configs.
 //
-// Built-ins (builtin_scenarios()):
+// `config_registry<config_t>` is the shared machinery (add / contains /
+// names / describe / make-with-validate); `scenario_registry` instantiates it
+// for single-swarm `scenario_config`s and `workload/fleet_config.h` adds the
+// `fleet_registry` for multi-swarm fleets.
+//
+// Built-in scenarios (builtin_scenarios()):
 //   paper_dynamic     — Poisson(1/s) arrivals, stay to video end (Fig. 3)
 //   paper_static_500  — 500 peers in steady state (Figs. 2, 4, 5)
 //   paper_churn       — arrivals + probability-0.6 early quitters (Fig. 6)
@@ -19,38 +24,88 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/contracts.h"
 #include "workload/scenario.h"
 
 namespace p2pcd::workload {
 
-class scenario_registry {
+// String -> config factory registry. `config_t` must expose
+// `void validate() const` (throwing contract_violation on nonsense configs);
+// `kind` is the noun used in error messages ("scenario", "fleet", ...).
+template <typename config_t>
+class config_registry {
 public:
-    using factory = std::function<scenario_config()>;
+    using factory = std::function<config_t()>;
+
+    explicit config_registry(std::string kind = "config") : kind_(std::move(kind)) {}
 
     // Registers `make` under `name` with a one-line description. Throws
     // contract_violation when the name is empty or already taken.
-    void add(std::string name, std::string description, factory make);
+    void add(std::string name, std::string description, factory make) {
+        expects(!name.empty(), "registry entry name must not be empty");
+        expects(make != nullptr, "registry factory must not be null");
+        auto [it, inserted] = entries_.emplace(
+            std::move(name), entry{std::move(description), std::move(make)});
+        if (!inserted)
+            throw contract_violation(kind_ + " '" + it->first +
+                                     "' is already registered");
+    }
 
-    [[nodiscard]] bool contains(std::string_view name) const;
+    [[nodiscard]] bool contains(std::string_view name) const {
+        return entries_.find(name) != entries_.end();
+    }
 
-    // Registered names, sorted.
-    [[nodiscard]] std::vector<std::string> names() const;
+    // Registered names, sorted (std::map iterates in key order).
+    [[nodiscard]] std::vector<std::string> names() const {
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto& [name, e] : entries_) out.push_back(name);
+        return out;
+    }
 
-    // One-line description of a registered scenario.
-    [[nodiscard]] const std::string& describe(std::string_view name) const;
+    // One-line description of a registered entry.
+    [[nodiscard]] const std::string& describe(std::string_view name) const {
+        auto it = entries_.find(name);
+        if (it == entries_.end()) throw_unknown(name);
+        return it->second.description;
+    }
 
     // Builds the named config (already validate()d). Unknown names throw
     // contract_violation with a message listing every registered name.
-    [[nodiscard]] scenario_config make(std::string_view name) const;
+    [[nodiscard]] config_t make(std::string_view name) const {
+        auto it = entries_.find(name);
+        if (it == entries_.end()) throw_unknown(name);
+        config_t config = it->second.make();
+        config.validate();
+        return config;
+    }
 
 private:
     struct entry {
         std::string description;
         factory make;
     };
+
+    [[noreturn]] void throw_unknown(std::string_view name) const {
+        std::string known;
+        for (const auto& [n, e] : entries_) {
+            if (!known.empty()) known += ", ";
+            known += n;
+        }
+        throw contract_violation("no " + kind_ + " named '" + std::string(name) +
+                                 "'; registered: [" + known + "]");
+    }
+
+    std::string kind_;
     std::map<std::string, entry, std::less<>> entries_;
+};
+
+class scenario_registry : public config_registry<scenario_config> {
+public:
+    scenario_registry() : config_registry("scenario") {}
 };
 
 // The registry of the named setups listed in the header comment. One

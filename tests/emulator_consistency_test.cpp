@@ -3,6 +3,8 @@
 // and accounting identities must hold.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "vod/emulator.h"
 
 namespace p2pcd::vod {
@@ -56,6 +58,33 @@ TEST_P(emulator_consistency, runs_are_reproducible_under_churn) {
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, emulator_consistency, ::testing::Range(0, 6));
+
+// Multi-instance use (the fleet engine's pattern): interleaving the steps of
+// several live emulators must not perturb any of them — each owns its whole
+// world (catalog, topology, tracker, cost model, RNG streams, scheduler).
+TEST(emulator_multi_instance, interleaved_stepping_equals_solo_runs) {
+    auto solo_metrics = [](std::uint64_t seed) {
+        emulator emu(churny_options(seed));
+        std::vector<slot_metrics> out;
+        for (int k = 0; k < 5; ++k) out.push_back(emu.step());
+        return out;
+    };
+    const auto solo_a = solo_metrics(101);
+    const auto solo_b = solo_metrics(202);
+
+    emulator a(churny_options(101));
+    emulator b(churny_options(202));
+    for (int k = 0; k < 5; ++k) {  // interleave: a, b, a, b, ...
+        const auto& ma = a.step();
+        const auto& mb = b.step();
+        EXPECT_EQ(ma.transfers, solo_a[static_cast<std::size_t>(k)].transfers);
+        EXPECT_EQ(ma.online_peers, solo_a[static_cast<std::size_t>(k)].online_peers);
+        EXPECT_EQ(ma.social_welfare, solo_a[static_cast<std::size_t>(k)].social_welfare);
+        EXPECT_EQ(mb.transfers, solo_b[static_cast<std::size_t>(k)].transfers);
+        EXPECT_EQ(mb.online_peers, solo_b[static_cast<std::size_t>(k)].online_peers);
+        EXPECT_EQ(mb.social_welfare, solo_b[static_cast<std::size_t>(k)].social_welfare);
+    }
+}
 
 }  // namespace
 }  // namespace p2pcd::vod

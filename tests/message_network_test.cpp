@@ -107,5 +107,41 @@ TEST(message_network, contract_checks) {
     EXPECT_THROW(net.attach(peer_id(3), nullptr), contract_violation);
 }
 
+// Multi-instance use (one network per fleet shard): two networks on two
+// simulators share nothing — same peer ids, independent handlers, counters
+// and clocks. Guards against any hidden static creeping into the template.
+TEST(message_network, instances_share_no_state) {
+    sim::simulator sim_a;
+    sim::simulator sim_b;
+    message_network<test_message> net_a(sim_a, [](peer_id, peer_id) { return 1.0; });
+    message_network<test_message> net_b(sim_b, [](peer_id, peer_id) { return 2.0; });
+
+    std::vector<int> got_a;
+    std::vector<int> got_b;
+    // The same peer id attached to both networks: deliveries must not cross.
+    net_a.attach(peer_id(9), [&](peer_id, const test_message& m) {
+        got_a.push_back(m.payload);
+    });
+    net_b.attach(peer_id(9), [&](peer_id, const test_message& m) {
+        got_b.push_back(m.payload);
+    });
+
+    net_a.send(peer_id(1), peer_id(9), {100});
+    net_b.send(peer_id(1), peer_id(9), {200});
+    sim_a.run_all();
+    EXPECT_EQ(got_a, std::vector<int>{100});
+    EXPECT_TRUE(got_b.empty());  // b's message still queued on b's simulator
+    EXPECT_DOUBLE_EQ(sim_b.now(), 0.0);
+
+    sim_b.run_all();
+    EXPECT_EQ(got_b, std::vector<int>{200});
+    EXPECT_EQ(net_a.messages_sent(), 1u);
+    EXPECT_EQ(net_b.messages_sent(), 1u);
+    EXPECT_EQ(net_a.messages_delivered(), 1u);
+    EXPECT_EQ(net_b.messages_delivered(), 1u);
+    EXPECT_DOUBLE_EQ(sim_a.now(), 1.0);
+    EXPECT_DOUBLE_EQ(sim_b.now(), 2.0);
+}
+
 }  // namespace
 }  // namespace p2pcd::net

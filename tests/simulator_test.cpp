@@ -82,5 +82,66 @@ TEST(simulator, executed_event_count_accumulates) {
     EXPECT_EQ(s.executed_events(), 7u);
 }
 
+// Per-shard reuse (the fleet engine's pattern): reset() re-arms a simulator
+// for a fresh run with a zeroed clock and an identical event trajectory.
+TEST(simulator, reset_reuse_replays_identically) {
+    simulator s;
+    std::vector<double> first;
+    std::vector<double> second;
+    auto drive = [&](std::vector<double>& out) {
+        s.schedule_in(1.0, [&] {
+            out.push_back(s.now());
+            s.schedule_in(0.5, [&] { out.push_back(s.now()); });
+        });
+        s.run_all();
+    };
+    drive(first);
+    s.reset();
+    drive(second);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(first, (std::vector<double>{1.0, 1.5}));
+}
+
+// An event handler driving (or resetting) its own simulator would silently
+// corrupt the in-flight clock — exactly the bug that would let one fleet
+// shard trash another's timeline if a simulator were ever shared. Contract
+// violations instead.
+TEST(simulator, event_loop_is_not_reentrant) {
+    simulator s;
+    s.schedule_in(1.0, [&] { s.run_all(); });
+    EXPECT_THROW(s.run_all(), contract_violation);
+
+    simulator s2;
+    s2.schedule_in(1.0, [&] { (void)s2.run_until(5.0); });
+    EXPECT_THROW((void)s2.run_until(2.0), contract_violation);
+}
+
+TEST(simulator, reset_inside_an_event_is_rejected) {
+    simulator s;
+    s.schedule_in(1.0, [&] { s.reset(); });
+    EXPECT_THROW(s.run_all(), contract_violation);
+    // The guard unwinds with the exception: the simulator is usable again.
+    s.reset();
+    s.schedule_in(1.0, [] {});
+    EXPECT_EQ(s.run_all(), 1u);
+}
+
+// Two simulators advanced in an interleaved fashion keep fully independent
+// clocks and queues — the property that lets every shard own one.
+TEST(simulator, instances_are_independent) {
+    simulator a;
+    simulator b;
+    std::vector<std::pair<char, double>> log;
+    a.schedule_in(1.0, [&] { log.push_back({'a', a.now()}); });
+    b.schedule_in(10.0, [&] { log.push_back({'b', b.now()}); });
+    (void)a.run_until(5.0);
+    EXPECT_DOUBLE_EQ(a.now(), 5.0);
+    EXPECT_DOUBLE_EQ(b.now(), 0.0);  // untouched by a's run
+    (void)b.run_until(20.0);
+    EXPECT_DOUBLE_EQ(b.now(), 20.0);
+    EXPECT_DOUBLE_EQ(a.now(), 5.0);  // untouched by b's run
+    EXPECT_EQ(log, (std::vector<std::pair<char, double>>{{'a', 1.0}, {'b', 10.0}}));
+}
+
 }  // namespace
 }  // namespace p2pcd::sim

@@ -1,0 +1,125 @@
+// The engine's thread pool: the parallel_for_each barrier runs every index
+// exactly once, survives reuse across batches, and propagates worker
+// exceptions deterministically (lowest failing index wins).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/contracts.h"
+#include "engine/thread_pool.h"
+
+namespace p2pcd {
+namespace {
+
+TEST(thread_pool, needs_at_least_one_worker) {
+    EXPECT_THROW(engine::thread_pool(0), contract_violation);
+    EXPECT_GE(engine::thread_pool::default_thread_count(), 1u);
+}
+
+TEST(thread_pool, runs_every_index_exactly_once) {
+    engine::thread_pool pool(4);
+    // Each index writes only its own slot, so a double execution shows up as
+    // a count of 2 (and a skipped index as 0) — no atomics needed.
+    std::vector<int> hits(1000, 0);
+    pool.parallel_for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(hits.size()));
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(thread_pool, handles_fewer_items_than_workers) {
+    engine::thread_pool pool(8);
+    std::vector<int> hits(3, 0);
+    pool.parallel_for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(thread_pool, zero_items_is_a_no_op) {
+    engine::thread_pool pool(2);
+    bool touched = false;
+    pool.parallel_for_each(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(thread_pool, single_worker_pool_works) {
+    engine::thread_pool pool(1);
+    EXPECT_EQ(pool.size(), 1u);
+    std::vector<int> hits(17, 0);
+    pool.parallel_for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(thread_pool, reusable_across_many_batches) {
+    engine::thread_pool pool(3);
+    std::atomic<int> total{0};
+    for (int batch = 0; batch < 50; ++batch)
+        pool.parallel_for_each(10, [&](std::size_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    EXPECT_EQ(total.load(), 500);
+}
+
+TEST(thread_pool, worker_exception_propagates_to_caller) {
+    engine::thread_pool pool(4);
+    std::vector<int> hits(100, 0);
+    try {
+        pool.parallel_for_each(hits.size(), [&](std::size_t i) {
+            ++hits[i];
+            if (i == 41) throw std::runtime_error("boom at 41");
+        });
+        FAIL() << "expected the worker exception to propagate";
+    } catch (const std::runtime_error& error) {
+        EXPECT_STREQ(error.what(), "boom at 41");
+    }
+    // A failure does not cancel the batch: every other item still ran
+    // (the barrier semantics the fleet's merge step depends on).
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(thread_pool, lowest_failing_index_wins_regardless_of_timing) {
+    engine::thread_pool pool(4);
+    for (int repeat = 0; repeat < 20; ++repeat) {
+        try {
+            pool.parallel_for_each(64, [&](std::size_t i) {
+                if (i == 7 || i == 23 || i == 55)
+                    throw std::runtime_error("boom at " + std::to_string(i));
+            });
+            FAIL() << "expected a worker exception";
+        } catch (const std::runtime_error& error) {
+            EXPECT_STREQ(error.what(), "boom at 7");
+        }
+    }
+}
+
+TEST(thread_pool, pool_still_usable_after_a_failing_batch) {
+    engine::thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for_each(
+                     4, [](std::size_t) { throw std::runtime_error("boom"); }),
+                 std::runtime_error);
+    std::vector<int> hits(8, 0);
+    pool.parallel_for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(thread_pool, reentrant_use_is_a_contract_violation) {
+    engine::thread_pool pool(2);
+    EXPECT_THROW(pool.parallel_for_each(1,
+                                        [&](std::size_t) {
+                                            pool.parallel_for_each(
+                                                1, [](std::size_t) {});
+                                        }),
+                 contract_violation);
+}
+
+TEST(thread_pool, requires_a_callable) {
+    engine::thread_pool pool(1);
+    std::function<void(std::size_t)> empty;
+    EXPECT_THROW(pool.parallel_for_each(1, empty), contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd
