@@ -13,11 +13,16 @@
 #ifndef P2PCD_BENCH_BENCH_COMMON_H
 #define P2PCD_BENCH_BENCH_COMMON_H
 
+#include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "engine/thread_pool.h"
 #include "metrics/report.h"
 #include "vod/emulator.h"
 #include "workload/scenario.h"
@@ -95,6 +100,45 @@ inline void add_config_scalars(metrics::json_report& rep,
     rep.add_scalar("num_videos", static_cast<double>(cfg.num_videos));
     rep.add_scalar("num_isps", static_cast<double>(cfg.num_isps));
     rep.add_scalar("horizon_seconds", cfg.horizon_seconds);
+}
+
+// Splits a comma-separated flag value; empty tokens are skipped.
+inline std::vector<std::string> split_list(const std::string& list) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) out.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+// Parses a "--threads" list: counts in [1, 1024] or "hw"
+// (= hardware_concurrency), deduplicated and sorted. Deliberately strict —
+// stoul would accept "-1" (wrapping to 1.8e19 workers) and throw on "two";
+// both return nullopt instead, and the caller renders its own usage().
+inline std::optional<std::vector<std::size_t>> parse_thread_list(
+    const std::string& list) {
+    constexpr std::size_t max_threads = 1024;
+    std::vector<std::size_t> threads;
+    for (const std::string& token : split_list(list)) {
+        if (token == "hw") {
+            threads.push_back(engine::thread_pool::default_thread_count());
+            continue;
+        }
+        if (token.size() > 4 ||
+            !std::all_of(token.begin(), token.end(),
+                         [](unsigned char c) { return std::isdigit(c); }))
+            return std::nullopt;
+        threads.push_back(std::stoul(token));
+    }
+    std::sort(threads.begin(), threads.end());
+    threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+    if (threads.empty() || threads.front() == 0 || threads.back() > max_threads)
+        return std::nullopt;
+    return threads;
 }
 
 // Writes `<name>.json` into $P2PCD_BENCH_OUT (default: the working directory).

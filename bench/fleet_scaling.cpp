@@ -50,33 +50,11 @@ using namespace p2pcd;
 }
 
 std::vector<std::size_t> parse_threads(const std::string& list) {
-    // Deliberately strict: stoul would accept "-1" (wrapping to 1.8e19
-    // workers) and throw on "two"; both should land in usage() instead.
-    constexpr std::size_t max_threads = 1024;
-    std::vector<std::size_t> threads;
-    std::size_t pos = 0;
-    while (pos <= list.size()) {
-        std::size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        const std::string token = list.substr(pos, comma - pos);
-        if (token == "hw") {
-            threads.push_back(engine::thread_pool::default_thread_count());
-        } else if (!token.empty()) {
-            if (token.size() > 4 ||
-                !std::all_of(token.begin(), token.end(),
-                             [](unsigned char c) { return std::isdigit(c); }))
-                usage("--threads token '" + token +
-                      "' is not a positive count or 'hw'");
-            threads.push_back(std::stoul(token));
-        }
-        pos = comma + 1;
-    }
-    std::sort(threads.begin(), threads.end());
-    threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
-    if (threads.empty() || threads.front() == 0 || threads.back() > max_threads)
-        usage("--threads needs a comma-separated list of counts in [1, " +
-              std::to_string(max_threads) + "] (or 'hw')");
-    return threads;
+    auto threads = bench::parse_thread_list(list);  // strict: see bench_common.h
+    if (!threads)
+        usage("--threads needs a comma-separated list of counts in [1, 1024] "
+              "(or 'hw')");
+    return *threads;
 }
 
 struct row_result {

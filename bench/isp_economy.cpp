@@ -1,0 +1,217 @@
+// ISP economy: per-ISP-pair traffic and billed transit cost per scheduler —
+// the economics extension of Fig. 4's inter-ISP traffic comparison.
+//
+// For every scheduler in --schedulers and every --threads value, one economy
+// fleet (each swarm runs the ledger + billing + pricing-epoch loop of its
+// base scenario, see src/isp/) is run end-to-end on the parallel engine.
+// The per-swarm ledgers merge in swarm-index order, and the bench asserts
+// the merged per-ISP-pair chunk/byte totals (and the fleet welfare) are
+// bit-identical across thread counts — the engine determinism guarantee
+// extended to the new ledger merge path; `determinism_ok` lands in the
+// artifact and the bench exits non-zero on violation.
+//
+// Artifact tables: per-scheduler summary (welfare, cross-ISP share, billed
+// transit cost), the per-ISP-pair traffic matrix, the per-ISP bill, and the
+// pricing-epoch trajectory of swarm 0 (multiplicative price updates driven
+// by each epoch's carried volume).
+//
+// Flags:
+//   --fleet NAME       registered fleet [full scale: fleet_economy;
+//                      ci: fleet_economy_smoke] — its base scenario must
+//                      enable the economy
+//   --threads LIST     comma-separated pool sizes; "hw" = hardware_concurrency
+//                      [1,hw]
+//   --schedulers LIST  comma-separated registered scheduler names
+//                      [auction,greedy-welfare,simple-locality]
+//   --swarms N         override the fleet's swarm count
+//
+// Environment knobs (standard, see bench_common.h): P2PCD_BENCH_SCALE,
+// P2PCD_BENCH_SEED, P2PCD_BENCH_OUT.
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "baseline/registry.h"
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
+#include "isp/economy_report.h"
+#include "metrics/report.h"
+#include "workload/fleet_config.h"
+
+namespace {
+
+using namespace p2pcd;
+
+[[noreturn]] void usage(const std::string& complaint) {
+    std::cerr << "isp_economy: " << complaint
+              << "\nsee the header of bench/isp_economy.cpp for flags\n";
+    std::exit(2);
+}
+
+std::vector<std::size_t> parse_threads(const std::string& list) {
+    auto threads = bench::parse_thread_list(list);
+    if (!threads)
+        usage("--threads needs a comma-separated list of counts in [1, 1024] "
+              "(or 'hw')");
+    return *threads;
+}
+
+struct scheduler_result {
+    std::string scheduler;
+    double welfare = 0.0;
+    double inter_isp = 0.0;
+    double run_seconds = 0.0;  // of the first thread row
+    isp::traffic_ledger ledger{1};
+    isp::billing_statement bill;
+    std::vector<isp::epoch_summary> epochs;  // swarm 0's controller history
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool full = bench::full_scale();
+
+    std::string fleet_name = full ? "fleet_economy" : "fleet_economy_smoke";
+    std::vector<std::size_t> thread_counts;
+    std::vector<std::string> schedulers = {"auction", "greedy-welfare",
+                                           "simple-locality"};
+    std::size_t swarms_override = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage("flag " + flag + " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--fleet") fleet_name = next();
+        else if (flag == "--threads") thread_counts = parse_threads(next());
+        else if (flag == "--schedulers") schedulers = bench::split_list(next());
+        else if (flag == "--swarms") swarms_override = std::stoul(next());
+        else usage("unknown flag '" + flag + "'");
+    }
+    if (thread_counts.empty()) thread_counts = parse_threads("1,hw");
+    if (schedulers.empty()) usage("--schedulers needs at least one name");
+    for (const std::string& name : schedulers)
+        if (!baseline::builtin_schedulers().contains(name))
+            usage("unknown scheduler '" + name + "'");
+
+    const auto& fleets = workload::builtin_fleets();
+    if (!fleets.contains(fleet_name)) usage("unknown fleet '" + fleet_name + "'");
+    workload::fleet_config fleet_cfg = fleets.make(fleet_name);
+    fleet_cfg.fleet_seed = bench::bench_seed();
+    if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
+
+    std::cout << "=== ISP economy: traffic matrices + billed transit cost ===\n"
+              << "scale: " << (full ? "full" : "ci (smoke)") << "  fleet: "
+              << fleet_name << "  swarms: " << fleet_cfg.num_swarms
+              << "  seed: " << fleet_cfg.fleet_seed << "  hardware_concurrency: "
+              << engine::thread_pool::default_thread_count() << "\n\n";
+
+    using clock = std::chrono::steady_clock;
+    bool determinism_ok = true;
+    std::size_t num_epochs = 0;
+    double viewers = 0.0;
+    std::vector<scheduler_result> results;
+
+    for (const std::string& scheduler : schedulers) {
+        scheduler_result best;
+        best.scheduler = scheduler;
+        bool first_row = true;
+        for (const std::size_t threads : thread_counts) {
+            engine::fleet_options options;
+            options.config = fleet_cfg;
+            options.config.scheduler = scheduler;
+            options.threads = threads;
+
+            engine::fleet fleet(std::move(options));
+            const auto t0 = clock::now();  // run time only, like fleet_scaling
+            fleet.run();
+            const auto t1 = clock::now();
+            if (!fleet.economy_enabled())
+                usage("fleet '" + fleet_name +
+                      "' does not enable the ISP economy (config.economy)");
+
+            isp::traffic_ledger merged = fleet.merged_ledger();
+            if (first_row) {
+                best.welfare = fleet.total_welfare();
+                best.inter_isp = fleet.overall_inter_isp_fraction();
+                best.run_seconds = std::chrono::duration<double>(t1 - t0).count();
+                best.ledger = merged;
+                best.bill = fleet.merged_bill();
+                best.epochs = fleet.shard_at(0).emulator().price_epochs();
+                viewers = fleet.total_expected_viewers();
+                num_epochs = std::max(num_epochs, best.epochs.size());
+                first_row = false;
+                continue;
+            }
+            // Determinism across thread counts: the merged ledger (every
+            // per-slot per-ISP-pair cell) and the merged welfare must be
+            // bit-identical to the first row's.
+            const bool identical =
+                fleet.total_welfare() == best.welfare && merged == best.ledger;
+            if (!identical) {
+                std::cout << "DETERMINISM BUG: scheduler " << scheduler
+                          << " merged ledger differs at " << threads << " threads\n";
+                determinism_ok = false;
+            }
+        }
+        results.push_back(std::move(best));
+    }
+
+    metrics::table summary({"scheduler", "welfare", "inter_isp_%", "cross_chunks",
+                            "billed_cost", "run_s"});
+    metrics::table matrix({"scheduler", "from_isp", "to_isp", "chunks", "mbytes"});
+    metrics::table billing({"scheduler", "isp", "chunks_local", "chunks_out",
+                            "chunks_in", "transit_cost"});
+    metrics::table epochs({"scheduler", "epoch", "slots", "cross_chunks", "raised",
+                           "lowered", "mean_inter_price"});
+    for (const scheduler_result& r : results) {
+        summary.add_row({r.scheduler, metrics::format_double(r.welfare, 1),
+                         metrics::format_double(100.0 * r.inter_isp, 2),
+                         std::to_string(r.ledger.cross_chunks()),
+                         metrics::format_double(r.bill.total_cost, 2),
+                         metrics::format_double(r.run_seconds, 2)});
+        auto append_tagged = [&r](metrics::table& into, const metrics::table& from) {
+            for (const auto& row : from.data()) {
+                std::vector<std::string> cells = {r.scheduler};
+                cells.insert(cells.end(), row.begin(), row.end());
+                into.add_row(std::move(cells));
+            }
+        };
+        append_tagged(matrix, isp::traffic_matrix_table(r.ledger));
+        append_tagged(billing, isp::billing_table(r.bill));
+        append_tagged(epochs, isp::epoch_table(r.epochs));
+    }
+    summary.print(std::cout);
+    std::cout << "\nper-ISP billing (transit relationships only; the uploading "
+                 "side pays):\n";
+    billing.print(std::cout);
+    std::cout << "\npricing epochs (swarm 0):\n";
+    epochs.print(std::cout);
+    std::cout << "\nmerged ledgers identical across thread counts: "
+              << (determinism_ok ? "yes" : "NO — DETERMINISM BUG") << "\n";
+
+    metrics::json_report rep("isp_economy");
+    rep.add_scalar("scale", full ? "full" : "ci");
+    rep.add_scalar("seed", static_cast<double>(fleet_cfg.fleet_seed));
+    rep.add_scalar("fleet", fleet_name);
+    rep.add_scalar("num_swarms", static_cast<double>(fleet_cfg.num_swarms));
+    rep.add_scalar("total_expected_viewers", viewers);
+    rep.add_scalar("hardware_concurrency",
+                   static_cast<double>(engine::thread_pool::default_thread_count()));
+    rep.add_scalar("num_pricing_epochs", static_cast<double>(num_epochs));
+    rep.add_scalar("determinism_ok", determinism_ok);
+    rep.add_table("summary", summary);
+    rep.add_table("traffic_matrix", matrix);
+    rep.add_table("isp_billing", billing);
+    rep.add_table("price_epochs", epochs);
+    bench::write_artifact("isp_economy", rep);
+
+    return determinism_ok ? 0 : 1;
+}

@@ -41,15 +41,27 @@
 //   --epsilon E      auction ε                                 [0.05]
 //   --warm-rounds    warm-start auction prices across a slot's rounds
 //   --csv FILE       also write per-slot series as CSV
+//   --isp-economy    enable the ISP economy (src/isp/): peering graph +
+//                    per-ISP-pair traffic ledger + transit billing (+ the
+//                    pricing-epoch controller when the scenario, or
+//                    --epoch-slots, sets an epoch length); prints the
+//                    traffic matrix, per-ISP bill and epoch trajectory.
+//                    In --fleet mode applies to every swarm's base scenario
+//   --peering NAME   peering generator (flat|tiered|hierarchical|hostile);
+//                    implies --isp-economy
+//   --epoch-slots N  pricing-epoch length in slots (0 = static prices);
+//                    implies --isp-economy
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "baseline/registry.h"
 #include "engine/fleet.h"
 #include "engine/thread_pool.h"
+#include "isp/economy_report.h"
 #include "metrics/report.h"
 #include "metrics/time_series.h"
 #include "vod/emulator.h"
@@ -87,14 +99,35 @@ void print_registries() {
                   << '\n';
 }
 
+// Shared economy printout: traffic matrix, per-ISP bill, pricing epochs.
+// `epoch_scope` qualifies the epoch heading — in fleet mode the matrix/bill
+// are fleet-wide merges but each swarm prices independently, so only one
+// swarm's trajectory is shown and the heading must say so.
+void print_economy(const isp::traffic_ledger& ledger,
+                   const isp::billing_statement& statement,
+                   const std::vector<isp::epoch_summary>& epochs,
+                   const std::string& epoch_scope = "") {
+    std::cout << "\nISP traffic matrix (chunks shipped from → to):\n";
+    isp::traffic_matrix_table(ledger).print(std::cout);
+    std::cout << "\nper-ISP billing (transit links only; uploader side pays):\n";
+    isp::billing_table(statement).print(std::cout);
+    if (!epochs.empty()) {
+        std::cout << "\npricing epochs" << epoch_scope << ":\n";
+        isp::epoch_table(epochs).print(std::cout);
+    }
+}
+
 // Multi-swarm path: run the named fleet on the parallel engine and print the
 // merged per-slot metrics — the fleet analogue of the single-swarm table.
 int run_fleet(workload::fleet_config cfg, std::size_t threads,
-              const vod::emulator_options& swarm_options, const std::string& csv_path) {
+              const vod::emulator_options& swarm_options,
+              const std::optional<workload::scenario_config>& base_scenario,
+              const std::string& csv_path) {
     engine::fleet_options options;
     options.config = std::move(cfg);
     options.threads = threads;
     options.swarm_options = swarm_options;
+    options.base_scenario = base_scenario;
 
     engine::fleet fleet(std::move(options));
     std::cout << "fleet: " << fleet.num_swarms() << " swarms, ~"
@@ -117,6 +150,11 @@ int run_fleet(workload::fleet_config cfg, std::size_t threads,
               << metrics::format_double(100.0 * fleet.overall_inter_isp_fraction(), 2)
               << "%  miss="
               << metrics::format_double(100.0 * fleet.overall_miss_rate(), 2) << "%\n";
+
+    if (fleet.economy_enabled())
+        print_economy(fleet.merged_ledger(), fleet.merged_bill(),
+                      fleet.shard_at(0).emulator().price_epochs(),
+                      " (swarm 0; each swarm prices independently)");
 
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);
@@ -146,6 +184,9 @@ int main(int argc, char** argv) {
     std::size_t threads = 1;
     std::size_t swarms_override = 0;
     bool seed_given = false;
+    bool economy_requested = false;
+    std::string peering_override;
+    std::optional<std::size_t> epoch_slots_override;
 
     // --scenario replaces the whole base config, so it is applied in a
     // pre-pass: the other flags always override it regardless of their
@@ -192,8 +233,22 @@ int main(int argc, char** argv) {
         else if (flag == "--epsilon") opts.auction.bidding.epsilon = std::stod(next());
         else if (flag == "--warm-rounds") opts.warm_start_rounds = true;
         else if (flag == "--csv") csv_path = next();
+        else if (flag == "--isp-economy") economy_requested = true;
+        else if (flag == "--peering") { peering_override = next(); economy_requested = true; }
+        else if (flag == "--epoch-slots") {
+            epoch_slots_override = std::stoul(next());
+            economy_requested = true;
+        }
         else usage("unknown flag '" + flag + "'");
     }
+    // The economy overrides compose with whatever the scenario already sets.
+    auto apply_economy = [&](workload::scenario_config& config) {
+        if (!economy_requested) return;
+        config.economy.enabled = true;
+        if (!peering_override.empty()) config.economy.peering = peering_override;
+        if (epoch_slots_override) config.economy.slots_per_epoch = *epoch_slots_override;
+    };
+    apply_economy(cfg);
 
     if (!baseline::builtin_schedulers().contains(opts.scheduler))
         usage("unknown scheduler '" + opts.scheduler + "' (try --list)");
@@ -205,7 +260,12 @@ int main(int argc, char** argv) {
         fleet_cfg.scheduler = opts.scheduler;
         if (seed_given) fleet_cfg.fleet_seed = cfg.master_seed;
         if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
-        return run_fleet(std::move(fleet_cfg), threads, opts, csv_path);
+        std::optional<workload::scenario_config> base;
+        if (economy_requested) {
+            base = workload::builtin_scenarios().make(fleet_cfg.swarm_scenario);
+            apply_economy(*base);
+        }
+        return run_fleet(std::move(fleet_cfg), threads, opts, base, csv_path);
     }
 
     try {
@@ -240,6 +300,9 @@ int main(int argc, char** argv) {
               << metrics::format_double(100.0 * emu.overall_inter_isp_fraction(), 2)
               << "%  miss="
               << metrics::format_double(100.0 * emu.overall_miss_rate(), 2) << "%\n";
+
+    if (emu.economy_enabled())
+        print_economy(emu.ledger(), emu.bill(), emu.price_epochs());
 
     if (!csv_path.empty()) {
         std::ofstream out(csv_path);

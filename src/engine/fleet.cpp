@@ -100,6 +100,30 @@ double fleet::total_expected_viewers() const noexcept {
     return total;
 }
 
+bool fleet::economy_enabled() const {
+    for (const auto& s : shards_)
+        if (!s->emulator().economy_enabled()) return false;
+    return !shards_.empty();
+}
+
+isp::traffic_ledger fleet::merged_ledger() const {
+    expects(economy_enabled(),
+            "merged_ledger() requires every swarm to run the ISP economy");
+    isp::traffic_ledger merged = shards_.front()->emulator().ledger();
+    for (std::size_t i = 1; i < shards_.size(); ++i)
+        merged.merge(shards_[i]->emulator().ledger());
+    return merged;
+}
+
+isp::billing_statement fleet::merged_bill() const {
+    expects(economy_enabled(),
+            "merged_bill() requires every swarm to run the ISP economy");
+    isp::billing_statement merged = shards_.front()->emulator().bill();
+    for (std::size_t i = 1; i < shards_.size(); ++i)
+        isp::accumulate(merged, shards_[i]->emulator().bill());
+    return merged;
+}
+
 double fleet::total_welfare() const {
     double total = 0.0;
     for (const auto& s : slots_) total += s.social_welfare;

@@ -24,6 +24,8 @@
 
 #include "engine/shard.h"
 #include "engine/thread_pool.h"
+#include "isp/billing.h"
+#include "isp/traffic_ledger.h"
 #include "metrics/time_series.h"
 #include "vod/emulator.h"
 #include "workload/fleet_config.h"
@@ -114,6 +116,15 @@ public:
 
     // Peak process RSS in MiB sampled at the end of run() (0 before).
     [[nodiscard]] double peak_rss_mb() const noexcept { return peak_rss_mb_; }
+
+    // --- ISP economy (when the base scenario enables it; see src/isp/) ---
+    [[nodiscard]] bool economy_enabled() const;
+    // Fleet-wide per-ISP-pair ledger: the shards' ledgers merged in
+    // swarm-index order, so totals are bit-identical for any thread count.
+    [[nodiscard]] isp::traffic_ledger merged_ledger() const;
+    // Σ of the per-swarm billing statements (each billed against its own
+    // swarm's final prices), accumulated in swarm-index order.
+    [[nodiscard]] isp::billing_statement merged_bill() const;
 
 private:
     fleet_options options_;

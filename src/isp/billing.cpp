@@ -1,0 +1,108 @@
+#include "isp/billing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::isp {
+
+void billing_options::validate() const {
+    expects(percentile > 0.0 && percentile <= 1.0,
+            "billing percentile must be in (0, 1]");
+}
+
+namespace {
+
+// The volume (chunks per slot) a link is billed at under `options`.
+double billed_rate(std::vector<std::uint64_t>& slot_volumes, std::uint64_t total,
+                   const billing_options& options) {
+    const std::size_t slots = slot_volumes.size();
+    if (slots == 0) return 0.0;
+    if (options.model == billing_model::total_volume)
+        return static_cast<double>(total) / static_cast<double>(slots);
+    // Burstable billing: sort ascending, forgive the top (1 − p) share.
+    std::sort(slot_volumes.begin(), slot_volumes.end());
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(options.percentile * static_cast<double>(slots)));
+    const std::size_t index = rank == 0 ? 0 : std::min(rank - 1, slots - 1);
+    return static_cast<double>(slot_volumes[index]);
+}
+
+}  // namespace
+
+billing_statement bill(const traffic_ledger& ledger, const peering_graph& graph,
+                       const billing_options& options) {
+    options.validate();
+    expects(ledger.num_isps() == graph.num_isps(),
+            "ledger and peering graph must cover the same ISP set");
+
+    const std::size_t n = ledger.num_isps();
+    const std::size_t slots = ledger.num_slots();
+    billing_statement statement;
+    statement.billed_slots = slots;
+    statement.isps.resize(n);
+    for (std::size_t m = 0; m < n; ++m)
+        statement.isps[m].isp = isp_id(static_cast<std::int32_t>(m));
+
+    std::vector<std::uint64_t> slot_volumes(slots);
+    for (std::size_t m = 0; m < n; ++m) {
+        const auto from = isp_id(static_cast<std::int32_t>(m));
+        statement.isps[m].chunks_local += ledger.total_chunks(from, from);
+        for (std::size_t o = 0; o < n; ++o) {
+            if (m == o) continue;
+            const auto to = isp_id(static_cast<std::int32_t>(o));
+            pair_bill line;
+            line.from = from;
+            line.to = to;
+            const peering_link& link = graph.link(from, to);
+            line.rel = link.rel;
+            line.price = link.price;
+            for (std::size_t k = 0; k < slots; ++k) {
+                slot_volumes[k] = ledger.slot_chunks(k, from, to);
+                line.chunks += slot_volumes[k];
+                line.bytes += ledger.slot_bytes(k, from, to);
+            }
+            if (link.rel == relationship::transit) {
+                line.billed_chunks_per_slot =
+                    billed_rate(slot_volumes, line.chunks, options);
+                line.cost = line.price * line.billed_chunks_per_slot *
+                            static_cast<double>(slots);
+            }
+            statement.isps[m].chunks_out += line.chunks;
+            statement.isps[o].chunks_in += line.chunks;
+            statement.isps[m].transit_cost += line.cost;
+            statement.total_cost += line.cost;
+            statement.pairs.push_back(line);
+        }
+    }
+    return statement;
+}
+
+void accumulate(billing_statement& into, const billing_statement& other) {
+    expects(into.pairs.size() == other.pairs.size() &&
+                into.isps.size() == other.isps.size(),
+            "cannot accumulate billing statements over different ISP sets");
+    for (std::size_t i = 0; i < into.pairs.size(); ++i) {
+        pair_bill& a = into.pairs[i];
+        const pair_bill& b = other.pairs[i];
+        expects(a.from == b.from && a.to == b.to,
+                "billing statement pair layouts differ");
+        a.chunks += b.chunks;
+        a.bytes += b.bytes;
+        a.billed_chunks_per_slot += b.billed_chunks_per_slot;
+        a.cost += b.cost;
+    }
+    for (std::size_t m = 0; m < into.isps.size(); ++m) {
+        isp_bill& a = into.isps[m];
+        const isp_bill& b = other.isps[m];
+        a.chunks_out += b.chunks_out;
+        a.chunks_in += b.chunks_in;
+        a.chunks_local += b.chunks_local;
+        a.transit_cost += b.transit_cost;
+    }
+    into.total_cost += other.total_cost;
+    into.billed_slots = std::max(into.billed_slots, other.billed_slots);
+}
+
+}  // namespace p2pcd::isp

@@ -1,0 +1,86 @@
+// Transit billing: reduce a traffic-ledger time series to money.
+//
+// Only `relationship::transit` links are billed — sibling links are the same
+// administrative domain and peering links are settlement-free (their price
+// still steers the scheduler, but no invoice is cut), which is exactly what
+// makes "does locality pay?" a non-trivial question for an eyeball ISP.
+//
+// Two billing models:
+//  * total_volume  — cost = price × total chunks shipped over the link;
+//  * percentile    — classic burstable ("95th percentile") billing: per-slot
+//                    chunk volumes are sorted, the top (1 − p) share of slots
+//                    is forgiven, and the link is billed as if every slot ran
+//                    at the p-th percentile rate:
+//                    cost = price × percentile_rate × num_slots.
+//
+// The uploading side pays: ISP m's transit cost sums its outbound billed
+// links m → n, mirroring the cost direction w_{u→d} of the scheduling layer.
+#ifndef P2PCD_ISP_BILLING_H
+#define P2PCD_ISP_BILLING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "isp/peering_graph.h"
+#include "isp/traffic_ledger.h"
+
+namespace p2pcd::isp {
+
+enum class billing_model : std::uint8_t { total_volume, percentile };
+
+struct billing_options {
+    billing_model model = billing_model::percentile;
+    // Rank used by billing_model::percentile (0.95 = classic burstable).
+    double percentile = 0.95;
+
+    void validate() const;  // throws contract_violation on nonsense configs
+};
+
+// One directed off-diagonal ISP pair's line item.
+struct pair_bill {
+    isp_id from;
+    isp_id to;
+    relationship rel = relationship::transit;
+    std::uint64_t chunks = 0;
+    double bytes = 0.0;
+    // The per-slot volume the link is billed at (percentile rate, or the
+    // mean rate under total_volume). 0 for unbilled (sibling/peer) links.
+    double billed_chunks_per_slot = 0.0;
+    double price = 0.0;
+    double cost = 0.0;
+};
+
+// One ISP's bottom line.
+struct isp_bill {
+    isp_id isp;
+    std::uint64_t chunks_out = 0;  // cross-ISP chunks uploaded from this ISP
+    std::uint64_t chunks_in = 0;   // cross-ISP chunks downloaded into it
+    std::uint64_t chunks_local = 0;  // intra-ISP chunks (never billed)
+    double transit_cost = 0.0;       // Σ over billed outbound links
+};
+
+struct billing_statement {
+    std::vector<pair_bill> pairs;  // every directed off-diagonal pair, (from, to) order
+    std::vector<isp_bill> isps;    // one per ISP, index order
+    std::size_t billed_slots = 0;
+    double total_cost = 0.0;
+};
+
+// Bills `ledger` against the prices and relationship tags of `graph` (they
+// must cover the same ISP set).
+[[nodiscard]] billing_statement bill(const traffic_ledger& ledger,
+                                     const peering_graph& graph,
+                                     const billing_options& options = {});
+
+// Line-item-wise sum of `other` into `into` (same ISP set and pair layout —
+// enforced). The fleet merge accumulates per-swarm statements in swarm-index
+// order, so merged doubles are order-deterministic. Billed rates and costs
+// add linearly; note a summed percentile bill is the sum of per-swarm
+// percentile bills, not the percentile of the summed traffic.
+void accumulate(billing_statement& into, const billing_statement& other);
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_BILLING_H

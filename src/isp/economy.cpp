@@ -1,0 +1,23 @@
+#include "isp/economy.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::isp {
+
+void economy_config::validate() const {
+    expects(!peering.empty(), "economy needs a peering generator name");
+    expects(intra_price >= 0.0 && inter_price > 0.0,
+            "peering prices must be non-negative (inter strictly positive)");
+    expects(peer_discount > 0.0 && peer_discount <= 1.0,
+            "peer discount must be in (0, 1]");
+    expects(tier1_fraction > 0.0 && tier1_fraction <= 1.0,
+            "tier-1 fraction must be in (0, 1]");
+    expects(tier_markup >= 1.0, "tier markup must be >= 1");
+    expects(region_size > 0, "hierarchical regions need at least one ISP");
+    expects(hostile_multiple >= 1.0, "hostile multiple must be >= 1");
+    expects(capacity_hint >= 0.0, "link capacity hint must be non-negative");
+    billing.validate();
+    policy.validate();
+}
+
+}  // namespace p2pcd::isp

@@ -1,0 +1,50 @@
+// One knob bundle for the whole ISP economy: carried inside
+// `workload::scenario_config` (disabled by default), consumed by the
+// emulator, and expanded into an actual `peering_graph` by the generators in
+// workload/peering_gen.h.
+#ifndef P2PCD_ISP_ECONOMY_H
+#define P2PCD_ISP_ECONOMY_H
+
+#include <cstddef>
+#include <string>
+
+#include "isp/billing.h"
+#include "isp/price_controller.h"
+
+namespace p2pcd::isp {
+
+struct economy_config {
+    // Off by default: the emulator then behaves bit-identically to the
+    // pre-economy code (no ledger, no peering graph attached to the cost
+    // model), which is what keeps the schedule goldens frozen.
+    bool enabled = false;
+
+    // Peering-graph generator, resolved in workload::make_peering_graph:
+    // "flat" | "tiered" | "hierarchical" | "hostile".
+    std::string peering = "flat";
+
+    // --- generator knobs (see workload/peering_gen.h for the shapes) ---
+    double intra_price = 1.0;      // diagonal (sibling) price = mean intra link cost
+    double inter_price = 5.0;      // baseline off-diagonal transit price
+    double peer_discount = 0.5;    // settlement-free peering price = inter_price × this
+    double tier1_fraction = 0.25;  // tiered: leading share of ISPs forming the core
+    double tier_markup = 2.0;      // tiered/hierarchical: long-haul price multiplier
+    std::size_t region_size = 4;   // hierarchical: consecutive ISPs per region
+    double hostile_multiple = 4.0; // hostile: ISP 0 spikes all its links by this ×
+    // Engineered chunks/slot per managed cross-ISP link; 0 leaves every link
+    // unmanaged (static prices — the controller becomes a no-op).
+    double capacity_hint = 0.0;
+
+    // Pricing-epoch length in slots; 0 disables the price controller (the
+    // economy then only meters and bills).
+    std::size_t slots_per_epoch = 0;
+
+    billing_options billing;
+    price_policy policy;
+
+    void validate() const;  // throws contract_violation on nonsense configs
+};
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_ECONOMY_H

@@ -1,0 +1,56 @@
+#include "isp/economy_report.h"
+
+#include <cstdint>
+#include <string>
+
+namespace p2pcd::isp {
+
+metrics::table traffic_matrix_table(const traffic_ledger& ledger) {
+    metrics::table t({"from_isp", "to_isp", "chunks", "mbytes"});
+    const std::size_t n = ledger.num_isps();
+    for (std::size_t m = 0; m < n; ++m) {
+        for (std::size_t o = 0; o < n; ++o) {
+            const auto from = isp_id(static_cast<std::int32_t>(m));
+            const auto to = isp_id(static_cast<std::int32_t>(o));
+            const std::uint64_t chunks = ledger.total_chunks(from, to);
+            if (chunks == 0) continue;
+            t.add_row({std::to_string(m), std::to_string(o), std::to_string(chunks),
+                       metrics::format_double(
+                           ledger.total_bytes(from, to) / (1024.0 * 1024.0), 3)});
+        }
+    }
+    return t;
+}
+
+metrics::table billing_table(const billing_statement& statement) {
+    metrics::table t(
+        {"isp", "chunks_local", "chunks_out", "chunks_in", "transit_cost"});
+    for (const isp_bill& b : statement.isps)
+        t.add_row({std::to_string(b.isp.value()), std::to_string(b.chunks_local),
+                   std::to_string(b.chunks_out), std::to_string(b.chunks_in),
+                   metrics::format_double(b.transit_cost, 2)});
+    std::uint64_t local = 0;
+    std::uint64_t out = 0;
+    std::uint64_t in = 0;
+    for (const isp_bill& b : statement.isps) {
+        local += b.chunks_local;
+        out += b.chunks_out;
+        in += b.chunks_in;
+    }
+    t.add_row({"total", std::to_string(local), std::to_string(out),
+               std::to_string(in), metrics::format_double(statement.total_cost, 2)});
+    return t;
+}
+
+metrics::table epoch_table(const std::vector<epoch_summary>& history) {
+    metrics::table t({"epoch", "slots", "cross_chunks", "raised", "lowered",
+                      "mean_inter_price"});
+    for (const epoch_summary& e : history)
+        t.add_row({std::to_string(e.epoch), std::to_string(e.num_slots),
+                   std::to_string(e.cross_chunks), std::to_string(e.raised),
+                   std::to_string(e.lowered),
+                   metrics::format_double(e.mean_inter_price, 4)});
+    return t;
+}
+
+}  // namespace p2pcd::isp

@@ -1,0 +1,29 @@
+// Shared table renderings of the economy artifacts, so the experiment
+// runner, the peering sweep example and bench/isp_economy print (and
+// serialize via metrics::json_report) the same schema.
+#ifndef P2PCD_ISP_ECONOMY_REPORT_H
+#define P2PCD_ISP_ECONOMY_REPORT_H
+
+#include <vector>
+
+#include "isp/billing.h"
+#include "isp/price_controller.h"
+#include "isp/traffic_ledger.h"
+#include "metrics/report.h"
+
+namespace p2pcd::isp {
+
+// from_isp | to_isp | chunks | mbytes — every directed pair with traffic
+// (diagonal included), (from, to) order.
+[[nodiscard]] metrics::table traffic_matrix_table(const traffic_ledger& ledger);
+
+// isp | chunks_local | chunks_out | chunks_in | transit_cost — one row per ISP
+// plus a trailing "total" row.
+[[nodiscard]] metrics::table billing_table(const billing_statement& statement);
+
+// epoch | slots | cross_chunks | raised | lowered | mean_inter_price.
+[[nodiscard]] metrics::table epoch_table(const std::vector<epoch_summary>& history);
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_ECONOMY_REPORT_H

@@ -1,0 +1,77 @@
+#include "isp/peering_graph.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::isp {
+
+const char* to_string(relationship rel) noexcept {
+    switch (rel) {
+        case relationship::sibling: return "sibling";
+        case relationship::peer: return "peer";
+        case relationship::transit: return "transit";
+    }
+    return "?";
+}
+
+peering_graph::peering_graph(std::size_t num_isps)
+    : n_(num_isps), links_(num_isps * num_isps) {
+    expects(num_isps > 0, "peering graph requires at least one ISP");
+}
+
+std::size_t peering_graph::at(isp_id m, isp_id n) const {
+    expects(m.valid() && static_cast<std::size_t>(m.value()) < n_,
+            "ISP id out of range");
+    expects(n.valid() && static_cast<std::size_t>(n.value()) < n_,
+            "ISP id out of range");
+    return static_cast<std::size_t>(m.value()) * n_ +
+           static_cast<std::size_t>(n.value());
+}
+
+const peering_link& peering_graph::link(isp_id m, isp_id n) const {
+    return links_[at(m, n)];
+}
+
+void peering_graph::set_link(isp_id m, isp_id n, const peering_link& link) {
+    expects(link.price >= 0.0 && link.capacity_hint >= 0.0,
+            "peering link price and capacity must be non-negative");
+    links_[at(m, n)] = link;
+}
+
+void peering_graph::set_link_symmetric(isp_id m, isp_id n, const peering_link& link) {
+    set_link(m, n, link);
+    set_link(n, m, link);
+}
+
+double peering_graph::price(isp_id m, isp_id n) const { return links_[at(m, n)].price; }
+
+void peering_graph::set_price(isp_id m, isp_id n, double price) {
+    expects(price >= 0.0, "peering price must be non-negative");
+    links_[at(m, n)].price = price;
+}
+
+double peering_graph::mean_inter_price() const {
+    if (n_ < 2) return 0.0;
+    double sum = 0.0;
+    for (std::size_t m = 0; m < n_; ++m)
+        for (std::size_t n = 0; n < n_; ++n)
+            if (m != n) sum += links_[m * n_ + n].price;
+    return sum / static_cast<double>(n_ * (n_ - 1));
+}
+
+peering_graph peering_graph::flat(std::size_t num_isps, double intra_price,
+                                  double inter_price, double capacity_hint) {
+    peering_graph graph(num_isps);
+    for (std::size_t m = 0; m < num_isps; ++m) {
+        for (std::size_t n = 0; n < num_isps; ++n) {
+            auto mi = isp_id(static_cast<std::int32_t>(m));
+            auto ni = isp_id(static_cast<std::int32_t>(n));
+            if (m == n)
+                graph.set_link(mi, ni, {intra_price, 0.0, relationship::sibling});
+            else
+                graph.set_link(mi, ni, {inter_price, capacity_hint, relationship::transit});
+        }
+    }
+    return graph;
+}
+
+}  // namespace p2pcd::isp

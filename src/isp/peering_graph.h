@@ -1,0 +1,85 @@
+// ISP-level peering topology: the economics layer under the paper's
+// "ISP-aware" scheduling.
+//
+// The paper (and the seed repo) model ISP structure as a binary inter/intra
+// cost dichotomy. Real ISP economics are per-*pair*: each ordered ISP pair
+// (m, n) has a transit price (what shipping one chunk over the m → n
+// interconnect costs), an engineered capacity hint, and a business
+// relationship tag — settlement-free sibling, (paid) peering, or transit —
+// exactly the structure the game-based-control and eyeball-ISP-profit lines
+// of related work reason about.
+//
+// `peering_graph` is a dense num_isps × num_isps matrix of directed links.
+// The diagonal holds the intra-ISP "price" (the mean intra link cost) and is
+// tagged sibling. Directed storage is deliberate: asymmetric transit pricing
+// (customer pays its provider more than the reverse) is a first-class
+// scenario. `net::cost_model` consumes the graph so per-link costs scale
+// with the *live* pair price, and `isp::price_controller` mutates prices
+// between epochs — the flat inter/intra case is recovered exactly by
+// `peering_graph::flat` (see workload/peering_gen.h for the generators).
+#ifndef P2PCD_ISP_PEERING_GRAPH_H
+#define P2PCD_ISP_PEERING_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace p2pcd::isp {
+
+enum class relationship : std::uint8_t {
+    sibling,  // same administrative domain: settlement-free, never billed
+    peer,     // settlement-free peering: scheduling cost applies, no billing
+    transit,  // customer/provider: billed at the link's transit price
+};
+
+[[nodiscard]] const char* to_string(relationship rel) noexcept;
+
+struct peering_link {
+    // Per-chunk transit price. The cost model uses it as the *mean* link
+    // cost for peer pairs across this interconnect, so price and scheduling
+    // incentive stay one number.
+    double price = 0.0;
+    // Engineered capacity in chunks per slot. 0 means "unmanaged": the
+    // price controller leaves such links alone.
+    double capacity_hint = 0.0;
+    relationship rel = relationship::transit;
+};
+
+class peering_graph {
+public:
+    explicit peering_graph(std::size_t num_isps);
+
+    [[nodiscard]] std::size_t num_isps() const noexcept { return n_; }
+
+    // Directed link m → n (diagonal allowed: the intra-ISP link class).
+    [[nodiscard]] const peering_link& link(isp_id m, isp_id n) const;
+    void set_link(isp_id m, isp_id n, const peering_link& link);
+    // Sets both directions (the symmetric-pricing convenience).
+    void set_link_symmetric(isp_id m, isp_id n, const peering_link& link);
+
+    [[nodiscard]] double price(isp_id m, isp_id n) const;
+    void set_price(isp_id m, isp_id n, double price);
+
+    // Mean price over the off-diagonal (directed) links — the one-number
+    // summary the price-controller epochs report.
+    [[nodiscard]] double mean_inter_price() const;
+
+    // The degenerate 2-class case: diagonal = {intra_price, sibling}, every
+    // off-diagonal link = {inter_price, transit}. With the default cost
+    // params this reproduces the classic flat inter/intra dichotomy.
+    [[nodiscard]] static peering_graph flat(std::size_t num_isps, double intra_price,
+                                            double inter_price,
+                                            double capacity_hint = 0.0);
+
+private:
+    [[nodiscard]] std::size_t at(isp_id m, isp_id n) const;
+
+    std::size_t n_;
+    std::vector<peering_link> links_;  // row-major n_ × n_
+};
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_PEERING_GRAPH_H

@@ -1,0 +1,68 @@
+#include "isp/price_controller.h"
+
+#include <algorithm>
+
+#include "common/contracts.h"
+
+namespace p2pcd::isp {
+
+void price_policy::validate() const {
+    expects(increase >= 1.0, "price increase factor must be >= 1");
+    expects(decrease > 0.0 && decrease <= 1.0, "price decrease factor must be in (0, 1]");
+    expects(utilization_target > 0.0, "utilization target must be positive");
+    expects(min_price > 0.0 && min_price <= max_price,
+            "price clamp range must be positive and ordered");
+}
+
+price_controller::price_controller(peering_graph& graph, const price_policy& policy)
+    : graph_(&graph), policy_(policy) {
+    policy_.validate();
+}
+
+const epoch_summary& price_controller::end_epoch(const traffic_ledger& ledger) {
+    expects(ledger.num_isps() == graph_->num_isps(),
+            "ledger and peering graph must cover the same ISP set");
+    expects(ledger.num_slots() > next_slot_,
+            "a pricing epoch must cover at least one new ledger slot");
+
+    epoch_summary summary;
+    summary.epoch = history_.size();
+    summary.first_slot = next_slot_;
+    summary.num_slots = ledger.num_slots() - next_slot_;
+
+    const std::size_t n = graph_->num_isps();
+    for (std::size_t m = 0; m < n; ++m) {
+        for (std::size_t o = 0; o < n; ++o) {
+            if (m == o) continue;
+            const auto from = isp_id(static_cast<std::int32_t>(m));
+            const auto to = isp_id(static_cast<std::int32_t>(o));
+            const std::uint64_t volume =
+                ledger.window_chunks(summary.first_slot, summary.num_slots, from, to);
+            summary.cross_chunks += volume;
+
+            const peering_link& link = graph_->link(from, to);
+            if (link.rel == relationship::sibling || link.capacity_hint <= 0.0)
+                continue;  // unmanaged: static price
+            const double budget = link.capacity_hint *
+                                  static_cast<double>(summary.num_slots) *
+                                  policy_.utilization_target;
+            double price = link.price;
+            if (static_cast<double>(volume) > budget) {
+                price *= policy_.increase;
+                ++summary.raised;
+            } else {
+                price *= policy_.decrease;
+                ++summary.lowered;
+            }
+            graph_->set_price(from, to,
+                              std::clamp(price, policy_.min_price, policy_.max_price));
+        }
+    }
+
+    summary.mean_inter_price = graph_->mean_inter_price();
+    next_slot_ = ledger.num_slots();
+    history_.push_back(summary);
+    return history_.back();
+}
+
+}  // namespace p2pcd::isp

@@ -1,0 +1,75 @@
+// The ISP-side control loop: epoch-based multiplicative price updates.
+//
+// Scheduling reacts to prices every slot; ISPs re-price every *epoch* (a
+// window of slots), giving the two-timescale ISP ⇄ P2P dynamic of the
+// game-based-control line of related work. At each epoch close every managed
+// directed link (capacity_hint > 0, relationship not sibling) compares the
+// epoch's carried volume against its engineered budget
+//     budget = capacity_hint × slots_in_epoch × utilization_target
+// and updates multiplicatively: over budget → price × increase (push traffic
+// off the congested interconnect), otherwise → price × decrease (an idle
+// link drifts back toward its floor and becomes attractive again). Prices
+// clamp to [min_price, max_price].
+//
+// The controller mutates the `peering_graph` in place; because
+// `net::cost_model` rescales its cached per-link jitter by the *live* pair
+// price, new prices steer every subsequent slot's scheduling with no cache
+// invalidation. The whole loop is deterministic: no RNG, and epoch windows
+// are slot-index ranges.
+#ifndef P2PCD_ISP_PRICE_CONTROLLER_H
+#define P2PCD_ISP_PRICE_CONTROLLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isp/peering_graph.h"
+#include "isp/traffic_ledger.h"
+
+namespace p2pcd::isp {
+
+struct price_policy {
+    double increase = 1.25;           // applied when the epoch volume exceeds budget
+    double decrease = 0.9;            // applied otherwise (decay toward the floor)
+    double utilization_target = 1.0;  // budget multiplier on capacity_hint
+    double min_price = 0.05;
+    double max_price = 50.0;
+
+    void validate() const;  // throws contract_violation on nonsense policies
+};
+
+struct epoch_summary {
+    std::size_t epoch = 0;       // 0-based epoch ordinal
+    std::size_t first_slot = 0;  // ledger slot range [first_slot, first_slot + num_slots)
+    std::size_t num_slots = 0;
+    std::uint64_t cross_chunks = 0;  // off-diagonal chunks carried in the epoch
+    std::size_t raised = 0;          // links whose price went up
+    std::size_t lowered = 0;         // links whose price decayed
+    double mean_inter_price = 0.0;   // graph-wide mean off-diagonal price *after* updating
+};
+
+class price_controller {
+public:
+    // Holds a reference to `graph` (must outlive the controller) and updates
+    // its prices in place at every end_epoch().
+    price_controller(peering_graph& graph, const price_policy& policy);
+
+    // Closes the epoch spanning every ledger slot recorded since the last
+    // call (at least one new slot — enforced) and applies the price updates.
+    const epoch_summary& end_epoch(const traffic_ledger& ledger);
+
+    [[nodiscard]] const std::vector<epoch_summary>& history() const noexcept {
+        return history_;
+    }
+    [[nodiscard]] const price_policy& policy() const noexcept { return policy_; }
+
+private:
+    peering_graph* graph_;
+    price_policy policy_;
+    std::size_t next_slot_ = 0;  // first ledger slot of the upcoming epoch
+    std::vector<epoch_summary> history_;
+};
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_PRICE_CONTROLLER_H

@@ -1,0 +1,104 @@
+#include "isp/traffic_ledger.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::isp {
+
+traffic_ledger::traffic_ledger(std::size_t num_isps) : n_(num_isps) {
+    expects(num_isps > 0, "traffic ledger requires at least one ISP");
+}
+
+std::size_t traffic_ledger::at(std::size_t slot, isp_id from, isp_id to) const {
+    expects(slot < times_.size(), "ledger slot out of range");
+    expects(from.valid() && static_cast<std::size_t>(from.value()) < n_,
+            "ISP id out of range");
+    expects(to.valid() && static_cast<std::size_t>(to.value()) < n_,
+            "ISP id out of range");
+    return (slot * n_ + static_cast<std::size_t>(from.value())) * n_ +
+           static_cast<std::size_t>(to.value());
+}
+
+void traffic_ledger::begin_slot(double time) {
+    times_.push_back(time);
+    cells_.resize(cells_.size() + n_ * n_);
+}
+
+void traffic_ledger::record(isp_id from, isp_id to, std::uint64_t chunks,
+                            double bytes) {
+    expects(!times_.empty(), "traffic_ledger::record needs an open slot");
+    cell& c = cells_[at(times_.size() - 1, from, to)];
+    c.chunks += chunks;
+    c.bytes += bytes;
+}
+
+double traffic_ledger::slot_time(std::size_t slot) const {
+    expects(slot < times_.size(), "ledger slot out of range");
+    return times_[slot];
+}
+
+std::uint64_t traffic_ledger::slot_chunks(std::size_t slot, isp_id from,
+                                          isp_id to) const {
+    return cells_[at(slot, from, to)].chunks;
+}
+
+double traffic_ledger::slot_bytes(std::size_t slot, isp_id from, isp_id to) const {
+    return cells_[at(slot, from, to)].bytes;
+}
+
+std::uint64_t traffic_ledger::total_chunks(isp_id from, isp_id to) const {
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < times_.size(); ++k)
+        total += cells_[at(k, from, to)].chunks;
+    return total;
+}
+
+double traffic_ledger::total_bytes(isp_id from, isp_id to) const {
+    double total = 0.0;
+    for (std::size_t k = 0; k < times_.size(); ++k)
+        total += cells_[at(k, from, to)].bytes;
+    return total;
+}
+
+std::uint64_t traffic_ledger::window_chunks(std::size_t first_slot, std::size_t count,
+                                            isp_id from, isp_id to) const {
+    expects(first_slot + count <= times_.size(),
+            "ledger window exceeds the recorded slots");
+    std::uint64_t total = 0;
+    for (std::size_t k = first_slot; k < first_slot + count; ++k)
+        total += cells_[at(k, from, to)].chunks;
+    return total;
+}
+
+std::uint64_t traffic_ledger::total_chunks() const {
+    std::uint64_t total = 0;
+    for (const cell& c : cells_) total += c.chunks;
+    return total;
+}
+
+std::uint64_t traffic_ledger::cross_chunks() const {
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < times_.size(); ++k)
+        for (std::size_t m = 0; m < n_; ++m)
+            for (std::size_t n = 0; n < n_; ++n)
+                if (m != n) total += cells_[(k * n_ + m) * n_ + n].chunks;
+    return total;
+}
+
+bool operator==(const traffic_ledger& a, const traffic_ledger& b) {
+    return a.n_ == b.n_ && a.times_ == b.times_ && a.cells_ == b.cells_;
+}
+
+void traffic_ledger::merge(const traffic_ledger& other) {
+    expects(other.n_ == n_, "cannot merge ledgers over different ISP sets");
+    expects(other.times_.size() == times_.size(),
+            "cannot merge ledgers with different slot counts");
+    for (std::size_t k = 0; k < times_.size(); ++k)
+        expects(other.times_[k] == times_[k],
+                "cannot merge ledgers with different slot grids");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        cells_[i].chunks += other.cells_[i].chunks;
+        cells_[i].bytes += other.cells_[i].bytes;
+    }
+}
+
+}  // namespace p2pcd::isp

@@ -1,0 +1,89 @@
+// Per-slot, per-ISP-pair traffic accounting.
+//
+// The emulator opens one ledger slot per time slot (`begin_slot`) and records
+// every realized chunk transfer into the (uploader ISP → downstream ISP)
+// cell of the current slot. The ledger is the raw material for everything
+// ISP-economic: `isp::bill` reduces it to per-ISP transit cost,
+// `isp::price_controller` closes pricing epochs over slot windows, and
+// `engine::fleet` merges the per-swarm ledgers in swarm-index order so the
+// fleet-wide traffic matrix is bit-identical for any thread count.
+//
+// All counters are exact: chunk counts are integers and byte counts are
+// (chunks × chunk size) sums accumulated in a fixed order, so merged totals
+// reproduce bit-for-bit.
+#ifndef P2PCD_ISP_TRAFFIC_LEDGER_H
+#define P2PCD_ISP_TRAFFIC_LEDGER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace p2pcd::isp {
+
+class traffic_ledger {
+public:
+    explicit traffic_ledger(std::size_t num_isps);
+
+    [[nodiscard]] std::size_t num_isps() const noexcept { return n_; }
+    [[nodiscard]] std::size_t num_slots() const noexcept { return times_.size(); }
+
+    // Opens the next accounting slot (its start time is carried for merge
+    // consistency checks and reporting). Slots are append-only.
+    void begin_slot(double time);
+
+    // Adds `chunks` / `bytes` shipped from ISP `from` to ISP `to` during the
+    // current slot. Requires an open slot; `from == to` records intra-ISP
+    // volume (never billed, but part of the traffic matrix).
+    void record(isp_id from, isp_id to, std::uint64_t chunks, double bytes);
+
+    [[nodiscard]] double slot_time(std::size_t slot) const;
+    [[nodiscard]] std::uint64_t slot_chunks(std::size_t slot, isp_id from,
+                                            isp_id to) const;
+    [[nodiscard]] double slot_bytes(std::size_t slot, isp_id from, isp_id to) const;
+
+    // Whole-run totals for one directed pair.
+    [[nodiscard]] std::uint64_t total_chunks(isp_id from, isp_id to) const;
+    [[nodiscard]] double total_bytes(isp_id from, isp_id to) const;
+
+    // Chunks over [first_slot, first_slot + count) for one directed pair —
+    // the price controller's epoch window.
+    [[nodiscard]] std::uint64_t window_chunks(std::size_t first_slot,
+                                              std::size_t count, isp_id from,
+                                              isp_id to) const;
+
+    // All-pairs totals: everything, and the off-diagonal (cross-ISP) share.
+    [[nodiscard]] std::uint64_t total_chunks() const;
+    [[nodiscard]] std::uint64_t cross_chunks() const;
+
+    // Cell-wise sum of another ledger over the same ISP set and slot grid
+    // (same slot count and start times — enforced). The fleet merge calls
+    // this in swarm-index order, so merged doubles are order-deterministic.
+    void merge(const traffic_ledger& other);
+
+    // Exact equality: same ISP set, slot grid and every per-slot cell
+    // (chunk counts are integers and byte sums accumulate in a fixed order,
+    // so == is the right comparison). This is what the determinism checks
+    // (bench/isp_economy, tests/fleet_determinism_test) assert across
+    // thread counts.
+    friend bool operator==(const traffic_ledger& a, const traffic_ledger& b);
+
+private:
+    struct cell {
+        std::uint64_t chunks = 0;
+        double bytes = 0.0;
+
+        friend bool operator==(const cell&, const cell&) = default;
+    };
+
+    [[nodiscard]] std::size_t at(std::size_t slot, isp_id from, isp_id to) const;
+
+    std::size_t n_;
+    std::vector<double> times_;  // slot start times, one per open slot
+    std::vector<cell> cells_;    // num_slots × n_ × n_, row-major
+};
+
+}  // namespace p2pcd::isp
+
+#endif  // P2PCD_ISP_TRAFFIC_LEDGER_H

@@ -14,36 +14,77 @@ cost_model::cost_model(const isp_topology& topology, const cost_params& params,
       link_seed_(static_cast<std::uint64_t>(rng.uniform_int(
           0, std::numeric_limits<std::int64_t>::max() - 1))),
       inter_(params.inter_mean, params.inter_stddev, params.inter_lo, params.inter_hi),
-      intra_(params.intra_mean, params.intra_stddev, params.intra_lo, params.intra_hi) {}
+      intra_(params.intra_mean, params.intra_stddev, params.intra_lo, params.intra_hi) {
+    expects(params_.cache_capacity > 0, "link-cache capacity must be >= 1");
+}
+
+void cost_model::attach_peering(const isp::peering_graph* graph) {
+    expects(graph == nullptr || graph->num_isps() == topology_->num_isps(),
+            "peering graph must cover the topology's ISP set");
+    peering_ = graph;
+}
+
+cost_cache_stats cost_model::cache_stats() const noexcept {
+    return {cache_hits_, cache_misses_, cache_flushes_, cache_.size(),
+            params_.cache_capacity};
+}
 
 double cost_model::isp_cost(isp_id m, isp_id n) const {
     expects(m.valid() && static_cast<std::size_t>(m.value()) < topology_->num_isps(),
             "ISP id out of range");
     expects(n.valid() && static_cast<std::size_t>(n.value()) < topology_->num_isps(),
             "ISP id out of range");
+    if (peering_ != nullptr) return peering_->price(m, n);
     return m == n ? params_.intra_mean : params_.inter_mean;
 }
 
 double cost_model::cost(peer_id u, peer_id d) const {
+    const isp_id m = topology_->isp_of(u);
+    const isp_id n = topology_->isp_of(d);
+    const bool crosses = m != n;
+
     auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(u.value()));
     auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.value()));
     if (params_.symmetric && a > b) std::swap(a, b);  // canonical link direction
-    std::uint64_t key = (a << 32) | b;
+    const std::uint64_t pair_key = (a << 32) | b;
+    // The cache key carries the crossing class (bit 63 — free, since valid
+    // peer ids are non-negative 32-bit values): a peer that churns out and
+    // re-joins in a different ISP misses the stale class's entry instead of
+    // being served its draw, so the cached value is a pure function of the
+    // key and a flush never changes any cost.
+    const std::uint64_t key =
+        pair_key | (crosses ? std::uint64_t{1} << 63 : std::uint64_t{0});
 
+    double draw;
     auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    if (it != cache_.end()) {
+        ++cache_hits_;
+        draw = it->second;
+    } else {
+        ++cache_misses_;
+        // The draw is a pure function of (link_seed, pair, class): mix seed
+        // and pair into a throwaway stream (the class picks the
+        // distribution), so costs are reproducible and churn-proof.
+        std::uint64_t mixed = link_seed_ ^ (pair_key * 0x9e3779b97f4a7c15ull);
+        mixed ^= mixed >> 29;
+        mixed *= 0xbf58476d1ce4e5b9ull;
+        mixed ^= mixed >> 32;
+        sim::rng_stream link_rng(mixed);
+        draw = crosses ? inter_.sample(link_rng) : intra_.sample(link_rng);
+        if (cache_.size() >= params_.cache_capacity) {
+            cache_.clear();
+            ++cache_flushes_;
+        }
+        cache_.emplace(key, draw);
+    }
+    if (peering_ == nullptr) return draw;
 
-    // The draw is a pure function of (link_seed, key): mix them into a seed
-    // for a throwaway stream, so costs are reproducible and churn-proof.
-    std::uint64_t mixed = link_seed_ ^ (key * 0x9e3779b97f4a7c15ull);
-    mixed ^= mixed >> 29;
-    mixed *= 0xbf58476d1ce4e5b9ull;
-    mixed ^= mixed >> 32;
-    sim::rng_stream link_rng(mixed);
-    bool crosses = topology_->isp_of(u) != topology_->isp_of(d);
-    double w = crosses ? inter_.sample(link_rng) : intra_.sample(link_rng);
-    cache_.emplace(key, w);
-    return w;
+    // Economy mode: the flat draw acts as unit jitter around the live
+    // directed pair price (direction taken before canonicalization, so
+    // asymmetric pricing survives symmetric jitter).
+    const double mean = crosses ? params_.inter_mean : params_.intra_mean;
+    const double price = peering_->price(m, n);
+    return mean > 0.0 ? draw / mean * price : price;
 }
 
 }  // namespace p2pcd::net

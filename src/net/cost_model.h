@@ -6,10 +6,26 @@
 // crosses an ISP boundary: inter N(5, 1) on [1, 10], intra N(1, 1) on [0, 2].
 //
 // Costs are sampled lazily and deterministically: the draw for a pair is a
-// pure function of (seed, u, d), so the model is reproducible, needs no
-// upfront O(peers²) table, and survives churn (a re-queried pair always gets
-// the same cost). `symmetric` (default) makes w(u,d) == w(d,u), as expected
-// of link latency.
+// pure function of (seed, u, d, crossing class), so the model is
+// reproducible, needs no upfront O(peers²) table, and survives churn (a
+// re-queried pair always gets the same cost; a peer re-added to a different
+// ISP re-draws under its new class). `symmetric` (default) makes
+// w(u,d) == w(d,u), as expected of link latency.
+//
+// ISP economy: `attach_peering` plugs in an `isp::peering_graph`, and the
+// flat inter/intra dichotomy generalizes to the per-ISP-pair price matrix.
+// The cached flat draw becomes a unit jitter (draw ÷ its distribution mean)
+// rescaled by the *live* directed pair price at query time:
+//     w(u→d) = draw / mean × price(isp(u), isp(d))
+// so price updates from the isp::price_controller steer subsequent slots
+// with no cache invalidation, and asymmetric pricing yields asymmetric
+// costs even when the underlying jitter is symmetric. Without a graph the
+// behavior is bit-identical to the classic dichotomy.
+//
+// The lazily-filled cache is bounded: at `cost_params::cache_capacity`
+// entries it is flushed (draws are pure functions of the link, so a flush
+// never changes a cost), which keeps unbounded churn from growing it without
+// limit; `cache_stats()` exposes hit/miss/flush counters.
 #ifndef P2PCD_NET_COST_MODEL_H
 #define P2PCD_NET_COST_MODEL_H
 
@@ -17,6 +33,7 @@
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "isp/peering_graph.h"
 #include "net/isp_topology.h"
 #include "sim/distributions.h"
 #include "sim/rng.h"
@@ -33,6 +50,18 @@ struct cost_params {
     double intra_lo = 0.0;
     double intra_hi = 2.0;
     bool symmetric = true;  // w(u,d) == w(d,u)
+    // Link-cache bound: the cache is flushed when it reaches this many
+    // entries (must be >= 1). The default comfortably holds the working set
+    // of a 5 000-peer metro swarm while capping churn-driven growth.
+    std::size_t cache_capacity = 1u << 20;
+};
+
+struct cost_cache_stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t flushes = 0;
+    std::size_t size = 0;
+    std::size_t capacity = 0;
 };
 
 class cost_model {
@@ -43,20 +72,34 @@ public:
     // Cost of shipping one chunk over the u → d link.
     [[nodiscard]] double cost(peer_id u, peer_id d) const;
 
-    // Expected cost between two ISPs (the relevant distribution's mean);
-    // useful for latency scaling and diagnostics.
+    // Expected cost between two ISPs: the live peering price when a graph is
+    // attached, otherwise the relevant flat distribution's mean.
     [[nodiscard]] double isp_cost(isp_id m, isp_id n) const;
 
+    // Attaches the ISP-pair price matrix (nullptr detaches; the caller keeps
+    // ownership and the graph must outlive the model). Costs of pairs in
+    // different ISPs scale with price(isp(u), isp(d)); same-ISP pairs with
+    // the diagonal price.
+    void attach_peering(const isp::peering_graph* graph);
+    [[nodiscard]] bool has_peering() const noexcept { return peering_ != nullptr; }
+
     [[nodiscard]] const cost_params& params() const noexcept { return params_; }
+    [[nodiscard]] cost_cache_stats cache_stats() const noexcept;
 
 private:
     const isp_topology* topology_;
+    const isp::peering_graph* peering_ = nullptr;
     cost_params params_;
     std::uint64_t link_seed_;
     sim::truncated_normal inter_;
     sim::truncated_normal intra_;
-    // Lazily filled link-cost cache; key packs both peer ids.
+    // Lazily filled link-draw cache; key packs both peer ids plus the
+    // crossing class (bit 63). Bounded by params_.cache_capacity
+    // (flush-on-full).
     mutable std::unordered_map<std::uint64_t, double> cache_;
+    mutable std::uint64_t cache_hits_ = 0;
+    mutable std::uint64_t cache_misses_ = 0;
+    mutable std::uint64_t cache_flushes_ = 0;
 };
 
 }  // namespace p2pcd::net

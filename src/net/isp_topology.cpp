@@ -14,25 +14,31 @@ void isp_topology::add_peer(peer_id peer, isp_id isp) {
     expects(peer.valid(), "cannot add an invalid peer id");
     expects(isp.valid() && static_cast<std::size_t>(isp.value()) < peers_by_isp_.size(),
             "ISP id out of range");
-    expects(!isp_of_.contains(peer), "peer already registered");
-    isp_of_.emplace(peer, isp);
+    const auto index = static_cast<std::size_t>(peer.value());
+    if (index >= isp_of_.size()) isp_of_.resize(index + 1);  // invalid-filled
+    expects(!isp_of_[index].valid(), "peer already registered");
+    isp_of_[index] = isp;
     peers_by_isp_[static_cast<std::size_t>(isp.value())].push_back(peer);
+    ++num_peers_;
 }
 
 void isp_topology::remove_peer(peer_id peer) {
-    auto it = isp_of_.find(peer);
-    expects(it != isp_of_.end(), "removing unknown peer");
-    auto& bucket = peers_by_isp_[static_cast<std::size_t>(it->second.value())];
+    expects(contains(peer), "removing unknown peer");
+    const auto index = static_cast<std::size_t>(peer.value());
+    auto& bucket = peers_by_isp_[static_cast<std::size_t>(isp_of_[index].value())];
     bucket.erase(std::remove(bucket.begin(), bucket.end(), peer), bucket.end());
-    isp_of_.erase(it);
+    isp_of_[index] = isp_id();
+    --num_peers_;
 }
 
-bool isp_topology::contains(peer_id peer) const { return isp_of_.contains(peer); }
+bool isp_topology::contains(peer_id peer) const {
+    return peer.valid() && static_cast<std::size_t>(peer.value()) < isp_of_.size() &&
+           isp_of_[static_cast<std::size_t>(peer.value())].valid();
+}
 
 isp_id isp_topology::isp_of(peer_id peer) const {
-    auto it = isp_of_.find(peer);
-    expects(it != isp_of_.end(), "isp_of for unknown peer");
-    return it->second;
+    expects(contains(peer), "isp_of for unknown peer");
+    return isp_of_[static_cast<std::size_t>(peer.value())];
 }
 
 const std::vector<peer_id>& isp_topology::peers_in(isp_id isp) const {

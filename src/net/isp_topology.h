@@ -1,8 +1,13 @@
 // ISP membership map: which peer lives in which ISP (the paper's P_m sets).
+//
+// Membership is stored densely, indexed by the 32-bit peer id (emulator ids
+// are small and monotone), so `isp_of` — the hottest query in the system,
+// called per (request, candidate) pair by the cost model — is an array read
+// instead of a hash lookup. Departed peers leave an invalid hole; re-adding
+// an id (possibly under a different ISP — churned peers re-join) reuses it.
 #ifndef P2PCD_NET_ISP_TOPOLOGY_H
 #define P2PCD_NET_ISP_TOPOLOGY_H
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/ids.h"
@@ -21,14 +26,15 @@ public:
     [[nodiscard]] bool contains(peer_id peer) const;
     [[nodiscard]] isp_id isp_of(peer_id peer) const;
     [[nodiscard]] const std::vector<peer_id>& peers_in(isp_id isp) const;
-    [[nodiscard]] std::size_t num_peers() const noexcept { return isp_of_.size(); }
+    [[nodiscard]] std::size_t num_peers() const noexcept { return num_peers_; }
 
     // True when u and d belong to different ISPs (inter-ISP traffic).
     [[nodiscard]] bool crosses_isps(peer_id u, peer_id d) const;
 
 private:
-    std::unordered_map<peer_id, isp_id> isp_of_;
+    std::vector<isp_id> isp_of_;  // dense by peer id; invalid = not registered
     std::vector<std::vector<peer_id>> peers_by_isp_;
+    std::size_t num_peers_ = 0;
 };
 
 }  // namespace p2pcd::net

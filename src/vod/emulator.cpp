@@ -8,6 +8,7 @@
 #include "common/contracts.h"
 #include "core/welfare.h"
 #include "vod/auction_runtime.h"
+#include "workload/peering_gen.h"
 
 namespace p2pcd::vod {
 
@@ -37,6 +38,16 @@ emulator::emulator(emulator_options options)
 
     auto cost_rng = rng_factory_.stream("costs");
     costs_.emplace(topology_, options_.config.costs, cost_rng);
+
+    const isp::economy_config& economy = options_.config.economy;
+    if (economy.enabled) {
+        peering_.emplace(
+            workload::make_peering_graph(economy, options_.config.num_isps));
+        ledger_.emplace(options_.config.num_isps);
+        if (economy.slots_per_epoch > 0)
+            price_controller_.emplace(*peering_, economy.policy);
+        costs_->attach_peering(&*peering_);
+    }
 
     add_seeds();
     add_initial_peers();
@@ -280,8 +291,11 @@ void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics
 
         ++metrics.transfers;
         metrics.social_welfare += request.valuation - cand.cost;
-        if (topology_.isp_of(seller.who) != peers_[peer_index_.at(request.downstream)].isp)
-            ++metrics.inter_isp_transfers;
+        const isp_id seller_isp = peers_[seller_index].isp;
+        if (seller_isp != downstream.isp) ++metrics.inter_isp_transfers;
+        if (ledger_)
+            ledger_->record(seller_isp, downstream.isp, 1,
+                            options_.config.chunk_size_kb * 1024.0);
     }
     metrics.inter_isp_fraction =
         metrics.transfers == 0
@@ -325,6 +339,7 @@ const slot_metrics& emulator::step() {
     process_arrivals(slot_start);
     process_departures();
     refresh_neighbors();
+    if (ledger_) ledger_->begin_slot(slot_start);
 
     slot_metrics metrics;
     metrics.time = slot_start;
@@ -369,7 +384,33 @@ const slot_metrics& emulator::step() {
 
     slots_.push_back(metrics);
     now_ = slot_end;
+    // Epoch boundary: ISPs re-price off the slots metered since the last
+    // close; the updated prices steer every subsequent slot's costs.
+    if (price_controller_ &&
+        slots_.size() % options_.config.economy.slots_per_epoch == 0)
+        price_controller_->end_epoch(*ledger_);
     return slots_.back();
+}
+
+const isp::traffic_ledger& emulator::ledger() const {
+    expects(ledger_.has_value(), "ledger() requires config.economy.enabled");
+    return *ledger_;
+}
+
+const isp::peering_graph& emulator::peering() const {
+    expects(peering_.has_value(), "peering() requires config.economy.enabled");
+    return *peering_;
+}
+
+const std::vector<isp::epoch_summary>& emulator::price_epochs() const {
+    static const std::vector<isp::epoch_summary> none;
+    return price_controller_ ? price_controller_->history() : none;
+}
+
+isp::billing_statement emulator::bill() const {
+    expects(ledger_.has_value() && peering_.has_value(),
+            "bill() requires config.economy.enabled");
+    return isp::bill(*ledger_, *peering_, options_.config.economy.billing);
 }
 
 void emulator::run() {

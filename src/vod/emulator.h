@@ -36,6 +36,10 @@
 #include "core/auction.h"
 #include "core/problem.h"
 #include "core/scheduler_registry.h"
+#include "isp/billing.h"
+#include "isp/peering_graph.h"
+#include "isp/price_controller.h"
+#include "isp/traffic_ledger.h"
 #include "metrics/time_series.h"
 #include "net/cost_model.h"
 #include "net/isp_topology.h"
@@ -129,6 +133,18 @@ public:
 
     [[nodiscard]] const net::isp_topology& topology() const noexcept { return topology_; }
     [[nodiscard]] const video_catalog& catalog() const noexcept { return catalog_; }
+
+    // --- ISP economy (config.economy.enabled; see src/isp/) ---
+    // When enabled the emulator owns a peering graph (attached to the cost
+    // model), meters every realized transfer into a per-slot per-ISP-pair
+    // ledger, and closes a pricing epoch every `slots_per_epoch` slots.
+    [[nodiscard]] bool economy_enabled() const noexcept { return ledger_.has_value(); }
+    [[nodiscard]] const isp::traffic_ledger& ledger() const;   // requires economy
+    [[nodiscard]] const isp::peering_graph& peering() const;   // requires economy
+    // Pricing-epoch history (empty when the controller is disabled).
+    [[nodiscard]] const std::vector<isp::epoch_summary>& price_epochs() const;
+    // Bills the run's ledger against the *current* (post-update) prices.
+    [[nodiscard]] isp::billing_statement bill() const;  // requires economy
     [[nodiscard]] std::size_t online_viewers() const;
     [[nodiscard]] double now() const noexcept { return now_; }
 
@@ -170,6 +186,13 @@ private:
     sim::rng_stream arrival_rng_;
     sim::rng_stream peer_rng_;
     std::optional<net::cost_model> costs_;
+    // ISP economy state (engaged only when config.economy.enabled). The
+    // peering graph lives here so the cost model's pointer stays valid; the
+    // emulator is never moved after construction (same rule that keeps
+    // cost_model's topology pointer safe).
+    std::optional<isp::peering_graph> peering_;
+    std::optional<isp::traffic_ledger> ledger_;
+    std::optional<isp::price_controller> price_controller_;
     sim::zipf_mandelbrot video_popularity_;
     deadline_valuation valuation_;
     tracker tracker_;

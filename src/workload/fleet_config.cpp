@@ -47,6 +47,24 @@ fleet_config fleet_config::smoke() {
     return config;
 }
 
+fleet_config fleet_config::economy_fleet() {
+    fleet_config config;
+    config.swarm_scenario = "metro_economy";
+    config.num_swarms = 6;
+    config.total_peers = 12'000;
+    config.min_swarm_peers = 400;
+    return config;
+}
+
+fleet_config fleet_config::economy_smoke_fleet() {
+    fleet_config config;
+    config.swarm_scenario = "economy_smoke";
+    config.num_swarms = 2;
+    config.total_peers = 60;
+    config.min_swarm_peers = 8;
+    return config;
+}
+
 std::uint64_t swarm_seed(std::uint64_t fleet_seed, std::size_t swarm_index) {
     return sim::rng_factory(fleet_seed)
         .derived_seed("fleet/swarm/" + std::to_string(swarm_index));
@@ -118,6 +136,13 @@ const fleet_registry& builtin_fleets() {
               [] { return fleet_config::flash_crowd_fleet(); });
         r.add("fleet_smoke", "seconds-scale 3-swarm fleet for tests and CI",
               [] { return fleet_config::smoke(); });
+        r.add("fleet_economy",
+              "6 metro swarms with hierarchical ISP economies, 12 000 viewers "
+              "(bench/isp_economy)",
+              [] { return fleet_config::economy_fleet(); });
+        r.add("fleet_economy_smoke",
+              "seconds-scale 2-swarm economy fleet, 2 pricing epochs (tests/CI)",
+              [] { return fleet_config::economy_smoke_fleet(); });
         return r;
     }();
     return registry;

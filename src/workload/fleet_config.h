@@ -64,6 +64,10 @@ struct fleet_config {
     [[nodiscard]] static fleet_config metro_100x5k();
     [[nodiscard]] static fleet_config flash_crowd_fleet();
     [[nodiscard]] static fleet_config smoke();
+    // ISP-economy fleets (bench/isp_economy): every swarm runs the ledger +
+    // billing + pricing-epoch loop of its base scenario.
+    [[nodiscard]] static fleet_config economy_fleet();
+    [[nodiscard]] static fleet_config economy_smoke_fleet();
 };
 
 // The deterministic per-swarm seed: derived from (fleet_seed, swarm_index)

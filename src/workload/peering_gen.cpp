@@ -1,0 +1,99 @@
+#include "workload/peering_gen.h"
+
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::workload {
+
+namespace {
+
+isp_id to_isp(std::size_t index) { return isp_id(static_cast<std::int32_t>(index)); }
+
+}  // namespace
+
+isp::peering_graph flat_peering(const isp::economy_config& config,
+                                std::size_t num_isps) {
+    config.validate();
+    return isp::peering_graph::flat(num_isps, config.intra_price, config.inter_price,
+                                    config.capacity_hint);
+}
+
+isp::peering_graph tiered_peering(const isp::economy_config& config,
+                                  std::size_t num_isps) {
+    config.validate();
+    auto graph = flat_peering(config, num_isps);
+    const auto tier1 = static_cast<std::size_t>(std::ceil(
+        config.tier1_fraction * static_cast<double>(num_isps)));
+    const double peer_price = config.inter_price * config.peer_discount;
+    const double long_haul = config.inter_price * config.tier_markup;
+    for (std::size_t m = 0; m < num_isps; ++m) {
+        for (std::size_t n = 0; n < num_isps; ++n) {
+            if (m == n) continue;
+            const bool m_core = m < tier1;
+            const bool n_core = n < tier1;
+            isp::peering_link link = graph.link(to_isp(m), to_isp(n));
+            if (m_core && n_core) {
+                link.price = peer_price;
+                link.rel = isp::relationship::peer;
+            } else if (m_core) {  // provider → customer
+                link.price = config.inter_price;
+            } else if (n_core) {  // customer → provider: pays the markup
+                link.price = long_haul;
+            } else {  // tier-2 ↔ tier-2 long-haul via the core
+                link.price = long_haul;
+            }
+            graph.set_link(to_isp(m), to_isp(n), link);
+        }
+    }
+    return graph;
+}
+
+isp::peering_graph hierarchical_peering(const isp::economy_config& config,
+                                        std::size_t num_isps) {
+    config.validate();  // region_size > 0 guards the division below
+    auto graph = flat_peering(config, num_isps);
+    const double regional = config.inter_price * config.peer_discount;
+    const double long_haul = config.inter_price * config.tier_markup;
+    for (std::size_t m = 0; m < num_isps; ++m) {
+        for (std::size_t n = 0; n < num_isps; ++n) {
+            if (m == n) continue;
+            isp::peering_link link = graph.link(to_isp(m), to_isp(n));
+            if (m / config.region_size == n / config.region_size) {
+                link.price = regional;
+                link.rel = isp::relationship::peer;
+            } else {
+                link.price = long_haul;
+            }
+            graph.set_link(to_isp(m), to_isp(n), link);
+        }
+    }
+    return graph;
+}
+
+isp::peering_graph hostile_peering(const isp::economy_config& config,
+                                   std::size_t num_isps) {
+    config.validate();
+    auto graph = flat_peering(config, num_isps);
+    const double spiked = config.inter_price * config.hostile_multiple;
+    for (std::size_t n = 1; n < num_isps; ++n) {
+        graph.set_price(to_isp(0), to_isp(n), spiked);
+        graph.set_price(to_isp(n), to_isp(0), spiked);
+    }
+    return graph;
+}
+
+isp::peering_graph make_peering_graph(const isp::economy_config& config,
+                                      std::size_t num_isps) {
+    config.validate();
+    if (config.peering == "flat") return flat_peering(config, num_isps);
+    if (config.peering == "tiered") return tiered_peering(config, num_isps);
+    if (config.peering == "hierarchical")
+        return hierarchical_peering(config, num_isps);
+    if (config.peering == "hostile") return hostile_peering(config, num_isps);
+    throw contract_violation(
+        "no peering generator named '" + config.peering +
+        "'; known: [flat, hierarchical, hostile, tiered]");
+}
+
+}  // namespace p2pcd::workload

@@ -1,0 +1,52 @@
+// Peering-graph generators: expand an isp::economy_config into the actual
+// ISP-pair price matrix for a scenario's ISP count.
+//
+// Shapes (all prices from the economy_config knobs):
+//  * flat         — the degenerate 2-class case: diagonal = intra_price
+//                   (sibling), every off-diagonal link = inter_price
+//                   (transit). With the default cost params this reproduces
+//                   the classic inter/intra dichotomy.
+//  * tiered       — the first ceil(tier1_fraction × n) ISPs form a
+//                   settlement-free tier-1 core (peer links at
+//                   inter_price × peer_discount). Asymmetric transit
+//                   elsewhere: provider → customer (tier-1 → tier-2) ships at
+//                   inter_price, customer → provider at
+//                   inter_price × tier_markup, and tier-2 ↔ tier-2 long-haul
+//                   (via the core) at inter_price × tier_markup both ways.
+//  * hierarchical — consecutive ISPs group into regions of `region_size`;
+//                   same-region links are regional peering
+//                   (inter_price × peer_discount, rel peer), cross-region
+//                   links are long-haul transit (inter_price × tier_markup).
+//  * hostile      — flat, then every link touching ISP 0 is spiked to
+//                   inter_price × hostile_multiple (both directions): the
+//                   price-war / de-peering scenario.
+//
+// Every off-diagonal transit/peer link carries the config's capacity_hint so
+// the price controller can manage it; diagonals are sibling and unmanaged.
+#ifndef P2PCD_WORKLOAD_PEERING_GEN_H
+#define P2PCD_WORKLOAD_PEERING_GEN_H
+
+#include <cstddef>
+
+#include "isp/economy.h"
+#include "isp/peering_graph.h"
+
+namespace p2pcd::workload {
+
+[[nodiscard]] isp::peering_graph flat_peering(const isp::economy_config& config,
+                                              std::size_t num_isps);
+[[nodiscard]] isp::peering_graph tiered_peering(const isp::economy_config& config,
+                                                std::size_t num_isps);
+[[nodiscard]] isp::peering_graph hierarchical_peering(
+    const isp::economy_config& config, std::size_t num_isps);
+[[nodiscard]] isp::peering_graph hostile_peering(const isp::economy_config& config,
+                                                 std::size_t num_isps);
+
+// Dispatches on config.peering ("flat" | "tiered" | "hierarchical" |
+// "hostile"); unknown names throw contract_violation listing the generators.
+[[nodiscard]] isp::peering_graph make_peering_graph(const isp::economy_config& config,
+                                                    std::size_t num_isps);
+
+}  // namespace p2pcd::workload
+
+#endif  // P2PCD_WORKLOAD_PEERING_GEN_H

@@ -23,6 +23,7 @@ void scenario_config::validate() const {
             "itself caps throughput");
     expects(initial_position_max_fraction > 0.0 && initial_position_max_fraction <= 1.0,
             "initial position fraction must be in (0, 1]");
+    economy.validate();
 }
 
 scenario_config scenario_config::paper_dynamic() {
@@ -73,6 +74,26 @@ scenario_config scenario_config::flash_crowd_10k() {
     config.arrival_rate = 40.0;  // ~10 000 joins over the 250 s horizon
     config.initial_peers = 0;
     config.departure_probability = 0.0;
+    return config;
+}
+
+scenario_config scenario_config::metro_economy() {
+    scenario_config config = metro_5k();
+    config.economy.enabled = true;
+    config.economy.peering = "hierarchical";
+    config.economy.region_size = 5;  // 20 metro ISPs → 4 regions
+    config.economy.capacity_hint = 40.0;
+    config.economy.slots_per_epoch = 5;  // 25 slots → 5 pricing epochs
+    return config;
+}
+
+scenario_config scenario_config::economy_smoke() {
+    scenario_config config = small_test();
+    config.economy.enabled = true;
+    config.economy.peering = "tiered";
+    config.economy.tier1_fraction = 0.3;  // 3 ISPs → 1 tier-1 core ISP
+    config.economy.capacity_hint = 8.0;
+    config.economy.slots_per_epoch = 3;  // 6 slots → 2 pricing epochs
     return config;
 }
 

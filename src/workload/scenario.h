@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "isp/economy.h"
 #include "net/cost_model.h"
 
 namespace p2pcd::workload {
@@ -25,6 +26,10 @@ struct scenario_config {
     // --- network ---
     std::size_t num_isps = 5;
     net::cost_params costs;  // inter N(5,1)|[1,10], intra N(1,1)|[0,2]
+    // ISP economy (src/isp/): peering graph + traffic ledger + transit
+    // billing + pricing epochs. Disabled by default, which keeps the
+    // emulator bit-identical to the flat inter/intra dichotomy.
+    isp::economy_config economy;
 
     // --- peers ---
     std::size_t neighbor_count = 30;
@@ -94,6 +99,13 @@ struct scenario_config {
     //  * flash_crowd_10k — ~10 000 peers flash-crowding 10 hot videos.
     [[nodiscard]] static scenario_config metro_5k();
     [[nodiscard]] static scenario_config flash_crowd_10k();
+    // ISP-economy scenarios (src/isp/):
+    //  * metro_economy — metro_5k with a 4-region hierarchical peering
+    //    graph, 95th-percentile transit billing and 5-slot pricing epochs;
+    //  * economy_smoke — small_test with a tiered economy and 3-slot epochs
+    //    (two epochs over the 6-slot horizon) for tests and CI smoke runs.
+    [[nodiscard]] static scenario_config metro_economy();
+    [[nodiscard]] static scenario_config economy_smoke();
 };
 
 }  // namespace p2pcd::workload

@@ -19,6 +19,12 @@ const scenario_registry& builtin_scenarios() {
         r.add("flash_crowd_10k",
               "~10 000 peers flash-crowding a 10-video catalog (Poisson 40/s, 10 ISPs)",
               [] { return scenario_config::flash_crowd_10k(); });
+        r.add("metro_economy",
+              "metro_5k with a 4-region hierarchical ISP economy (5-slot pricing epochs)",
+              [] { return scenario_config::metro_economy(); });
+        r.add("economy_smoke",
+              "small_test with a tiered ISP economy, 2 pricing epochs (tests/CI)",
+              [] { return scenario_config::economy_smoke(); });
         return r;
     }();
     return registry;

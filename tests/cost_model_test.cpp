@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/contracts.h"
+
 namespace p2pcd::net {
 namespace {
 
@@ -123,6 +125,90 @@ TEST(cost_model, isp_cost_reports_distribution_means) {
     cost_model costs(topo, cost_params{}, rng);
     EXPECT_DOUBLE_EQ(costs.isp_cost(isp_id(0), isp_id(0)), 1.0);
     EXPECT_DOUBLE_EQ(costs.isp_cost(isp_id(0), isp_id(1)), 5.0);
+}
+
+TEST(cost_model, cache_is_bounded_and_counts_hits_and_misses) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(19);
+    cost_params params;
+    params.cache_capacity = 64;
+    cost_model costs(topo, params, rng);
+
+    auto stats = costs.cache_stats();
+    EXPECT_EQ(stats.capacity, 64u);
+    EXPECT_EQ(stats.hits + stats.misses, 0u);
+
+    double first = costs.cost(peer_id(0), peer_id(1));
+    EXPECT_EQ(costs.cache_stats().misses, 1u);
+    EXPECT_DOUBLE_EQ(costs.cost(peer_id(0), peer_id(1)), first);
+    EXPECT_EQ(costs.cache_stats().hits, 1u);
+
+    // 20 peers → 190 distinct links, ~3× the capacity: the cache must flush
+    // instead of growing without limit, and flushed links must re-draw the
+    // identical cost (draws are pure functions of the link).
+    for (int u = 0; u < 20; ++u)
+        for (int d = u + 1; d < 20; ++d) (void)costs.cost(peer_id(u), peer_id(d));
+    stats = costs.cache_stats();
+    EXPECT_LE(stats.size, 64u);
+    EXPECT_GT(stats.flushes, 0u);
+    EXPECT_DOUBLE_EQ(costs.cost(peer_id(0), peer_id(1)), first);
+}
+
+TEST(cost_model, cache_stays_under_cap_during_churn) {
+    // A churn-style sweep: a rolling population where every joiner gets a
+    // fresh peer id queries costs against its 8 predecessors. The id space
+    // never repeats, so an unbounded cache would end ~8× over the cap.
+    isp_topology topo(5);
+    cost_params params;
+    params.cache_capacity = 128;
+    sim::rng_stream rng(20);
+    for (int i = 0; i < 8; ++i) topo.add_peer(peer_id(i), isp_id(i % 5));
+    cost_model costs(topo, params, rng);
+    for (int joiner = 8; joiner < 400; ++joiner) {
+        topo.add_peer(peer_id(joiner), isp_id(joiner % 5));
+        for (int other = joiner - 8; other < joiner; ++other)
+            (void)costs.cost(peer_id(joiner), peer_id(other));
+        topo.remove_peer(peer_id(joiner - 8));  // the oldest peer churns out
+    }
+    const auto stats = costs.cache_stats();
+    EXPECT_LE(stats.size, 128u);
+    EXPECT_GT(stats.misses, 128u * 8u);  // the sweep really exceeded the cap
+}
+
+TEST(cost_model, readded_peer_in_new_isp_redraws_its_class_flush_or_not) {
+    // The cache key carries the crossing class: when a peer churns out and
+    // re-joins in a different ISP, its links re-draw under the new class
+    // immediately, and the answer cannot depend on whether a flush happened
+    // to evict the old entry in between.
+    isp_topology topo(2);
+    topo.add_peer(peer_id(0), isp_id(0));
+    topo.add_peer(peer_id(1), isp_id(0));
+    cost_params params;
+    params.cache_capacity = 4;
+    sim::rng_stream rng(22);
+    cost_model costs(topo, params, rng);
+
+    const double intra = costs.cost(peer_id(0), peer_id(1));
+    topo.remove_peer(peer_id(1));
+    topo.add_peer(peer_id(1), isp_id(1));  // same id, different ISP
+    const double inter = costs.cost(peer_id(0), peer_id(1));
+    EXPECT_NE(inter, intra) << "new class must re-draw, not serve the stale entry";
+
+    // Force a flush, then re-query: still the same inter-class draw.
+    for (int d = 2; d < 12; ++d) {
+        topo.add_peer(peer_id(d), isp_id(d % 2));
+        (void)costs.cost(peer_id(0), peer_id(d));
+    }
+    EXPECT_GT(costs.cache_stats().flushes, 0u);
+    EXPECT_DOUBLE_EQ(costs.cost(peer_id(0), peer_id(1)), inter);
+}
+
+TEST(cost_model, zero_cache_capacity_is_rejected) {
+    auto topo = five_isps_four_peers_each();
+    sim::rng_stream rng(21);
+    cost_params params;
+    params.cache_capacity = 0;
+    EXPECT_THROW(cost_model(topo, params, rng), contract_violation);
 }
 
 TEST(cost_model, cheapest_local_link_beats_valuation_floor) {

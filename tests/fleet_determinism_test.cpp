@@ -76,6 +76,40 @@ TEST(fleet_determinism, repeated_runs_identical_at_fixed_thread_count) {
     expect_bit_identical(*run_smoke_fleet(2), *run_smoke_fleet(2));
 }
 
+std::unique_ptr<engine::fleet> run_economy_fleet(std::size_t threads) {
+    engine::fleet_options options;
+    options.config = workload::builtin_fleets().make("fleet_economy_smoke");
+    // The cheapest-cost baseline reliably ships cross-ISP traffic at smoke
+    // scale (the auction often goes fully local), keeping the per-pair
+    // comparison non-vacuous.
+    options.config.scheduler = "simple-locality";
+    options.threads = threads;
+    auto fleet = std::make_unique<engine::fleet>(std::move(options));
+    fleet->run();
+    return fleet;
+}
+
+// The same guarantee for the ISP-economy ledger merge path: the fleet-wide
+// per-ISP-pair totals (and the billed transit cost) are bit-identical for
+// any thread count, because per-swarm ledgers merge in swarm-index order.
+TEST(fleet_determinism, merged_ledger_identical_for_1_4_and_16_threads) {
+    const auto reference = run_economy_fleet(1);
+    ASSERT_TRUE(reference->economy_enabled());
+    const isp::traffic_ledger ref_ledger = reference->merged_ledger();
+    const isp::billing_statement ref_bill = reference->merged_bill();
+    // Real traffic crossed ISP boundaries, or the comparison is vacuous.
+    EXPECT_GT(ref_ledger.cross_chunks(), 0u);
+
+    for (std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+        const auto fleet = run_economy_fleet(threads);
+        // Every per-slot per-ISP-pair cell, not just totals.
+        EXPECT_TRUE(fleet->merged_ledger() == ref_ledger) << threads << " threads";
+        const isp::billing_statement bill = fleet->merged_bill();
+        EXPECT_EQ(bill.total_cost, ref_bill.total_cost) << threads;
+        expect_bit_identical(*reference, *fleet);
+    }
+}
+
 TEST(fleet_determinism, fleet_seed_actually_matters) {
     const auto a = run_smoke_fleet(1, 42);
     const auto b = run_smoke_fleet(1, 43);

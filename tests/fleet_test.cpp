@@ -105,7 +105,8 @@ TEST(fleet_config, with_swarms_scales_the_viewer_target_proportionally) {
 TEST(fleet_registry, builtin_fleets_round_trip) {
     const auto& registry = workload::builtin_fleets();
     for (const char* expected :
-         {"fleet_metro_100x5k", "fleet_flash_crowd", "fleet_smoke"}) {
+         {"fleet_metro_100x5k", "fleet_flash_crowd", "fleet_smoke", "fleet_economy",
+          "fleet_economy_smoke"}) {
         EXPECT_TRUE(registry.contains(expected)) << expected;
         EXPECT_FALSE(registry.describe(expected).empty());
         const auto cfg = registry.make(expected);  // validate()d inside

@@ -1,0 +1,431 @@
+// The ISP economy subsystem (src/isp/): peering graph, generators, traffic
+// ledger, transit billing, the pricing controller, and the emulator loop
+// that ties them together.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "isp/billing.h"
+#include "isp/economy.h"
+#include "isp/peering_graph.h"
+#include "isp/price_controller.h"
+#include "isp/traffic_ledger.h"
+#include "net/cost_model.h"
+#include "net/isp_topology.h"
+#include "vod/emulator.h"
+#include "workload/peering_gen.h"
+#include "workload/scenario.h"
+#include "workload/scenario_registry.h"
+
+namespace p2pcd {
+namespace {
+
+isp_id I(int v) { return isp_id(v); }
+
+// --- peering_graph -----------------------------------------------------
+
+TEST(peering_graph, flat_reproduces_the_dichotomy) {
+    auto g = isp::peering_graph::flat(3, 1.0, 5.0);
+    EXPECT_EQ(g.num_isps(), 3u);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(0)), 1.0);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(2)), 5.0);
+    EXPECT_EQ(g.link(I(1), I(1)).rel, isp::relationship::sibling);
+    EXPECT_EQ(g.link(I(1), I(2)).rel, isp::relationship::transit);
+    EXPECT_DOUBLE_EQ(g.mean_inter_price(), 5.0);
+}
+
+TEST(peering_graph, directed_links_support_asymmetric_pricing) {
+    isp::peering_graph g(2);
+    g.set_link(I(0), I(1), {3.0, 10.0, isp::relationship::transit});
+    g.set_link(I(1), I(0), {9.0, 10.0, isp::relationship::transit});
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 3.0);
+    EXPECT_DOUBLE_EQ(g.price(I(1), I(0)), 9.0);
+    g.set_link_symmetric(I(0), I(1), {4.0, 0.0, isp::relationship::peer});
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 4.0);
+    EXPECT_DOUBLE_EQ(g.price(I(1), I(0)), 4.0);
+}
+
+TEST(peering_graph, contract_checks) {
+    EXPECT_THROW(isp::peering_graph(0), contract_violation);
+    isp::peering_graph g(2);
+    EXPECT_THROW((void)g.price(I(0), I(2)), contract_violation);
+    EXPECT_THROW((void)g.link(isp_id(), I(0)), contract_violation);
+    EXPECT_THROW(g.set_price(I(0), I(1), -1.0), contract_violation);
+    EXPECT_THROW(g.set_link(I(0), I(1), {-1.0, 0.0, isp::relationship::peer}),
+                 contract_violation);
+}
+
+// --- workload generators ------------------------------------------------
+
+isp::economy_config base_economy() {
+    isp::economy_config config;
+    config.enabled = true;
+    config.intra_price = 1.0;
+    config.inter_price = 5.0;
+    config.peer_discount = 0.5;
+    config.tier_markup = 2.0;
+    return config;
+}
+
+TEST(peering_gen, tiered_is_asymmetric_between_tiers) {
+    auto config = base_economy();
+    config.tier1_fraction = 0.5;  // 4 ISPs → ISPs 0,1 are the core
+    auto g = workload::tiered_peering(config, 4);
+    // Core ↔ core: settlement-free peering at the discount.
+    EXPECT_EQ(g.link(I(0), I(1)).rel, isp::relationship::peer);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 2.5);
+    // Provider → customer ships at the base price; the customer pays the
+    // markup in the other direction.
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(2)), 5.0);
+    EXPECT_DOUBLE_EQ(g.price(I(2), I(0)), 10.0);
+    // Tier-2 ↔ tier-2 long-haul: marked up both ways.
+    EXPECT_DOUBLE_EQ(g.price(I(2), I(3)), 10.0);
+    EXPECT_DOUBLE_EQ(g.price(I(3), I(2)), 10.0);
+    EXPECT_EQ(g.link(I(2), I(3)).rel, isp::relationship::transit);
+}
+
+TEST(peering_gen, hierarchical_peers_within_regions) {
+    auto config = base_economy();
+    config.region_size = 2;
+    auto g = workload::hierarchical_peering(config, 4);  // regions {0,1}, {2,3}
+    EXPECT_EQ(g.link(I(0), I(1)).rel, isp::relationship::peer);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 2.5);
+    EXPECT_EQ(g.link(I(0), I(2)).rel, isp::relationship::transit);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(2)), 10.0);
+    EXPECT_DOUBLE_EQ(g.price(I(2), I(3)), 2.5);
+}
+
+TEST(peering_gen, hostile_spikes_every_link_of_isp_0) {
+    auto config = base_economy();
+    config.hostile_multiple = 4.0;
+    auto g = workload::hostile_peering(config, 3);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 20.0);
+    EXPECT_DOUBLE_EQ(g.price(I(2), I(0)), 20.0);
+    EXPECT_DOUBLE_EQ(g.price(I(1), I(2)), 5.0);  // bystander pair untouched
+}
+
+TEST(peering_gen, dispatches_by_name_and_rejects_unknown) {
+    auto config = base_economy();
+    config.peering = "hierarchical";
+    EXPECT_EQ(workload::make_peering_graph(config, 4).link(I(0), I(1)).rel,
+              isp::relationship::peer);
+    config.peering = "warp";
+    EXPECT_THROW((void)workload::make_peering_graph(config, 4), contract_violation);
+}
+
+TEST(peering_gen, economy_config_validates) {
+    auto config = base_economy();
+    config.peer_discount = 0.0;
+    EXPECT_THROW(config.validate(), contract_violation);
+    config = base_economy();
+    config.region_size = 0;
+    EXPECT_THROW(config.validate(), contract_violation);
+    config = base_economy();
+    config.billing.percentile = 1.5;
+    EXPECT_THROW(config.validate(), contract_violation);
+    config = base_economy();
+    config.policy.decrease = 0.0;
+    EXPECT_THROW(config.validate(), contract_violation);
+}
+
+// --- traffic_ledger -----------------------------------------------------
+
+TEST(traffic_ledger, records_per_slot_and_totals) {
+    isp::traffic_ledger ledger(3);
+    ledger.begin_slot(0.0);
+    ledger.record(I(0), I(1), 2, 16.0);
+    ledger.record(I(0), I(0), 1, 8.0);
+    ledger.begin_slot(10.0);
+    ledger.record(I(0), I(1), 3, 24.0);
+    ledger.record(I(2), I(1), 5, 40.0);
+
+    EXPECT_EQ(ledger.num_slots(), 2u);
+    EXPECT_DOUBLE_EQ(ledger.slot_time(1), 10.0);
+    EXPECT_EQ(ledger.slot_chunks(0, I(0), I(1)), 2u);
+    EXPECT_EQ(ledger.slot_chunks(1, I(0), I(1)), 3u);
+    EXPECT_EQ(ledger.total_chunks(I(0), I(1)), 5u);
+    EXPECT_DOUBLE_EQ(ledger.total_bytes(I(0), I(1)), 40.0);
+    EXPECT_EQ(ledger.window_chunks(1, 1, I(0), I(1)), 3u);
+    EXPECT_EQ(ledger.total_chunks(), 11u);
+    EXPECT_EQ(ledger.cross_chunks(), 10u);  // the (0,0) chunk is intra
+}
+
+TEST(traffic_ledger, contract_checks) {
+    isp::traffic_ledger ledger(2);
+    EXPECT_THROW(ledger.record(I(0), I(1), 1, 8.0), contract_violation);  // no slot
+    ledger.begin_slot(0.0);
+    EXPECT_THROW(ledger.record(I(0), I(2), 1, 8.0), contract_violation);
+    EXPECT_THROW((void)ledger.slot_chunks(1, I(0), I(1)), contract_violation);
+    EXPECT_THROW((void)ledger.window_chunks(0, 2, I(0), I(1)), contract_violation);
+    EXPECT_THROW(isp::traffic_ledger(0), contract_violation);
+}
+
+TEST(traffic_ledger, merge_sums_cellwise_and_checks_grids) {
+    isp::traffic_ledger a(2);
+    a.begin_slot(0.0);
+    a.record(I(0), I(1), 2, 16.0);
+    isp::traffic_ledger b(2);
+    b.begin_slot(0.0);
+    b.record(I(0), I(1), 3, 24.0);
+    b.record(I(1), I(0), 1, 8.0);
+    a.merge(b);
+    EXPECT_EQ(a.total_chunks(I(0), I(1)), 5u);
+    EXPECT_DOUBLE_EQ(a.total_bytes(I(0), I(1)), 40.0);
+    EXPECT_EQ(a.total_chunks(I(1), I(0)), 1u);
+
+    isp::traffic_ledger wrong_isps(3);
+    wrong_isps.begin_slot(0.0);
+    EXPECT_THROW(a.merge(wrong_isps), contract_violation);
+    isp::traffic_ledger wrong_slots(2);
+    EXPECT_THROW(a.merge(wrong_slots), contract_violation);
+    isp::traffic_ledger wrong_times(2);
+    wrong_times.begin_slot(5.0);
+    EXPECT_THROW(a.merge(wrong_times), contract_violation);
+}
+
+// --- billing ------------------------------------------------------------
+
+// 2 ISPs, 4 slots of 0→1 traffic: 10, 10, 10, 50 chunks.
+isp::traffic_ledger bursty_ledger() {
+    isp::traffic_ledger ledger(2);
+    for (std::uint64_t chunks : {10u, 10u, 10u, 50u}) {
+        ledger.begin_slot(static_cast<double>(ledger.num_slots()) * 10.0);
+        ledger.record(I(0), I(1), chunks, static_cast<double>(chunks) * 8.0);
+    }
+    return ledger;
+}
+
+TEST(billing, total_volume_bills_every_chunk) {
+    auto g = isp::peering_graph::flat(2, 1.0, 2.0);
+    isp::billing_options options;
+    options.model = isp::billing_model::total_volume;
+    auto statement = isp::bill(bursty_ledger(), g, options);
+    // 80 chunks at price 2.
+    EXPECT_DOUBLE_EQ(statement.total_cost, 160.0);
+    EXPECT_DOUBLE_EQ(statement.isps[0].transit_cost, 160.0);
+    EXPECT_DOUBLE_EQ(statement.isps[1].transit_cost, 0.0);
+    EXPECT_EQ(statement.isps[0].chunks_out, 80u);
+    EXPECT_EQ(statement.isps[1].chunks_in, 80u);
+}
+
+TEST(billing, percentile_forgives_the_burst) {
+    auto g = isp::peering_graph::flat(2, 1.0, 2.0);
+    isp::billing_options options;
+    options.model = isp::billing_model::percentile;
+    options.percentile = 0.75;  // of 4 slots: the 50-chunk burst is forgiven
+    auto statement = isp::bill(bursty_ledger(), g, options);
+    // Billed at the 75th-percentile rate (10 chunks/slot) × 4 slots × price 2.
+    EXPECT_DOUBLE_EQ(statement.total_cost, 80.0);
+    const isp::pair_bill& line = statement.pairs.front();
+    EXPECT_EQ(line.from, I(0));
+    EXPECT_EQ(line.to, I(1));
+    EXPECT_DOUBLE_EQ(line.billed_chunks_per_slot, 10.0);
+    EXPECT_EQ(line.chunks, 80u);
+}
+
+TEST(billing, peer_and_sibling_links_are_settlement_free) {
+    isp::peering_graph g(2);
+    g.set_link_symmetric(I(0), I(1), {2.0, 0.0, isp::relationship::peer});
+    auto statement = isp::bill(bursty_ledger(), g);
+    EXPECT_DOUBLE_EQ(statement.total_cost, 0.0);
+    // The traffic is still metered, just not billed.
+    EXPECT_EQ(statement.isps[0].chunks_out, 80u);
+}
+
+TEST(billing, accumulate_sums_statements) {
+    auto g = isp::peering_graph::flat(2, 1.0, 2.0);
+    isp::billing_options options;
+    options.model = isp::billing_model::total_volume;
+    auto a = isp::bill(bursty_ledger(), g, options);
+    auto b = isp::bill(bursty_ledger(), g, options);
+    isp::accumulate(a, b);
+    EXPECT_DOUBLE_EQ(a.total_cost, 320.0);
+    EXPECT_EQ(a.isps[0].chunks_out, 160u);
+    EXPECT_EQ(a.pairs.front().chunks, 160u);
+}
+
+// --- price_controller ---------------------------------------------------
+
+TEST(price_controller, multiplicative_update_with_clamping) {
+    isp::peering_graph g(2);
+    g.set_link(I(0), I(1), {4.0, 5.0, isp::relationship::transit});  // budget 5/slot
+    g.set_link(I(1), I(0), {4.0, 5.0, isp::relationship::transit});
+    isp::price_policy policy;
+    policy.increase = 2.0;
+    policy.decrease = 0.5;
+    policy.min_price = 1.0;
+    policy.max_price = 10.0;
+    isp::price_controller controller(g, policy);
+
+    isp::traffic_ledger ledger(2);
+    ledger.begin_slot(0.0);
+    ledger.record(I(0), I(1), 20, 160.0);  // over the 1-slot budget of 5
+    ledger.record(I(1), I(0), 2, 16.0);    // under budget
+    const auto& first = controller.end_epoch(ledger);
+    EXPECT_EQ(first.raised, 1u);
+    EXPECT_EQ(first.lowered, 1u);
+    EXPECT_EQ(first.cross_chunks, 22u);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 8.0);
+    EXPECT_DOUBLE_EQ(g.price(I(1), I(0)), 2.0);
+
+    // Second epoch consumes only the new slot; clamping engages.
+    ledger.begin_slot(10.0);
+    ledger.record(I(0), I(1), 20, 160.0);
+    controller.end_epoch(ledger);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 10.0);  // 16 clamped to max
+    EXPECT_DOUBLE_EQ(g.price(I(1), I(0)), 1.0);   // decayed to the floor
+    EXPECT_EQ(controller.history().size(), 2u);
+    EXPECT_EQ(controller.history()[1].first_slot, 1u);
+
+    // A third close with no new slots is a contract violation.
+    EXPECT_THROW(controller.end_epoch(ledger), contract_violation);
+}
+
+TEST(price_controller, unmanaged_links_keep_static_prices) {
+    isp::peering_graph g(2);
+    g.set_link(I(0), I(1), {4.0, 0.0, isp::relationship::transit});  // no capacity hint
+    g.set_link(I(1), I(0), {4.0, 5.0, isp::relationship::peer});
+    isp::price_controller controller(g, {});
+    isp::traffic_ledger ledger(2);
+    ledger.begin_slot(0.0);
+    ledger.record(I(0), I(1), 100, 800.0);
+    ledger.record(I(1), I(0), 100, 800.0);
+    const auto& summary = controller.end_epoch(ledger);
+    EXPECT_DOUBLE_EQ(g.price(I(0), I(1)), 4.0);  // unmanaged: untouched
+    EXPECT_GT(g.price(I(1), I(0)), 4.0);         // peer links are managed
+    EXPECT_EQ(summary.raised, 1u);
+}
+
+// --- cost_model consumption --------------------------------------------
+
+net::isp_topology two_isps() {
+    net::isp_topology topo(2);
+    for (int i = 0; i < 6; ++i) topo.add_peer(peer_id(i), I(i % 2));
+    return topo;
+}
+
+TEST(cost_model_peering, live_price_updates_rescale_cached_links) {
+    auto topo = two_isps();
+    sim::rng_stream rng(3);
+    net::cost_model costs(topo, net::cost_params{}, rng);
+    const double flat = costs.cost(peer_id(0), peer_id(1));  // cached, inter pair
+
+    auto g = isp::peering_graph::flat(2, 1.0, 5.0);
+    costs.attach_peering(&g);
+    EXPECT_TRUE(costs.has_peering());
+    EXPECT_NEAR(costs.cost(peer_id(0), peer_id(1)), flat, 1e-12);  // price == mean
+
+    g.set_price(I(0), I(1), 10.0);  // doubled price → doubled cost, no re-draw
+    EXPECT_NEAR(costs.cost(peer_id(0), peer_id(1)), 2.0 * flat, 1e-12);
+    EXPECT_DOUBLE_EQ(costs.isp_cost(I(0), I(1)), 10.0);
+
+    costs.attach_peering(nullptr);
+    EXPECT_DOUBLE_EQ(costs.cost(peer_id(0), peer_id(1)), flat);
+}
+
+TEST(cost_model_peering, asymmetric_prices_break_cost_symmetry) {
+    auto topo = two_isps();
+    sim::rng_stream rng(4);
+    net::cost_model costs(topo, net::cost_params{}, rng);
+    auto g = isp::peering_graph::flat(2, 1.0, 5.0);
+    g.set_price(I(0), I(1), 2.0);
+    g.set_price(I(1), I(0), 8.0);
+    costs.attach_peering(&g);
+    // Peer 0 is in ISP 0, peer 1 in ISP 1: same (symmetric) jitter, but the
+    // directed prices differ 4×.
+    EXPECT_NEAR(costs.cost(peer_id(1), peer_id(0)),
+                4.0 * costs.cost(peer_id(0), peer_id(1)), 1e-9);
+}
+
+TEST(cost_model_peering, mismatched_isp_sets_are_rejected) {
+    auto topo = two_isps();
+    sim::rng_stream rng(5);
+    net::cost_model costs(topo, net::cost_params{}, rng);
+    auto g = isp::peering_graph::flat(3, 1.0, 5.0);
+    EXPECT_THROW(costs.attach_peering(&g), contract_violation);
+}
+
+// --- emulator integration ----------------------------------------------
+
+TEST(economy_emulator, ledger_matches_transfers_and_epochs_close) {
+    vod::emulator_options opts;
+    opts.config = workload::builtin_scenarios().make("economy_smoke");
+    vod::emulator emu(opts);
+    emu.run();
+
+    ASSERT_TRUE(emu.economy_enabled());
+    const isp::traffic_ledger& ledger = emu.ledger();
+    EXPECT_EQ(ledger.num_slots(), opts.config.num_slots());
+
+    std::uint64_t transfers = 0;
+    std::uint64_t inter = 0;
+    for (const auto& s : emu.slots()) {
+        transfers += s.transfers;
+        inter += s.inter_isp_transfers;
+    }
+    // Every realized transfer is metered, and the cross-ISP share agrees
+    // with the slot metrics' inter-ISP counter.
+    EXPECT_EQ(ledger.total_chunks(), transfers);
+    EXPECT_EQ(ledger.cross_chunks(), inter);
+    EXPECT_GT(transfers, 0u);
+
+    // 6 slots at 3 slots/epoch → exactly 2 pricing epochs, and the epoch
+    // windows tile the horizon.
+    ASSERT_EQ(emu.price_epochs().size(), 2u);
+    EXPECT_EQ(emu.price_epochs()[0].num_slots, 3u);
+    EXPECT_EQ(emu.price_epochs()[1].first_slot, 3u);
+
+    const isp::billing_statement statement = emu.bill();
+    EXPECT_EQ(statement.billed_slots, ledger.num_slots());
+    EXPECT_GE(statement.total_cost, 0.0);
+}
+
+TEST(economy_emulator, disabled_economy_has_no_surface) {
+    vod::emulator_options opts;
+    opts.config = workload::scenario_config::small_test();
+    vod::emulator emu(opts);
+    EXPECT_FALSE(emu.economy_enabled());
+    EXPECT_THROW((void)emu.ledger(), contract_violation);
+    EXPECT_THROW((void)emu.bill(), contract_violation);
+    EXPECT_TRUE(emu.price_epochs().empty());
+}
+
+TEST(economy_emulator, runs_are_deterministic_per_seed) {
+    auto run_cross = [] {
+        vod::emulator_options opts;
+        opts.config = workload::builtin_scenarios().make("economy_smoke");
+        vod::emulator emu(opts);
+        emu.run();
+        return std::pair{emu.ledger().cross_chunks(), emu.bill().total_cost};
+    };
+    auto a = run_cross();
+    auto b = run_cross();
+    EXPECT_EQ(a.first, b.first);
+    EXPECT_EQ(a.second, b.second);
+}
+
+TEST(economy_emulator, hostile_prices_push_auction_traffic_local) {
+    // Under cheap flat transit the cost-aware auction ships a real share of
+    // its traffic across ISP boundaries; when ISP 0 spikes its links 10×
+    // (past the valuation ceiling), that share must drop.
+    auto fraction_with = [](const std::string& peering, double hostile_multiple) {
+        vod::emulator_options opts;
+        opts.config = workload::builtin_scenarios().make("economy_smoke");
+        opts.config.economy.peering = peering;
+        opts.config.economy.inter_price = 1.5;  // cheap enough to cross for
+        opts.config.economy.hostile_multiple = hostile_multiple;
+        opts.config.economy.slots_per_epoch = 0;  // isolate the static prices
+        opts.scheduler = "auction";
+        vod::emulator emu(opts);
+        emu.run();
+        return emu.overall_inter_isp_fraction();
+    };
+    const double flat = fraction_with("flat", 1.0);
+    ASSERT_GT(flat, 0.0) << "cheap flat transit must induce cross-ISP traffic";
+    EXPECT_LT(fraction_with("hostile", 10.0), flat);
+}
+
+}  // namespace
+}  // namespace p2pcd

@@ -110,13 +110,14 @@ TEST(scheduler_registry, emulator_rejects_unknown_scheduler_names) {
 TEST(scenario_registry, builtin_names_round_trip) {
     const auto& registry = workload::builtin_scenarios();
     for (const char* expected : {"paper_dynamic", "paper_static_500", "paper_churn",
-                                 "small_test", "metro_5k", "flash_crowd_10k"}) {
+                                 "small_test", "metro_5k", "flash_crowd_10k",
+                                 "metro_economy", "economy_smoke"}) {
         EXPECT_TRUE(registry.contains(expected)) << expected;
         EXPECT_FALSE(registry.describe(expected).empty());
         auto cfg = registry.make(expected);  // make() validates
         EXPECT_GT(cfg.num_slots(), 0u);
     }
-    EXPECT_EQ(registry.names().size(), 6u);
+    EXPECT_EQ(registry.names().size(), 8u);
 }
 
 TEST(scenario_registry, large_scenarios_have_the_advertised_scale) {

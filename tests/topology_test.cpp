@@ -37,6 +37,48 @@ TEST(topology, removal_clears_membership) {
     EXPECT_THROW(topo.remove_peer(peer_id(1)), contract_violation);
 }
 
+TEST(topology, removal_keeps_queries_consistent_under_churn) {
+    isp_topology topo(3);
+    topo.add_peer(peer_id(1), isp_id(0));
+    topo.add_peer(peer_id(2), isp_id(0));
+    topo.add_peer(peer_id(3), isp_id(1));
+    topo.add_peer(peer_id(4), isp_id(2));
+
+    topo.remove_peer(peer_id(2));
+    EXPECT_EQ(topo.num_peers(), 3u);
+    EXPECT_EQ(topo.peers_in(isp_id(0)).size(), 1u);
+    EXPECT_EQ(topo.peers_in(isp_id(0)).front(), peer_id(1));
+    // The survivors' membership and crossing answers are unaffected.
+    EXPECT_EQ(topo.isp_of(peer_id(1)), isp_id(0));
+    EXPECT_TRUE(topo.crosses_isps(peer_id(1), peer_id(3)));
+    EXPECT_TRUE(topo.crosses_isps(peer_id(3), peer_id(4)));
+    // Queries about the removed peer now violate contracts.
+    EXPECT_THROW((void)topo.isp_of(peer_id(2)), contract_violation);
+    EXPECT_THROW((void)topo.crosses_isps(peer_id(1), peer_id(2)), contract_violation);
+
+    topo.remove_peer(peer_id(3));
+    EXPECT_TRUE(topo.peers_in(isp_id(1)).empty());
+    EXPECT_EQ(topo.num_peers(), 2u);
+}
+
+TEST(topology, readding_a_peer_to_a_different_isp_works) {
+    isp_topology topo(2);
+    topo.add_peer(peer_id(1), isp_id(0));
+    topo.add_peer(peer_id(2), isp_id(0));
+    EXPECT_FALSE(topo.crosses_isps(peer_id(1), peer_id(2)));
+
+    // The churned peer comes back in another ISP (fresh session, new home).
+    topo.remove_peer(peer_id(1));
+    topo.add_peer(peer_id(1), isp_id(1));
+    EXPECT_EQ(topo.num_peers(), 2u);
+    EXPECT_EQ(topo.isp_of(peer_id(1)), isp_id(1));
+    EXPECT_EQ(topo.peers_in(isp_id(1)).size(), 1u);
+    // No stale membership in the old bucket, and crossing flips.
+    EXPECT_EQ(topo.peers_in(isp_id(0)).size(), 1u);
+    EXPECT_EQ(topo.peers_in(isp_id(0)).front(), peer_id(2));
+    EXPECT_TRUE(topo.crosses_isps(peer_id(1), peer_id(2)));
+}
+
 TEST(topology, contract_checks) {
     isp_topology topo(2);
     EXPECT_THROW(topo.add_peer(peer_id(1), isp_id(5)), contract_violation);
