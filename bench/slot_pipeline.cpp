@@ -1,0 +1,207 @@
+// slot_pipeline — per-phase timing of the emulator's slot data path.
+//
+// Runs one scenario end to end and reports wall-clock seconds per slot phase
+// (arrivals / departures / playback / neighbor-refresh / build / solve /
+// apply), next to the *pre-refactor* measurement of the same scenario
+// captured before the dense-peer-table + incremental-tracker refactor — so
+// one artifact records both sides of the comparison and the per-phase
+// speedups. The golden metrics/neighbor hashes double as a schedule
+// equivalence check: the run must still be bit-identical to the
+// pre-refactor emulator (exit code 1 otherwise).
+//
+// Usage: slot_pipeline [--scenario NAME]   (default: metro_5k)
+//
+// Phase times are thread-independent (the emulator is single-threaded), so
+// the speedups hold on any host; the committed artifact was produced on a
+// 1-core container (hardware_concurrency recorded in the artifact).
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "metrics/process_stats.h"
+#include "vod/pipeline_golden.h"
+
+namespace {
+
+using p2pcd::vod::slot_phase_totals;
+
+struct scenario_baseline {
+    const char* scenario;
+    slot_phase_totals phases;  // pre-refactor phase seconds
+};
+
+// Captured 2026-07-31 from the pre-refactor emulator (PR 4 head, commit
+// e4073a5) instrumented with the same phase_clock, GCC 12 / x86-64,
+// 1-core container, default emulator options. The corresponding golden
+// hashes live in the shared spec, vod::golden_runs (pipeline_golden.h).
+constexpr scenario_baseline baselines[] = {
+    {"metro_5k",
+     {.arrivals = 0.000002,
+      .departures = 0.000580,
+      .playback = 0.070811,
+      .neighbor_refresh = 1.047450,
+      .build = 20.659304,
+      .solve = 5.437859,
+      .apply = 1.080875}},
+    {"flash_crowd_10k",
+     {.arrivals = 0.004018,
+      .departures = 0.000633,
+      .playback = 0.066278,
+      .neighbor_refresh = 3.976148,
+      .build = 19.016177,
+      .solve = 6.770482,
+      .apply = 0.585622}},
+    {"economy_smoke",
+     {.arrivals = 0.0,
+      .departures = 0.000004,
+      .playback = 0.000011,
+      .neighbor_refresh = 0.000021,
+      .build = 0.001012,
+      .solve = 0.000283,
+      .apply = 0.000053}},
+};
+
+const scenario_baseline* baseline_for(const std::string& scenario) {
+    for (const auto& b : baselines)
+        if (scenario == b.scenario) return &b;
+    return nullptr;
+}
+
+void usage() {
+    std::printf("usage: slot_pipeline [--scenario NAME]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace p2pcd;
+
+    std::string scenario = "metro_5k";
+    for (int i = 1; i < argc; ++i) {
+        std::string flag = argv[i];
+        if (flag == "--scenario" && i + 1 < argc) {
+            scenario = argv[++i];
+        } else {
+            usage();
+            return 2;
+        }
+    }
+    if (!workload::builtin_scenarios().contains(scenario)) {
+        std::fprintf(stderr, "unknown scenario '%s'\n", scenario.c_str());
+        return 2;
+    }
+
+    vod::emulator_options opts;
+    opts.config = workload::builtin_scenarios().make(scenario);
+    const std::size_t num_slots = opts.config.num_slots();
+    vod::emulator emu(std::move(opts));
+
+    std::uint64_t h_neighbors = vod::golden_seed;
+    std::uint64_t h_metrics = vod::golden_seed;
+    for (std::size_t k = 0; k < num_slots; ++k) {
+        const auto& m = emu.step();
+        std::uint64_t h_slot_nbr = vod::golden_seed;
+        vod::golden_mix_neighbors(h_slot_nbr, emu);
+        std::uint64_t h_slot_met = vod::golden_seed;
+        vod::golden_mix_metrics(h_slot_met, m);
+        vod::golden_mix(h_neighbors, h_slot_nbr);
+        vod::golden_mix(h_metrics, h_slot_met);
+    }
+    const slot_phase_totals& post = emu.phase_totals();
+    const scenario_baseline* base = baseline_for(scenario);
+
+    std::printf("=== slot_pipeline: per-phase slot data path timing ===\n");
+    std::printf("scenario: %s  slots: %zu  peers: %zu  hardware_concurrency: %u\n\n",
+                scenario.c_str(), num_slots, emu.peers().rows(),
+                std::thread::hardware_concurrency());
+
+    metrics::json_report rep("slot_pipeline");
+    rep.add_scalar("scenario", scenario);
+    rep.add_scalar("slots", static_cast<double>(num_slots));
+    rep.add_scalar("peers_final", static_cast<double>(emu.peers().rows()));
+    rep.add_scalar("hardware_concurrency",
+                   static_cast<double>(std::thread::hardware_concurrency()));
+    rep.add_scalar("peak_rss_mb", metrics::peak_rss_mb());
+    rep.add_scalar("baseline_commit", base != nullptr ? "e4073a5" : "none");
+
+    struct phase_row {
+        const char* name;
+        double slot_phase_totals::*field;
+    };
+    constexpr phase_row phase_rows[] = {
+        {"arrivals", &slot_phase_totals::arrivals},
+        {"departures", &slot_phase_totals::departures},
+        {"playback", &slot_phase_totals::playback},
+        {"neighbor_refresh", &slot_phase_totals::neighbor_refresh},
+        {"build", &slot_phase_totals::build},
+        {"solve", &slot_phase_totals::solve},
+        {"apply", &slot_phase_totals::apply},
+    };
+
+    metrics::table t({"phase", "pre_seconds", "post_seconds", "speedup"});
+    auto add_phase = [&](const char* name, double pre, double now) {
+        const double speedup = now > 0.0 && pre > 0.0 ? pre / now : 0.0;
+        t.add_row({name, metrics::format_double(pre, 6),
+                   metrics::format_double(now, 6),
+                   metrics::format_double(speedup, 2)});
+    };
+    for (const auto& row : phase_rows)
+        add_phase(row.name, base != nullptr ? base->phases.*(row.field) : 0.0,
+                  post.*(row.field));
+    add_phase("non_solve_total", base != nullptr ? base->phases.non_solve() : 0.0,
+              post.non_solve());
+    add_phase("total", base != nullptr ? base->phases.total() : 0.0, post.total());
+    t.print(std::cout);
+    rep.add_table("phases", t);
+
+    if (base != nullptr) {
+        // Coarse clocks can report 0.0 for a micro-scale phase; report a 0
+        // speedup rather than an infinity the JSON writer rejects.
+        auto ratio = [](double pre, double now) {
+            return now > 0.0 && pre > 0.0 ? pre / now : 0.0;
+        };
+        rep.add_scalar("neighbor_refresh_speedup",
+                       ratio(base->phases.neighbor_refresh, post.neighbor_refresh));
+        rep.add_scalar("non_solve_speedup",
+                       ratio(base->phases.non_solve(), post.non_solve()));
+    }
+
+    // Schedule equivalence against the pre-refactor golden (when known).
+    const vod::golden_run_hashes* golden = vod::golden_for(scenario);
+    bool golden_known = golden != nullptr;
+    bool golden_ok = golden_known && h_metrics == golden->metrics &&
+                     h_neighbors == golden->neighbors;
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, h_metrics);
+    rep.add_scalar("metrics_hash", hash_hex);
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, h_neighbors);
+    rep.add_scalar("neighbors_hash", hash_hex);
+    rep.add_scalar("golden_known", golden_known);
+    rep.add_scalar("golden_ok", golden_ok);
+
+    std::printf("\nnon-solve slot time: %.3f s (pre %.3f s)\n", post.non_solve(),
+                base != nullptr ? base->phases.non_solve() : 0.0);
+    if (golden_known)
+        std::printf("schedules %s pre-refactor golden\n",
+                    golden_ok ? "MATCH" : "DIVERGED from");
+
+    bench::write_artifact("slot_pipeline", rep);
+
+    // The golden constants pin exact IEEE doubles; only fail hard on the
+    // toolchain family they were captured with — mirroring
+    // tests/slot_golden_test.cpp.
+    constexpr bool golden_enforced = vod::golden_toolchain;
+    if (golden_known && !golden_ok) {
+        std::fprintf(stderr,
+                     "%s: run diverged from the pre-refactor golden "
+                     "(metrics %016" PRIx64 " neighbors %016" PRIx64 ")\n",
+                     golden_enforced ? "error" : "note (unenforced toolchain)",
+                     h_metrics, h_neighbors);
+        if (golden_enforced) return 1;
+    }
+    return 0;
+}

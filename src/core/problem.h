@@ -128,6 +128,15 @@ public:
     // request shifts the candidate tail and is O(num_candidates).
     void add_candidate(std::size_t request, std::size_t uploader, double cost);
 
+    // The hot-path form: appends to the most recently added request. The
+    // emulator's candidate loop calls this hundreds of millions of times per
+    // metro run, so it lives in the header (no cross-TU call, one branch).
+    void append_candidate(std::size_t uploader, double cost) {
+        expects(!requests_.empty(), "append_candidate needs an open request");
+        candidates_.push_back({uploader, cost});
+        ++offsets_.back();
+    }
+
     // Drops all content but keeps the allocated arenas, so a builder reused
     // across bidding rounds/slots stops allocating once warm.
     void clear() noexcept;

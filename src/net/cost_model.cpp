@@ -1,5 +1,6 @@
 #include "net/cost_model.h"
 
+#include <algorithm>
 #include <limits>
 #include <utility>
 
@@ -25,8 +26,34 @@ void cost_model::attach_peering(const isp::peering_graph* graph) {
 }
 
 cost_cache_stats cost_model::cache_stats() const noexcept {
-    return {cache_hits_, cache_misses_, cache_flushes_, cache_.size(),
+    return {cache_hits_, cache_misses_, cache_flushes_, cache_count_,
             params_.cache_capacity};
+}
+
+namespace {
+// Finalizer-style mix spreading the packed link key over the slot space.
+std::uint64_t cache_slot_hash(std::uint64_t key) {
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return key;
+}
+}  // namespace
+
+void cost_model::cache_grow() const {
+    const std::size_t slots = cache_keys_.empty() ? 64 : cache_keys_.size() * 2;
+    std::vector<std::uint64_t> keys(slots, cache_empty);
+    std::vector<double> vals(slots, 0.0);
+    const std::size_t mask = slots - 1;
+    for (std::size_t i = 0; i < cache_keys_.size(); ++i) {
+        if (cache_keys_[i] == cache_empty) continue;
+        std::size_t j = cache_slot_hash(cache_keys_[i]) & mask;
+        while (keys[j] != cache_empty) j = (j + 1) & mask;
+        keys[j] = cache_keys_[i];
+        vals[j] = cache_vals_[i];
+    }
+    cache_keys_.swap(keys);
+    cache_vals_.swap(vals);
 }
 
 double cost_model::isp_cost(isp_id m, isp_id n) const {
@@ -38,45 +65,65 @@ double cost_model::isp_cost(isp_id m, isp_id n) const {
     return m == n ? params_.intra_mean : params_.inter_mean;
 }
 
-double cost_model::cost(peer_id u, peer_id d) const {
-    const isp_id m = topology_->isp_of(u);
-    const isp_id n = topology_->isp_of(d);
-    const bool crosses = m != n;
-
+std::uint64_t cost_model::link_key(peer_id u, peer_id d, bool crosses) const {
     auto a = static_cast<std::uint64_t>(static_cast<std::uint32_t>(u.value()));
     auto b = static_cast<std::uint64_t>(static_cast<std::uint32_t>(d.value()));
     if (params_.symmetric && a > b) std::swap(a, b);  // canonical link direction
-    const std::uint64_t pair_key = (a << 32) | b;
     // The cache key carries the crossing class (bit 63 — free, since valid
     // peer ids are non-negative 32-bit values): a peer that churns out and
     // re-joins in a different ISP misses the stale class's entry instead of
     // being served its draw, so the cached value is a pure function of the
     // key and a flush never changes any cost.
-    const std::uint64_t key =
-        pair_key | (crosses ? std::uint64_t{1} << 63 : std::uint64_t{0});
+    return (a << 32) | b | (crosses ? std::uint64_t{1} << 63 : std::uint64_t{0});
+}
 
-    double draw;
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++cache_hits_;
-        draw = it->second;
-    } else {
-        ++cache_misses_;
-        // The draw is a pure function of (link_seed, pair, class): mix seed
-        // and pair into a throwaway stream (the class picks the
-        // distribution), so costs are reproducible and churn-proof.
-        std::uint64_t mixed = link_seed_ ^ (pair_key * 0x9e3779b97f4a7c15ull);
-        mixed ^= mixed >> 29;
-        mixed *= 0xbf58476d1ce4e5b9ull;
-        mixed ^= mixed >> 32;
-        sim::rng_stream link_rng(mixed);
-        draw = crosses ? inter_.sample(link_rng) : intra_.sample(link_rng);
-        if (cache_.size() >= params_.cache_capacity) {
-            cache_.clear();
-            ++cache_flushes_;
+double cost_model::cached_draw(std::uint64_t key) const {
+    std::size_t slot = 0;
+    if (!cache_keys_.empty()) {
+        const std::size_t mask = cache_keys_.size() - 1;
+        slot = cache_slot_hash(key) & mask;
+        while (cache_keys_[slot] != cache_empty) {
+            if (cache_keys_[slot] == key) {
+                ++cache_hits_;
+                return cache_vals_[slot];
+            }
+            slot = (slot + 1) & mask;
         }
-        cache_.emplace(key, draw);
     }
+    ++cache_misses_;
+    // The draw is a pure function of (link_seed, pair, class): mix seed and
+    // pair into a throwaway stream (the class picks the distribution), so
+    // costs are reproducible and churn-proof.
+    const bool crosses = (key >> 63) != 0;
+    const std::uint64_t pair_key = key & ~(std::uint64_t{1} << 63);
+    std::uint64_t mixed = link_seed_ ^ (pair_key * 0x9e3779b97f4a7c15ull);
+    mixed ^= mixed >> 29;
+    mixed *= 0xbf58476d1ce4e5b9ull;
+    mixed ^= mixed >> 32;
+    sim::rng_stream link_rng(mixed);
+    const double draw = crosses ? inter_.sample(link_rng) : intra_.sample(link_rng);
+    if (cache_count_ >= params_.cache_capacity) {
+        std::fill(cache_keys_.begin(), cache_keys_.end(), cache_empty);
+        cache_count_ = 0;
+        ++cache_flushes_;
+    }
+    // Keep the load factor at or below one half (a flush above may already
+    // have emptied the table instead).
+    if ((cache_count_ + 1) * 2 > cache_keys_.size()) cache_grow();
+    const std::size_t mask = cache_keys_.size() - 1;
+    slot = cache_slot_hash(key) & mask;
+    while (cache_keys_[slot] != cache_empty) slot = (slot + 1) & mask;
+    cache_keys_[slot] = key;
+    cache_vals_[slot] = draw;
+    ++cache_count_;
+    return draw;
+}
+
+double cost_model::cost(peer_id u, peer_id d) const {
+    const isp_id m = topology_->isp_of(u);
+    const isp_id n = topology_->isp_of(d);
+    const bool crosses = m != n;
+    const double draw = cached_draw(link_key(u, d, crosses));
     if (peering_ == nullptr) return draw;
 
     // Economy mode: the flat draw acts as unit jitter around the live
@@ -85,6 +132,35 @@ double cost_model::cost(peer_id u, peer_id d) const {
     const double mean = crosses ? params_.inter_mean : params_.intra_mean;
     const double price = peering_->price(m, n);
     return mean > 0.0 ? draw / mean * price : price;
+}
+
+void cost_model::cost_batch(std::span<const peer_id> uploaders, peer_id d,
+                            std::span<double> out) const {
+    expects(out.size() >= uploaders.size(), "output span too small");
+    const isp_id n = topology_->isp_of(d);
+    // Pass 1: pack keys and prefetch their probe slots, so the cold probes
+    // of pass 2 overlap instead of serializing their cache misses.
+    keys_scratch_.resize(uploaders.size());
+    for (std::size_t i = 0; i < uploaders.size(); ++i) {
+        const bool crosses = topology_->isp_of(uploaders[i]) != n;
+        keys_scratch_[i] = link_key(uploaders[i], d, crosses);
+    }
+    if (!cache_keys_.empty()) {
+        const std::size_t mask = cache_keys_.size() - 1;
+        for (std::uint64_t key : keys_scratch_)
+            __builtin_prefetch(&cache_keys_[cache_slot_hash(key) & mask]);
+    }
+    for (std::size_t i = 0; i < uploaders.size(); ++i) {
+        const double draw = cached_draw(keys_scratch_[i]);
+        if (peering_ == nullptr) {
+            out[i] = draw;
+            continue;
+        }
+        const bool crosses = (keys_scratch_[i] >> 63) != 0;
+        const double mean = crosses ? params_.inter_mean : params_.intra_mean;
+        const double price = peering_->price(topology_->isp_of(uploaders[i]), n);
+        out[i] = mean > 0.0 ? draw / mean * price : price;
+    }
 }
 
 }  // namespace p2pcd::net

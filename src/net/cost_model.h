@@ -25,12 +25,16 @@
 // The lazily-filled cache is bounded: at `cost_params::cache_capacity`
 // entries it is flushed (draws are pure functions of the link, so a flush
 // never changes a cost), which keeps unbounded churn from growing it without
-// limit; `cache_stats()` exposes hit/miss/flush counters.
+// limit; `cache_stats()` exposes hit/miss/flush counters. Storage is a flat
+// open-addressing table (linear probing, ≤ 50% load): the emulator's
+// neighbor-arena prefetch probes it once per (viewer, neighbor) link per
+// slot, and a flat probe is a fraction of an unordered_map node walk.
 #ifndef P2PCD_NET_COST_MODEL_H
 #define P2PCD_NET_COST_MODEL_H
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <vector>
 
 #include "common/ids.h"
 #include "isp/peering_graph.h"
@@ -72,6 +76,13 @@ public:
     // Cost of shipping one chunk over the u → d link.
     [[nodiscard]] double cost(peer_id u, peer_id d) const;
 
+    // Batched cost() toward one downstream peer: out[i] = cost(uploaders[i],
+    // d), with the cache slots software-prefetched ahead of the probes so a
+    // sweep over a peer's neighbor set overlaps its memory latency. The
+    // emulator's per-slot link prefetch runs on this.
+    void cost_batch(std::span<const peer_id> uploaders, peer_id d,
+                    std::span<double> out) const;
+
     // Expected cost between two ISPs: the live peering price when a graph is
     // attached, otherwise the relevant flat distribution's mean.
     [[nodiscard]] double isp_cost(isp_id m, isp_id n) const;
@@ -95,8 +106,20 @@ private:
     sim::truncated_normal intra_;
     // Lazily filled link-draw cache; key packs both peer ids plus the
     // crossing class (bit 63). Bounded by params_.cache_capacity
-    // (flush-on-full).
-    mutable std::unordered_map<std::uint64_t, double> cache_;
+    // (flush-on-full). Open addressing with linear probing over a
+    // power-of-two slot array kept at ≤ 50% load; `cache_empty` can never be
+    // a real key (it would need peer id bit 31 set, and valid ids are
+    // non-negative).
+    static constexpr std::uint64_t cache_empty = ~std::uint64_t{0};
+    void cache_grow() const;  // doubles the slot array and rehashes
+    // Packs (u, d, class) into the cache key (canonicalized when symmetric).
+    [[nodiscard]] std::uint64_t link_key(peer_id u, peer_id d, bool crosses) const;
+    // Cache probe + draw-on-miss for a packed key.
+    [[nodiscard]] double cached_draw(std::uint64_t key) const;
+    mutable std::vector<std::uint64_t> cache_keys_;  // cache_empty = free slot
+    mutable std::vector<double> cache_vals_;
+    mutable std::vector<std::uint64_t> keys_scratch_;  // cost_batch pass 1
+    mutable std::size_t cache_count_ = 0;
     mutable std::uint64_t cache_hits_ = 0;
     mutable std::uint64_t cache_misses_ = 0;
     mutable std::uint64_t cache_flushes_ = 0;

@@ -1,9 +1,17 @@
 // Per-peer chunk availability bitmap for one video — the "buffer map"
 // exchanged between neighbors in the paper's system model (Sec. III-A).
+//
+// Storage is word-packed (64 chunks per std::uint64_t): range queries
+// (`missing_in`) collapse to masked popcounts and the request-window scan of
+// the problem builder jumps straight between gaps via `first_missing_in`,
+// instead of walking a vector<bool> proxy bit by bit.
 #ifndef P2PCD_VOD_BUFFER_MAP_H
 #define P2PCD_VOD_BUFFER_MAP_H
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/contracts.h"
@@ -13,50 +21,106 @@ namespace p2pcd::vod {
 class buffer_map {
 public:
     buffer_map() = default;
-    explicit buffer_map(std::size_t num_chunks) : have_(num_chunks, false) {}
+    explicit buffer_map(std::size_t num_chunks)
+        : size_(num_chunks), have_((num_chunks + 63) / 64, 0) {}
 
-    [[nodiscard]] std::size_t size() const noexcept { return have_.size(); }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
     [[nodiscard]] std::size_t count() const noexcept { return count_; }
 
     [[nodiscard]] bool has(std::size_t index) const {
-        expects(index < have_.size(), "buffer index out of range");
-        return have_[index];
+        expects(index < size_, "buffer index out of range");
+        return (have_[index >> 6] >> (index & 63)) & 1u;
     }
 
     // Returns true when this set() newly added the chunk.
     bool set(std::size_t index) {
-        expects(index < have_.size(), "buffer index out of range");
-        if (have_[index]) return false;
-        have_[index] = true;
+        expects(index < size_, "buffer index out of range");
+        const std::uint64_t bit = std::uint64_t{1} << (index & 63);
+        std::uint64_t& word = have_[index >> 6];
+        if (word & bit) return false;
+        word |= bit;
         ++count_;
         return true;
     }
 
     // Marks chunks [0, end) as present (seeding / watched-prefix setup).
     void fill_prefix(std::size_t end) {
-        expects(end <= have_.size(), "prefix end out of range");
-        for (std::size_t i = 0; i < end; ++i)
-            if (!have_[i]) {
-                have_[i] = true;
-                ++count_;
-            }
+        expects(end <= size_, "prefix end out of range");
+        const std::size_t full_words = end >> 6;
+        for (std::size_t w = 0; w < full_words; ++w) {
+            count_ += 64 - static_cast<std::size_t>(std::popcount(have_[w]));
+            have_[w] = ~std::uint64_t{0};
+        }
+        if (end & 63) {
+            const std::uint64_t mask = (std::uint64_t{1} << (end & 63)) - 1;
+            std::uint64_t& word = have_[full_words];
+            count_ += static_cast<std::size_t>(std::popcount(mask & ~word));
+            word |= mask;
+        }
     }
 
-    void fill_all() { fill_prefix(have_.size()); }
+    void fill_all() { fill_prefix(size_); }
 
-    [[nodiscard]] bool complete() const noexcept { return count_ == have_.size(); }
+    [[nodiscard]] bool complete() const noexcept { return count_ == size_; }
 
     // Number of missing chunks in [begin, end).
     [[nodiscard]] std::size_t missing_in(std::size_t begin, std::size_t end) const {
-        expects(begin <= end && end <= have_.size(), "range out of bounds");
-        std::size_t missing = 0;
-        for (std::size_t i = begin; i < end; ++i)
-            if (!have_[i]) ++missing;
-        return missing;
+        expects(begin <= end && end <= size_, "range out of bounds");
+        if (begin == end) return 0;
+        const std::size_t first = begin >> 6;
+        const std::size_t last = (end - 1) >> 6;  // inclusive word index
+        const std::uint64_t head = ~std::uint64_t{0} << (begin & 63);
+        const std::uint64_t tail = ~std::uint64_t{0} >> (63 - ((end - 1) & 63));
+        std::size_t present = 0;
+        if (first == last) {
+            present = static_cast<std::size_t>(std::popcount(have_[first] & head & tail));
+        } else {
+            present = static_cast<std::size_t>(std::popcount(have_[first] & head));
+            for (std::size_t w = first + 1; w < last; ++w)
+                present += static_cast<std::size_t>(std::popcount(have_[w]));
+            present += static_cast<std::size_t>(std::popcount(have_[last] & tail));
+        }
+        return (end - begin) - present;
+    }
+
+    // Index of the first missing chunk in [begin, end), or `end` when the
+    // range is fully present — the problem builder's gap-to-gap iterator.
+    [[nodiscard]] std::size_t first_missing_in(std::size_t begin,
+                                               std::size_t end) const {
+        expects(begin <= end && end <= size_, "range out of bounds");
+        if (begin == end) return end;
+        std::size_t w = begin >> 6;
+        const std::size_t last = (end - 1) >> 6;
+        std::uint64_t gaps = ~have_[w] & (~std::uint64_t{0} << (begin & 63));
+        while (gaps == 0) {
+            if (++w > last) return end;
+            gaps = ~have_[w];
+        }
+        const std::size_t index =
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(gaps));
+        return index < end ? index : end;
+    }
+
+    // Raw backing words (bit i of word w = chunk 64w + i) for bulk window
+    // operations — the problem builder gathers each neighbor's window words
+    // once instead of probing bits across the table. Bits at or beyond
+    // size() are zero.
+    [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+        return have_;
+    }
+
+    // Drops the storage (size and count become 0). The emulator reclaims the
+    // buffers of departed peers this way: nothing reads them post-departure,
+    // and at metro scale dead bitmaps would otherwise accumulate forever.
+    void release() noexcept {
+        std::vector<std::uint64_t>().swap(have_);
+        size_ = 0;
+        count_ = 0;
     }
 
 private:
-    std::vector<bool> have_;
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> have_;  // bit i of word w = chunk 64w + i
     std::size_t count_ = 0;
 };
 

@@ -14,26 +14,11 @@ video_catalog::video_catalog(std::size_t num_videos, std::size_t chunks_per_vide
     expects(chunks_per_second > 0.0, "playback rate must be positive");
 }
 
-chunk_id video_catalog::chunk_of(video_id video, std::size_t index) const {
-    expects(video.valid() && static_cast<std::size_t>(video.value()) < num_videos_,
-            "video id out of range");
-    expects(index < chunks_per_video_, "chunk index out of range");
-    return chunk_id(static_cast<std::int64_t>(video.value()) *
-                        static_cast<std::int64_t>(chunks_per_video_) +
-                    static_cast<std::int64_t>(index));
-}
-
 video_id video_catalog::video_of(chunk_id chunk) const {
     expects(chunk.valid(), "invalid chunk id");
     auto v = chunk.value() / static_cast<std::int64_t>(chunks_per_video_);
     expects(static_cast<std::size_t>(v) < num_videos_, "chunk id out of catalog range");
     return video_id(static_cast<std::int32_t>(v));
-}
-
-std::size_t video_catalog::index_of(chunk_id chunk) const {
-    expects(chunk.valid(), "invalid chunk id");
-    return static_cast<std::size_t>(chunk.value() %
-                                    static_cast<std::int64_t>(chunks_per_video_));
 }
 
 }  // namespace p2pcd::vod

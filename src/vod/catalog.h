@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/contracts.h"
 #include "common/ids.h"
 
 namespace p2pcd::vod {
@@ -25,9 +26,23 @@ public:
         return static_cast<double>(chunks_per_video_) / chunks_per_second_;
     }
 
-    [[nodiscard]] chunk_id chunk_of(video_id video, std::size_t index) const;
+    // chunk_of / index_of are on the problem builder's and schedule
+    // applier's per-request paths (tens of millions of calls per metro run),
+    // so they live in the header.
+    [[nodiscard]] chunk_id chunk_of(video_id video, std::size_t index) const {
+        expects(video.valid() && static_cast<std::size_t>(video.value()) < num_videos_,
+                "video id out of range");
+        expects(index < chunks_per_video_, "chunk index out of range");
+        return chunk_id(static_cast<std::int64_t>(video.value()) *
+                            static_cast<std::int64_t>(chunks_per_video_) +
+                        static_cast<std::int64_t>(index));
+    }
     [[nodiscard]] video_id video_of(chunk_id chunk) const;
-    [[nodiscard]] std::size_t index_of(chunk_id chunk) const;
+    [[nodiscard]] std::size_t index_of(chunk_id chunk) const {
+        expects(chunk.valid(), "invalid chunk id");
+        return static_cast<std::size_t>(chunk.value() %
+                                        static_cast<std::int64_t>(chunks_per_video_));
+    }
 
 private:
     std::size_t num_videos_;

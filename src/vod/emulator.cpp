@@ -1,6 +1,7 @@
 #include "vod/emulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -64,27 +65,27 @@ void emulator::add_seeds() {
     for (std::size_t v = 0; v < cfg.num_videos; ++v) {
         for (std::size_t m = 0; m < cfg.num_isps; ++m) {
             for (std::size_t s = 0; s < cfg.seeds_per_isp_per_video; ++s) {
-                peer_state seed;
+                peer_table::peer_spawn seed;
                 seed.id = peer_id(next_peer_id_++);
                 seed.isp = isp_id(static_cast<std::int32_t>(m));
                 seed.video = video_id(static_cast<std::int32_t>(v));
                 seed.seed = true;
                 seed.upload_capacity = seed_capacity;
-                seed.buffer = buffer_map(cfg.chunks_per_video());
-                seed.buffer.fill_all();
+                buffer_map buffer(cfg.chunks_per_video());
+                buffer.fill_all();
                 topology_.add_peer(seed.id, seed.isp);
-                tracker_.register_peer(seed.id, seed.video, /*seed=*/true);
-                peer_index_.emplace(seed.id, peers_.size());
                 if (v == 0 && m == 0 && s == 0) default_probe_ = seed.id;
-                peers_.push_back(std::move(seed));
+                const std::size_t row = peers_.add(seed, std::move(buffer));
+                tracker_.register_peer(row, seed.video, /*seed=*/true);
             }
         }
     }
+    num_seeds_ = peers_.rows();
 }
 
-peer_state& emulator::spawn_viewer(double join_time, bool pre_warmed) {
+std::size_t emulator::spawn_viewer(double join_time, bool pre_warmed) {
     const auto& cfg = options_.config;
-    peer_state viewer;
+    peer_table::peer_spawn viewer;
     viewer.id = peer_id(next_peer_id_++);
     // "distributed in the 5 ISPs evenly"
     viewer.isp = isp_id(static_cast<std::int32_t>(
@@ -96,7 +97,7 @@ peer_state& emulator::spawn_viewer(double join_time, bool pre_warmed) {
     viewer.upload_capacity = static_cast<std::int32_t>(
         multiple * static_cast<double>(cfg.chunks_per_slot()));
     viewer.join_time = join_time;
-    viewer.buffer = buffer_map(cfg.chunks_per_video());
+    buffer_map buffer(cfg.chunks_per_video());
 
     if (pre_warmed) {
         // Steady-state viewer: already mid-video with its watched prefix (and
@@ -108,7 +109,7 @@ peer_state& emulator::spawn_viewer(double join_time, bool pre_warmed) {
             peer_rng_.uniform_int(0, std::max<std::int64_t>(1, max_position)));
         viewer.playback_position = static_cast<double>(position);
         viewer.playback_start = join_time;
-        viewer.buffer.fill_prefix(position);
+        buffer.fill_prefix(position);
     } else {
         viewer.playback_position = 0.0;
         // One slot of startup prefetch before playback begins.
@@ -126,11 +127,12 @@ peer_state& emulator::spawn_viewer(double join_time, bool pre_warmed) {
     }
 
     topology_.add_peer(viewer.id, viewer.isp);
-    tracker_.register_peer(viewer.id, viewer.video, /*seed=*/false);
-    tracker_.update_position(viewer.id, viewer.playback_position);
-    peer_index_.emplace(viewer.id, peers_.size());
-    peers_.push_back(std::move(viewer));
-    return peers_.back();
+    const std::size_t row = peers_.add(viewer, std::move(buffer));
+    tracker_.register_peer(row, viewer.video, /*seed=*/false,
+                           viewer.playback_position);
+    // Rows are minted in id order, so appending keeps the list ascending.
+    active_viewers_.push_back(static_cast<std::uint32_t>(row));
+    return row;
 }
 
 void emulator::add_initial_peers() {
@@ -147,21 +149,54 @@ void emulator::process_arrivals(double until) {
 }
 
 void emulator::process_departures() {
-    for (auto& peer : peers_) {
-        if (peer.seed || peer.departed) continue;
-        bool finished = peer.finished(catalog_.chunks_per_video());
-        bool quits = peer.planned_departure >= 0.0 && peer.planned_departure <= now_;
+    bool any = false;
+    for (std::uint32_t row : active_viewers_) {
+        bool finished = peers_.finished(row, catalog_.chunks_per_video());
+        bool quits = peers_.planned_departure(row) >= 0.0 &&
+                     peers_.planned_departure(row) <= now_;
         if (!finished && !quits) continue;
-        peer.departed = true;
-        topology_.remove_peer(peer.id);
-        tracker_.unregister_peer(peer.id);
+        peers_.mark_departed(row);
+        topology_.remove_peer(peers_.id(row));
+        tracker_.unregister_peer(row);
+        // Nothing reads a departed peer's buffer again (requests, candidates
+        // and playback all draw from the active list) — reclaim it.
+        peers_.buffer(row).release();
+        any = true;
     }
+    if (any)
+        std::erase_if(active_viewers_,
+                      [&](std::uint32_t row) { return peers_.departed(row); });
 }
 
 void emulator::refresh_neighbors() {
-    for (auto& peer : peers_) {
-        if (peer.seed || peer.departed) continue;
-        peer.neighbors = tracker_.bootstrap(peer.id, options_.config.neighbor_count);
+    const std::size_t rows = peers_.rows();
+    neighbor_offsets_.assign(rows + 1, 0);
+    neighbor_rows_.clear();
+    for (std::uint32_t row : active_viewers_) {
+        tracker_.bootstrap(row, options_.config.neighbor_count, neighbor_rows_);
+        neighbor_offsets_[row + 1] = neighbor_rows_.size();
+    }
+    // Rows that did not bootstrap (seeds, departed) get empty ranges.
+    for (std::size_t r = 1; r <= rows; ++r)
+        neighbor_offsets_[r] = std::max(neighbor_offsets_[r], neighbor_offsets_[r - 1]);
+}
+
+void emulator::prefetch_link_costs() {
+    // One probe per (viewer, neighbor) link per slot. The builder re-reads
+    // each link cost up to prefetch_chunks × rounds times per slot; costs
+    // are constant within the slot (peering prices move only at epoch
+    // close), so one batched probe per link turns all of those into array
+    // reads.
+    neighbor_costs_.resize(neighbor_rows_.size());
+    for (std::uint32_t row : active_viewers_) {
+        const peer_id me = peers_.id(row);
+        const std::size_t begin = neighbor_offsets_[row];
+        const std::size_t end = neighbor_offsets_[row + 1];
+        batch_ids_.resize(end - begin);
+        for (std::size_t k = begin; k < end; ++k)
+            batch_ids_[k - begin] = peers_.id(neighbor_rows_[k]);
+        costs_->cost_batch(batch_ids_, me,
+                           std::span<double>(neighbor_costs_).subspan(begin, end - begin));
     }
 }
 
@@ -169,42 +204,85 @@ void emulator::build_problem(double now,
                              const std::vector<std::int32_t>& round_capacity) {
     slot_problem& sp = round_problem_;
     sp.problem.clear();  // arena reuse: capacity from previous rounds persists
-    sp.uploader_of_peer.assign(peers_.size(), SIZE_MAX);
-    for (std::size_t i = 0; i < peers_.size(); ++i) {
-        const auto& peer = peers_[i];
-        if (peer.departed || round_capacity[i] <= 0) continue;
-        sp.uploader_of_peer[i] = sp.problem.add_uploader(peer.id, round_capacity[i]);
+    sp.uploader_of_peer.assign(peers_.rows(), SIZE_MAX);
+    sp.uploader_row.clear();
+    sp.request_row.clear();
+    // Seeds occupy the first rows and never depart; live viewers follow in
+    // ascending row order — together exactly the pre-refactor full-table
+    // scan minus the departed.
+    for (std::size_t row = 0; row < num_seeds_; ++row) {
+        if (round_capacity[row] <= 0) continue;
+        sp.uploader_of_peer[row] =
+            sp.problem.add_uploader(peers_.id(row), round_capacity[row]);
+        sp.uploader_row.push_back(static_cast<std::uint32_t>(row));
+    }
+    for (std::uint32_t row : active_viewers_) {
+        if (round_capacity[row] <= 0) continue;
+        sp.uploader_of_peer[row] =
+            sp.problem.add_uploader(peers_.id(row), round_capacity[row]);
+        sp.uploader_row.push_back(row);
     }
 
     const auto& cfg = options_.config;
     const std::size_t n_chunks = cfg.chunks_per_video();
-    for (const auto& peer : peers_) {
-        if (peer.seed || peer.departed || peer.join_time > now) continue;
-        auto window_begin =
-            static_cast<std::size_t>(std::ceil(peer.playback_position));
+    for (std::uint32_t row : active_viewers_) {
+        if (peers_.join_time(row) > now) continue;
+        const double position = peers_.playback_position(row);
+        const double playback_start = peers_.playback_start(row);
+        const video_id video = peers_.video(row);
+        const buffer_map& buffer = peers_.buffer(row);
+        auto window_begin = static_cast<std::size_t>(std::ceil(position));
         std::size_t window_end = std::min(window_begin + cfg.prefetch_chunks, n_chunks);
-        for (std::size_t idx = window_begin; idx < window_end; ++idx) {
-            if (peer.buffer.has(idx)) continue;
+        std::size_t idx = buffer.first_missing_in(window_begin, window_end);
+        if (idx >= window_end) continue;  // window fully buffered
+
+        // Gather each eligible neighbor's window words next to its uploader
+        // ordinal and prefetched cost: the per-chunk candidate test below
+        // becomes a bit probe into this L1-resident scratch instead of a
+        // random read into every neighbor's bitmap. Skipping departed or
+        // capacity-less neighbors here preserves the candidate order (the
+        // filter is chunk-independent).
+        const std::size_t word_lo = window_begin >> 6;
+        const std::size_t n_words = ((window_end + 63) >> 6) - word_lo;
+        cand_words_.clear();
+        cand_uploader_.clear();
+        cand_cost_.clear();
+        const std::size_t nbr_begin = neighbor_offsets_[row];
+        const std::size_t nbr_end = neighbor_offsets_[row + 1];
+        for (std::size_t k = nbr_begin; k < nbr_end; ++k) {
+            const std::uint32_t n_row = neighbor_rows_[k];
+            if (peers_.departed(n_row)) continue;
+            const std::size_t uploader = sp.uploader_of_peer[n_row];
+            if (uploader == SIZE_MAX) continue;
+            const auto words = peers_.buffer(n_row).words();
+            for (std::size_t w = 0; w < n_words; ++w)
+                cand_words_.push_back(words[word_lo + w]);
+            cand_uploader_.push_back(uploader);
+            cand_cost_.push_back(neighbor_costs_[k]);
+        }
+        if (cand_uploader_.empty()) continue;
+
+        for (; idx < window_end; idx = buffer.first_missing_in(idx + 1, window_end)) {
             // Deadline: the moment playback reaches this chunk.
             double deadline =
-                now < peer.playback_start
-                    ? peer.playback_start +
+                now < playback_start
+                    ? playback_start +
                           static_cast<double>(idx) / cfg.chunks_per_second()
-                    : now + (static_cast<double>(idx) - peer.playback_position) /
+                    : now + (static_cast<double>(idx) - position) /
                                 cfg.chunks_per_second();
             double ttl = std::max(0.0, deadline - now);
+            const std::size_t word = (idx >> 6) - word_lo;
+            const std::size_t shift = idx & 63;
             std::size_t request = SIZE_MAX;
-            for (peer_id n : peer.neighbors) {
-                const auto& neighbor = peers_[peer_index_.at(n)];
-                if (neighbor.departed || !neighbor.buffer.has(idx)) continue;
-                std::size_t uploader = sp.uploader_of_peer[peer_index_.at(n)];
-                if (uploader == SIZE_MAX) continue;
-                if (request == SIZE_MAX)
+            for (std::size_t j = 0; j < cand_uploader_.size(); ++j) {
+                if (((cand_words_[j * n_words + word] >> shift) & 1u) == 0) continue;
+                if (request == SIZE_MAX) {
                     request = sp.problem.add_request(
-                        peer.id, catalog_.chunk_of(peer.video, idx),
+                        peers_.id(row), catalog_.chunk_of(video, idx),
                         valuation_.value(ttl));
-                sp.problem.add_candidate(request, uploader,
-                                         costs_->cost(n, peer.id));
+                    sp.request_row.push_back(row);
+                }
+                sp.problem.append_candidate(cand_uploader_[j], cand_cost_[j]);
             }
         }
     }
@@ -212,7 +290,7 @@ void emulator::build_problem(double now,
 
 core::schedule emulator::dispatch(double round_start, double duration,
                                   std::size_t round, slot_metrics& metrics,
-                                  std::unordered_map<peer_id, double>& slot_prices) {
+                                  std::vector<double>& slot_prices) {
     const slot_problem& sp = round_problem_;
     const core::problem_view view = sp.problem.view();
 
@@ -226,17 +304,15 @@ core::schedule emulator::dispatch(double round_start, double duration,
             ro.time_offset = round_start;
             ro.record_price_log = true;
             ro.initial_prices.resize(view.num_uploaders(), 0.0);
-            for (std::size_t u = 0; u < view.num_uploaders(); ++u) {
-                auto it = slot_prices.find(view.uploader(u).who);
-                if (it != slot_prices.end()) ro.initial_prices[u] = it->second;
-            }
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                ro.initial_prices[u] = slot_prices[sp.uploader_row[u]];
             ro.latency = [this](peer_id a, peer_id b) {
                 return options_.latency_per_cost * costs_->cost(a, b);
             };
             auction_runtime runtime(view, std::move(ro));
             auto result = runtime.run();
             for (std::size_t u = 0; u < view.num_uploaders(); ++u)
-                slot_prices[view.uploader(u).who] = result.auction.prices[u];
+                slot_prices[sp.uploader_row[u]] = result.auction.prices[u];
             for (const auto& ev : result.price_log)
                 price_events_.push_back(
                     {view.uploader(ev.uploader).who, ev.time, ev.price});
@@ -249,13 +325,11 @@ core::schedule emulator::dispatch(double round_start, double duration,
             // Thread the slot's λ through its bidding rounds (Sec. IV-C's
             // price cycle), exactly like the distributed path above.
             std::vector<double> initial(view.num_uploaders(), 0.0);
-            for (std::size_t u = 0; u < view.num_uploaders(); ++u) {
-                auto it = slot_prices.find(view.uploader(u).who);
-                if (it != slot_prices.end()) initial[u] = it->second;
-            }
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                initial[u] = slot_prices[sp.uploader_row[u]];
             result = auction_->run(view, initial);
             for (std::size_t u = 0; u < view.num_uploaders(); ++u)
-                slot_prices[view.uploader(u).who] = result.prices[u];
+                slot_prices[sp.uploader_row[u]] = result.prices[u];
         } else {
             result = auction_->run(view);
         }
@@ -279,22 +353,22 @@ void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics
         if (choice == core::no_candidate) continue;
         const auto& request = sp.problem.request(r);
         const auto& cand = sp.problem.candidates(r)[static_cast<std::size_t>(choice)];
-        const auto& seller = sp.problem.uploader(cand.uploader);
 
-        auto& downstream = peers_[peer_index_.at(request.downstream)];
+        const std::uint32_t downstream_row = sp.request_row[r];
         std::size_t idx = catalog_.index_of(request.chunk);
-        if (!downstream.buffer.set(idx)) continue;  // duplicate delivery guard
-        ++downstream.chunks_downloaded;
-        std::size_t seller_index = peer_index_.at(seller.who);
-        ++peers_[seller_index].chunks_uploaded;
-        --remaining_capacity[seller_index];
+        if (!peers_.buffer(downstream_row).set(idx)) continue;  // duplicate delivery guard
+        ++peers_.lifetime(downstream_row).chunks_downloaded;
+        const std::uint32_t seller_row = sp.uploader_row[cand.uploader];
+        ++peers_.lifetime(seller_row).chunks_uploaded;
+        --remaining_capacity[seller_row];
 
         ++metrics.transfers;
         metrics.social_welfare += request.valuation - cand.cost;
-        const isp_id seller_isp = peers_[seller_index].isp;
-        if (seller_isp != downstream.isp) ++metrics.inter_isp_transfers;
+        const isp_id seller_isp = peers_.isp(seller_row);
+        const isp_id downstream_isp = peers_.isp(downstream_row);
+        if (seller_isp != downstream_isp) ++metrics.inter_isp_transfers;
         if (ledger_)
-            ledger_->record(seller_isp, downstream.isp, 1,
+            ledger_->record(seller_isp, downstream_isp, 1,
                             options_.config.chunk_size_kb * 1024.0);
     }
     metrics.inter_isp_fraction =
@@ -307,24 +381,29 @@ void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics
 void emulator::advance_playback(double from, double to, slot_metrics& metrics) {
     const auto& cfg = options_.config;
     const auto n_chunks = static_cast<double>(cfg.chunks_per_video());
-    for (auto& peer : peers_) {
-        if (peer.seed || peer.departed) continue;
-        double play_from = std::max(from, peer.playback_start);
+    for (std::uint32_t row : active_viewers_) {
+        double play_from = std::max(from, peers_.playback_start(row));
         if (play_from >= to) continue;
-        double new_position = std::min(
-            peer.playback_position + (to - play_from) * cfg.chunks_per_second(),
-            n_chunks);
-        for (auto idx = static_cast<std::size_t>(std::ceil(peer.playback_position));
-             static_cast<double>(idx) < new_position; ++idx) {
-            ++peer.chunks_due;
-            ++metrics.chunks_due;
-            if (!peer.buffer.has(idx)) {
-                ++peer.chunks_missed;
-                ++metrics.chunks_missed;
-            }
+        const double position = peers_.playback_position(row);
+        double new_position =
+            std::min(position + (to - play_from) * cfg.chunks_per_second(), n_chunks);
+        // Chunks whose deadline passed this round: ceil(position) up to (but
+        // excluding) new_position — end bound = ceil(new_position) whether or
+        // not new_position is integral, matching the old per-chunk loop.
+        const auto due_begin = static_cast<std::size_t>(std::ceil(position));
+        const auto due_end = static_cast<std::size_t>(std::ceil(new_position));
+        if (due_end > due_begin) {
+            const std::size_t due = due_end - due_begin;
+            const std::size_t missed =
+                peers_.buffer(row).missing_in(due_begin, due_end);
+            auto& life = peers_.lifetime(row);
+            life.chunks_due += due;
+            life.chunks_missed += missed;
+            metrics.chunks_due += due;
+            metrics.chunks_missed += missed;
         }
-        peer.playback_position = new_position;
-        tracker_.update_position(peer.id, new_position);
+        peers_.set_playback_position(row, new_position);
+        tracker_.update_position(row, new_position);
     }
     metrics.miss_rate = metrics.chunks_due == 0
                             ? 0.0
@@ -332,13 +411,40 @@ void emulator::advance_playback(double from, double to, slot_metrics& metrics) {
                                   static_cast<double>(metrics.chunks_due);
 }
 
+namespace {
+// Phase stopwatch: accumulates the elapsed seconds since the previous lap
+// into the given phase counter. ~10 clock reads per slot — negligible even
+// at smoke scale, so the pipeline profile is always on.
+class phase_clock {
+public:
+    phase_clock() : last_(std::chrono::steady_clock::now()) {}
+    void lap(double& into) {
+        auto now = std::chrono::steady_clock::now();
+        into += std::chrono::duration<double>(now - last_).count();
+        last_ = now;
+    }
+    void skip() { last_ = std::chrono::steady_clock::now(); }
+
+private:
+    std::chrono::steady_clock::time_point last_;
+};
+}  // namespace
+
 const slot_metrics& emulator::step() {
     const double slot_start = now_;
     const double slot_end = now_ + options_.config.slot_seconds;
 
+    phase_clock clock;
     process_arrivals(slot_start);
+    clock.lap(phase_totals_.arrivals);
     process_departures();
+    clock.lap(phase_totals_.departures);
     refresh_neighbors();
+    clock.lap(phase_totals_.neighbor_refresh);
+    // Accounted to build: the link prefetch replaces the per-candidate cost
+    // lookups the pre-refactor build loop performed.
+    prefetch_link_costs();
+    clock.lap(phase_totals_.build);
     if (ledger_) ledger_->begin_slot(slot_start);
 
     slot_metrics metrics;
@@ -352,13 +458,16 @@ const slot_metrics& emulator::step() {
     const std::size_t rounds = std::max<std::size_t>(1, options_.bid_rounds_per_slot);
     const double round_length = options_.config.slot_seconds /
                                 static_cast<double>(rounds);
+    const std::size_t rows = peers_.rows();
     // Prices persist across the rounds of one slot and reset at slot
     // boundaries — the slot is the bidding cycle of Sec. IV-C.
-    std::unordered_map<peer_id, double> slot_prices;
+    slot_prices_.assign(rows, 0.0);
 
-    std::vector<std::int32_t> remaining(peers_.size(), 0);
-    for (std::size_t i = 0; i < peers_.size(); ++i)
-        remaining[i] = peers_[i].departed ? 0 : peers_[i].upload_capacity;
+    remaining_scratch_.assign(rows, 0);
+    for (std::size_t row = 0; row < num_seeds_; ++row)
+        remaining_scratch_[row] = peers_.upload_capacity(row);
+    for (std::uint32_t row : active_viewers_)
+        remaining_scratch_[row] = peers_.upload_capacity(row);
 
     for (std::size_t r = 0; r < rounds; ++r) {
         const double round_start = slot_start + static_cast<double>(r) * round_length;
@@ -366,20 +475,29 @@ const slot_metrics& emulator::step() {
 
         // Even share of the remaining slot budget over the remaining rounds,
         // so capacity unused early stays available to urgent late bids.
-        std::vector<std::int32_t> round_capacity(peers_.size(), 0);
+        round_capacity_scratch_.assign(rows, 0);
         auto rounds_left = static_cast<std::int32_t>(rounds - r);
-        for (std::size_t i = 0; i < peers_.size(); ++i)
-            round_capacity[i] = (remaining[i] + rounds_left - 1) / rounds_left;
+        for (std::size_t row = 0; row < num_seeds_; ++row)
+            round_capacity_scratch_[row] =
+                (remaining_scratch_[row] + rounds_left - 1) / rounds_left;
+        for (std::uint32_t row : active_viewers_)
+            round_capacity_scratch_[row] =
+                (remaining_scratch_[row] + rounds_left - 1) / rounds_left;
 
-        build_problem(round_start, round_capacity);
+        clock.skip();
+        build_problem(round_start, round_capacity_scratch_);
+        clock.lap(phase_totals_.build);
         metrics.requests += round_problem_.problem.num_requests();
 
-        auto sched = dispatch(round_start, round_length, r, metrics, slot_prices);
-        apply_schedule(sched, metrics, remaining);
+        auto sched = dispatch(round_start, round_length, r, metrics, slot_prices_);
+        clock.lap(phase_totals_.solve);
+        apply_schedule(sched, metrics, remaining_scratch_);
+        clock.lap(phase_totals_.apply);
 
         // Playback of this round is checked against the post-transfer buffer:
         // transfers complete within the bidding round.
         advance_playback(round_start, round_end, metrics);
+        clock.lap(phase_totals_.playback);
     }
 
     slots_.push_back(metrics);
@@ -458,8 +576,8 @@ peer_id emulator::probe_peer() const {
 
 std::size_t emulator::online_viewers() const {
     std::size_t n = 0;
-    for (const auto& peer : peers_)
-        if (!peer.seed && !peer.departed && peer.join_time <= now_) ++n;
+    for (std::uint32_t row : active_viewers_)
+        if (peers_.join_time(row) <= now_) ++n;
     return n;
 }
 

@@ -15,6 +15,17 @@
 //      plus the message-level distributed auction for the Fig. 2 window),
 //      apply the transfers, record per-slot metrics.
 //
+// Slot pipeline storage. Peers live in a dense SoA `peer_table`; the table
+// row is the internal currency of every per-slot loop (peer_id survives only
+// at API edges: cost draws, solver-facing problem structs, the probe/price
+// series). Live viewer rows are kept in `active_viewers_` (ascending, so
+// iteration order matches the id-ordered table), which means departed peers
+// cost nothing after their departure slot. Neighbor lists live in one flat
+// CSR arena refreshed per slot — offsets + row array + a parallel array of
+// prefetched link costs, so the problem builder's candidate loop is pure
+// array arithmetic (the pre-refactor loop paid two id-hash lookups plus a
+// cost-cache probe per candidate per round).
+//
 // The scheduler instance is long-lived: created once from the registry and
 // reused every bidding round, so solver workspaces stay warm. Seeded
 // schedulers are re-keyed each round via scheduler::reseed() with a seed
@@ -28,8 +39,8 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "baseline/simple_locality.h"
@@ -46,7 +57,7 @@
 #include "sim/distributions.h"
 #include "sim/rng.h"
 #include "vod/catalog.h"
-#include "vod/peer_state.h"
+#include "vod/peer_table.h"
 #include "vod/tracker.h"
 #include "vod/valuation.h"
 #include "workload/scenario.h"
@@ -91,6 +102,25 @@ struct emulator_options {
     double latency_per_cost = 0.05;
 };
 
+// Wall-clock seconds per slot phase, accumulated across every step() of one
+// emulator. The solve phase is the scheduler (dispatch); everything else is
+// the emulator's own per-slot data path — the subject of bench/slot_pipeline.
+struct slot_phase_totals {
+    double arrivals = 0.0;          // Poisson spawns (tracker/topology inserts)
+    double departures = 0.0;        // finished/quitting peers unregistered
+    double playback = 0.0;          // position advance + deadline accounting
+    double neighbor_refresh = 0.0;  // tracker bootstrap + link-cost prefetch
+    double build = 0.0;             // scheduling_problem construction
+    double solve = 0.0;             // scheduler dispatch (incl. distributed)
+    double apply = 0.0;             // transfer application + metering
+
+    [[nodiscard]] double total() const noexcept {
+        return arrivals + departures + playback + neighbor_refresh + build +
+               solve + apply;
+    }
+    [[nodiscard]] double non_solve() const noexcept { return total() - solve; }
+};
+
 struct slot_metrics {
     double time = 0.0;  // slot start
     std::size_t online_peers = 0;
@@ -119,6 +149,21 @@ public:
 
     [[nodiscard]] const std::vector<slot_metrics>& slots() const noexcept {
         return slots_;
+    }
+    // Per-phase wall-clock totals over every slot stepped so far.
+    [[nodiscard]] const slot_phase_totals& phase_totals() const noexcept {
+        return phase_totals_;
+    }
+    // The peer table (read-only): rows, flags, buffers, lifetime counters.
+    [[nodiscard]] const peer_table& peers() const noexcept { return peers_; }
+    // Current neighbor rows of a table row (this slot's tracker bootstrap;
+    // empty for seeds, departed peers, and before the first step()).
+    [[nodiscard]] std::span<const std::uint32_t> neighbor_rows(
+        std::size_t row) const {
+        if (row + 1 >= neighbor_offsets_.size()) return {};
+        return std::span<const std::uint32_t>(neighbor_rows_)
+            .subspan(neighbor_offsets_[row],
+                     neighbor_offsets_[row + 1] - neighbor_offsets_[row]);
     }
     // λ(t) of the representative peer during distributed slots — Fig. 2's
     // series. The representative is the uploader whose price rose highest in
@@ -156,26 +201,32 @@ public:
 private:
     struct slot_problem {
         core::scheduling_problem problem;
-        std::vector<std::size_t> uploader_of_peer;  // peer table index -> uploader
+        std::vector<std::size_t> uploader_of_peer;  // table row -> uploader
+        std::vector<std::uint32_t> uploader_row;    // uploader -> table row
+        std::vector<std::uint32_t> request_row;     // request -> downstream row
     };
 
     void add_seeds();
     void add_initial_peers();
-    peer_state& spawn_viewer(double join_time, bool pre_warmed);
+    std::size_t spawn_viewer(double join_time, bool pre_warmed);
     void process_arrivals(double until);
     void process_departures();
     void advance_playback(double from, double to, slot_metrics& metrics);
     void refresh_neighbors();
+    // Fills neighbor_costs_ for this slot's arena (one batched cost-model
+    // probe per link). Timed under the build phase: it replaces the
+    // per-candidate cost lookups the pre-refactor build performed.
+    void prefetch_link_costs();
     // (Re)builds the round's problem into the reused arena `round_problem_`;
-    // `round_capacity[i]` is what peer-table entry i may upload this round.
+    // `round_capacity[row]` is what table row `row` may upload this round.
     void build_problem(double now, const std::vector<std::int32_t>& round_capacity);
     // `slot_prices` carries each uploader's λ across the bidding rounds of
     // one distributed (or warm-started synchronous) slot — prices reset at
-    // slot boundaries, Sec. IV-C. `round` is the round ordinal within the
-    // slot, used to derive the per-round scheduler seed.
+    // slot boundaries, Sec. IV-C. Dense by table row. `round` is the round
+    // ordinal within the slot, used to derive the per-round scheduler seed.
     core::schedule dispatch(double round_start, double duration, std::size_t round,
                             slot_metrics& metrics,
-                            std::unordered_map<peer_id, double>& slot_prices);
+                            std::vector<double>& slot_prices);
     void apply_schedule(const core::schedule& sched, slot_metrics& metrics,
                         std::vector<std::int32_t>& remaining_capacity);
 
@@ -203,18 +254,42 @@ private:
     std::unique_ptr<core::scheduler> scheduler_;
     core::auction_solver* auction_ = nullptr;
 
-    std::vector<peer_state> peers_;  // stable storage; departed stay (flagged)
-    std::unordered_map<peer_id, std::size_t> peer_index_;
+    peer_table peers_;          // rows stable and id-ordered; departed flagged
+    std::size_t num_seeds_ = 0;  // rows [0, num_seeds_) are the seeds
+    // Live viewer rows, ascending — every per-slot scan walks this instead
+    // of branching over the full table, so departures stop costing anything.
+    std::vector<std::uint32_t> active_viewers_;
     std::int32_t next_peer_id_ = 0;
+
+    // Per-slot neighbor arena (CSR): row r's neighbors of this slot are
+    // neighbor_rows_[neighbor_offsets_[r] .. neighbor_offsets_[r+1]), with
+    // the u→d link cost of each prefetched into the parallel
+    // neighbor_costs_ (one cost-model probe per link per slot; link costs
+    // are constant within a slot — peering prices move only at epoch close).
+    std::vector<std::size_t> neighbor_offsets_;
+    std::vector<std::uint32_t> neighbor_rows_;
+    std::vector<double> neighbor_costs_;
 
     double now_ = 0.0;
     double next_arrival_ = 0.0;
     std::optional<sim::poisson_process> arrivals_;
     std::vector<slot_metrics> slots_;
+    slot_phase_totals phase_totals_;
     bool has_run_ = false;
 
     // Round-problem arena, reused (cleared, not reallocated) across rounds.
     slot_problem round_problem_;
+    // Per-slot scratch, reused across slots (allocation-free once warm).
+    std::vector<double> slot_prices_;
+    std::vector<std::int32_t> remaining_scratch_;
+    std::vector<std::int32_t> round_capacity_scratch_;
+    std::vector<peer_id> batch_ids_;  // cost_batch input per viewer
+    // Build-loop scratch: per viewer, the window words of each eligible
+    // neighbor's buffer gathered side by side, so the candidate loop tests
+    // bits in L1 instead of probing every neighbor's bitmap per chunk.
+    std::vector<std::uint64_t> cand_words_;
+    std::vector<std::size_t> cand_uploader_;
+    std::vector<double> cand_cost_;
 
     // Raw λ-change log from distributed slots plus the slot starts, from
     // which the representative peer's series is assembled on demand.

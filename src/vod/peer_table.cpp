@@ -1,0 +1,63 @@
+#include "vod/peer_table.h"
+
+#include <utility>
+
+namespace p2pcd::vod {
+
+std::size_t peer_table::add(const peer_spawn& spawn, buffer_map buffer) {
+    expects(spawn.id.valid(), "peer id must be valid");
+    expects(row_of(spawn.id) == npos, "peer id already in the table");
+
+    std::size_t row;
+    if (!free_.empty()) {
+        row = free_.back();
+        free_.pop_back();
+    } else {
+        row = ids_.size();
+        ids_.emplace_back();
+        isps_.emplace_back();
+        videos_.emplace_back();
+        seed_.emplace_back();
+        departed_.emplace_back();
+        capacity_.emplace_back();
+        positions_.emplace_back();
+        playback_start_.emplace_back();
+        buffers_.emplace_back();
+        join_time_.emplace_back();
+        planned_departure_.emplace_back();
+        lifetime_.emplace_back();
+    }
+    ids_[row] = spawn.id;
+    isps_[row] = spawn.isp;
+    videos_[row] = spawn.video;
+    seed_[row] = spawn.seed ? 1 : 0;
+    departed_[row] = 0;
+    capacity_[row] = spawn.upload_capacity;
+    positions_[row] = spawn.playback_position;
+    playback_start_[row] = spawn.playback_start;
+    buffers_[row] = std::move(buffer);
+    join_time_[row] = spawn.join_time;
+    planned_departure_[row] = spawn.planned_departure;
+    lifetime_[row] = lifetime_counters{};
+
+    const auto v =
+        static_cast<std::size_t>(static_cast<std::uint32_t>(spawn.id.value()));
+    if (v >= row_of_.size()) row_of_.resize(v + 1, npos);
+    row_of_[v] = row;
+    ++num_peers_;
+    return row;
+}
+
+void peer_table::release(std::size_t row) {
+    check(row);
+    expects(departed_[row] != 0, "only departed rows can be released");
+    const auto v =
+        static_cast<std::size_t>(static_cast<std::uint32_t>(ids_[row].value()));
+    row_of_[v] = npos;
+    ids_[row] = peer_id{};  // invalid marks the hole
+    buffers_[row].release();
+    free_.push_back(row);
+    --num_peers_;
+}
+
+}  // namespace p2pcd::vod

@@ -1,0 +1,156 @@
+// Dense SoA peer table — the slot pipeline's storage for every emulated peer.
+//
+// The emulator's hot loops (problem build, playback advance, neighbor
+// refresh, schedule apply) touch a handful of per-peer fields across the
+// whole population every bidding round. Keeping those fields in parallel
+// arrays ("structure of arrays") indexed by a dense *row* makes each loop a
+// linear walk over exactly the bytes it needs, and makes the row the
+// internal currency of the pipeline: `peer_id` survives only at API edges
+// (tracker golden tests, cost model draws, solver-facing problem structs),
+// so the per-candidate `unordered_map` lookups of the AoS design are gone.
+//
+// Rows are stable for a peer's lifetime. `release()` returns a departed
+// row to a free list for reuse by a later `add()` — long-churn workloads
+// can recycle storage. The emulator deliberately does NOT recycle rows
+// (its rows stay id-ordered, which the deterministic replay relies on); it
+// instead reclaims the one large per-peer allocation, the buffer map, via
+// `buffer_map::release()` at departure, and keeps departed rows out of
+// every scan with its sorted active-row list.
+//
+// Hot columns (per-row accessors below) sit in their own arrays; the cold
+// lifetime counters live in a separate parallel array so they never share
+// cache lines with the scan path.
+#ifndef P2PCD_VOD_PEER_TABLE_H
+#define P2PCD_VOD_PEER_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.h"
+#include "common/ids.h"
+#include "vod/buffer_map.h"
+
+namespace p2pcd::vod {
+
+class peer_table {
+public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    // Cold per-peer lifetime counters (reporting only, never scanned).
+    struct lifetime_counters {
+        std::uint64_t chunks_due = 0;
+        std::uint64_t chunks_missed = 0;
+        std::uint64_t chunks_downloaded = 0;
+        std::uint64_t chunks_uploaded = 0;
+    };
+
+    // Everything a new row needs besides the buffer.
+    struct peer_spawn {
+        peer_id id;
+        isp_id isp;
+        video_id video;
+        bool seed = false;
+        std::int32_t upload_capacity = 0;
+        double join_time = 0.0;
+        double playback_start = 0.0;
+        double playback_position = 0.0;
+        double planned_departure = -1.0;  // < 0: stays to the end of video
+    };
+
+    // Adds a peer and returns its row: a freed row when one is available,
+    // otherwise a fresh one appended at the end. The id must be unused.
+    std::size_t add(const peer_spawn& spawn, buffer_map buffer);
+
+    // Returns a departed row to the free list (its id unmaps; the row's
+    // storage is reused by a later add()).
+    void release(std::size_t row);
+
+    // Table extent: every row ever added and not released, *including*
+    // departed rows, plus free-listed holes. Row indices are < rows().
+    [[nodiscard]] std::size_t rows() const noexcept { return ids_.size(); }
+    [[nodiscard]] std::size_t num_peers() const noexcept { return num_peers_; }
+
+    // Row of an id, or npos when the id is unknown/released.
+    [[nodiscard]] std::size_t row_of(peer_id id) const noexcept {
+        const auto v = static_cast<std::size_t>(static_cast<std::uint32_t>(id.value()));
+        return id.valid() && v < row_of_.size() ? row_of_[v] : npos;
+    }
+
+    // --- hot columns ---
+    [[nodiscard]] peer_id id(std::size_t row) const { return ids_[check(row)]; }
+    [[nodiscard]] isp_id isp(std::size_t row) const { return isps_[check(row)]; }
+    [[nodiscard]] video_id video(std::size_t row) const { return videos_[check(row)]; }
+    [[nodiscard]] bool is_seed(std::size_t row) const { return seed_[check(row)] != 0; }
+    [[nodiscard]] bool departed(std::size_t row) const {
+        return departed_[check(row)] != 0;
+    }
+    void mark_departed(std::size_t row) { departed_[check(row)] = 1; }
+    [[nodiscard]] std::int32_t upload_capacity(std::size_t row) const {
+        return capacity_[check(row)];
+    }
+    [[nodiscard]] double playback_position(std::size_t row) const {
+        return positions_[check(row)];
+    }
+    void set_playback_position(std::size_t row, double position) {
+        positions_[check(row)] = position;
+    }
+    [[nodiscard]] double playback_start(std::size_t row) const {
+        return playback_start_[check(row)];
+    }
+    [[nodiscard]] buffer_map& buffer(std::size_t row) { return buffers_[check(row)]; }
+    [[nodiscard]] const buffer_map& buffer(std::size_t row) const {
+        return buffers_[check(row)];
+    }
+
+    // --- cold columns ---
+    [[nodiscard]] double join_time(std::size_t row) const {
+        return join_time_[check(row)];
+    }
+    [[nodiscard]] double planned_departure(std::size_t row) const {
+        return planned_departure_[check(row)];
+    }
+    [[nodiscard]] lifetime_counters& lifetime(std::size_t row) {
+        return lifetime_[check(row)];
+    }
+    [[nodiscard]] const lifetime_counters& lifetime(std::size_t row) const {
+        return lifetime_[check(row)];
+    }
+
+    // Viewer currently consuming chunks (same predicate peer_state had).
+    [[nodiscard]] bool playing(std::size_t row, double now) const {
+        check(row);
+        return seed_[row] == 0 && departed_[row] == 0 && now >= playback_start_[row];
+    }
+    [[nodiscard]] bool finished(std::size_t row, std::size_t chunks_per_video) const {
+        return positions_[check(row)] >= static_cast<double>(chunks_per_video);
+    }
+
+private:
+    std::size_t check(std::size_t row) const {
+        expects(row < ids_.size() && ids_[row].valid(), "peer row out of range");
+        return row;
+    }
+
+    // hot
+    std::vector<peer_id> ids_;        // invalid = released hole
+    std::vector<isp_id> isps_;
+    std::vector<video_id> videos_;
+    std::vector<std::uint8_t> seed_;
+    std::vector<std::uint8_t> departed_;
+    std::vector<std::int32_t> capacity_;
+    std::vector<double> positions_;
+    std::vector<double> playback_start_;
+    std::vector<buffer_map> buffers_;
+    // cold
+    std::vector<double> join_time_;
+    std::vector<double> planned_departure_;
+    std::vector<lifetime_counters> lifetime_;
+
+    std::vector<std::size_t> row_of_;  // dense by id value; npos = unmapped
+    std::vector<std::size_t> free_;    // released rows, LIFO
+    std::size_t num_peers_ = 0;
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_PEER_TABLE_H

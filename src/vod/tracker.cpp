@@ -1,72 +1,200 @@
 #include "vod/tracker.h"
 
 #include <algorithm>
-#include <cmath>
+#include <limits>
 
 #include "common/contracts.h"
 
 namespace p2pcd::vod {
 
-void tracker::register_peer(peer_id peer, video_id video, bool seed) {
-    expects(!records_.contains(peer), "peer already registered with tracker");
-    records_.emplace(peer, peer_record{video, 0.0, seed});
-    by_video_[video].push_back(peer);
+namespace {
+constexpr double inf = std::numeric_limits<double>::infinity();
 }
 
-void tracker::update_position(peer_id peer, double playback_position) {
-    auto it = records_.find(peer);
-    expects(it != records_.end(), "position update for unknown peer");
-    it->second.playback_position = playback_position;
+void tracker::register_peer(std::size_t peer, video_id video, bool seed,
+                            double position) {
+    expects(video.valid(), "video id must be valid");
+    expects(peer < std::numeric_limits<std::uint32_t>::max(),
+            "peer row exceeds the tracker's 32-bit row space");
+    expects(!online(peer), "peer already registered with tracker");
+    if (peer >= recs_.size()) recs_.resize(peer + 1);
+    const auto v = static_cast<std::size_t>(video.value());
+    if (v >= pools_.size()) pools_.resize(v + 1);
+
+    peer_rec& rec = recs_[peer];
+    rec.video = video;
+    rec.seq = next_seq_++;
+    rec.seed = seed;
+    rec.online = true;
+    video_pool& pool = pools_[v];
+    if (seed) {
+        rec.rank = static_cast<std::uint32_t>(pool.seeds.size());
+        pool.seeds.push_back(static_cast<std::uint32_t>(peer));
+    } else {
+        rec.rank = static_cast<std::uint32_t>(pool.viewers.size());
+        pool.viewers.push_back(
+            {position, rec.seq, static_cast<std::uint32_t>(peer)});
+        pool.dirty = true;  // appended wherever; sorted lazily
+    }
+    ++num_online_;
 }
 
-void tracker::unregister_peer(peer_id peer) {
-    auto it = records_.find(peer);
-    expects(it != records_.end(), "unregistering unknown peer");
-    auto& bucket = by_video_[it->second.video];
-    bucket.erase(std::remove(bucket.begin(), bucket.end(), peer), bucket.end());
-    records_.erase(it);
+void tracker::update_position(std::size_t peer, double position) {
+    expects(online(peer), "position update for unknown peer");
+    peer_rec& rec = recs_[peer];
+    expects(!rec.seed, "seeds have no tracked position");
+    viewer_entry& entry = pool_of(rec).viewers[rec.rank];
+    if (entry.position == position) return;
+    entry.position = position;
+    pool_of(rec).dirty = true;
+}
+
+void tracker::unregister_peer(std::size_t peer) {
+    expects(online(peer), "unregistering unknown peer");
+    peer_rec& rec = recs_[peer];
+    video_pool& pool = pool_of(rec);
+    if (rec.seed) {
+        pool.seeds.erase(pool.seeds.begin() + rec.rank);
+        for (std::size_t k = rec.rank; k < pool.seeds.size(); ++k)
+            recs_[pool.seeds[k]].rank = static_cast<std::uint32_t>(k);
+    } else {
+        pool.viewers.erase(pool.viewers.begin() + rec.rank);
+        for (std::size_t k = rec.rank; k < pool.viewers.size(); ++k)
+            recs_[pool.viewers[k].peer].rank = static_cast<std::uint32_t>(k);
+    }
+    rec.online = false;
+    --num_online_;
 }
 
 std::size_t tracker::num_online(video_id video) const {
-    auto it = by_video_.find(video);
-    return it == by_video_.end() ? 0 : it->second.size();
+    const auto v = static_cast<std::size_t>(video.value());
+    if (!video.valid() || v >= pools_.size()) return 0;
+    return pools_[v].seeds.size() + pools_[v].viewers.size();
 }
 
-std::vector<peer_id> tracker::bootstrap(peer_id who, std::size_t count) const {
-    auto self = records_.find(who);
-    expects(self != records_.end(), "bootstrap for unknown peer");
-    const auto& pool = by_video_.at(self->second.video);
+tracker::video_pool& tracker::pool_of(const peer_rec& rec) {
+    return pools_[static_cast<std::size_t>(rec.video.value())];
+}
 
-    std::vector<peer_id> seeds;
-    std::vector<peer_id> viewers;
-    for (peer_id p : pool) {
-        if (p == who) continue;
-        if (records_.at(p).seed) seeds.push_back(p);
-        else viewers.push_back(p);
+// One insertion-sort pass restoring ascending (position, seq). Cost is
+// O(viewers + inversions); under the quasi-static invariant inversions only
+// appear at churn events, so steady slots cost a single comparison scan.
+// Ranks are array slots, so every moved entry's rank is re-pointed.
+void tracker::restore_order(video_pool& pool) {
+    auto less = [](const viewer_entry& a, const viewer_entry& b) {
+        return a.position < b.position ||
+               (a.position == b.position && a.seq < b.seq);
+    };
+    auto& v = pool.viewers;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+        if (!less(v[i], v[i - 1])) continue;
+        viewer_entry tmp = v[i];
+        std::size_t j = i;
+        do {
+            v[j] = v[j - 1];
+            recs_[v[j].peer].rank = static_cast<std::uint32_t>(j);
+            --j;
+        } while (j > 0 && less(tmp, v[j - 1]));
+        v[j] = tmp;
+        recs_[tmp.peer].rank = static_cast<std::uint32_t>(j);
     }
-    double my_pos = self->second.playback_position;
-    std::stable_sort(viewers.begin(), viewers.end(), [&](peer_id a, peer_id b) {
-        return std::fabs(records_.at(a).playback_position - my_pos) <
-               std::fabs(records_.at(b).playback_position - my_pos);
-    });
+    pool.dirty = false;
+}
+
+std::size_t tracker::bootstrap(std::size_t who, std::size_t count,
+                               std::vector<std::uint32_t>& out) {
+    expects(online(who), "bootstrap for unknown peer");
+    const peer_rec& rec = recs_[who];
+    video_pool& pool = pool_of(rec);
+    if (pool.dirty) restore_order(pool);
+    const auto& v = pool.viewers;
+    const std::size_t n = v.size();
+    const std::size_t start = out.size();
+    const std::size_t num_viewers = n - (rec.seed ? 0 : 1);  // excluding self
 
     // Mix seeds with swarm neighbors: seeds get at most a third of the list
     // (they can serve any position, but a seed-stuffed neighborhood would
     // starve the peer-to-peer exchange the paper studies), except when there
     // are too few viewers to fill the remainder.
-    std::vector<peer_id> neighbors;
-    neighbors.reserve(count);
     std::size_t seed_quota = std::max<std::size_t>(
-        count / 3, count > viewers.size() ? count - viewers.size() : 0);
-    for (peer_id p : seeds) {
-        if (neighbors.size() >= std::min(seed_quota, count)) break;
-        neighbors.push_back(p);
+        count / 3, count > num_viewers ? count - num_viewers : 0);
+    seed_quota = std::min(seed_quota, count);
+    for (std::uint32_t s : pool.seeds) {
+        if (out.size() - start >= seed_quota) break;
+        if (s == who) continue;
+        out.push_back(s);
     }
-    for (peer_id p : viewers) {
-        if (neighbors.size() >= count) break;
-        neighbors.push_back(p);
+
+    auto full = [&] { return out.size() - start >= count; };
+    if (full() || n == 0) return out.size() - start;
+
+    // Anchor position: a viewer sits at its own rank; a seed (untracked
+    // position) anchors at 0.0 like the pre-refactor record default.
+    const double p = rec.seed ? 0.0 : v[rec.rank].position;
+
+    // Distance-0 run: every viewer sharing the anchor position, registration
+    // (= index) order, self excluded.
+    std::size_t eq_lo, eq_hi;
+    if (rec.seed) {
+        auto pos_less = [](const viewer_entry& e, double val) {
+            return e.position < val;
+        };
+        auto val_less = [](double val, const viewer_entry& e) {
+            return val < e.position;
+        };
+        eq_lo = static_cast<std::size_t>(
+            std::lower_bound(v.begin(), v.end(), p, pos_less) - v.begin());
+        eq_hi = static_cast<std::size_t>(
+            std::upper_bound(v.begin(), v.end(), p, val_less) - v.begin());
+    } else {
+        eq_lo = rec.rank;
+        while (eq_lo > 0 && v[eq_lo - 1].position == p) --eq_lo;
+        eq_hi = rec.rank + 1;
+        while (eq_hi < n && v[eq_hi].position == p) ++eq_hi;
     }
-    return neighbors;
+    for (std::size_t k = eq_lo; k < eq_hi && !full(); ++k)
+        if (v[k].peer != who) out.push_back(v[k].peer);
+
+    // Outward two-pointer walk. The pool is sorted by (position, seq), so
+    // each side yields equal-position runs in increasing distance; a run's
+    // index order IS its registration order, and when both sides sit at the
+    // same distance the two runs merge by seq — exactly the pre-refactor
+    // stable_sort over registration order by |playback distance|.
+    std::size_t left = eq_lo;  // next left entry is left-1
+    std::size_t right = eq_hi;
+    while (!full() && (left > 0 || right < n)) {
+        const double dl = left > 0 ? p - v[left - 1].position : inf;
+        const double dr = right < n ? v[right].position - p : inf;
+        if (dl < dr) {
+            std::size_t run_lo = left - 1;
+            while (run_lo > 0 && v[run_lo - 1].position == v[left - 1].position)
+                --run_lo;
+            for (std::size_t k = run_lo; k < left && !full(); ++k)
+                out.push_back(v[k].peer);
+            left = run_lo;
+        } else if (dr < dl) {
+            const double pos = v[right].position;
+            while (right < n && v[right].position == pos && !full())
+                out.push_back(v[right++].peer);
+            if (full()) break;
+        } else {
+            std::size_t run_lo = left - 1;
+            while (run_lo > 0 && v[run_lo - 1].position == v[left - 1].position)
+                --run_lo;
+            std::size_t r_end = right;
+            while (r_end < n && v[r_end].position == v[right].position) ++r_end;
+            std::size_t i = run_lo;
+            std::size_t j = right;
+            while (!full() && (i < left || j < r_end)) {
+                const bool take_left =
+                    j >= r_end || (i < left && v[i].seq < v[j].seq);
+                out.push_back(v[take_left ? i++ : j++].peer);
+            }
+            left = run_lo;
+            right = r_end;
+        }
+    }
+    return out.size() - start;
 }
 
 }  // namespace p2pcd::vod

@@ -1,10 +1,36 @@
 // Tracker server: keeps track of online peers and bootstraps joining peers
 // with neighbors that have close playback positions (Sec. V), seeds first —
 // seeds cache the whole video and can serve any position.
+//
+// The tracker is row-indexed: peers are registered under their dense
+// peer-table row, and neighbor lists come back as rows appended to a caller
+// arena — no per-call vectors, no id hashing.
+//
+// Incremental pool maintenance. Each video's viewers are kept sorted by
+// (playback position, registration order). The key observation making this
+// cheap is that relative playback order is *quasi-static*: every playing
+// peer advances at the same chunks_per_second, so the sorted order only
+// changes at churn events — arrivals, departures, playback starts, and the
+// end-of-video clamp. `update_position` is therefore a plain store that
+// marks the pool dirty; the next bootstrap restores the invariant with one
+// insertion-sort pass, which costs O(viewers + inversions) — and inversions
+// exist only where one of those events displaced a peer. The pre-refactor
+// tracker instead re-scanned and stable_sort'ed the whole pool once per
+// peer per slot: O(P² log P) per slot against the pipeline's O(P).
+//
+// Neighbor order (pinned by the golden suite, relied on for reproducibility):
+//   1. seeds of the video, in registration order, capped at the seed quota
+//      (one third of the list, more only when viewers can't fill it);
+//   2. viewers ordered by (|playback distance|, registration order) — the
+//      registration tie-break is exactly what the pre-refactor
+//      stable_sort-over-registration-order produced. bootstrap() emits this
+//      order directly with an outward two-pointer walk from the peer's
+//      position over the sorted pool, merging equal-distance runs from both
+//      sides by registration order.
 #ifndef P2PCD_VOD_TRACKER_H
 #define P2PCD_VOD_TRACKER_H
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "common/ids.h"
@@ -13,27 +39,58 @@ namespace p2pcd::vod {
 
 class tracker {
 public:
-    struct peer_record {
-        video_id video;
-        double playback_position = 0.0;
-        bool seed = false;
-    };
+    // Registers `peer` (a dense table row) as online under `video`.
+    // `position` is the viewer's starting playback position; seeds have no
+    // tracked position (they serve any).
+    void register_peer(std::size_t peer, video_id video, bool seed,
+                       double position = 0.0);
 
-    void register_peer(peer_id peer, video_id video, bool seed);
-    void update_position(peer_id peer, double playback_position);
-    void unregister_peer(peer_id peer);
+    // Stores the viewer's new playback position. O(1): the pool re-sorts
+    // lazily on the next bootstrap. Seeds cannot be repositioned.
+    void update_position(std::size_t peer, double position);
 
-    [[nodiscard]] bool online(peer_id peer) const { return records_.contains(peer); }
-    [[nodiscard]] std::size_t num_online() const noexcept { return records_.size(); }
+    // Positional erase from the sorted pool (the row's rank is tracked, so
+    // no scan happens; the tail shifts down and keeps its order).
+    void unregister_peer(std::size_t peer);
+
+    [[nodiscard]] bool online(std::size_t peer) const noexcept {
+        return peer < recs_.size() && recs_[peer].online;
+    }
+    [[nodiscard]] std::size_t num_online() const noexcept { return num_online_; }
     [[nodiscard]] std::size_t num_online(video_id video) const;
 
-    // Neighbor list for `who`: all seeds of its video, then non-seed viewers
-    // of the same video ordered by |playback distance|, capped at `count`.
-    [[nodiscard]] std::vector<peer_id> bootstrap(peer_id who, std::size_t count) const;
+    // Appends `who`'s neighbor rows (order documented above, at most `count`)
+    // to `out` and returns how many were appended. Non-const: restores the
+    // sorted invariant of the pool first when positions changed.
+    std::size_t bootstrap(std::size_t who, std::size_t count,
+                          std::vector<std::uint32_t>& out);
 
 private:
-    std::unordered_map<peer_id, peer_record> records_;
-    std::unordered_map<video_id, std::vector<peer_id>> by_video_;
+    struct viewer_entry {
+        double position = 0.0;
+        std::uint64_t seq = 0;   // registration order, unique
+        std::uint32_t peer = 0;  // table row
+    };
+    struct video_pool {
+        std::vector<std::uint32_t> seeds;   // registration order
+        std::vector<viewer_entry> viewers;  // ascending (position, seq)
+        bool dirty = false;                 // positions changed since last sort
+    };
+    struct peer_rec {
+        video_id video;
+        std::uint64_t seq = 0;
+        std::uint32_t rank = 0;  // slot in seeds (seed) / viewers (viewer)
+        bool seed = false;
+        bool online = false;
+    };
+
+    void restore_order(video_pool& pool);
+    [[nodiscard]] video_pool& pool_of(const peer_rec& rec);
+
+    std::vector<video_pool> pools_;  // dense by video id value
+    std::vector<peer_rec> recs_;     // dense by peer row
+    std::uint64_t next_seq_ = 0;
+    std::size_t num_online_ = 0;
 };
 
 }  // namespace p2pcd::vod

@@ -29,6 +29,16 @@ fleet_config fleet_config::metro_100x5k() {
     return config;
 }
 
+fleet_config fleet_config::metro_20x20k() {
+    fleet_config config;
+    config.swarm_scenario = "metro_20k";
+    config.num_swarms = 20;
+    config.total_peers = 400'000;
+    // Head swarms tens of thousands strong, tail still metro-sized.
+    config.min_swarm_peers = 2'000;
+    return config;
+}
+
 fleet_config fleet_config::flash_crowd_fleet() {
     fleet_config config;
     config.swarm_scenario = "flash_crowd_10k";
@@ -131,6 +141,10 @@ const fleet_registry& builtin_fleets() {
         r.add("fleet_metro_100x5k",
               "100 metro swarms, 500 000 viewers total (bench/fleet_scaling)",
               [] { return fleet_config::metro_100x5k(); });
+        r.add("fleet_metro_20x20k",
+              "20 dense-metro swarms of the metro_20k scenario, 400 000 "
+              "viewers total (slot-pipeline scale)",
+              [] { return fleet_config::metro_20x20k(); });
         r.add("fleet_flash_crowd",
               "20 flash-crowd swarms, ~200 000 arrival-driven joins total",
               [] { return fleet_config::flash_crowd_fleet(); });

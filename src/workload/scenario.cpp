@@ -65,6 +65,15 @@ scenario_config scenario_config::metro_5k() {
     return config;
 }
 
+scenario_config scenario_config::metro_20k() {
+    // Four stacked metros: the population the pre-refactor tracker made
+    // impractical (its per-peer stable_sort re-scanned every pool once per
+    // peer per slot). Same supply ratio knobs as metro_5k, 4x the viewers.
+    scenario_config config = metro_5k();
+    config.initial_peers = 20000;
+    return config;
+}
+
 scenario_config scenario_config::flash_crowd_10k() {
     scenario_config config;
     // A small hot catalog is what makes it a flash crowd: demand concentrates

@@ -96,8 +96,11 @@ struct scenario_config {
     // Large-scale setups past the paper's evaluation (see
     // workload/scenario_registry.h for the catalog):
     //  * metro_5k — 5 000 static peers spread over 20 metro ISPs;
+    //  * metro_20k — metro_5k at 4x the viewers (practical since the
+    //    incremental slot pipeline; the per-peer-re-sort tracker choked);
     //  * flash_crowd_10k — ~10 000 peers flash-crowding 10 hot videos.
     [[nodiscard]] static scenario_config metro_5k();
+    [[nodiscard]] static scenario_config metro_20k();
     [[nodiscard]] static scenario_config flash_crowd_10k();
     // ISP-economy scenarios (src/isp/):
     //  * metro_economy — metro_5k with a 4-region hierarchical peering

@@ -16,6 +16,9 @@ const scenario_registry& builtin_scenarios() {
               [] { return scenario_config::small_test(); });
         r.add("metro_5k", "5 000 static peers across 20 metro ISPs (10x the paper)",
               [] { return scenario_config::metro_5k(); });
+        r.add("metro_20k",
+              "20 000 static peers across 20 metro ISPs (metro_5k at 4x)",
+              [] { return scenario_config::metro_20k(); });
         r.add("flash_crowd_10k",
               "~10 000 peers flash-crowding a 10-video catalog (Poisson 40/s, 10 ISPs)",
               [] { return scenario_config::flash_crowd_10k(); });

@@ -63,5 +63,72 @@ TEST(buffer_map, default_constructed_is_zero_sized) {
     EXPECT_TRUE(b.complete());
 }
 
+// Sizes straddling the 64-bit word boundary: the packed popcount paths must
+// agree with a straight bit walk.
+TEST(buffer_map, word_boundaries_behave_like_a_plain_bit_walk) {
+    buffer_map b(200);
+    for (std::size_t i = 0; i < 200; i += 3) b.set(i);
+    EXPECT_EQ(b.count(), 67u);
+    for (std::size_t begin = 0; begin < 200; begin += 31) {
+        for (std::size_t end = begin; end <= 200; end += 41) {
+            std::size_t expected = 0;
+            for (std::size_t i = begin; i < end; ++i)
+                if (!b.has(i)) ++expected;
+            EXPECT_EQ(b.missing_in(begin, end), expected)
+                << "range [" << begin << ", " << end << ")";
+        }
+    }
+    b.fill_prefix(130);  // crosses two word boundaries
+    EXPECT_EQ(b.missing_in(0, 130), 0u);
+    EXPECT_FALSE(b.has(131));
+}
+
+TEST(buffer_map, first_missing_in_jumps_between_gaps) {
+    buffer_map b(200);
+    b.fill_prefix(70);
+    b.set(71);
+    b.set(72);
+    EXPECT_EQ(b.first_missing_in(0, 200), 70u);
+    EXPECT_EQ(b.first_missing_in(71, 200), 73u);
+    EXPECT_EQ(b.first_missing_in(64, 70), 70u) << "fully-present range yields end";
+    EXPECT_EQ(b.first_missing_in(10, 10), 10u) << "empty range yields end";
+    b.fill_all();
+    EXPECT_EQ(b.first_missing_in(0, 200), 200u);
+    EXPECT_THROW((void)b.first_missing_in(3, 2), contract_violation);
+}
+
+TEST(buffer_map, first_missing_in_agrees_with_has_scan) {
+    buffer_map b(130);
+    for (std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u}) b.set(i);
+    for (std::size_t begin = 0; begin <= 130; begin += 13) {
+        std::size_t expected = 130;
+        for (std::size_t i = begin; i < 130; ++i)
+            if (!b.has(i)) {
+                expected = i;
+                break;
+            }
+        EXPECT_EQ(b.first_missing_in(begin, 130), expected) << "from " << begin;
+    }
+}
+
+TEST(buffer_map, words_expose_the_packed_bits) {
+    buffer_map b(70);
+    b.set(0);
+    b.set(65);
+    auto words = b.words();
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], 1ull);
+    EXPECT_EQ(words[1], 2ull);
+}
+
+TEST(buffer_map, release_drops_storage) {
+    buffer_map b(100);
+    b.fill_all();
+    b.release();
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_EQ(b.count(), 0u);
+    EXPECT_TRUE(b.words().empty());
+}
+
 }  // namespace
 }  // namespace p2pcd::vod

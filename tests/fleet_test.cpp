@@ -105,8 +105,8 @@ TEST(fleet_config, with_swarms_scales_the_viewer_target_proportionally) {
 TEST(fleet_registry, builtin_fleets_round_trip) {
     const auto& registry = workload::builtin_fleets();
     for (const char* expected :
-         {"fleet_metro_100x5k", "fleet_flash_crowd", "fleet_smoke", "fleet_economy",
-          "fleet_economy_smoke"}) {
+         {"fleet_metro_100x5k", "fleet_metro_20x20k", "fleet_flash_crowd",
+          "fleet_smoke", "fleet_economy", "fleet_economy_smoke"}) {
         EXPECT_TRUE(registry.contains(expected)) << expected;
         EXPECT_FALSE(registry.describe(expected).empty());
         const auto cfg = registry.make(expected);  // validate()d inside
@@ -115,6 +115,10 @@ TEST(fleet_registry, builtin_fleets_round_trip) {
     const auto metro = registry.make("fleet_metro_100x5k");
     EXPECT_EQ(metro.num_swarms, 100u);
     EXPECT_EQ(metro.total_peers, 500'000u);
+    const auto dense = registry.make("fleet_metro_20x20k");
+    EXPECT_EQ(dense.num_swarms, 20u);
+    EXPECT_EQ(dense.total_peers, 400'000u);
+    EXPECT_EQ(dense.swarm_scenario, "metro_20k");
 }
 
 TEST(fleet_registry, unknown_fleet_reports_known_names) {

@@ -1,0 +1,119 @@
+#include "vod/peer_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+peer_table::peer_spawn viewer_spawn(int id, int isp = 0, int video = 0) {
+    peer_table::peer_spawn s;
+    s.id = peer_id(id);
+    s.isp = isp_id(isp);
+    s.video = video_id(video);
+    s.upload_capacity = 10;
+    s.playback_position = 5.0;
+    return s;
+}
+
+TEST(peer_table, rows_are_dense_and_columns_roundtrip) {
+    peer_table t;
+    auto s = viewer_spawn(7, 2, 3);
+    s.seed = false;
+    s.join_time = 1.5;
+    s.playback_start = 2.5;
+    s.planned_departure = 9.0;
+    buffer_map b(64);
+    b.fill_prefix(5);
+    const std::size_t row = t.add(s, std::move(b));
+    EXPECT_EQ(row, 0u);
+    EXPECT_EQ(t.rows(), 1u);
+    EXPECT_EQ(t.num_peers(), 1u);
+    EXPECT_EQ(t.id(row), peer_id(7));
+    EXPECT_EQ(t.row_of(peer_id(7)), row);
+    EXPECT_EQ(t.isp(row), isp_id(2));
+    EXPECT_EQ(t.video(row), video_id(3));
+    EXPECT_FALSE(t.is_seed(row));
+    EXPECT_FALSE(t.departed(row));
+    EXPECT_EQ(t.upload_capacity(row), 10);
+    EXPECT_DOUBLE_EQ(t.playback_position(row), 5.0);
+    EXPECT_DOUBLE_EQ(t.playback_start(row), 2.5);
+    EXPECT_DOUBLE_EQ(t.join_time(row), 1.5);
+    EXPECT_DOUBLE_EQ(t.planned_departure(row), 9.0);
+    EXPECT_EQ(t.buffer(row).count(), 5u);
+}
+
+TEST(peer_table, duplicate_or_invalid_ids_are_rejected) {
+    peer_table t;
+    (void)t.add(viewer_spawn(1), buffer_map(8));
+    EXPECT_THROW((void)t.add(viewer_spawn(1), buffer_map(8)), contract_violation);
+    peer_table::peer_spawn invalid;
+    EXPECT_THROW((void)t.add(invalid, buffer_map(8)), contract_violation);
+}
+
+TEST(peer_table, unknown_ids_map_to_npos) {
+    peer_table t;
+    EXPECT_EQ(t.row_of(peer_id(3)), peer_table::npos);
+    EXPECT_EQ(t.row_of(peer_id{}), peer_table::npos);
+}
+
+TEST(peer_table, playing_predicate_matches_peer_state_semantics) {
+    peer_table t;
+    auto s = viewer_spawn(0);
+    s.playback_start = 10.0;
+    const std::size_t row = t.add(s, buffer_map(8));
+    EXPECT_FALSE(t.playing(row, 9.0));
+    EXPECT_TRUE(t.playing(row, 10.0));
+    auto seed = viewer_spawn(1);
+    seed.seed = true;
+    const std::size_t srow = t.add(seed, buffer_map(8));
+    EXPECT_FALSE(t.playing(srow, 10.0)) << "seeds never play";
+    t.mark_departed(row);
+    EXPECT_FALSE(t.playing(row, 10.0)) << "departed peers never play";
+}
+
+TEST(peer_table, release_recycles_rows_through_the_free_list) {
+    peer_table t;
+    const std::size_t a = t.add(viewer_spawn(0), buffer_map(8));
+    const std::size_t b = t.add(viewer_spawn(1), buffer_map(8));
+    EXPECT_THROW(t.release(b), contract_violation) << "only departed rows release";
+    t.mark_departed(b);
+    t.release(b);
+    EXPECT_EQ(t.num_peers(), 1u);
+    EXPECT_EQ(t.rows(), 2u) << "the hole stays in the table extent";
+    EXPECT_EQ(t.row_of(peer_id(1)), peer_table::npos);
+    // A freed row is reused by the next add, under the new identity.
+    const std::size_t c = t.add(viewer_spawn(9, 4), buffer_map(16));
+    EXPECT_EQ(c, b);
+    EXPECT_EQ(t.id(c), peer_id(9));
+    EXPECT_EQ(t.isp(c), isp_id(4));
+    EXPECT_FALSE(t.departed(c)) << "recycled rows reset their flags";
+    EXPECT_EQ(t.buffer(c).size(), 16u);
+    EXPECT_EQ(t.row_of(peer_id(9)), c);
+    EXPECT_EQ(t.row_of(peer_id(0)), a);
+}
+
+TEST(peer_table, accessing_a_released_row_throws) {
+    peer_table t;
+    const std::size_t row = t.add(viewer_spawn(0), buffer_map(8));
+    t.mark_departed(row);
+    t.release(row);
+    EXPECT_THROW((void)t.id(row), contract_violation);
+    EXPECT_THROW((void)t.buffer(row), contract_violation);
+    EXPECT_THROW((void)t.id(17), contract_violation);
+}
+
+TEST(peer_table, lifetime_counters_are_per_row_and_reset_on_reuse) {
+    peer_table t;
+    const std::size_t row = t.add(viewer_spawn(0), buffer_map(8));
+    t.lifetime(row).chunks_downloaded = 42;
+    t.mark_departed(row);
+    t.release(row);
+    const std::size_t again = t.add(viewer_spawn(1), buffer_map(8));
+    ASSERT_EQ(again, row);
+    EXPECT_EQ(t.lifetime(again).chunks_downloaded, 0u);
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

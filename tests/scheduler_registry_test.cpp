@@ -110,14 +110,15 @@ TEST(scheduler_registry, emulator_rejects_unknown_scheduler_names) {
 TEST(scenario_registry, builtin_names_round_trip) {
     const auto& registry = workload::builtin_scenarios();
     for (const char* expected : {"paper_dynamic", "paper_static_500", "paper_churn",
-                                 "small_test", "metro_5k", "flash_crowd_10k",
-                                 "metro_economy", "economy_smoke"}) {
+                                 "small_test", "metro_5k", "metro_20k",
+                                 "flash_crowd_10k", "metro_economy",
+                                 "economy_smoke"}) {
         EXPECT_TRUE(registry.contains(expected)) << expected;
         EXPECT_FALSE(registry.describe(expected).empty());
         auto cfg = registry.make(expected);  // make() validates
         EXPECT_GT(cfg.num_slots(), 0u);
     }
-    EXPECT_EQ(registry.names().size(), 8u);
+    EXPECT_EQ(registry.names().size(), 9u);
 }
 
 TEST(scenario_registry, large_scenarios_have_the_advertised_scale) {
@@ -126,6 +127,11 @@ TEST(scenario_registry, large_scenarios_have_the_advertised_scale) {
     EXPECT_EQ(metro.initial_peers, 5000u);
     EXPECT_EQ(metro.num_isps, 20u);
     EXPECT_DOUBLE_EQ(metro.arrival_rate, 0.0);
+
+    auto metro20 = registry.make("metro_20k");
+    EXPECT_EQ(metro20.initial_peers, 20000u);
+    EXPECT_EQ(metro20.num_isps, 20u);
+    EXPECT_DOUBLE_EQ(metro20.arrival_rate, 0.0);
 
     auto flash = registry.make("flash_crowd_10k");
     EXPECT_EQ(flash.initial_peers, 0u);

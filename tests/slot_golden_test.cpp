@@ -1,0 +1,99 @@
+// Equivalence suite for the slot-pipeline refactor (dense peer table +
+// incremental tracker + CSR neighbor arena): the refactor must be
+// *behavior-preserving*, so neighbor lists, schedules (observed through
+// transfers/welfare/buffers) and per-slot metrics are pinned bit-identical
+// to hashes captured from the pre-refactor emulator (AoS peer_state,
+// per-peer stable_sort tracker) on the same scenarios.
+//
+// The constants were captured with GCC/x86-64 (glibc libm). They pin exact
+// IEEE doubles, so a different compiler/libm may legitimately fold FP
+// differently; on such toolchains the comparisons are skipped unless
+// P2PCD_GOLDEN_STRICT=1. Set P2PCD_GOLDEN_DUMP=1 to print this build's
+// hashes (e.g. to re-capture after an intentional behavior change).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "vod/emulator.h"
+#include "vod/pipeline_golden.h"
+#include "workload/scenario_registry.h"
+
+namespace p2pcd::vod {
+namespace {
+
+struct run_hashes {
+    std::uint64_t neighbors = golden_seed;
+    std::uint64_t metrics = golden_seed;
+    std::uint64_t final_state = golden_seed;
+};
+
+run_hashes run_scenario(const std::string& name) {
+    emulator_options opts;
+    opts.config = workload::builtin_scenarios().make(name);
+    const std::size_t total = opts.config.num_slots();
+    emulator emu(std::move(opts));
+
+    run_hashes h;
+    for (std::size_t k = 0; k < total; ++k) {
+        const auto& m = emu.step();
+        std::uint64_t h_slot_nbr = golden_seed;
+        golden_mix_neighbors(h_slot_nbr, emu);
+        std::uint64_t h_slot_met = golden_seed;
+        golden_mix_metrics(h_slot_met, m);
+        golden_mix(h.neighbors, h_slot_nbr);
+        golden_mix(h.metrics, h_slot_met);
+    }
+    // Final per-peer state: lifetime counters for every row; buffer
+    // occupancy only for live rows (departed buffers are reclaimed).
+    const peer_table& peers = emu.peers();
+    for (std::size_t row = 0; row < peers.rows(); ++row) {
+        golden_mix(h.final_state, static_cast<std::uint64_t>(row));
+        const auto& life = peers.lifetime(row);
+        golden_mix(h.final_state, life.chunks_due);
+        golden_mix(h.final_state, life.chunks_missed);
+        golden_mix(h.final_state, life.chunks_downloaded);
+        golden_mix(h.final_state, life.chunks_uploaded);
+        if (!peers.departed(row))
+            golden_mix(h.final_state,
+                       static_cast<std::uint64_t>(peers.buffer(row).count()));
+    }
+    return h;
+}
+
+void check_scenario(const std::string& name) {
+    const golden_run_hashes* golden = golden_for(name);
+    ASSERT_NE(golden, nullptr) << name << " has no captured golden";
+    const run_hashes h = run_scenario(name);
+    if (std::getenv("P2PCD_GOLDEN_DUMP") != nullptr)
+        std::printf("GOLDEN %s neighbors %016llxull metrics %016llxull final %016llxull\n",
+                    name.c_str(), static_cast<unsigned long long>(h.neighbors),
+                    static_cast<unsigned long long>(h.metrics),
+                    static_cast<unsigned long long>(h.final_state));
+    if (!golden_toolchain && std::getenv("P2PCD_GOLDEN_STRICT") == nullptr)
+        GTEST_SKIP() << "golden constants were captured with GCC/x86-64; "
+                        "set P2PCD_GOLDEN_STRICT=1 to compare anyway";
+    EXPECT_EQ(h.neighbors, golden->neighbors) << name << ": neighbor lists diverged";
+    EXPECT_EQ(h.metrics, golden->metrics) << name << ": per-slot metrics diverged";
+    EXPECT_EQ(h.final_state, golden->final_state)
+        << name << ": final peer state diverged";
+}
+
+// Constants: vod::golden_runs (src/vod/pipeline_golden.h), captured from
+// the pre-refactor emulator.
+TEST(slot_golden, economy_smoke_matches_pre_refactor_emulator) {
+    check_scenario("economy_smoke");
+}
+
+TEST(slot_golden, metro_5k_matches_pre_refactor_emulator) {
+    check_scenario("metro_5k");
+}
+
+TEST(slot_golden, flash_crowd_10k_matches_pre_refactor_emulator) {
+    check_scenario("flash_crowd_10k");
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -1,0 +1,211 @@
+// Property test for the incremental tracker: under arbitrary churn
+// (arrivals at any position, playback starts, uniform advances, end-of-video
+// clamps, early quitters) every bootstrap must equal the brute-force
+// reference — the pre-refactor algorithm that re-collects the pool and
+// stable_sorts it by |playback distance| per call, whose output order the
+// incremental two-pointer walk is required to reproduce exactly.
+//
+// The fleet case at the bottom drives the tracker through engine::fleet's
+// thread pool on a churn-heavy scenario; under TSan (the CI thread matrix)
+// it doubles as a data-race check on the tracker in the engine path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/fleet.h"
+#include "sim/rng.h"
+#include "vod/tracker.h"
+#include "workload/fleet_config.h"
+#include "workload/scenario.h"
+
+namespace p2pcd::vod {
+namespace {
+
+// The pre-refactor tracker, kept as executable specification: per-video
+// registration-order buckets, full re-sort per bootstrap.
+class reference_tracker {
+public:
+    void register_peer(std::size_t peer, video_id video, bool seed, double pos) {
+        records_[peer] = {video, pos, seed};
+        by_video_[video].push_back(peer);
+    }
+    void update_position(std::size_t peer, double pos) {
+        records_.at(peer).position = pos;
+    }
+    void unregister_peer(std::size_t peer) {
+        auto it = records_.find(peer);
+        auto& bucket = by_video_[it->second.video];
+        bucket.erase(std::remove(bucket.begin(), bucket.end(), peer), bucket.end());
+        records_.erase(it);
+    }
+    [[nodiscard]] std::vector<std::uint32_t> bootstrap(std::size_t who,
+                                                       std::size_t count) const {
+        const auto& self = records_.at(who);
+        const auto& pool = by_video_.at(self.video);
+        std::vector<std::size_t> seeds;
+        std::vector<std::size_t> viewers;
+        for (std::size_t p : pool) {
+            if (p == who) continue;
+            if (records_.at(p).seed) seeds.push_back(p);
+            else viewers.push_back(p);
+        }
+        const double my_pos = self.seed ? 0.0 : self.position;
+        std::stable_sort(viewers.begin(), viewers.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return std::fabs(records_.at(a).position - my_pos) <
+                                    std::fabs(records_.at(b).position - my_pos);
+                         });
+        std::vector<std::uint32_t> neighbors;
+        std::size_t seed_quota = std::max<std::size_t>(
+            count / 3, count > viewers.size() ? count - viewers.size() : 0);
+        for (std::size_t p : seeds) {
+            if (neighbors.size() >= std::min(seed_quota, count)) break;
+            neighbors.push_back(static_cast<std::uint32_t>(p));
+        }
+        for (std::size_t p : viewers) {
+            if (neighbors.size() >= count) break;
+            neighbors.push_back(static_cast<std::uint32_t>(p));
+        }
+        return neighbors;
+    }
+
+private:
+    struct record {
+        video_id video;
+        double position = 0.0;
+        bool seed = false;
+    };
+    std::map<std::size_t, record> records_;
+    std::map<video_id, std::vector<std::size_t>> by_video_;
+};
+
+struct sim_peer {
+    std::size_t peer = 0;
+    video_id video;
+    double position = 0.0;
+    bool seed = false;
+    bool playing = false;
+};
+
+TEST(tracker_property, incremental_order_matches_stable_sort_reference_under_churn) {
+    constexpr double advance = 10.0;  // chunks per slot, shared by all players
+    constexpr double end_position = 320.0;
+    const std::vector<std::size_t> counts{1, 4, 17, 64};
+
+    sim::rng_stream rng(20260731);
+    tracker t;
+    reference_tracker ref;
+    std::vector<sim_peer> online;
+    std::size_t next_peer = 0;
+    std::size_t checked = 0;
+
+    for (int slot = 0; slot < 60; ++slot) {
+        // Arrivals: seeds, pre-warmed viewers (grid positions produce exact
+        // distance ties) and cold starters at position 0.
+        const auto n_arrivals = rng.uniform_int(0, 4);
+        for (std::int64_t a = 0; a < n_arrivals; ++a) {
+            sim_peer p;
+            p.peer = next_peer++;
+            p.video = video_id(static_cast<std::int32_t>(rng.uniform_int(0, 2)));
+            p.seed = rng.bernoulli(0.15);
+            if (!p.seed && rng.bernoulli(0.5)) {
+                p.position = static_cast<double>(rng.uniform_int(0, 640)) / 2.0;
+                p.playing = true;
+            }
+            t.register_peer(p.peer, p.video, p.seed, p.position);
+            ref.register_peer(p.peer, p.video, p.seed, p.position);
+            online.push_back(p);
+        }
+        // Playback starts (a cold viewer begins mid-slot: partial advance)
+        // and the uniform advance with the end-of-video clamp.
+        for (auto& p : online) {
+            if (p.seed) continue;
+            double delta = 0.0;
+            if (p.playing) {
+                delta = advance;
+            } else if (rng.bernoulli(0.3)) {
+                p.playing = true;
+                delta = static_cast<double>(rng.uniform_int(0, 20)) / 2.0;
+            }
+            if (delta == 0.0) continue;
+            p.position = std::min(p.position + delta, end_position);
+            t.update_position(p.peer, p.position);
+            ref.update_position(p.peer, p.position);
+        }
+        // Departures: early quitters anywhere, finished peers at the clamp.
+        std::vector<sim_peer> stay;
+        for (const auto& p : online) {
+            const bool finished = !p.seed && p.position >= end_position;
+            if (rng.bernoulli(finished ? 0.5 : 0.08)) {
+                t.unregister_peer(p.peer);
+                ref.unregister_peer(p.peer);
+            } else {
+                stay.push_back(p);
+            }
+        }
+        online.swap(stay);
+
+        for (const auto& p : online) {
+            for (std::size_t count : counts) {
+                std::vector<std::uint32_t> got;
+                t.bootstrap(p.peer, count, got);
+                ASSERT_EQ(got, ref.bootstrap(p.peer, count))
+                    << "slot " << slot << " peer " << p.peer << " count " << count;
+                ++checked;
+            }
+        }
+    }
+    EXPECT_GT(checked, 1000u) << "the churn kept a real population alive";
+}
+
+TEST(tracker_property, bootstrap_is_idempotent_between_updates) {
+    tracker t;
+    sim::rng_stream rng(7);
+    for (std::size_t p = 0; p < 40; ++p)
+        t.register_peer(p, video_id(0), p < 4,
+                        static_cast<double>(rng.uniform_int(0, 100)) / 2.0);
+    std::vector<std::uint32_t> first;
+    t.bootstrap(11, 20, first);
+    std::vector<std::uint32_t> second;
+    t.bootstrap(11, 20, second);
+    EXPECT_EQ(first, second);
+}
+
+// Churn-heavy fleet stepped by the thread pool: bit-identical across thread
+// counts, and (under TSan) race-free through the engine path.
+TEST(tracker_property, fleet_churn_deterministic_across_thread_counts) {
+    auto run = [](std::size_t threads) {
+        workload::scenario_config base = workload::scenario_config::small_test();
+        base.initial_peers = 20;
+        base.arrival_rate = 2.0;
+        base.departure_probability = 0.5;
+        base.horizon_seconds = 30.0;
+        engine::fleet_options options;
+        options.config.swarm_scenario = "small_test";  // overridden by base
+        options.config.num_swarms = 3;
+        options.config.total_peers = 60;
+        options.base_scenario = base;
+        options.threads = threads;
+        auto fleet = std::make_unique<engine::fleet>(std::move(options));
+        fleet->run();
+        return fleet;
+    };
+    const auto a = run(1);
+    const auto b = run(4);
+    ASSERT_EQ(a->slots().size(), b->slots().size());
+    EXPECT_GT(a->total_welfare(), 0.0);
+    for (std::size_t k = 0; k < a->slots().size(); ++k) {
+        EXPECT_EQ(a->slots()[k].transfers, b->slots()[k].transfers) << k;
+        EXPECT_EQ(a->slots()[k].social_welfare, b->slots()[k].social_welfare) << k;
+        EXPECT_EQ(a->slots()[k].online_peers, b->slots()[k].online_peers) << k;
+        EXPECT_EQ(a->slots()[k].chunks_missed, b->slots()[k].chunks_missed) << k;
+    }
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -2,88 +2,193 @@
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/contracts.h"
 
 namespace p2pcd::vod {
 namespace {
 
+// The tracker works on dense peer-table rows; neighbor lists append to a
+// caller-owned arena.
+std::vector<std::uint32_t> bootstrap(tracker& t, std::size_t who,
+                                     std::size_t count) {
+    std::vector<std::uint32_t> out;
+    t.bootstrap(who, count, out);
+    return out;
+}
+
 TEST(tracker, registration_lifecycle) {
     tracker t;
-    t.register_peer(peer_id(1), video_id(0), false);
-    EXPECT_TRUE(t.online(peer_id(1)));
+    t.register_peer(1, video_id(0), false);
+    EXPECT_TRUE(t.online(1));
     EXPECT_EQ(t.num_online(), 1u);
     EXPECT_EQ(t.num_online(video_id(0)), 1u);
-    t.unregister_peer(peer_id(1));
-    EXPECT_FALSE(t.online(peer_id(1)));
+    t.unregister_peer(1);
+    EXPECT_FALSE(t.online(1));
     EXPECT_EQ(t.num_online(video_id(0)), 0u);
 }
 
 TEST(tracker, duplicate_registration_throws) {
     tracker t;
-    t.register_peer(peer_id(1), video_id(0), false);
-    EXPECT_THROW(t.register_peer(peer_id(1), video_id(1), false), contract_violation);
-    EXPECT_THROW(t.unregister_peer(peer_id(9)), contract_violation);
-    EXPECT_THROW(t.update_position(peer_id(9), 1.0), contract_violation);
+    t.register_peer(1, video_id(0), false);
+    EXPECT_THROW(t.register_peer(1, video_id(1), false), contract_violation);
+    EXPECT_THROW(t.unregister_peer(9), contract_violation);
+    EXPECT_THROW(t.update_position(9, 1.0), contract_violation);
 }
 
 TEST(tracker, bootstrap_prefers_seeds_then_close_positions) {
     tracker t;
-    t.register_peer(peer_id(0), video_id(0), true);  // seed
-    for (int i = 1; i <= 5; ++i) {
-        t.register_peer(peer_id(i), video_id(0), false);
-        t.update_position(peer_id(i), 100.0 * i);
+    t.register_peer(0, video_id(0), true);  // seed
+    for (std::size_t i = 1; i <= 5; ++i) {
+        t.register_peer(i, video_id(0), false);
+        t.update_position(i, 100.0 * static_cast<double>(i));
     }
-    t.register_peer(peer_id(42), video_id(0), false);
-    t.update_position(peer_id(42), 290.0);
+    t.register_peer(42, video_id(0), false, 290.0);
 
-    auto neighbors = t.bootstrap(peer_id(42), 3);
+    auto neighbors = bootstrap(t, 42, 3);
     ASSERT_EQ(neighbors.size(), 3u);
-    EXPECT_EQ(neighbors[0], peer_id(0)) << "seed always first";
+    EXPECT_EQ(neighbors[0], 0u) << "seed always first";
     // Closest viewers to position 290: peer 3 (300), then peer 2 (200).
-    EXPECT_EQ(neighbors[1], peer_id(3));
-    EXPECT_EQ(neighbors[2], peer_id(2));
+    EXPECT_EQ(neighbors[1], 3u);
+    EXPECT_EQ(neighbors[2], 2u);
 }
 
 TEST(tracker, bootstrap_excludes_self_and_other_videos) {
     tracker t;
-    t.register_peer(peer_id(1), video_id(0), false);
-    t.register_peer(peer_id(2), video_id(0), false);
-    t.register_peer(peer_id(3), video_id(1), false);  // different video
-    auto neighbors = t.bootstrap(peer_id(1), 10);
+    t.register_peer(1, video_id(0), false);
+    t.register_peer(2, video_id(0), false);
+    t.register_peer(3, video_id(1), false);  // different video
+    auto neighbors = bootstrap(t, 1, 10);
     ASSERT_EQ(neighbors.size(), 1u);
-    EXPECT_EQ(neighbors[0], peer_id(2));
+    EXPECT_EQ(neighbors[0], 2u);
 }
 
 TEST(tracker, bootstrap_caps_at_requested_count) {
     tracker t;
-    t.register_peer(peer_id(0), video_id(0), false);
-    for (int i = 1; i <= 50; ++i) t.register_peer(peer_id(i), video_id(0), false);
-    EXPECT_EQ(t.bootstrap(peer_id(0), 30).size(), 30u);
+    t.register_peer(0, video_id(0), false);
+    for (std::size_t i = 1; i <= 50; ++i) t.register_peer(i, video_id(0), false);
+    EXPECT_EQ(bootstrap(t, 0, 30).size(), 30u);
 }
 
 TEST(tracker, bootstrap_for_unknown_peer_throws) {
     tracker t;
-    EXPECT_THROW((void)t.bootstrap(peer_id(1), 5), contract_violation);
+    std::vector<std::uint32_t> out;
+    EXPECT_THROW((void)t.bootstrap(1, 5, out), contract_violation);
+}
+
+TEST(tracker, bootstrap_appends_to_the_arena) {
+    tracker t;
+    t.register_peer(0, video_id(0), false);
+    t.register_peer(1, video_id(0), false);
+    t.register_peer(2, video_id(0), false);
+    std::vector<std::uint32_t> arena{77u};  // pre-existing content survives
+    EXPECT_EQ(t.bootstrap(0, 5, arena), 2u);
+    ASSERT_EQ(arena.size(), 3u);
+    EXPECT_EQ(arena[0], 77u);
 }
 
 TEST(tracker, positions_update_neighbor_choice) {
     tracker t;
-    t.register_peer(peer_id(0), video_id(0), false);
-    t.register_peer(peer_id(1), video_id(0), false);
-    t.register_peer(peer_id(2), video_id(0), false);
-    t.update_position(peer_id(0), 50.0);
-    t.update_position(peer_id(1), 60.0);
-    t.update_position(peer_id(2), 500.0);
-    auto n = t.bootstrap(peer_id(0), 1);
+    t.register_peer(0, video_id(0), false);
+    t.register_peer(1, video_id(0), false);
+    t.register_peer(2, video_id(0), false);
+    t.update_position(0, 50.0);
+    t.update_position(1, 60.0);
+    t.update_position(2, 500.0);
+    auto n = bootstrap(t, 0, 1);
     ASSERT_EQ(n.size(), 1u);
-    EXPECT_EQ(n[0], peer_id(1));
+    EXPECT_EQ(n[0], 1u);
     // Peer 1 seeks far ahead; now peer 2 is closer.
-    t.update_position(peer_id(1), 1000.0);
-    t.update_position(peer_id(0), 400.0);
-    n = t.bootstrap(peer_id(0), 1);
-    EXPECT_EQ(n[0], peer_id(2));
+    t.update_position(1, 1000.0);
+    t.update_position(0, 400.0);
+    n = bootstrap(t, 0, 1);
+    EXPECT_EQ(n[0], 2u);
+}
+
+// The tie-break rule, pinned: viewers order by (|playback distance|,
+// registration order). Equal distances — whether on the same side of the
+// asking peer or straddling it — resolve to whoever registered first.
+TEST(tracker, equal_distances_break_ties_by_registration_order) {
+    tracker t;
+    t.register_peer(9, video_id(0), false, 100.0);  // the asking peer
+    t.register_peer(4, video_id(0), false, 105.0);  // ahead, registered 2nd
+    t.register_peer(7, video_id(0), false, 95.0);   // behind, registered 3rd
+    t.register_peer(2, video_id(0), false, 105.0);  // ahead, registered 4th
+    auto n = bootstrap(t, 9, 10);
+    // All three sit at distance 5: registration order 4, 7, 2 — regardless
+    // of row numbers or which side of the position they are on.
+    ASSERT_EQ(n.size(), 3u);
+    EXPECT_EQ(n[0], 4u);
+    EXPECT_EQ(n[1], 7u);
+    EXPECT_EQ(n[2], 2u);
+}
+
+TEST(tracker, peers_sharing_the_asking_position_come_first_in_registration_order) {
+    tracker t;
+    t.register_peer(0, video_id(0), false, 50.0);
+    t.register_peer(1, video_id(0), false, 50.0);  // same position as asker
+    t.register_peer(2, video_id(0), false, 50.0);
+    t.register_peer(3, video_id(0), false, 51.0);
+    auto n = bootstrap(t, 1, 10);
+    ASSERT_EQ(n.size(), 3u);
+    EXPECT_EQ(n[0], 0u);  // distance 0, registered before peer 2
+    EXPECT_EQ(n[1], 2u);
+    EXPECT_EQ(n[2], 3u);
+}
+
+// unregister is a positional erase from the sorted pool: the surviving
+// order (and therefore every later neighbor list) is as if the departed
+// peer had never registered.
+TEST(tracker, unregister_is_positional_and_preserves_neighbor_order) {
+    tracker t;
+    t.register_peer(0, video_id(0), false, 10.0);
+    t.register_peer(1, video_id(0), false, 20.0);
+    t.register_peer(2, video_id(0), false, 30.0);
+    t.register_peer(3, video_id(0), false, 40.0);
+    t.register_peer(4, video_id(0), false, 25.0);  // lands mid-pool
+    t.unregister_peer(2);
+    EXPECT_EQ(t.num_online(video_id(0)), 4u);
+    auto n = bootstrap(t, 0, 10);
+    ASSERT_EQ(n.size(), 3u);
+    EXPECT_EQ(n[0], 1u);  // distance 10
+    EXPECT_EQ(n[1], 4u);  // distance 15
+    EXPECT_EQ(n[2], 3u);  // distance 30
+    // Erasing the closest-to-end entry too keeps the rest intact.
+    t.unregister_peer(4);
+    n = bootstrap(t, 0, 10);
+    ASSERT_EQ(n.size(), 2u);
+    EXPECT_EQ(n[0], 1u);
+    EXPECT_EQ(n[1], 3u);
+}
+
+TEST(tracker, seed_quota_is_a_third_unless_viewers_are_scarce) {
+    tracker t;
+    for (std::size_t s = 0; s < 6; ++s) t.register_peer(s, video_id(0), true);
+    for (std::size_t v = 6; v < 16; ++v)
+        t.register_peer(v, video_id(0), false,
+                        static_cast<double>(v));
+    // 9 slots: quota 3 seeds (in registration order), then closest viewers.
+    auto n = bootstrap(t, 6, 9);
+    ASSERT_EQ(n.size(), 9u);
+    EXPECT_EQ(n[0], 0u);
+    EXPECT_EQ(n[1], 1u);
+    EXPECT_EQ(n[2], 2u);
+    for (std::size_t k = 3; k < 9; ++k) EXPECT_GE(n[k], 7u) << "viewers after quota";
+    // Only 9 viewers exist (excluding self): a request for 14 lets seeds
+    // fill the gap beyond the one-third quota.
+    n = bootstrap(t, 6, 14);
+    ASSERT_EQ(n.size(), 14u);
+    std::size_t seeds = 0;
+    for (auto row : n) seeds += row < 6 ? 1 : 0;
+    EXPECT_EQ(seeds, 5u);
+}
+
+TEST(tracker, seeds_cannot_be_repositioned) {
+    tracker t;
+    t.register_peer(0, video_id(0), true);
+    EXPECT_THROW(t.update_position(0, 5.0), contract_violation);
 }
 
 }  // namespace
