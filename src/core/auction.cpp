@@ -139,6 +139,37 @@ void auction_solver::run_phase(const problem_view& problem, double epsilon,
         if (uploaders[u].capacity > 0) prices[u] = sellers_[u].price();
 }
 
+std::vector<double> epsilon_schedule(const problem_view& problem, double target,
+                                     double initial, double factor, bool scaling,
+                                     bool adaptive) {
+    std::vector<double> schedule;
+    if (scaling) {
+        double eps = initial;
+        if (adaptive) {
+            // Supply-rich instances (every request could be served) converge
+            // in ~one sweep; a coarse opening phase would only add passes.
+            std::int64_t total_capacity = 0;
+            for (const auto& u : problem.all_uploaders()) total_capacity += u.capacity;
+            if (total_capacity >= static_cast<std::int64_t>(problem.num_requests())) {
+                eps = target;
+            } else {
+                double max_net = 0.0;
+                const auto requests = problem.all_requests();
+                for (std::size_t r = 0; r < problem.num_requests(); ++r)
+                    for (const auto& c : problem.candidates(r))
+                        max_net = std::max(max_net, requests[r].valuation - c.cost);
+                eps = std::max(target, max_net / factor);
+            }
+        }
+        while (eps > target) {
+            schedule.push_back(eps);
+            eps /= factor;
+        }
+    }
+    schedule.push_back(target);
+    return schedule;
+}
+
 auction_result auction_solver::run(const problem_view& problem) {
     return run(problem, {});
 }
@@ -160,15 +191,9 @@ auction_result auction_solver::run(const problem_view& problem,
 
     // The ε schedule: a single phase normally; a geometric descent from the
     // initial ε down to the target when scaling is on.
-    std::vector<double> schedule;
-    if (options_.epsilon_scaling) {
-        double eps = options_.scaling_initial_epsilon;
-        while (eps > options_.bidding.epsilon) {
-            schedule.push_back(eps);
-            eps /= options_.scaling_factor;
-        }
-    }
-    schedule.push_back(options_.bidding.epsilon);
+    const std::vector<double> schedule = epsilon_schedule(
+        problem, options_.bidding.epsilon, options_.scaling_initial_epsilon,
+        options_.scaling_factor, options_.epsilon_scaling, options_.adaptive_scaling);
 
     auction_result result;
     std::vector<double> prices(nu, 0.0);
@@ -182,7 +207,10 @@ auction_result auction_solver::run(const problem_view& problem,
         phase.bids_submitted += result.bids_submitted;
         phase.evictions += result.evictions;
         phase.abstentions += result.abstentions;
+        phase.phase_trace = std::move(result.phase_trace);
         result = std::move(phase);
+        if (options_.record_phase_trace)
+            result.phase_trace.push_back({schedule[k], prices, result.sched.choice});
 
         // Between phases, repair complementary slackness condition 1: a
         // seller that ended the phase with spare capacity cannot honestly

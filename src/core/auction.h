@@ -43,6 +43,27 @@ struct auction_options {
     bool epsilon_scaling = false;
     double scaling_initial_epsilon = 1.0;
     double scaling_factor = 4.0;
+    // Adaptive round schedule (only with epsilon_scaling): derive the ladder
+    // from the instance instead of `scaling_initial_epsilon` — supply-rich
+    // instances (total capacity covers every request) run a single phase at
+    // the target ε, contended ones start at max(v−w)/scaling_factor. The
+    // phase count thus tracks the instance's contention, not a fixed knob.
+    bool adaptive_scaling = false;
+    // Record an auction_phase_snapshot at every phase boundary (prices as
+    // the phase left them, before the inter-phase spare-capacity repair).
+    // Off by default: the trace exists for the ε-CS property tests.
+    bool record_phase_trace = false;
+};
+
+// Phase-boundary state of an ε-scaling run, recorded when
+// `record_phase_trace` is set: the ε the phase ran at, its final prices
+// (pre-repair) and its schedule. Every snapshot must satisfy ε-complementary
+// slackness at its own ε — the invariant tests/solver_equivalence_property
+// pins for both the synchronous and the parallel auction.
+struct auction_phase_snapshot {
+    double epsilon = 0.0;
+    std::vector<double> prices;
+    std::vector<std::ptrdiff_t> choice;
 };
 
 struct auction_result {
@@ -57,7 +78,18 @@ struct auction_result {
     std::uint64_t abstentions = 0;
     std::uint64_t parked_at_termination = 0;
     bool converged = false;
+    // One entry per ε phase, only when options.record_phase_trace is set.
+    std::vector<auction_phase_snapshot> phase_trace;
 };
+
+// The ε ladder a solve descends: geometric from `initial` down to `target`
+// (always ending exactly at `target`). With `adaptive` set, `initial` is
+// replaced per instance: `target` itself when total capacity covers every
+// request (one phase), otherwise max(v−w)/factor over the instance.
+[[nodiscard]] std::vector<double> epsilon_schedule(const problem_view& problem,
+                                                   double target, double initial,
+                                                   double factor, bool scaling,
+                                                   bool adaptive);
 
 // Completes a set of final bandwidth prices into a full dual solution:
 //  * `prices` must hold λ for every positive-capacity uploader; entries for

@@ -1,0 +1,423 @@
+#include "core/parallel_auction.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.h"
+#include "engine/thread_pool.h"
+
+namespace p2pcd::core {
+
+parallel_auction_solver::parallel_auction_solver(parallel_auction_options options)
+    : options_(options) {
+    expects(options.bidding.policy == bid_policy::epsilon,
+            "the parallel auction requires the epsilon bid policy: Jacobi "
+            "rounds have no park/wake machinery");
+    expects(options.bidding.epsilon > 0.0, "epsilon must be positive");
+    if (options.epsilon_scaling) {
+        expects(options.scaling_factor > 1.0, "scaling factor must exceed 1");
+        expects(options.scaling_initial_epsilon >= options.bidding.epsilon,
+                "initial epsilon must not be below the final epsilon");
+    }
+    expects(options.grain > 0, "grain must be positive");
+}
+
+parallel_auction_solver::~parallel_auction_solver() = default;
+
+std::size_t parallel_auction_solver::threads() const noexcept {
+    if (pool_) return pool_->size();
+    return options_.num_threads == 0 ? engine::thread_pool::default_thread_count()
+                                     : options_.num_threads;
+}
+
+void parallel_auction_solver::for_blocks(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (count == 0) return;
+    if (!pool_ || count <= grain) {
+        fn(0, count);
+        return;
+    }
+    // A few blocks per worker lets the pool's shared cursor balance uneven
+    // block costs; block boundaries depend only on (count, nblocks), and
+    // nblocks only on the configured thread count — but nothing observable
+    // depends on either (each item owns its outputs positionally).
+    const std::size_t max_blocks = (count + grain - 1) / grain;
+    const std::size_t nblocks = std::min(pool_->size() * 4, max_blocks);
+    pool_->parallel_for_each(nblocks, [&](std::size_t b) {
+        const std::size_t begin = count * b / nblocks;
+        const std::size_t end = count * (b + 1) / nblocks;
+        if (begin != end) fn(begin, end);
+    });
+}
+
+// One complete Jacobi auction at a fixed ε, warm-started from `prices` (all
+// zero on a cold first/only phase); final per-seller prices are returned
+// through the same vector. Each round: every active (unassigned) request bids
+// against the round-start price snapshot, the bids are binned per uploader in
+// request order, every touched uploader settles its bin, and the round's
+// losers — rejected bidders plus evicted previous holders — become the next
+// round's active set, in ascending request order. Every step is a pure
+// function of the problem and the previous round's state, never of thread
+// scheduling, so the fixed point is bit-identical at any thread count.
+void parallel_auction_solver::run_phase(const problem_view& problem, double epsilon,
+                                        std::vector<double>& prices,
+                                        auction_result& result) {
+    const std::size_t nr = problem.num_requests();
+    const std::size_t nu = problem.num_uploaders();
+
+    const double eps = epsilon;
+
+    result.sched.choice.assign(nr, no_candidate);
+
+    // Re-arm the seller slab (sized by run_impl): empty assignment sets,
+    // prices seeded from the previous phase / warm start. A zero-capacity
+    // seller advertises +inf so no finite bid ever targets it.
+    // On a cold phase every gatherable price is 0, so round 1's margins are
+    // the net values themselves: the bid sweep is pure contiguous arithmetic
+    // over the candidate slab, with no price gather at all. (A zero-capacity
+    // uploader's +inf sentinel breaks that equivalence, so it disables the
+    // fast path.)
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    bool cold = true;
+    for (std::size_t u = 0; u < nu; ++u) {
+        sellers_[u].size = 0;
+        sellers_[u].seq = 0;
+        price_cache_[u] = sellers_[u].capacity == 0 ? inf : prices[u];
+        cold = cold && price_cache_[u] == 0.0;
+    }
+
+    active_.resize(nr);
+    for (std::size_t r = 0; r < nr; ++r) active_[r] = static_cast<std::uint32_t>(r);
+    bid_count_.assign(nu, 0);
+    touched_of_uploader_.resize(nu);  // only touched entries are ever read
+
+    const std::size_t* offsets = problem.offsets().data();
+    const candidate_info* cands = problem.all_candidates().data();
+    const request_info* requests = problem.all_requests().data();
+    double* price_cache = price_cache_.data();
+
+    std::uint64_t iterations = 0;
+    while (!active_.empty()) {
+        ensures(iterations < options_.max_bid_iterations,
+                "auction exceeded its bid-iteration budget");
+        const std::size_t n_active = active_.size();
+        iterations += n_active;
+        decisions_.resize(n_active);
+        const std::uint32_t* act = active_.data();
+        bid_slot* dec = decisions_.data();
+
+        // --- bid phase: snapshot prices, positional writes only. The margin
+        // tracking replicates compute_bid_with (core/bidder.h) expression for
+        // expression — same association, same strict-> tie-breaks, same
+        // outside-option clamp — fused over each row's slab of candidate_info
+        // so cost and uploader arrive on one cache line, instead of calling
+        // the generic kernel per candidate row. The decisions (and hence the
+        // golden hashes) are bit-identical to the kernel's.
+        const bool cold_round = cold;
+        for_blocks(n_active, options_.grain, [&](std::size_t lo, std::size_t hi) {
+            constexpr double neg_inf = -std::numeric_limits<double>::infinity();
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::size_t r = act[i];
+                const std::size_t base = offsets[r];
+                const std::size_t end = offsets[r + 1];
+                double best = neg_inf;
+                double second = neg_inf;
+                std::size_t best_k = SIZE_MAX;
+                if (end != base) {
+                    const double v = requests[r].valuation;
+                    if (cold_round) {
+                        for (std::size_t k = base; k < end; ++k) {
+                            const double margin = v - cands[k].cost;
+                            if (margin > best) {
+                                second = best;
+                                best = margin;
+                                best_k = k;
+                            } else if (margin > second) {
+                                second = margin;
+                            }
+                        }
+                    } else {
+                        for (std::size_t k = base; k < end; ++k) {
+                            const double margin =
+                                v - cands[k].cost - price_cache[cands[k].uploader];
+                            if (margin > best) {
+                                second = best;
+                                best = margin;
+                                best_k = k;
+                            } else if (margin > second) {
+                                second = margin;
+                            }
+                        }
+                    }
+                }
+                // The outside option (stay unserved, utility 0) caps how
+                // much of the margin the bidder gives up.
+                if (second < 0.0) second = 0.0;
+                if (best_k != SIZE_MAX && best >= 0.0) {
+                    const std::uint32_t u =
+                        static_cast<std::uint32_t>(cands[best_k].uploader);
+                    const double increment = best - second;
+                    dec[i] = {static_cast<std::uint32_t>(best_k), u,
+                              cold_round ? 0.0 + increment + eps
+                                         : price_cache[u] + increment + eps};
+                } else {
+                    dec[i].candidate = abstained;
+                }
+            }
+        });
+        cold = false;
+
+        // --- bin bids per uploader, in request order (serial counting sort:
+        // this fixes the canonical per-uploader processing order) ---
+        touched_.clear();
+        std::size_t total_bids = 0;
+        for (std::size_t i = 0; i < n_active; ++i) {
+            if (dec[i].candidate == abstained) {
+                // Prices only rise, so a negative best margin is permanent:
+                // the abstainer drops out for the rest of the phase.
+                ++result.abstentions;
+                continue;
+            }
+            const std::uint32_t u = dec[i].uploader;
+            if (bid_count_[u]++ == 0) {
+                touched_of_uploader_[u] = static_cast<std::uint32_t>(touched_.size());
+                touched_.push_back(u);
+            }
+            ++total_bids;
+        }
+        result.bids_submitted += total_bids;
+        if (total_bids == 0) break;  // everyone abstained: phase converged
+
+        const std::size_t nt = touched_.size();
+        bin_start_.resize(nt + 1);  // +1: the merge reads per-bin counts as
+                                    // bin_start_[t+1] − bin_start_[t]
+        bin_fill_.resize(nt);
+        loser_count_.resize(nt);
+        evict_count_.resize(nt);
+        std::size_t cum = 0;
+        for (std::size_t t = 0; t < nt; ++t) {
+            bin_start_[t] = cum;
+            bin_fill_[t] = cum;
+            cum += bid_count_[touched_[t]];
+        }
+        bin_start_[nt] = cum;
+        bins_.resize(total_bids);
+        losers_.resize(total_bids);  // ≤ one loser per bid (rejected XOR evicts)
+        for (std::size_t i = 0; i < n_active; ++i) {
+            if (dec[i].candidate == abstained) continue;
+            bins_[bin_fill_[touched_of_uploader_[dec[i].uploader]]++] = {
+                act[i], dec[i].candidate, dec[i].amount};
+        }
+
+        // --- merge phase: touched uploaders settle concurrently. Worker t
+        // owns seller touched_[t], its price cell, its loser segment, and the
+        // choice slots of every request appearing in its bin (each active
+        // request bid exactly one uploader; an evicted holder was assigned
+        // here and nowhere else) — so the writes partition by construction.
+        std::ptrdiff_t* choice = result.sched.choice.data();
+        slab_entry* slab = heap_slab_.data();
+        // Min-heap order, exactly core/auctioneer.h's greater_entry: top()
+        // is the lowest (amount, seq) — the eviction victim / price setter.
+        const auto cmp = [](const slab_entry& a, const slab_entry& b) noexcept {
+            if (a.amount != b.amount) return a.amount > b.amount;
+            return a.seq > b.seq;
+        };
+        for_blocks(nt, /*grain=*/16, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t t = lo; t < hi; ++t) {
+                const std::uint32_t u = touched_[t];
+                seller_meta meta = sellers_[u];
+                slab_entry* heap = slab + meta.slab_off;
+                std::uint32_t size = meta.size;
+                std::uint32_t seq = meta.seq;
+                const std::uint32_t cap = meta.capacity;
+                double lambda = price_cache[u];
+                const std::size_t start = bin_start_[t];
+                const std::size_t count = bin_start_[t + 1] - start;
+                std::uint32_t nlos = 0;
+                std::uint64_t nevict = 0;
+                std::size_t clearing = 0;
+                for (std::size_t k = start; k < start + count; ++k)
+                    clearing += bins_[k].amount > lambda;
+                if (clearing == count && size + count <= cap) {
+                    // Bulk path: everything fits and clears λ_u — identical
+                    // outcome to sequential offers, one heapify at the end.
+                    for (std::size_t k = start; k < start + count; ++k) {
+                        heap[size++] = {bins_[k].amount, seq++, bins_[k].request};
+                        choice[bins_[k].request] = static_cast<std::ptrdiff_t>(
+                            bins_[k].candidate - offsets[bins_[k].request]);
+                    }
+                    std::make_heap(heap, heap + size, cmp);
+                    if (size == cap) {
+                        const double np = heap[0].amount;
+                        ensures(np >= lambda, "bandwidth price must be "
+                                              "non-decreasing during an auction");
+                        lambda = np;
+                    }
+                } else {
+                    for (std::size_t k = start; k < start + count; ++k) {
+                        const std::uint32_t r = bins_[k].request;
+                        // "if b(d,c,u) <= λ_u, reject"
+                        if (bins_[k].amount <= lambda) {
+                            losers_[start + nlos++] = r;
+                            continue;
+                        }
+                        if (size == cap) {
+                            // Evict the lowest bid to make room.
+                            std::pop_heap(heap, heap + size, cmp);
+                            const std::uint32_t l = heap[--size].request;
+                            ++nevict;
+                            choice[l] = no_candidate;
+                            losers_[start + nlos++] = l;
+                        }
+                        heap[size++] = {bins_[k].amount, seq++, r};
+                        std::push_heap(heap, heap + size, cmp);
+                        choice[r] = static_cast<std::ptrdiff_t>(bins_[k].candidate -
+                                                                offsets[r]);
+                        if (size == cap) {
+                            // "update λ_u to the smallest bid among all
+                            // requests in A"
+                            const double np = heap[0].amount;
+                            ensures(np >= lambda, "bandwidth price must be "
+                                                  "non-decreasing during an auction");
+                            lambda = np;
+                        }
+                    }
+                }
+                sellers_[u].size = size;
+                sellers_[u].seq = seq;
+                price_cache[u] = lambda;
+                loser_count_[t] = nlos;
+                evict_count_[t] = nevict;
+            }
+        });
+
+        // --- losers re-bid next round, in ascending request order ---
+        next_active_.clear();
+        for (std::size_t t = 0; t < nt; ++t) {
+            result.evictions += evict_count_[t];
+            for (std::uint32_t k = 0; k < loser_count_[t]; ++k)
+                next_active_.push_back(losers_[bin_start_[t] + k]);
+            bid_count_[touched_[t]] = 0;  // re-zero only what this round used
+        }
+        std::sort(next_active_.begin(), next_active_.end());
+        active_.swap(next_active_);
+    }
+
+    result.converged = true;
+    for (std::size_t u = 0; u < nu; ++u)
+        if (sellers_[u].capacity > 0) prices[u] = price_cache_[u];
+}
+
+auction_result parallel_auction_solver::run(const problem_view& problem) {
+    return run_impl(problem, {}, /*recover_duals=*/true);
+}
+
+auction_result parallel_auction_solver::run(const problem_view& problem,
+                                            std::span<const double> initial_prices) {
+    return run_impl(problem, initial_prices, /*recover_duals=*/true);
+}
+
+auction_result parallel_auction_solver::run_impl(
+    const problem_view& problem, std::span<const double> initial_prices,
+    bool recover_duals) {
+    const std::size_t nu = problem.num_uploaders();
+    const std::size_t nr = problem.num_requests();
+    expects(initial_prices.empty() || initial_prices.size() == nu,
+            "initial price vector must cover every uploader");
+
+    if (!pool_ && threads() > 1)
+        pool_ = std::make_unique<engine::thread_pool>(threads());
+
+    const auto cands = problem.all_candidates();
+    const std::size_t* offsets = problem.offsets().data();
+
+    // Lay out the seller slab: uploader u's assignment set lives at
+    // heap_slab_[slab_off .. slab_off + capacity) — capacities are invariant
+    // across the ε ladder, so the layout is computed once per solve.
+    const auto uploaders = problem.all_uploaders();
+    sellers_.resize(nu);
+    price_cache_.resize(nu);
+    std::size_t slab_total = 0;
+    for (std::size_t u = 0; u < nu; ++u) {
+        const auto cap = static_cast<std::uint32_t>(uploaders[u].capacity);
+        sellers_[u] = {static_cast<std::uint32_t>(slab_total), 0, 0, cap};
+        slab_total += cap;
+    }
+    expects(slab_total <= 0xffffffffu, "seller slab exceeds 32-bit offsets");
+    heap_slab_.resize(slab_total);
+
+    const std::vector<double> schedule = epsilon_schedule(
+        problem, options_.bidding.epsilon, options_.scaling_initial_epsilon,
+        options_.scaling_factor, options_.epsilon_scaling, options_.adaptive_scaling);
+
+    auction_result result;
+    std::vector<double> prices(nu, 0.0);
+    if (!initial_prices.empty())
+        std::copy(initial_prices.begin(), initial_prices.end(), prices.begin());
+    for (std::size_t k = 0; k < schedule.size(); ++k) {
+        auction_result phase;
+        run_phase(problem, schedule[k], prices, phase);
+        // Counters accumulate across phases; the schedule of the last phase
+        // is the answer.
+        phase.bids_submitted += result.bids_submitted;
+        phase.evictions += result.evictions;
+        phase.abstentions += result.abstentions;
+        phase.phase_trace = std::move(result.phase_trace);
+        result = std::move(phase);
+        if (options_.record_phase_trace)
+            result.phase_trace.push_back({schedule[k], prices, result.sched.choice});
+
+        // Between phases, repair complementary slackness condition 1: a
+        // seller that ended the phase with spare capacity cannot honestly
+        // quote a positive price, so its carried-over price falls back to 0.
+        if (k + 1 < schedule.size()) {
+            used_scratch_.assign(nu, 0);
+            for (std::size_t r = 0; r < nr; ++r) {
+                std::ptrdiff_t c = result.sched.choice[r];
+                if (c != no_candidate)
+                    ++used_scratch_[cands[offsets[r] + static_cast<std::size_t>(c)]
+                                        .uploader];
+            }
+            for (std::size_t u = 0; u < nu; ++u)
+                if (used_scratch_[u] < problem.uploader(u).capacity) prices[u] = 0.0;
+        }
+    }
+
+    result.prices = std::move(prices);
+    if (recover_duals) {
+        // Dual recovery, as in the synchronous solver: the general helper
+        // when zero-capacity uploaders need their price lift, the flat-array
+        // sweep (parallel here) otherwise.
+        bool any_zero_capacity = false;
+        for (std::size_t u = 0; u < nu && !any_zero_capacity; ++u)
+            any_zero_capacity = problem.uploader(u).capacity == 0;
+        if (any_zero_capacity) {
+            result.request_utility = derive_request_utilities(problem, result.prices);
+        } else {
+            result.request_utility.assign(nr, 0.0);
+            const candidate_info* ac = cands.data();
+            const auto all_requests = problem.all_requests();
+            const double* pr = result.prices.data();
+            double* util = result.request_utility.data();
+            for_blocks(nr, options_.grain, [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t r = lo; r < hi; ++r) {
+                    const double v = all_requests[r].valuation;
+                    double best = 0.0;
+                    for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+                        double margin = v - ac[k].cost - pr[ac[k].uploader];
+                        if (margin > best) best = margin;
+                    }
+                    util[r] = best;
+                }
+            });
+        }
+    }
+    return result;
+}
+
+schedule parallel_auction_solver::solve(const problem_view& problem) {
+    return run_impl(problem, {}, /*recover_duals=*/false).sched;
+}
+
+}  // namespace p2pcd::core

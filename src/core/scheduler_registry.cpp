@@ -2,6 +2,7 @@
 
 #include "common/contracts.h"
 #include "core/exact.h"
+#include "core/transportation_scheduler.h"
 
 namespace p2pcd::core {
 
@@ -45,8 +46,14 @@ void register_core_schedulers(scheduler_registry& registry) {
     registry.add("auction", [](const scheduler_params& params) {
         return std::make_unique<auction_solver>(params.auction);
     });
+    registry.add("auction-par", [](const scheduler_params& params) {
+        return std::make_unique<parallel_auction_solver>(params.parallel_auction);
+    });
     registry.add("exact", [](const scheduler_params&) {
         return std::make_unique<exact_scheduler>();
+    });
+    registry.add("transportation-simplex", [](const scheduler_params&) {
+        return std::make_unique<transportation_simplex_scheduler>();
     });
 }
 

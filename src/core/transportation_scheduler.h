@@ -1,0 +1,45 @@
+// Scheduler façade over opt's transportation network simplex.
+//
+// Translates the CSR problem_view into a transportation_instance (flat
+// candidate k of the view is edge k of the instance, so the mapping back is
+// pure arithmetic), solves it with solve_transportation_simplex, and returns
+// the optimal schedule plus the recovered duals. Like "exact" this is a
+// centralized reference point, not a P2P protocol — it exists so the scaling
+// benches can race a second, independently-derived optimal algorithm against
+// the auctions, and so the property suite can cross-check the two optima.
+//
+// The instance arena persists across solve() calls; repeated solves on
+// similarly-sized problems allocate ~nothing.
+#ifndef P2PCD_CORE_TRANSPORTATION_SCHEDULER_H
+#define P2PCD_CORE_TRANSPORTATION_SCHEDULER_H
+
+#include <vector>
+
+#include "core/problem.h"
+#include "opt/transportation.h"
+
+namespace p2pcd::core {
+
+struct transportation_result {
+    schedule sched;
+    double welfare = 0.0;
+    std::vector<double> prices;           // optimal λ per uploader
+    std::vector<double> request_utility;  // optimal η per request
+};
+
+class transportation_simplex_scheduler final : public scheduler {
+public:
+    [[nodiscard]] transportation_result run(const problem_view& problem);
+
+    [[nodiscard]] schedule solve(const problem_view& problem) override;
+    [[nodiscard]] std::string_view name() const override {
+        return "transportation-simplex";
+    }
+
+private:
+    opt::transportation_instance instance_;  // persistent arena
+};
+
+}  // namespace p2pcd::core
+
+#endif  // P2PCD_CORE_TRANSPORTATION_SCHEDULER_H

@@ -48,6 +48,16 @@ struct transportation_solution {
 
 [[nodiscard]] transportation_solution solve_exact(const transportation_instance& instance);
 
+// Primal network simplex on the transportation form (transportation_simplex.cpp).
+// Same contract as solve_exact — optimal primal, feasible duals — via a
+// different algorithm: a strongly feasible spanning-tree basis (Cunningham)
+// pivoted until no arc prices out. Exists as an independently-derived
+// challenger: the solver-equivalence property suite holds the two optima
+// against each other, and core's "transportation-simplex" scheduler races it
+// against the auctions in the scheduler benches.
+[[nodiscard]] transportation_solution solve_transportation_simplex(
+    const transportation_instance& instance);
+
 // Exhaustive search; precondition: instance.num_sources <= 12.
 [[nodiscard]] transportation_solution solve_brute_force(
     const transportation_instance& instance);

@@ -1,0 +1,330 @@
+// Primal network simplex for the transportation form of problem (1).
+//
+// The instance becomes an uncapacitated min-cost-flow network on four node
+// groups: the sources (supply 1 each), the positive-capacity sinks (demand
+// B(u); zero-capacity sinks are compacted away up front), a dummy source ds
+// absorbing unused sink capacity, and a dummy sink dt absorbing unassigned
+// sources. Arcs all run supply side → demand side:
+//   source → sink   cost −profit   (profit ≤ 0 edges are pruned: the zero-
+//                                   cost outside option weakly dominates them)
+//   source → dt     cost 0         (the outside option)
+//   ds → sink       cost 0         (unused capacity)
+//   ds → dt         cost 0         (balance)
+// so every cycle alternates between with- and against-arc traversals and the
+// pivot step can never be unbounded.
+//
+// The basis is a spanning tree rooted at dt, kept *strongly feasible*
+// (Cunningham): every zero-flow basic arc points toward the root, which the
+// initial basis (source→dt at flow 1, ds→sink at flow B(u) ≥ 1, ds→dt at
+// flow 0 pointing at the root) satisfies, and which the leaving-arc rule —
+// the last blocking arc when the pivot cycle is traversed from the apex in
+// the entering arc's orientation — preserves. Strong feasibility bounds the
+// number of consecutive degenerate pivots, so termination needs no
+// perturbation. Entering arcs are found by block pricing.
+//
+// Supplies are integral and arcs uncapacitated, so every basic flow is
+// integral; flows are stored as int64 and only costs/potentials are doubles.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/contracts.h"
+#include "opt/transportation.h"
+
+namespace p2pcd::opt {
+
+namespace {
+
+// Tolerance for "does this arc price out": costs are O(1) valuations, and
+// potentials are running sums of reduced costs, so 1e-9 separates a genuine
+// improving arc from accumulated rounding.
+constexpr double rc_tol = 1e-9;
+
+struct simplex_state {
+    // Arcs, struct-of-arrays.
+    std::vector<std::int32_t> from;
+    std::vector<std::int32_t> to;
+    std::vector<double> cost;
+    std::vector<std::int64_t> flow;
+    std::vector<bool> basic;
+
+    // Spanning tree over the nodes.
+    std::vector<std::int32_t> parent;
+    std::vector<std::int32_t> pred;  // arc linking node to parent (−1 at root)
+    std::vector<std::int32_t> depth;
+    std::vector<double> pot;
+    std::vector<std::vector<std::int32_t>> children;
+
+    // Pivot scratch.
+    std::vector<std::int32_t> path_i;
+    std::vector<std::int32_t> path_j;
+    std::vector<std::int32_t> chain;
+    std::vector<std::int32_t> chain_pred;
+    std::vector<std::int32_t> stack;
+
+    std::int32_t add_arc(std::int32_t f, std::int32_t t, double c) {
+        from.push_back(f);
+        to.push_back(t);
+        cost.push_back(c);
+        flow.push_back(0);
+        basic.push_back(false);
+        return static_cast<std::int32_t>(from.size()) - 1;
+    }
+
+    void make_basic(std::int32_t arc, std::int32_t child, std::int64_t f) {
+        basic[arc] = true;
+        flow[arc] = f;
+        const std::int32_t par = from[arc] == child ? to[arc] : from[arc];
+        parent[child] = par;
+        pred[child] = arc;
+        depth[child] = depth[par] + 1;
+        // Basic arcs are tight: cost + pot[from] − pot[to] = 0.
+        pot[child] = from[arc] == child ? pot[par] + cost[arc] : pot[par] - cost[arc];
+        children[par].push_back(child);
+    }
+
+    [[nodiscard]] double reduced_cost(std::int32_t arc) const {
+        return cost[arc] + pot[from[arc]] - pot[to[arc]];
+    }
+
+    void drop_child(std::int32_t par, std::int32_t child) {
+        auto& list = children[par];
+        auto it = std::find(list.begin(), list.end(), child);
+        ensures(it != list.end(), "tree child list out of sync");
+        *it = list.back();
+        list.pop_back();
+    }
+
+    // One pivot on entering (nonbasic, negative-reduced-cost) arc `e`.
+    void pivot(std::int32_t e) {
+        const std::int32_t i = from[e];
+        const std::int32_t j = to[e];
+        const double rc = reduced_cost(e);
+
+        // The pivot cycle: apex ⇒ i down the tree, the entering arc i→j,
+        // then j ⇒ apex back up. Collect both tree paths (deepest first).
+        path_i.clear();
+        path_j.clear();
+        std::int32_t a = i;
+        std::int32_t b = j;
+        while (depth[a] > depth[b]) {
+            path_i.push_back(a);
+            a = parent[a];
+        }
+        while (depth[b] > depth[a]) {
+            path_j.push_back(b);
+            b = parent[b];
+        }
+        while (a != b) {
+            path_i.push_back(a);
+            a = parent[a];
+            path_j.push_back(b);
+            b = parent[b];
+        }
+
+        // Arcs traversed against their direction bound the flow change: on
+        // the i side the cycle runs parent→node, on the j side node→parent.
+        std::int64_t delta = std::numeric_limits<std::int64_t>::max();
+        for (std::int32_t n : path_i)
+            if (from[pred[n]] == n) delta = std::min(delta, flow[pred[n]]);
+        for (std::int32_t n : path_j)
+            if (from[pred[n]] != n) delta = std::min(delta, flow[pred[n]]);
+        ensures(delta != std::numeric_limits<std::int64_t>::max(),
+                "transportation pivot cycle must contain a blocking arc");
+
+        // Leaving arc: the LAST blocking arc in cycle orientation — apex ⇒ i
+        // first, then j ⇒ apex — which is what keeps the tree strongly
+        // feasible through degenerate (delta = 0) pivots.
+        std::int32_t leaving = -1;
+        std::int32_t leaving_node = -1;
+        bool sub_holds_i = false;
+        for (auto it = path_i.rbegin(); it != path_i.rend(); ++it)
+            if (from[pred[*it]] == *it && flow[pred[*it]] == delta) {
+                leaving = pred[*it];
+                leaving_node = *it;
+                sub_holds_i = true;
+            }
+        for (std::int32_t n : path_j)
+            if (from[pred[n]] != n && flow[pred[n]] == delta) {
+                leaving = pred[n];
+                leaving_node = n;
+                sub_holds_i = false;
+            }
+        ensures(leaving >= 0, "transportation pivot found no leaving arc");
+
+        // Push delta around the cycle.
+        flow[e] = delta;
+        for (std::int32_t n : path_i)
+            flow[pred[n]] += from[pred[n]] == n ? -delta : delta;
+        for (std::int32_t n : path_j)
+            flow[pred[n]] += from[pred[n]] == n ? delta : -delta;
+
+        basic[leaving] = false;
+        basic[e] = true;
+
+        // Re-hang the subtree cut off by the leaving arc: re-root it at the
+        // entering arc's endpoint inside it (q), then attach q under the
+        // other endpoint. Only the chain q ⇒ leaving_node reverses.
+        const std::int32_t q = sub_holds_i ? i : j;
+        const std::int32_t other = sub_holds_i ? j : i;
+        drop_child(parent[leaving_node], leaving_node);
+        chain.clear();
+        chain_pred.clear();
+        for (std::int32_t n = q;; n = parent[n]) {
+            chain.push_back(n);
+            chain_pred.push_back(pred[n]);
+            if (n == leaving_node) break;
+        }
+        for (std::size_t t = 1; t < chain.size(); ++t) {
+            const std::int32_t child = chain[t];        // was the parent side
+            const std::int32_t par = chain[t - 1];
+            drop_child(child, par);
+            parent[child] = par;
+            pred[child] = chain_pred[t - 1];
+            children[par].push_back(child);
+        }
+        parent[q] = other;
+        pred[q] = e;
+        children[other].push_back(q);
+
+        // The subtree's potentials shift by whatever makes the entering arc
+        // tight; depths follow the new parents.
+        const double shift = sub_holds_i ? -rc : rc;
+        stack.clear();
+        stack.push_back(q);
+        while (!stack.empty()) {
+            const std::int32_t n = stack.back();
+            stack.pop_back();
+            pot[n] += shift;
+            depth[n] = depth[parent[n]] + 1;
+            for (std::int32_t c : children[n]) stack.push_back(c);
+        }
+    }
+};
+
+}  // namespace
+
+transportation_solution solve_transportation_simplex(
+    const transportation_instance& instance) {
+    instance.validate();
+    transportation_solution sol;
+    sol.edge_of_source.assign(instance.num_sources, unassigned);
+    sol.sink_price.assign(instance.num_sinks(), 0.0);
+    sol.source_utility.assign(instance.num_sources, 0.0);
+
+    const std::size_t ns = instance.num_sources;
+    const std::size_t nu = instance.num_sinks();
+
+    // Compact away zero-capacity sinks (they can never sell; their dual is
+    // lifted in closed form at the end — and their ds→sink arc would start
+    // the basis with a zero-flow arc pointing away from the root, breaking
+    // strong feasibility).
+    std::vector<std::int32_t> node_of_sink(nu, -1);
+    std::vector<std::size_t> sink_of_node;
+    for (std::size_t u = 0; u < nu; ++u)
+        if (instance.sink_capacity[u] > 0) {
+            node_of_sink[u] = static_cast<std::int32_t>(ns + sink_of_node.size());
+            sink_of_node.push_back(u);
+        }
+    const std::size_t nk = sink_of_node.size();
+    const std::int32_t ds = static_cast<std::int32_t>(ns + nk);
+    const std::int32_t dt = ds + 1;
+    const std::size_t num_nodes = ns + nk + 2;
+
+    simplex_state st;
+    st.parent.assign(num_nodes, -1);
+    st.pred.assign(num_nodes, -1);
+    st.depth.assign(num_nodes, 0);
+    st.pot.assign(num_nodes, 0.0);
+    st.children.assign(num_nodes, {});
+
+    // Real arcs first (arc k < #kept ↔ kept edge k), then the structurals.
+    std::vector<std::size_t> edge_of_arc;
+    for (std::size_t k = 0; k < instance.edges.size(); ++k) {
+        const auto& e = instance.edges[k];
+        if (e.profit <= 0.0 || node_of_sink[e.sink] < 0) continue;
+        st.add_arc(static_cast<std::int32_t>(e.source), node_of_sink[e.sink],
+                   -e.profit);
+        edge_of_arc.push_back(k);
+    }
+    const std::size_t num_real = edge_of_arc.size();
+    std::vector<std::int32_t> outside_arc(ns);
+    for (std::size_t d = 0; d < ns; ++d)
+        outside_arc[d] = st.add_arc(static_cast<std::int32_t>(d), dt, 0.0);
+    std::vector<std::int32_t> spare_arc(nk);
+    for (std::size_t v = 0; v < nk; ++v)
+        spare_arc[v] = st.add_arc(ds, static_cast<std::int32_t>(ns + v), 0.0);
+    const std::int32_t balance_arc = st.add_arc(ds, dt, 0.0);
+
+    // Initial strongly feasible basis rooted at dt: every source unassigned,
+    // every sink idle, ds→dt degenerate but pointing at the root.
+    for (std::size_t d = 0; d < ns; ++d)
+        st.make_basic(outside_arc[d], static_cast<std::int32_t>(d), 1);
+    st.make_basic(balance_arc, ds, 0);
+    for (std::size_t v = 0; v < nk; ++v)
+        st.make_basic(spare_arc[v], static_cast<std::int32_t>(ns + v),
+                      instance.sink_capacity[sink_of_node[v]]);
+
+    // Block pricing: scan fixed-size windows of the arc list cyclically and
+    // pivot on the most negative reduced cost in the first window that has
+    // one; a full barren sweep is the optimality proof.
+    const std::size_t num_arcs = st.from.size();
+    const std::size_t block = std::max<std::size_t>(64, num_arcs / 16);
+    // Generous safety valve: a primal simplex on a strongly feasible tree
+    // terminates, but a bug must fail loudly rather than spin.
+    std::uint64_t pivots = 0;
+    const std::uint64_t pivot_budget =
+        1000 + 64 * static_cast<std::uint64_t>(num_nodes + num_arcs);
+    std::size_t scan = 0;
+    std::size_t barren = 0;
+    while (barren * block < num_arcs) {
+        std::int32_t best_arc = -1;
+        double best_rc = -rc_tol;
+        for (std::size_t s = 0; s < block; ++s) {
+            const std::size_t arc = (scan + s) % num_arcs;
+            if (st.basic[arc]) continue;
+            const double rc = st.reduced_cost(static_cast<std::int32_t>(arc));
+            if (rc < best_rc) {
+                best_rc = rc;
+                best_arc = static_cast<std::int32_t>(arc);
+            }
+        }
+        scan = (scan + block) % num_arcs;
+        if (best_arc < 0) {
+            ++barren;
+            continue;
+        }
+        barren = 0;
+        ensures(pivots++ < pivot_budget,
+                "transportation simplex exceeded its pivot budget");
+        st.pivot(best_arc);
+    }
+
+    // Primal extraction: a unit on a real arc assigns its source.
+    for (std::size_t a = 0; a < num_real; ++a) {
+        if (st.flow[a] <= 0) continue;
+        const auto& e = instance.edges[edge_of_arc[a]];
+        ensures(st.flow[a] == 1 && sol.edge_of_source[e.source] == unassigned,
+                "each source ships at most one unit");
+        sol.edge_of_source[e.source] = static_cast<std::ptrdiff_t>(edge_of_arc[a]);
+        sol.welfare += e.profit;
+    }
+
+    // Dual extraction. Tree optimality gives profit ≤ pot[source] − pot[sink]
+    // for every kept arc, so the clamped pair η_d = max(0, pot[d]),
+    // λ_u = max(0, −pot[u]) is dual feasible; pruned (profit ≤ 0) edges are
+    // covered by η, λ ≥ 0 alone, and compacted sinks get the closed-form lift
+    // λ_u = max profit over their edges (their B(u)·λ_u dual term is free).
+    for (std::size_t d = 0; d < ns; ++d)
+        sol.source_utility[d] = std::max(0.0, st.pot[d]);
+    for (std::size_t v = 0; v < nk; ++v)
+        sol.sink_price[sink_of_node[v]] =
+            std::max(0.0, -st.pot[ns + v]);
+    for (const auto& e : instance.edges)
+        if (node_of_sink[e.sink] < 0)
+            sol.sink_price[e.sink] = std::max(sol.sink_price[e.sink], e.profit);
+    return sol;
+}
+
+}  // namespace p2pcd::opt

@@ -32,10 +32,12 @@ emulator::emulator(emulator_options options)
         options_.registry ? *options_.registry : baseline::builtin_schedulers();
     core::scheduler_params params;
     params.auction = options_.auction;
+    params.parallel_auction = options_.parallel_auction;
     params.locality_max_rounds = options_.locality.max_rounds;
     params.seed = options_.config.master_seed;
     scheduler_ = registry.make(options_.scheduler, params);
     auction_ = dynamic_cast<core::auction_solver*>(scheduler_.get());
+    par_auction_ = dynamic_cast<core::parallel_auction_solver*>(scheduler_.get());
 
     auto cost_rng = rng_factory_.stream("costs");
     costs_.emplace(topology_, options_.config.costs, cost_rng);
@@ -332,6 +334,24 @@ core::schedule emulator::dispatch(double round_start, double duration,
                 slot_prices[sp.uploader_row[u]] = result.prices[u];
         } else {
             result = auction_->run(view);
+        }
+        metrics.auction_bids += result.bids_submitted;
+        return std::move(result.sched);
+    }
+
+    if (par_auction_ != nullptr) {
+        // Same round contract as the synchronous auction, minus the
+        // distributed window (the Jacobi solver is a solver, not a protocol).
+        core::auction_result result;
+        if (options_.warm_start_rounds) {
+            std::vector<double> initial(view.num_uploaders(), 0.0);
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                initial[u] = slot_prices[sp.uploader_row[u]];
+            result = par_auction_->run(view, initial);
+            for (std::size_t u = 0; u < view.num_uploaders(); ++u)
+                slot_prices[sp.uploader_row[u]] = result.prices[u];
+        } else {
+            result = par_auction_->run(view);
         }
         metrics.auction_bids += result.bids_submitted;
         return std::move(result.sched);

@@ -76,6 +76,10 @@ struct emulator_options {
     std::shared_ptr<const core::scheduler_registry> registry;
 
     core::auction_options auction{.bidding = {core::bid_policy::epsilon, 0.05}};
+    // Knobs for "auction-par" (the Jacobi solver); its ε defaults to the
+    // synchronous auction's 0.05 so the two race on equal terms.
+    core::parallel_auction_options parallel_auction{
+        .bidding = {core::bid_policy::epsilon, 0.05}};
     baseline::locality_options locality;
 
     // "During one time slot, a peer keeps bidding in order to acquire the
@@ -248,11 +252,12 @@ private:
     deadline_valuation valuation_;
     tracker tracker_;
 
-    // Long-lived scheduler from the registry; `auction_` is the non-null
-    // downcast when the built-in synchronous auction is selected (it has the
-    // richer run() API: bid diagnostics and warm-start prices).
+    // Long-lived scheduler from the registry; `auction_` / `par_auction_`
+    // are the non-null downcasts when a built-in auction is selected (they
+    // have the richer run() API: bid diagnostics and warm-start prices).
     std::unique_ptr<core::scheduler> scheduler_;
     core::auction_solver* auction_ = nullptr;
+    core::parallel_auction_solver* par_auction_ = nullptr;
 
     peer_table peers_;          // rows stable and id-ordered; departed flagged
     std::size_t num_seeds_ = 0;  // rows [0, num_seeds_) are the seeds

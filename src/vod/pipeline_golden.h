@@ -88,6 +88,36 @@ inline constexpr const golden_run_hashes* golden_for(std::string_view scenario) 
     return nullptr;
 }
 
+// Goldens for the parallel (Jacobi) auction scheduler ("auction-par").
+// The Jacobi auction reaches a *different* fixed point than the serial
+// Gauss-Seidel auction — same ε-CS guarantees, different tie resolution — so
+// it gets its own pinned hashes rather than inheriting `golden_runs`. The
+// constants are thread-count independent by construction (the merge is
+// deterministic at any `num_threads`); tests/slot_golden_test.cpp checks
+// that invariant separately by re-running at 2/4/16 threads. Captured
+// 2026-08-08 on GCC 12 / x86-64, num_threads = 1, default options.
+inline constexpr golden_run_hashes golden_parallel_runs[] = {
+    {"economy_smoke", 0xba4895265c419f4bull, 0xf69fdd2fd23da1a4ull,
+     0xece8949adddba716ull},
+    {"metro_5k", 0x0f9d775a1fbf7a07ull, 0x4c432566dad8c16aull,
+     0x2573102ca363cff7ull},
+    {"flash_crowd_10k", 0xfdcc0b162daeb7bfull, 0x748e30e4cc51208bull,
+     0x64d5371686ecfc05ull},
+};
+
+inline constexpr const golden_run_hashes* golden_parallel_for(
+    std::string_view scenario) {
+    for (const auto& g : golden_parallel_runs)
+        if (g.scenario == scenario) return &g;
+    return nullptr;
+}
+
+// Metrics hash of the first 3 slots of economy_smoke under the
+// transportation-simplex scheduler — the CI smoke pin for the exact solver
+// (see the scheduler_scaling step in .github/workflows/ci.yml). Captured
+// 2026-08-08 on GCC 12 / x86-64.
+inline constexpr std::uint64_t golden_simplex_smoke_metrics = 0xbab1d6206a36448aull;
+
 // The constants pin exact IEEE doubles, so they are only enforced on the
 // toolchain family they were captured with (a different compiler/libm may
 // legitimately fold FP differently).

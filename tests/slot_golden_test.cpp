@@ -12,6 +12,7 @@
 // hashes (e.g. to re-capture after an intentional behavior change).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -30,10 +31,23 @@ struct run_hashes {
     std::uint64_t final_state = golden_seed;
 };
 
-run_hashes run_scenario(const std::string& name) {
+// Knobs a golden run may vary from the default emulator configuration.
+struct scenario_run_options {
+    std::string scheduler = "auction";
+    std::size_t solver_threads = 1;  // auction-par only
+    bool warm_start = false;
+    std::size_t max_slots = 0;  // 0 = the scenario's full horizon
+};
+
+run_hashes run_scenario(const std::string& name,
+                        const scenario_run_options& ro = {}) {
     emulator_options opts;
     opts.config = workload::builtin_scenarios().make(name);
-    const std::size_t total = opts.config.num_slots();
+    opts.scheduler = ro.scheduler;
+    opts.parallel_auction.num_threads = ro.solver_threads;
+    opts.warm_start_rounds = ro.warm_start;
+    std::size_t total = opts.config.num_slots();
+    if (ro.max_slots != 0) total = std::min(total, ro.max_slots);
     emulator emu(std::move(opts));
 
     run_hashes h;
@@ -63,13 +77,12 @@ run_hashes run_scenario(const std::string& name) {
     return h;
 }
 
-void check_scenario(const std::string& name) {
-    const golden_run_hashes* golden = golden_for(name);
+void check_against(const std::string& name, const char* tag,
+                   const golden_run_hashes* golden, const run_hashes& h) {
     ASSERT_NE(golden, nullptr) << name << " has no captured golden";
-    const run_hashes h = run_scenario(name);
     if (std::getenv("P2PCD_GOLDEN_DUMP") != nullptr)
-        std::printf("GOLDEN %s neighbors %016llxull metrics %016llxull final %016llxull\n",
-                    name.c_str(), static_cast<unsigned long long>(h.neighbors),
+        std::printf("GOLDEN%s %s neighbors %016llxull metrics %016llxull final %016llxull\n",
+                    tag, name.c_str(), static_cast<unsigned long long>(h.neighbors),
                     static_cast<unsigned long long>(h.metrics),
                     static_cast<unsigned long long>(h.final_state));
     if (!golden_toolchain && std::getenv("P2PCD_GOLDEN_STRICT") == nullptr)
@@ -79,6 +92,35 @@ void check_scenario(const std::string& name) {
     EXPECT_EQ(h.metrics, golden->metrics) << name << ": per-slot metrics diverged";
     EXPECT_EQ(h.final_state, golden->final_state)
         << name << ": final peer state diverged";
+}
+
+void check_scenario(const std::string& name) {
+    check_against(name, "", golden_for(name), run_scenario(name));
+}
+
+void check_parallel_scenario(const std::string& name) {
+    check_against(name, "-PAR", golden_parallel_for(name),
+                  run_scenario(name, {.scheduler = "auction-par"}));
+}
+
+// The solver-level determinism contract observed end-to-end: a full emulator
+// run under auction-par hashes identically at every thread count, so prices
+// and schedules never depend on the partitioning. Self-comparing, hence
+// enforced on every toolchain (no golden constants involved).
+void check_thread_invariance(const std::string& name, bool warm_start,
+                             std::size_t max_slots = 0) {
+    const run_hashes ref = run_scenario(
+        name, {.scheduler = "auction-par", .solver_threads = 1,
+               .warm_start = warm_start, .max_slots = max_slots});
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{16}}) {
+        const run_hashes h = run_scenario(
+            name, {.scheduler = "auction-par", .solver_threads = threads,
+                   .warm_start = warm_start, .max_slots = max_slots});
+        EXPECT_EQ(h.neighbors, ref.neighbors) << name << " @" << threads;
+        EXPECT_EQ(h.metrics, ref.metrics)
+            << name << " @" << threads << ": schedules depend on thread count";
+        EXPECT_EQ(h.final_state, ref.final_state) << name << " @" << threads;
+    }
 }
 
 // Constants: vod::golden_runs (src/vod/pipeline_golden.h), captured from
@@ -93,6 +135,65 @@ TEST(slot_golden, metro_5k_matches_pre_refactor_emulator) {
 
 TEST(slot_golden, flash_crowd_10k_matches_pre_refactor_emulator) {
     check_scenario("flash_crowd_10k");
+}
+
+// The Jacobi auction's own fixed point, pinned per scenario (constants:
+// vod::golden_parallel_runs). A drift here means the parallel bid/merge
+// pipeline changed behavior, not just speed.
+TEST(slot_golden, economy_smoke_parallel_auction_pinned) {
+    check_parallel_scenario("economy_smoke");
+}
+
+TEST(slot_golden, metro_5k_parallel_auction_pinned) {
+    check_parallel_scenario("metro_5k");
+}
+
+TEST(slot_golden, flash_crowd_10k_parallel_auction_pinned) {
+    check_parallel_scenario("flash_crowd_10k");
+}
+
+TEST(slot_golden, parallel_auction_thread_invariant_economy_smoke) {
+    check_thread_invariance("economy_smoke", false);
+}
+
+// Warm-started prices carry across rounds, so any cross-thread price
+// divergence would cascade into every later slot's schedule — this variant
+// pins final prices, not just schedules.
+TEST(slot_golden, parallel_auction_thread_invariant_economy_smoke_warm) {
+    check_thread_invariance("economy_smoke", true);
+}
+
+// Every metro slot runs at full 5 000-peer scale, so a 4-slot prefix at each
+// thread count already drives the bid/merge path through real contention;
+// the full-horizon fixed point is pinned by the golden above at 1 thread.
+TEST(slot_golden, parallel_auction_thread_invariant_metro_5k) {
+    check_thread_invariance("metro_5k", false, 4);
+}
+
+// The crowd builds over the horizon; 150 slots (~6 000 peers by the cut)
+// keeps four full-scale runs affordable on the CI box.
+TEST(slot_golden, parallel_auction_thread_invariant_flash_crowd_10k) {
+    check_thread_invariance("flash_crowd_10k", false, 150);
+}
+
+// CI smoke pin for the transportation simplex: 3 slots of economy_smoke,
+// metrics only (the scheduler is exact, so this doubles as a cheap guard
+// that the pivoting rewrite still lands on the optimal schedule).
+TEST(slot_golden, transportation_simplex_three_slot_smoke) {
+    emulator_options opts;
+    opts.config = workload::builtin_scenarios().make("economy_smoke");
+    opts.scheduler = "transportation-simplex";
+    emulator emu(std::move(opts));
+    std::uint64_t h = golden_seed;
+    for (int k = 0; k < 3; ++k) golden_mix_metrics(h, emu.step());
+    if (std::getenv("P2PCD_GOLDEN_DUMP") != nullptr)
+        std::printf("GOLDEN-SIMPLEX economy_smoke_3slot metrics %016llxull\n",
+                    static_cast<unsigned long long>(h));
+    if (!golden_toolchain && std::getenv("P2PCD_GOLDEN_STRICT") == nullptr)
+        GTEST_SKIP() << "golden constants were captured with GCC/x86-64; "
+                        "set P2PCD_GOLDEN_STRICT=1 to compare anyway";
+    EXPECT_EQ(h, golden_simplex_smoke_metrics)
+        << "transportation-simplex smoke metrics diverged";
 }
 
 }  // namespace
