@@ -1,23 +1,27 @@
 // Fleet scaling: aggregate solve throughput of the multi-swarm engine vs.
-// thread count — the first path to >100k emulated peers in one process.
+// thread count — the first path to >100k emulated peers in one process —
+// plus the memory ledger that keeps the 1M-viewer fleet inside one address
+// space: per-subsystem byte breakdown (memory_footprint()), lifecycle RSS
+// samples and bytes-per-viewer.
 //
 // Each row constructs a fresh fleet from a named workload::fleet_config,
 // runs the full horizon on a `--threads N` pool, and reports the aggregate
 // scheduler-dispatch throughput (swarms × slots × bidding rounds / wall
 // seconds), the merged fleet aggregates, and the process peak RSS. The
 // merged welfare / inter-ISP / miss-rate columns must be identical across
-// rows — the engine's determinism guarantee (seeds derive from the swarm
-// index, never the thread id); the bench asserts it and records
+// a fleet's rows — the engine's determinism guarantee (seeds derive from
+// the swarm index, never the thread id); the bench asserts it and records
 // `determinism_ok` in the artifact.
 //
 // Flags:
-//   --fleet NAME     registered fleet (see workload::builtin_fleets())
-//                    [fleet_metro_100x5k]
+//   --fleet LIST     comma-separated registered fleets, run in order (see
+//                    workload::builtin_fleets()); scalars describe the last
+//                    one [fleet_metro_100x5k]
 //   --threads LIST   comma-separated pool sizes; "hw" = hardware_concurrency
 //                    [1,hw]
-//   --swarms N       override the fleet's swarm count (total_peers scales
+//   --swarms N       override each fleet's swarm count (total_peers scales
 //                    proportionally), e.g. the CI smoke's 2 swarms
-//   --total-peers N  override the fleet's total viewer target
+//   --total-peers N  override each fleet's total viewer target
 //
 // Environment knobs (standard, see bench_common.h): P2PCD_BENCH_SCALE
 // ("full" runs the fleet as registered; default "ci" shrinks the base
@@ -57,6 +61,21 @@ std::vector<std::size_t> parse_threads(const std::string& list) {
     return *threads;
 }
 
+std::vector<std::string> parse_fleets(const std::string& list) {
+    std::vector<std::string> names;
+    std::string current;
+    for (const char c : list + ",") {
+        if (c == ',') {
+            if (!current.empty()) names.push_back(current);
+            current.clear();
+        } else if (!std::isspace(static_cast<unsigned char>(c))) {
+            current += c;
+        }
+    }
+    if (names.empty()) usage("--fleet needs at least one fleet name");
+    return names;
+}
+
 struct row_result {
     double construct_seconds = 0.0;
     double run_seconds = 0.0;
@@ -67,12 +86,18 @@ struct row_result {
     double peak_rss_mb = 0.0;
 };
 
+constexpr double mib = 1024.0 * 1024.0;
+
+std::string mb(std::size_t bytes) {
+    return metrics::format_double(static_cast<double>(bytes) / mib, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     const bool full = bench::full_scale();
 
-    std::string fleet_name = "fleet_metro_100x5k";
+    std::vector<std::string> fleet_names = {"fleet_metro_100x5k"};
     std::vector<std::size_t> thread_counts;
     std::size_t swarms_override = 0;
     std::size_t total_peers_override = 0;
@@ -83,7 +108,7 @@ int main(int argc, char** argv) {
             if (i + 1 >= argc) usage("flag " + flag + " needs a value");
             return argv[++i];
         };
-        if (flag == "--fleet") fleet_name = next();
+        if (flag == "--fleet") fleet_names = parse_fleets(next());
         else if (flag == "--threads") thread_counts = parse_threads(next());
         else if (flag == "--swarms") swarms_override = std::stoul(next());
         else if (flag == "--total-peers") total_peers_override = std::stoul(next());
@@ -92,113 +117,173 @@ int main(int argc, char** argv) {
     if (thread_counts.empty()) thread_counts = parse_threads("1,hw");
 
     const auto& fleets = workload::builtin_fleets();
-    if (!fleets.contains(fleet_name)) usage("unknown fleet '" + fleet_name + "'");
-    workload::fleet_config fleet_cfg = fleets.make(fleet_name);
-    fleet_cfg.fleet_seed = bench::bench_seed();
-    if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
-    if (total_peers_override > 0) fleet_cfg.total_peers = total_peers_override;
-
-    // Base per-swarm scenario: as registered at full scale; CI mode shrinks
-    // the catalog/seed provisioning (bench_common's standard reduction) and
-    // the populations so the smoke run finishes in seconds.
-    workload::scenario_config base =
-        workload::builtin_scenarios().make(fleet_cfg.swarm_scenario);
-    if (!full) {
-        bench::apply_ci_scale(base);
-        if (swarms_override == 0 && fleet_cfg.num_swarms > 4) fleet_cfg.num_swarms = 4;
-        if (total_peers_override == 0)
-            fleet_cfg.total_peers = 300 * fleet_cfg.num_swarms;
-        fleet_cfg.min_swarm_peers = std::min<std::size_t>(fleet_cfg.min_swarm_peers, 50);
-    }
+    for (const auto& name : fleet_names)
+        if (!fleets.contains(name)) usage("unknown fleet '" + name + "'");
 
     std::cout << "=== Fleet scaling: aggregate solve throughput vs threads ===\n"
-              << "scale: " << (full ? "full" : "ci (smoke)")
-              << "  fleet: " << fleet_name << "  swarms: " << fleet_cfg.num_swarms
-              << "  scheduler: " << fleet_cfg.scheduler
-              << "  seed: " << fleet_cfg.fleet_seed
-              << "  hardware_concurrency: "
+              << "scale: " << (full ? "full" : "ci (smoke)") << "  fleets:";
+    for (const auto& name : fleet_names) std::cout << " " << name;
+    std::cout << "  seed: " << bench::bench_seed() << "  hardware_concurrency: "
               << engine::thread_pool::default_thread_count() << "\n\n";
 
     metrics::table t({"fleet", "swarms", "viewers", "threads", "construct_s",
                       "run_s", "solves", "solves_per_s", "speedup_vs_1t",
                       "welfare", "inter_isp_%", "miss_%", "peak_rss_mb"});
+    metrics::table mem_table({"fleet", "viewers", "peer_table_mb", "buffers_mb",
+                              "tracker_mb", "neighbor_mb", "problem_mb",
+                              "solver_mb", "cost_cache_mb", "ledger_mb",
+                              "scratch_mb", "shared_mb", "total_mb",
+                              "footprint_bytes_per_viewer"});
+    metrics::table rss_table({"fleet", "post_construct_mb", "mid_run_mb",
+                              "end_mb", "peak_mb", "rss_bytes_per_viewer"});
     metrics::json_report rep("fleet_scaling");
     rep.add_scalar("scale", full ? "full" : "ci");
-    rep.add_scalar("seed", static_cast<double>(fleet_cfg.fleet_seed));
-    rep.add_scalar("fleet", fleet_name);
-    rep.add_scalar("num_swarms", static_cast<double>(fleet_cfg.num_swarms));
-    rep.add_scalar("scheduler", fleet_cfg.scheduler);
+    rep.add_scalar("seed", static_cast<double>(bench::bench_seed()));
     rep.add_scalar("hardware_concurrency",
                    static_cast<double>(engine::thread_pool::default_thread_count()));
 
     using clock = std::chrono::steady_clock;
-    std::vector<row_result> results;
-    double single_thread_rate = 0.0;
+    bool determinism_ok = true;
+    // Scalars of the headline (last-listed) fleet.
+    std::string last_fleet;
     double viewers = 0.0;
     std::uint64_t solves = 0;
-    for (const std::size_t threads : thread_counts) {
-        engine::fleet_options options;
-        options.config = fleet_cfg;
-        options.base_scenario = base;
-        options.threads = threads;
+    double single_thread_rate = 0.0;
+    double best_rate = 0.0;
+    std::size_t best_threads = 0;
+    double bytes_per_viewer = 0.0;
+    double footprint_bytes_per_viewer = 0.0;
+    std::size_t num_swarms = 0;
+    std::string scheduler;
 
-        const auto t0 = clock::now();
-        engine::fleet fleet(std::move(options));
-        const auto t1 = clock::now();
-        fleet.run();
-        const auto t2 = clock::now();
+    for (const auto& fleet_name : fleet_names) {
+        workload::fleet_config fleet_cfg = fleets.make(fleet_name);
+        fleet_cfg.fleet_seed = bench::bench_seed();
+        if (swarms_override > 0) fleet_cfg = fleet_cfg.with_swarms(swarms_override);
+        if (total_peers_override > 0) fleet_cfg.total_peers = total_peers_override;
 
-        row_result row;
-        row.construct_seconds = std::chrono::duration<double>(t1 - t0).count();
-        row.run_seconds = std::chrono::duration<double>(t2 - t1).count();
-        solves = fleet.solves_per_run();
-        row.solves_per_second = static_cast<double>(solves) / row.run_seconds;
-        row.welfare = fleet.total_welfare();
-        row.inter_isp = fleet.overall_inter_isp_fraction();
-        row.miss = fleet.overall_miss_rate();
-        row.peak_rss_mb = fleet.peak_rss_mb();
-        viewers = fleet.total_expected_viewers();
-        if (threads == 1) single_thread_rate = row.solves_per_second;
-        results.push_back(row);
+        // Base per-swarm scenario: as registered at full scale; CI mode
+        // shrinks the catalog/seed provisioning (bench_common's standard
+        // reduction) and the populations so the smoke run finishes in seconds.
+        workload::scenario_config base =
+            workload::builtin_scenarios().make(fleet_cfg.swarm_scenario);
+        if (!full) {
+            bench::apply_ci_scale(base);
+            if (swarms_override == 0 && fleet_cfg.num_swarms > 4)
+                fleet_cfg.num_swarms = 4;
+            if (total_peers_override == 0)
+                fleet_cfg.total_peers = 300 * fleet_cfg.num_swarms;
+            fleet_cfg.min_swarm_peers =
+                std::min<std::size_t>(fleet_cfg.min_swarm_peers, 50);
+        }
 
-        const double speedup =
-            single_thread_rate > 0.0 ? row.solves_per_second / single_thread_rate : 0.0;
-        t.add_row({fleet_name, std::to_string(fleet_cfg.num_swarms),
-                   metrics::format_double(viewers, 0), std::to_string(threads),
-                   metrics::format_double(row.construct_seconds, 2),
-                   metrics::format_double(row.run_seconds, 2), std::to_string(solves),
-                   metrics::format_double(row.solves_per_second, 1),
-                   threads == 1 || single_thread_rate > 0.0
-                       ? metrics::format_double(speedup, 2)
-                       : "-",
-                   metrics::format_double(row.welfare, 1),
-                   metrics::format_double(100.0 * row.inter_isp, 2),
-                   metrics::format_double(100.0 * row.miss, 2),
-                   metrics::format_double(row.peak_rss_mb, 1)});
+        std::vector<row_result> results;
+        single_thread_rate = 0.0;
+        for (const std::size_t threads : thread_counts) {
+            engine::fleet_options options;
+            options.config = fleet_cfg;
+            options.base_scenario = base;
+            options.threads = threads;
+
+            const auto t0 = clock::now();
+            engine::fleet fleet(std::move(options));
+            const auto t1 = clock::now();
+            fleet.run();
+            const auto t2 = clock::now();
+
+            row_result row;
+            row.construct_seconds = std::chrono::duration<double>(t1 - t0).count();
+            row.run_seconds = std::chrono::duration<double>(t2 - t1).count();
+            solves = fleet.solves_per_run();
+            row.solves_per_second = static_cast<double>(solves) / row.run_seconds;
+            row.welfare = fleet.total_welfare();
+            row.inter_isp = fleet.overall_inter_isp_fraction();
+            row.miss = fleet.overall_miss_rate();
+            row.peak_rss_mb = fleet.peak_rss_mb();
+            viewers = fleet.total_expected_viewers();
+            if (threads == 1) single_thread_rate = row.solves_per_second;
+            results.push_back(row);
+
+            const double speedup = single_thread_rate > 0.0
+                                       ? row.solves_per_second / single_thread_rate
+                                       : 0.0;
+            t.add_row({fleet_name, std::to_string(fleet_cfg.num_swarms),
+                       metrics::format_double(viewers, 0), std::to_string(threads),
+                       metrics::format_double(row.construct_seconds, 2),
+                       metrics::format_double(row.run_seconds, 2),
+                       std::to_string(solves),
+                       metrics::format_double(row.solves_per_second, 1),
+                       threads == 1 || single_thread_rate > 0.0
+                           ? metrics::format_double(speedup, 2)
+                           : "-",
+                       metrics::format_double(row.welfare, 1),
+                       metrics::format_double(100.0 * row.inter_isp, 2),
+                       metrics::format_double(100.0 * row.miss, 2),
+                       metrics::format_double(row.peak_rss_mb, 1)});
+
+            if (threads == thread_counts.back()) {
+                // Memory ledger of the fleet's end state, captured before it
+                // is torn down: per-subsystem accounting plus the lifecycle
+                // RSS samples. bytes-per-viewer comes in two flavors — the
+                // audited footprint (what our containers hold) and the raw
+                // peak RSS (what the kernel charged, including allocator
+                // slack and the binary itself).
+                const vod::memory_breakdown fp = fleet.memory_footprint();
+                footprint_bytes_per_viewer =
+                    viewers > 0.0 ? static_cast<double>(fp.total()) / viewers : 0.0;
+                bytes_per_viewer =
+                    viewers > 0.0 ? row.peak_rss_mb * mib / viewers : 0.0;
+                mem_table.add_row(
+                    {fleet_name, metrics::format_double(viewers, 0),
+                     mb(fp.peer_table), mb(fp.buffers), mb(fp.tracker),
+                     mb(fp.neighbor_arena), mb(fp.problem_arena), mb(fp.solver),
+                     mb(fp.cost_cache), mb(fp.ledger), mb(fp.scratch),
+                     mb(fp.shared), mb(fp.total()),
+                     metrics::format_double(footprint_bytes_per_viewer, 1)});
+                const engine::fleet_rss_phases& rss = fleet.rss_phases();
+                rss_table.add_row({fleet_name,
+                                   metrics::format_double(rss.post_construct_mb, 1),
+                                   metrics::format_double(rss.mid_run_mb, 1),
+                                   metrics::format_double(rss.end_mb, 1),
+                                   metrics::format_double(row.peak_rss_mb, 1),
+                                   metrics::format_double(bytes_per_viewer, 1)});
+            }
+        }
+
+        // The engine's determinism guarantee, checked at bench scale too: the
+        // merged aggregates must not depend on the thread count.
+        for (const auto& row : results)
+            determinism_ok = determinism_ok &&
+                             row.welfare == results.front().welfare &&
+                             row.inter_isp == results.front().inter_isp &&
+                             row.miss == results.front().miss;
+
+        best_rate = 0.0;
+        best_threads = 0;
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            if (results[i].solves_per_second > best_rate) {
+                best_rate = results[i].solves_per_second;
+                best_threads = thread_counts[i];
+            }
+        }
+        last_fleet = fleet_name;
+        num_swarms = fleet_cfg.num_swarms;
+        scheduler = fleet_cfg.scheduler;
     }
+
     t.print(std::cout);
     std::cout << "\npeak_rss_mb is the process high-water mark after the row "
                  "finished (monotone across rows — later rows include earlier "
-                 "rows' footprint).\n";
-
-    // The engine's determinism guarantee, checked at bench scale too: the
-    // merged aggregates must not depend on the thread count.
-    bool determinism_ok = true;
-    for (const auto& row : results)
-        determinism_ok = determinism_ok && row.welfare == results.front().welfare &&
-                         row.inter_isp == results.front().inter_isp &&
-                         row.miss == results.front().miss;
+                 "rows' footprint).\n\n";
+    mem_table.print(std::cout);
+    std::cout << "\n";
+    rss_table.print(std::cout);
     std::cout << "\nmerged aggregates identical across thread counts: "
               << (determinism_ok ? "yes" : "NO — DETERMINISM BUG") << "\n";
 
-    double best_rate = 0.0;
-    std::size_t best_threads = 0;
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        if (results[i].solves_per_second > best_rate) {
-            best_rate = results[i].solves_per_second;
-            best_threads = thread_counts[i];
-        }
-    }
+    rep.add_scalar("fleet", last_fleet);
+    rep.add_scalar("num_swarms", static_cast<double>(num_swarms));
+    rep.add_scalar("scheduler", scheduler);
     rep.add_scalar("total_expected_viewers", viewers);
     rep.add_scalar("solves_per_run", static_cast<double>(solves));
     rep.add_scalar("single_thread_solves_per_s", single_thread_rate);
@@ -206,8 +291,12 @@ int main(int argc, char** argv) {
     rep.add_scalar("best_threads", static_cast<double>(best_threads));
     rep.add_scalar("speedup_best_vs_single",
                    single_thread_rate > 0.0 ? best_rate / single_thread_rate : 0.0);
+    rep.add_scalar("bytes_per_viewer", bytes_per_viewer);
+    rep.add_scalar("footprint_bytes_per_viewer", footprint_bytes_per_viewer);
     rep.add_scalar("determinism_ok", determinism_ok);
     rep.add_table("scaling", t);
+    rep.add_table("memory", mem_table);
+    rep.add_table("rss_phases", rss_table);
     bench::write_artifact("fleet_scaling", rep);
 
     return determinism_ok ? 0 : 1;

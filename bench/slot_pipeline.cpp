@@ -99,11 +99,14 @@ int main(int argc, char** argv) {
     opts.config = workload::builtin_scenarios().make(scenario);
     const std::size_t num_slots = opts.config.num_slots();
     vod::emulator emu(std::move(opts));
+    const double rss_post_construct = metrics::current_rss_mb();
+    double rss_mid_run = 0.0;
 
     std::uint64_t h_neighbors = vod::golden_seed;
     std::uint64_t h_metrics = vod::golden_seed;
     for (std::size_t k = 0; k < num_slots; ++k) {
         const auto& m = emu.step();
+        if (k + 1 == (num_slots + 1) / 2) rss_mid_run = metrics::current_rss_mb();
         std::uint64_t h_slot_nbr = vod::golden_seed;
         vod::golden_mix_neighbors(h_slot_nbr, emu);
         std::uint64_t h_slot_met = vod::golden_seed;
@@ -126,6 +129,9 @@ int main(int argc, char** argv) {
     rep.add_scalar("hardware_concurrency",
                    static_cast<double>(std::thread::hardware_concurrency()));
     rep.add_scalar("peak_rss_mb", metrics::peak_rss_mb());
+    rep.add_scalar("rss_post_construct_mb", rss_post_construct);
+    rep.add_scalar("rss_mid_run_mb", rss_mid_run);
+    rep.add_scalar("rss_end_mb", metrics::current_rss_mb());
     rep.add_scalar("baseline_commit", base != nullptr ? "e4073a5" : "none");
 
     struct phase_row {
@@ -140,6 +146,7 @@ int main(int argc, char** argv) {
         {"build", &slot_phase_totals::build},
         {"solve", &slot_phase_totals::solve},
         {"apply", &slot_phase_totals::apply},
+        {"shed", &slot_phase_totals::shed},
     };
 
     metrics::table t({"phase", "pre_seconds", "post_seconds", "speedup"});

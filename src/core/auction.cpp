@@ -23,8 +23,8 @@ auction_solver::auction_solver(auction_options options) : options_(options) {
 // One complete Gauss-Seidel auction at a fixed ε, warm-started from `prices`
 // (all zero on a cold first/only phase). Returns per-seller final prices
 // through the same vector. With `fill_flat_arrays` set (first phase of a
-// solve), the fresh sweep populates the dense v − w / uploader arrays from
-// the AoS candidates as it first touches each row — one pass instead of two.
+// solve), the fresh sweep populates the dense v − w array from the cost slab
+// as it first touches each row — one pass instead of two.
 void auction_solver::run_phase(const problem_view& problem, double epsilon,
                                std::vector<double>& prices, auction_result& result,
                                bool fill_flat_arrays) {
@@ -55,11 +55,12 @@ void auction_solver::run_phase(const problem_view& problem, double epsilon,
 
     std::uint64_t iterations = 0;
 
-    // Raw CSR arrays for the hot loop — no per-iteration bounds checks.
-    const std::size_t* offsets = problem.offsets().data();
-    const candidate_info* all_cands = problem.all_candidates().data();
+    // Raw CSR arrays for the hot loop — no per-iteration bounds checks. The
+    // uploader indices come straight from the problem's u32 SoA slab.
+    const std::uint32_t* offsets = problem.offsets().data();
+    const std::uint32_t* uploader_of = problem.cand_uploaders().data();
+    const double* cand_costs = problem.cand_costs().data();
     const request_info* all_requests = problem.all_requests().data();
-    std::uint32_t* uploader_of = uploader_of_candidate_.data();
     double* net_values = net_values_.data();
     const double* price_cache = price_cache_.data();
 
@@ -69,10 +70,8 @@ void auction_solver::run_phase(const problem_view& problem, double epsilon,
             r = next_fresh++;
             if (fill_flat_arrays) {
                 const double v = all_requests[r].valuation;
-                for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
-                    net_values[k] = v - all_cands[k].cost;
-                    uploader_of[k] = static_cast<std::uint32_t>(all_cands[k].uploader);
-                }
+                for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
+                    net_values[k] = v - cand_costs[k];
             }
         } else {
             if (queue_head == queue_.size()) {
@@ -181,13 +180,12 @@ auction_result auction_solver::run(const problem_view& problem,
     expects(initial_prices.empty() || initial_prices.size() == nu,
             "initial price vector must cover every uploader");
 
-    // v − w is invariant across the whole solve (and so is each candidate's
-    // uploader). The arrays are sized here and filled lazily by the first
-    // phase's fresh sweep, which touches every row anyway.
-    const auto cands = problem.all_candidates();
-    const std::size_t* offsets = problem.offsets().data();
-    net_values_.resize(cands.size());
-    uploader_of_candidate_.resize(cands.size());
+    // v − w is invariant across the whole solve. The array is sized here and
+    // filled lazily by the first phase's fresh sweep, which touches every
+    // row anyway.
+    const std::uint32_t* offsets = problem.offsets().data();
+    const std::uint32_t* cand_up = problem.cand_uploaders().data();
+    net_values_.resize(problem.num_candidates());
 
     // The ε schedule: a single phase normally; a geometric descent from the
     // initial ε down to the target when scaling is on.
@@ -243,7 +241,7 @@ auction_result auction_solver::run(const problem_view& problem,
         for (std::size_t r = 0; r < nr; ++r) {
             double best = 0.0;
             for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
-                double margin = net_values_[k] - result.prices[cands[k].uploader];
+                double margin = net_values_[k] - result.prices[cand_up[k]];
                 if (margin > best) best = margin;
             }
             result.request_utility[r] = best;
@@ -284,6 +282,26 @@ std::vector<double> derive_request_utilities(const problem_view& problem,
 
 schedule auction_solver::solve(const problem_view& problem) {
     return run(problem).sched;
+}
+
+void auction_solver::shed_memory() {
+    std::vector<auctioneer>().swap(sellers_);
+    std::vector<std::size_t>().swap(queue_);
+    std::vector<parked_entry>().swap(parked_);
+    std::vector<double>().swap(net_values_);
+    std::vector<double>().swap(price_cache_);
+    std::vector<std::int64_t>().swap(used_scratch_);
+}
+
+std::size_t auction_solver::workspace_bytes() const {
+    std::size_t bytes = sellers_.capacity() * sizeof(auctioneer) +
+                        queue_.capacity() * sizeof(std::size_t) +
+                        parked_.capacity() * sizeof(parked_entry) +
+                        net_values_.capacity() * sizeof(double) +
+                        price_cache_.capacity() * sizeof(double) +
+                        used_scratch_.capacity() * sizeof(std::int64_t);
+    for (const auto& s : sellers_) bytes += s.heap_bytes();
+    return bytes;
 }
 
 }  // namespace p2pcd::core

@@ -116,6 +116,8 @@ public:
 
     [[nodiscard]] schedule solve(const problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "auction"; }
+    void shed_memory() override;
+    [[nodiscard]] std::size_t workspace_bytes() const override;
 
     [[nodiscard]] const auction_options& options() const noexcept { return options_; }
 
@@ -137,11 +139,9 @@ private:
     };
     std::vector<parked_entry> parked_;
     // v − w per candidate, flat in CSR order — invariant across one solve.
+    // (Each candidate's uploader index is read straight from the problem's
+    // u32 SoA slab — no mirror copy needed.)
     std::vector<double> net_values_;
-    // Uploader index per candidate, flat in CSR order, narrowed to 32 bits:
-    // the bid loop's gather only needs the index, and the narrow copy halves
-    // its cache traffic relative to re-reading candidate_info.
-    std::vector<std::uint32_t> uploader_of_candidate_;
     // λ per uploader, mirrored out of the auctioneers into one dense array
     // (+inf for zero capacity): the per-bid gather reads this, not the
     // auctioneer objects.

@@ -107,6 +107,13 @@ public:
 
     [[nodiscard]] std::int32_t capacity() const noexcept { return capacity_; }
     [[nodiscard]] std::size_t size() const noexcept { return set_.size(); }
+    // Bytes held by the assignment-set storage — memory_footprint() protocol.
+    [[nodiscard]] std::size_t heap_bytes() const noexcept {
+        return set_.capacity() * sizeof(entry);
+    }
+    // Returns the assignment-set storage to the allocator (capacity_ and
+    // price_ are untouched; reset() re-arms as usual).
+    void shed() noexcept { std::vector<entry>().swap(set_); }
     [[nodiscard]] bool full() const noexcept {
         return static_cast<std::int64_t>(set_.size()) >= capacity_;
     }

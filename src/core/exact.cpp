@@ -37,16 +37,17 @@ exact_result exact_scheduler::run(const problem_view& problem) const {
     }
     // Candidate edges in flat CSR order: candidate k ↔ edge_ids[k].
     const auto requests = problem.all_requests();
-    const auto cands = problem.all_candidates();
+    const std::uint32_t* cand_up = problem.cand_uploaders().data();
+    const double* cand_costs = problem.cand_costs().data();
     std::vector<opt::min_cost_flow::edge_id> edge_ids;
-    edge_ids.reserve(cands.size());
+    edge_ids.reserve(problem.num_candidates());
     for (std::size_t r = 0; r < nr; ++r) {
         const double v = requests[r].valuation;
         const std::size_t begin = problem.candidate_offset(r);
         const std::size_t end = begin + problem.candidates(r).size();
         for (std::size_t k = begin; k < end; ++k)
-            edge_ids.push_back(flow.add_edge(source_node(r), sink_node(cands[k].uploader),
-                                             1, -(v - cands[k].cost)));
+            edge_ids.push_back(flow.add_edge(source_node(r), sink_node(cand_up[k]),
+                                             1, -(v - cand_costs[k])));
     }
     for (std::size_t u = 0; u < nu; ++u)
         flow.add_edge(sink_node(u), t, problem.uploader(u).capacity, 0.0);
@@ -63,7 +64,7 @@ exact_result exact_scheduler::run(const problem_view& problem) const {
                 ensures(result.sched.choice[r] == no_candidate,
                         "request assigned to more than one candidate");
                 result.sched.choice[r] = static_cast<std::ptrdiff_t>(k - begin);
-                result.welfare += requests[r].valuation - cands[k].cost;
+                result.welfare += requests[r].valuation - cand_costs[k];
             }
         }
     }

@@ -92,8 +92,9 @@ void parallel_auction_solver::run_phase(const problem_view& problem, double epsi
     bid_count_.assign(nu, 0);
     touched_of_uploader_.resize(nu);  // only touched entries are ever read
 
-    const std::size_t* offsets = problem.offsets().data();
-    const candidate_info* cands = problem.all_candidates().data();
+    const std::uint32_t* offsets = problem.offsets().data();
+    const std::uint32_t* cand_up = problem.cand_uploaders().data();
+    const double* cand_costs = problem.cand_costs().data();
     const request_info* requests = problem.all_requests().data();
     double* price_cache = price_cache_.data();
 
@@ -128,7 +129,7 @@ void parallel_auction_solver::run_phase(const problem_view& problem, double epsi
                     const double v = requests[r].valuation;
                     if (cold_round) {
                         for (std::size_t k = base; k < end; ++k) {
-                            const double margin = v - cands[k].cost;
+                            const double margin = v - cand_costs[k];
                             if (margin > best) {
                                 second = best;
                                 best = margin;
@@ -140,7 +141,7 @@ void parallel_auction_solver::run_phase(const problem_view& problem, double epsi
                     } else {
                         for (std::size_t k = base; k < end; ++k) {
                             const double margin =
-                                v - cands[k].cost - price_cache[cands[k].uploader];
+                                v - cand_costs[k] - price_cache[cand_up[k]];
                             if (margin > best) {
                                 second = best;
                                 best = margin;
@@ -155,8 +156,7 @@ void parallel_auction_solver::run_phase(const problem_view& problem, double epsi
                 // much of the margin the bidder gives up.
                 if (second < 0.0) second = 0.0;
                 if (best_k != SIZE_MAX && best >= 0.0) {
-                    const std::uint32_t u =
-                        static_cast<std::uint32_t>(cands[best_k].uploader);
+                    const std::uint32_t u = cand_up[best_k];
                     const double increment = best - second;
                     dec[i] = {static_cast<std::uint32_t>(best_k), u,
                               cold_round ? 0.0 + increment + eps
@@ -329,8 +329,9 @@ auction_result parallel_auction_solver::run_impl(
     if (!pool_ && threads() > 1)
         pool_ = std::make_unique<engine::thread_pool>(threads());
 
-    const auto cands = problem.all_candidates();
-    const std::size_t* offsets = problem.offsets().data();
+    const std::uint32_t* offsets = problem.offsets().data();
+    const std::uint32_t* cand_up = problem.cand_uploaders().data();
+    const double* cand_costs = problem.cand_costs().data();
 
     // Lay out the seller slab: uploader u's assignment set lives at
     // heap_slab_[slab_off .. slab_off + capacity) — capacities are invariant
@@ -376,8 +377,7 @@ auction_result parallel_auction_solver::run_impl(
             for (std::size_t r = 0; r < nr; ++r) {
                 std::ptrdiff_t c = result.sched.choice[r];
                 if (c != no_candidate)
-                    ++used_scratch_[cands[offsets[r] + static_cast<std::size_t>(c)]
-                                        .uploader];
+                    ++used_scratch_[cand_up[offsets[r] + static_cast<std::size_t>(c)]];
             }
             for (std::size_t u = 0; u < nu; ++u)
                 if (used_scratch_[u] < problem.uploader(u).capacity) prices[u] = 0.0;
@@ -396,7 +396,6 @@ auction_result parallel_auction_solver::run_impl(
             result.request_utility = derive_request_utilities(problem, result.prices);
         } else {
             result.request_utility.assign(nr, 0.0);
-            const candidate_info* ac = cands.data();
             const auto all_requests = problem.all_requests();
             const double* pr = result.prices.data();
             double* util = result.request_utility.data();
@@ -405,7 +404,7 @@ auction_result parallel_auction_solver::run_impl(
                     const double v = all_requests[r].valuation;
                     double best = 0.0;
                     for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
-                        double margin = v - ac[k].cost - pr[ac[k].uploader];
+                        double margin = v - cand_costs[k] - pr[cand_up[k]];
                         if (margin > best) best = margin;
                     }
                     util[r] = best;
@@ -418,6 +417,44 @@ auction_result parallel_auction_solver::run_impl(
 
 schedule parallel_auction_solver::solve(const problem_view& problem) {
     return run_impl(problem, {}, /*recover_duals=*/false).sched;
+}
+
+void parallel_auction_solver::shed_memory() {
+    std::vector<slab_entry>().swap(heap_slab_);
+    std::vector<seller_meta>().swap(sellers_);
+    std::vector<double>().swap(price_cache_);
+    std::vector<std::uint32_t>().swap(active_);
+    std::vector<std::uint32_t>().swap(next_active_);
+    std::vector<bid_slot>().swap(decisions_);
+    std::vector<bin_entry>().swap(bins_);
+    std::vector<std::uint32_t>().swap(losers_);
+    std::vector<std::uint32_t>().swap(touched_);
+    std::vector<std::uint32_t>().swap(bid_count_);
+    std::vector<std::size_t>().swap(bin_start_);
+    std::vector<std::size_t>().swap(bin_fill_);
+    std::vector<std::uint32_t>().swap(loser_count_);
+    std::vector<std::uint64_t>().swap(evict_count_);
+    std::vector<std::uint32_t>().swap(touched_of_uploader_);
+    std::vector<std::int64_t>().swap(used_scratch_);
+}
+
+std::size_t parallel_auction_solver::workspace_bytes() const {
+    return heap_slab_.capacity() * sizeof(slab_entry) +
+           sellers_.capacity() * sizeof(seller_meta) +
+           price_cache_.capacity() * sizeof(double) +
+           active_.capacity() * sizeof(std::uint32_t) +
+           next_active_.capacity() * sizeof(std::uint32_t) +
+           decisions_.capacity() * sizeof(bid_slot) +
+           bins_.capacity() * sizeof(bin_entry) +
+           losers_.capacity() * sizeof(std::uint32_t) +
+           touched_.capacity() * sizeof(std::uint32_t) +
+           bid_count_.capacity() * sizeof(std::uint32_t) +
+           bin_start_.capacity() * sizeof(std::size_t) +
+           bin_fill_.capacity() * sizeof(std::size_t) +
+           loser_count_.capacity() * sizeof(std::uint32_t) +
+           evict_count_.capacity() * sizeof(std::uint64_t) +
+           touched_of_uploader_.capacity() * sizeof(std::uint32_t) +
+           used_scratch_.capacity() * sizeof(std::int64_t);
 }
 
 }  // namespace p2pcd::core

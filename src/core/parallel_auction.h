@@ -81,6 +81,8 @@ public:
 
     [[nodiscard]] schedule solve(const problem_view& problem) override;
     [[nodiscard]] std::string_view name() const override { return "auction-par"; }
+    void shed_memory() override;
+    [[nodiscard]] std::size_t workspace_bytes() const override;
 
     [[nodiscard]] const parallel_auction_options& options() const noexcept {
         return options_;

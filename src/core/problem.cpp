@@ -8,14 +8,16 @@ namespace p2pcd::core {
 
 std::size_t scheduling_problem::add_uploader(peer_id who, std::int32_t capacity) {
     expects(capacity >= 0, "uploader capacity must be non-negative");
+    expects(uploaders_.size() < 0xffffffffu, "uploader table exceeds u32");
     uploaders_.push_back({who, capacity});
     return uploaders_.size() - 1;
 }
 
 std::size_t scheduling_problem::add_request(peer_id downstream, chunk_id chunk,
                                             double valuation) {
+    expects(requests_.size() < 0xffffffffu, "request table exceeds u32");
     requests_.push_back({downstream, chunk, valuation});
-    offsets_.push_back(candidates_.size());
+    offsets_.push_back(static_cast<std::uint32_t>(cand_uploader_.size()));
     return requests_.size() - 1;
 }
 
@@ -25,14 +27,15 @@ void scheduling_problem::add_candidate(std::size_t request, std::size_t uploader
     expects(uploader < uploaders_.size(), "candidate references unknown uploader");
     if (request + 1 == requests_.size()) {
         // Append to the open (last) row — the builder's fast path.
-        candidates_.push_back({uploader, cost});
-        ++offsets_.back();
+        append_candidate(uploader, cost);
     } else {
         // Insert at the end of row `request`, shifting the CSR tail: every
         // row boundary after it moves up by one.
-        candidates_.insert(
-            candidates_.begin() + static_cast<std::ptrdiff_t>(offsets_[request + 1]),
-            {uploader, cost});
+        expects(cand_uploader_.size() < 0xffffffffu, "candidate slab exceeds u32");
+        const auto at = static_cast<std::ptrdiff_t>(offsets_[request + 1]);
+        cand_uploader_.insert(cand_uploader_.begin() + at,
+                              static_cast<std::uint32_t>(uploader));
+        cand_cost_.insert(cand_cost_.begin() + at, cost);
         for (std::size_t j = request + 1; j <= requests_.size(); ++j) ++offsets_[j];
     }
 }
@@ -40,7 +43,8 @@ void scheduling_problem::add_candidate(std::size_t request, std::size_t uploader
 void scheduling_problem::clear() noexcept {
     uploaders_.clear();
     requests_.clear();
-    candidates_.clear();
+    cand_uploader_.clear();
+    cand_cost_.clear();
     offsets_.clear();
     offsets_.push_back(0);
 }
@@ -50,7 +54,17 @@ void scheduling_problem::reserve(std::size_t uploaders, std::size_t requests,
     uploaders_.reserve(uploaders);
     requests_.reserve(requests);
     offsets_.reserve(requests + 1);
-    candidates_.reserve(candidates);
+    cand_uploader_.reserve(candidates);
+    cand_cost_.reserve(candidates);
+}
+
+void scheduling_problem::shed() noexcept {
+    std::vector<uploader_info>().swap(uploaders_);
+    std::vector<request_info>().swap(requests_);
+    std::vector<std::uint32_t>().swap(cand_uploader_);
+    std::vector<double>().swap(cand_cost_);
+    std::vector<std::uint32_t>().swap(offsets_);
+    offsets_.push_back(0);
 }
 
 const uploader_info& scheduling_problem::uploader(std::size_t u) const {
@@ -63,9 +77,10 @@ const request_info& scheduling_problem::request(std::size_t r) const {
     return requests_[r];
 }
 
-std::span<const candidate_info> scheduling_problem::candidates(std::size_t r) const {
+candidate_range scheduling_problem::candidates(std::size_t r) const {
     expects(r < requests_.size(), "request index out of range");
-    return {candidates_.data() + offsets_[r], offsets_[r + 1] - offsets_[r]};
+    return {cand_uploader_.data() + offsets_[r], cand_cost_.data() + offsets_[r],
+            static_cast<std::size_t>(offsets_[r + 1] - offsets_[r])};
 }
 
 double scheduling_problem::net_value(std::size_t r, std::size_t i) const {
@@ -79,9 +94,9 @@ opt::transportation_instance scheduling_problem::to_transportation() const {
     instance.num_sources = requests_.size();
     instance.sink_capacity.reserve(uploaders_.size());
     for (const auto& u : uploaders_) instance.sink_capacity.push_back(u.capacity);
-    instance.edges.reserve(candidates_.size());
+    instance.edges.reserve(cand_uploader_.size());
     for (std::size_t r = 0; r < requests_.size(); ++r)
-        for (const auto& cand : candidates(r))
+        for (const auto cand : candidates(r))
             instance.edges.push_back(
                 {r, cand.uploader, requests_[r].valuation - cand.cost});
     return instance;
@@ -90,7 +105,7 @@ opt::transportation_instance scheduling_problem::to_transportation() const {
 std::vector<scheduling_problem::edge_origin_entry> scheduling_problem::edge_origins()
     const {
     std::vector<edge_origin_entry> origins;
-    origins.reserve(candidates_.size());
+    origins.reserve(cand_uploader_.size());
     for (std::size_t r = 0; r < requests_.size(); ++r)
         for (std::size_t i = 0; i < offsets_[r + 1] - offsets_[r]; ++i)
             origins.push_back({r, i});

@@ -7,18 +7,26 @@
 //  * candidates: for each request, the neighbors that cache chunk c, each with
 //    the network cost w_{u→d}.
 //
-// Storage is CSR (compressed sparse row): one contiguous candidate array with
-// per-request offsets, so a full sweep over a round's candidates is a single
-// linear scan. `scheduling_problem` is the incremental builder (reusable via
-// `clear()`, so the emulator keeps one arena across rounds); `problem_view`
-// is the flat read-only window every solver consumes.
+// Storage is CSR (compressed sparse row) with structure-of-arrays candidates:
+// the flat candidate slab is a u32 uploader-index array plus a parallel double
+// cost array (12 B/candidate instead of the padded 16 B struct), with u32
+// per-request row starts, so a full sweep over a round's candidates is a
+// linear scan of two dense arrays. `scheduling_problem` is the incremental
+// builder (reusable via `clear()`, so the emulator keeps one arena across
+// rounds; `shed()` drops the arenas entirely between slots); `problem_view` is
+// the flat read-only window every solver consumes. Row-wise consumers iterate
+// `candidates(r)` — a `candidate_range` proxy yielding `candidate_info` values
+// — while the solvers' hot loops read the u32/double slabs directly via
+// `cand_uploaders()`/`cand_costs()`.
 //
 // A `schedule` is the binary decision a^{(c)}_{u→d}: for each request, either
 // one of its candidates or `no_candidate` (request unserved this slot).
 #ifndef P2PCD_CORE_PROBLEM_H
 #define P2PCD_CORE_PROBLEM_H
 
+#include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -45,8 +53,64 @@ struct candidate_info {
     double cost = 0.0;         // w_{u→d}
 };
 
+// Read-only window over one CSR row (or the whole slab) of the SoA candidate
+// storage. Indexing and iteration materialize `candidate_info` by value from
+// the two parallel arrays, so row-wise code reads exactly as it did when the
+// slab was an array-of-structs.
+class candidate_range {
+public:
+    class iterator {
+    public:
+        using value_type = candidate_info;
+        using difference_type = std::ptrdiff_t;
+        using iterator_category = std::forward_iterator_tag;
+
+        iterator() = default;
+        iterator(const std::uint32_t* up, const double* cost) noexcept
+            : up_(up), cost_(cost) {}
+
+        candidate_info operator*() const noexcept { return {*up_, *cost_}; }
+        iterator& operator++() noexcept {
+            ++up_;
+            ++cost_;
+            return *this;
+        }
+        iterator operator++(int) noexcept {
+            iterator old = *this;
+            ++*this;
+            return old;
+        }
+        bool operator==(const iterator& other) const noexcept {
+            return up_ == other.up_;
+        }
+
+    private:
+        const std::uint32_t* up_ = nullptr;
+        const double* cost_ = nullptr;
+    };
+
+    candidate_range() = default;
+    candidate_range(const std::uint32_t* up, const double* cost,
+                    std::size_t n) noexcept
+        : up_(up), cost_(cost), n_(n) {}
+
+    [[nodiscard]] std::size_t size() const noexcept { return n_; }
+    [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+    [[nodiscard]] candidate_info operator[](std::size_t i) const {
+        expects(i < n_, "candidate ordinal out of range");
+        return {up_[i], cost_[i]};
+    }
+    [[nodiscard]] iterator begin() const noexcept { return {up_, cost_}; }
+    [[nodiscard]] iterator end() const noexcept { return {up_ + n_, cost_ + n_}; }
+
+private:
+    const std::uint32_t* up_ = nullptr;
+    const double* cost_ = nullptr;
+    std::size_t n_ = 0;
+};
+
 // Trivially-copyable read-only window over one problem in CSR layout:
-// request r owns candidates [offsets[r], offsets[r+1]) of the flat array.
+// request r owns candidates [offsets[r], offsets[r+1]) of the flat slab.
 // Cheap to pass by value; valid only while the owning builder is alive and
 // unmodified.
 class problem_view {
@@ -54,16 +118,20 @@ public:
     problem_view() = default;
     problem_view(std::span<const uploader_info> uploaders,
                  std::span<const request_info> requests,
-                 std::span<const std::size_t> offsets,
-                 std::span<const candidate_info> candidates) noexcept
+                 std::span<const std::uint32_t> offsets,
+                 std::span<const std::uint32_t> cand_uploaders,
+                 std::span<const double> cand_costs) noexcept
         : uploaders_(uploaders),
           requests_(requests),
           offsets_(offsets),
-          candidates_(candidates) {}
+          cand_uploaders_(cand_uploaders),
+          cand_costs_(cand_costs) {}
 
     [[nodiscard]] std::size_t num_uploaders() const noexcept { return uploaders_.size(); }
     [[nodiscard]] std::size_t num_requests() const noexcept { return requests_.size(); }
-    [[nodiscard]] std::size_t num_candidates() const noexcept { return candidates_.size(); }
+    [[nodiscard]] std::size_t num_candidates() const noexcept {
+        return cand_uploaders_.size();
+    }
 
     [[nodiscard]] const uploader_info& uploader(std::size_t u) const {
         expects(u < uploaders_.size(), "uploader index out of range");
@@ -73,9 +141,10 @@ public:
         expects(r < requests_.size(), "request index out of range");
         return requests_[r];
     }
-    [[nodiscard]] std::span<const candidate_info> candidates(std::size_t r) const {
+    [[nodiscard]] candidate_range candidates(std::size_t r) const {
         expects(r < requests_.size(), "request index out of range");
-        return candidates_.subspan(offsets_[r], offsets_[r + 1] - offsets_[r]);
+        return {cand_uploaders_.data() + offsets_[r], cand_costs_.data() + offsets_[r],
+                static_cast<std::size_t>(offsets_[r + 1] - offsets_[r])};
     }
     // Flat index of request r's first candidate — candidate ordinal i of
     // request r lives at `candidate_offset(r) + i` in solver-side flat
@@ -84,13 +153,20 @@ public:
         expects(r < requests_.size(), "request index out of range");
         return offsets_[r];
     }
-    [[nodiscard]] std::span<const candidate_info> all_candidates() const noexcept {
-        return candidates_;
+    [[nodiscard]] candidate_range all_candidates() const noexcept {
+        return {cand_uploaders_.data(), cand_costs_.data(), cand_uploaders_.size()};
     }
     // The raw CSR row starts (num_requests()+1 entries) for solvers that walk
     // the flat layout without per-row bounds checks.
-    [[nodiscard]] std::span<const std::size_t> offsets() const noexcept {
+    [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
         return offsets_;
+    }
+    // The flat SoA candidate slabs — what the solver hot loops index.
+    [[nodiscard]] std::span<const std::uint32_t> cand_uploaders() const noexcept {
+        return cand_uploaders_;
+    }
+    [[nodiscard]] std::span<const double> cand_costs() const noexcept {
+        return cand_costs_;
     }
     [[nodiscard]] std::span<const uploader_info> all_uploaders() const noexcept {
         return uploaders_;
@@ -109,8 +185,9 @@ public:
 private:
     std::span<const uploader_info> uploaders_;
     std::span<const request_info> requests_;
-    std::span<const std::size_t> offsets_;  // num_requests()+1 entries
-    std::span<const candidate_info> candidates_;
+    std::span<const std::uint32_t> offsets_;  // num_requests()+1 entries
+    std::span<const std::uint32_t> cand_uploaders_;
+    std::span<const double> cand_costs_;
 };
 
 class scheduling_problem {
@@ -133,7 +210,9 @@ public:
     // metro run, so it lives in the header (no cross-TU call, one branch).
     void append_candidate(std::size_t uploader, double cost) {
         expects(!requests_.empty(), "append_candidate needs an open request");
-        candidates_.push_back({uploader, cost});
+        expects(cand_uploader_.size() < 0xffffffffu, "candidate slab exceeds u32");
+        cand_uploader_.push_back(static_cast<std::uint32_t>(uploader));
+        cand_cost_.push_back(cost);
         ++offsets_.back();
     }
 
@@ -145,13 +224,31 @@ public:
     // state after the first round).
     void reserve(std::size_t uploaders, std::size_t requests, std::size_t candidates);
 
+    // Returns the arenas to the allocator (capacity drops to zero). The
+    // emulator sheds the slot problem after the last bidding round so a
+    // shard's high-water slab is only resident while its slot is solving —
+    // pair with `reserve()` of the remembered high water at the next build.
+    void shed() noexcept;
+
+    // Bytes held in the arenas (capacity, not size) — memory_footprint()
+    // protocol.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return uploaders_.capacity() * sizeof(uploader_info) +
+               requests_.capacity() * sizeof(request_info) +
+               offsets_.capacity() * sizeof(std::uint32_t) +
+               cand_uploader_.capacity() * sizeof(std::uint32_t) +
+               cand_cost_.capacity() * sizeof(double);
+    }
+
     [[nodiscard]] std::size_t num_uploaders() const noexcept { return uploaders_.size(); }
     [[nodiscard]] std::size_t num_requests() const noexcept { return requests_.size(); }
-    [[nodiscard]] std::size_t num_candidates() const noexcept { return candidates_.size(); }
+    [[nodiscard]] std::size_t num_candidates() const noexcept {
+        return cand_uploader_.size();
+    }
 
     [[nodiscard]] const uploader_info& uploader(std::size_t u) const;
     [[nodiscard]] const request_info& request(std::size_t r) const;
-    [[nodiscard]] std::span<const candidate_info> candidates(std::size_t r) const;
+    [[nodiscard]] candidate_range candidates(std::size_t r) const;
 
     // Net utility v − w of serving request r through its i-th candidate.
     [[nodiscard]] double net_value(std::size_t r, std::size_t i) const;
@@ -159,7 +256,7 @@ public:
     // The flat window solvers consume. Implicit so every view-consuming API
     // accepts a builder directly; invalidated by any further mutation.
     [[nodiscard]] problem_view view() const noexcept {
-        return {uploaders_, requests_, offsets_, candidates_};
+        return {uploaders_, requests_, offsets_, cand_uploader_, cand_cost_};
     }
     operator problem_view() const noexcept { return view(); }  // NOLINT(google-explicit-constructor)
 
@@ -178,8 +275,9 @@ public:
 private:
     std::vector<uploader_info> uploaders_;
     std::vector<request_info> requests_;
-    std::vector<std::size_t> offsets_;  // CSR row starts; requests+1 entries
-    std::vector<candidate_info> candidates_;
+    std::vector<std::uint32_t> offsets_;  // CSR row starts; requests+1 entries
+    std::vector<std::uint32_t> cand_uploader_;  // SoA candidate slab
+    std::vector<double> cand_cost_;
 };
 
 inline constexpr std::ptrdiff_t no_candidate = -1;
@@ -208,6 +306,13 @@ public:
     // schedulers ignore it. The emulator calls this once per bidding round
     // with a seed derived from (slot, round) via sim::rng_factory.
     virtual void reseed(std::uint64_t seed) { (void)seed; }
+    // Returns persistent workspaces to the allocator; the next solve()
+    // regrows them. The emulator calls this at slot end so solver slabs are
+    // only resident while a shard's slot is in flight.
+    virtual void shed_memory() {}
+    // Bytes currently held in persistent workspaces (capacity, not size) —
+    // memory_footprint() protocol.
+    [[nodiscard]] virtual std::size_t workspace_bytes() const { return 0; }
 };
 
 }  // namespace p2pcd::core

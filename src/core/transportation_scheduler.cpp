@@ -15,13 +15,14 @@ transportation_result transportation_simplex_scheduler::run(
     for (std::size_t u = 0; u < nu; ++u)
         instance_.sink_capacity[u] = problem.uploader(u).capacity;
     const auto requests = problem.all_requests();
-    const auto cands = problem.all_candidates();
-    const std::size_t* offsets = problem.offsets().data();
-    instance_.edges.resize(cands.size());
+    const std::uint32_t* cand_up = problem.cand_uploaders().data();
+    const double* cand_costs = problem.cand_costs().data();
+    const std::uint32_t* offsets = problem.offsets().data();
+    instance_.edges.resize(problem.num_candidates());
     for (std::size_t r = 0; r < nr; ++r) {
         const double v = requests[r].valuation;
         for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k)
-            instance_.edges[k] = {r, cands[k].uploader, v - cands[k].cost};
+            instance_.edges[k] = {r, cand_up[k], v - cand_costs[k]};
     }
 
     opt::transportation_solution sol = opt::solve_transportation_simplex(instance_);

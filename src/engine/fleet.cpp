@@ -30,6 +30,12 @@ fleet::fleet(fleet_options options)
 
     options_.swarm_options.scheduler = options_.config.scheduler;
 
+    // Catalog, valuation curve and popularity CDF are pure functions of the
+    // base scenario — build them once and share the instance read-only
+    // across every shard instead of paying for one copy per swarm.
+    if (!options_.swarm_options.assets)
+        options_.swarm_options.assets = vod::shared_assets::make(base);
+
     // Shard construction (spawning up to hundreds of thousands of peers) is
     // itself embarrassingly parallel: each shard only touches its own world.
     shards_.resize(specs.size());
@@ -39,6 +45,7 @@ fleet::fleet(fleet_options options)
                                              options_.swarm_options);
     });
     last_slot_.resize(shards_.size());
+    rss_phases_.post_construct_mb = metrics::current_rss_mb();
 }
 
 const fleet_slot_metrics& fleet::step() {
@@ -77,6 +84,8 @@ const fleet_slot_metrics& fleet::step() {
     miss_rate_series_.record(merged.time, merged.miss_rate);
     viewers_series_.record(merged.time, static_cast<double>(merged.online_peers));
     slots_.push_back(merged);
+    if (num_slots_ > 0 && slots_.size() == (num_slots_ + 1) / 2)
+        rss_phases_.mid_run_mb = metrics::current_rss_mb();
     return slots_.back();
 }
 
@@ -86,6 +95,17 @@ void fleet::run() {
     has_run_ = true;
     for (std::size_t k = 0; k < num_slots_; ++k) step();
     peak_rss_mb_ = metrics::peak_rss_mb();
+    rss_phases_.end_mb = metrics::current_rss_mb();
+}
+
+vod::memory_breakdown fleet::memory_footprint() const {
+    vod::memory_breakdown total;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        vod::memory_breakdown b = shards_[i]->emulator().memory_footprint();
+        if (i > 0) b.shared = 0;  // same shared_assets instance everywhere
+        total += b;
+    }
+    return total;
 }
 
 std::uint64_t fleet::solves_per_run() const noexcept {

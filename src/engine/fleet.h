@@ -51,6 +51,16 @@ struct fleet_options {
     vod::emulator_options swarm_options;
 };
 
+// Process RSS sampled at the fleet's lifecycle phases (MiB; 0 until the
+// phase has been reached). `post_construct` isolates the standing state —
+// peers, buffers, trackers — from what the run loop adds on top, and
+// `mid_run` vs `end` exposes drift across the horizon.
+struct fleet_rss_phases {
+    double post_construct_mb = 0.0;
+    double mid_run_mb = 0.0;  // sampled after slot ⌈num_slots/2⌉
+    double end_mb = 0.0;      // sampled at the end of run()
+};
+
 // One slot's metrics summed over every swarm (index order, so the floating-
 // point sums are reproducible).
 struct fleet_slot_metrics {
@@ -116,6 +126,14 @@ public:
 
     // Peak process RSS in MiB sampled at the end of run() (0 before).
     [[nodiscard]] double peak_rss_mb() const noexcept { return peak_rss_mb_; }
+    // Current-RSS samples at construction end / mid-run / run end.
+    [[nodiscard]] const fleet_rss_phases& rss_phases() const noexcept {
+        return rss_phases_;
+    }
+    // Per-subsystem bytes summed over every shard, with the read-only
+    // shared_assets counted exactly once (every shard points at the same
+    // instance the fleet built).
+    [[nodiscard]] vod::memory_breakdown memory_footprint() const;
 
     // --- ISP economy (when the base scenario enables it; see src/isp/) ---
     [[nodiscard]] bool economy_enabled() const;
@@ -141,6 +159,7 @@ private:
     metrics::time_series viewers_series_{"fleet_viewers"};
     bool has_run_ = false;
     double peak_rss_mb_ = 0.0;
+    fleet_rss_phases rss_phases_;
 };
 
 }  // namespace p2pcd::engine

@@ -69,6 +69,12 @@ public:
     // thread counts.
     friend bool operator==(const traffic_ledger& a, const traffic_ledger& b);
 
+    // Bytes held by the slot grid (capacity, not size) — memory_footprint()
+    // protocol.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return times_.capacity() * sizeof(double) + cells_.capacity() * sizeof(cell);
+    }
+
 private:
     struct cell {
         std::uint64_t chunks = 0;

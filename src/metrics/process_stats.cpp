@@ -4,6 +4,12 @@
 #include <sys/resource.h>
 #endif
 
+#if defined(__linux__)
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
 namespace p2pcd::metrics {
 
 double peak_rss_mb() {
@@ -15,6 +21,24 @@ double peak_rss_mb() {
     rusage usage{};
     getrusage(RUSAGE_SELF, &usage);
     return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#else
+    return 0.0;
+#endif
+}
+
+double current_rss_mb() {
+#if defined(__linux__)
+    // /proc/self/statm: "size resident shared ..." in pages.
+    std::FILE* f = std::fopen("/proc/self/statm", "r");
+    if (f == nullptr) return 0.0;
+    long size = 0;
+    long resident = 0;
+    const int fields = std::fscanf(f, "%ld %ld", &size, &resident);
+    std::fclose(f);
+    if (fields != 2) return 0.0;
+    const long page = sysconf(_SC_PAGESIZE);
+    return static_cast<double>(resident) * static_cast<double>(page) /
+           (1024.0 * 1024.0);
 #else
     return 0.0;
 #endif

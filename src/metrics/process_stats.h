@@ -10,6 +10,11 @@ namespace p2pcd::metrics {
 // Returns 0.0 on platforms without getrusage.
 [[nodiscard]] double peak_rss_mb();
 
+// Current resident-set size of this process in MiB (it does go down when
+// pages are returned to the kernel, unlike the peak). Linux-only
+// (/proc/self/statm); returns 0.0 elsewhere.
+[[nodiscard]] double current_rss_mb();
+
 }  // namespace p2pcd::metrics
 
 #endif  // P2PCD_METRICS_PROCESS_STATS_H

@@ -96,6 +96,13 @@ public:
 
     [[nodiscard]] const cost_params& params() const noexcept { return params_; }
     [[nodiscard]] cost_cache_stats cache_stats() const noexcept;
+    // Bytes held by the link cache and its scratch (capacity, not size) —
+    // memory_footprint() protocol.
+    [[nodiscard]] std::size_t cache_bytes() const noexcept {
+        return cache_keys_.capacity() * sizeof(std::uint64_t) +
+               cache_vals_.capacity() * sizeof(double) +
+               keys_scratch_.capacity() * sizeof(std::uint64_t);
+    }
 
 private:
     const isp_topology* topology_;

@@ -49,6 +49,11 @@ public:
 
     [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
 
+    // Heap bytes behind the CDF table — memory_footprint() protocol.
+    [[nodiscard]] std::size_t cdf_bytes() const noexcept {
+        return cdf_.capacity() * sizeof(double);
+    }
+
 private:
     std::vector<double> cdf_;  // cdf_[i] = P(rank <= i+1)
     double alpha_;

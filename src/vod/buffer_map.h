@@ -1,17 +1,30 @@
 // Per-peer chunk availability bitmap for one video — the "buffer map"
 // exchanged between neighbors in the paper's system model (Sec. III-A).
 //
-// Storage is word-packed (64 chunks per std::uint64_t): range queries
-// (`missing_in`) collapse to masked popcounts and the request-window scan of
-// the problem builder jumps straight between gaps via `first_missing_in`,
-// instead of walking a vector<bool> proxy bit by bit.
+// Players are quasi-static: a viewer's buffer is a dense watched prefix plus
+// a sparse frontier right behind the playback window. The compact form
+// stores exactly that — a word-aligned complete-prefix mark (`base_`: every
+// chunk below 64·base_ is present) plus a small window of frontier words —
+// so a fully-seeded peer costs no heap at all and a healthy viewer costs
+// sizeof(buffer_map). A peer whose frontier outruns the window (permanent
+// holes behind playback, e.g. a high-miss swarm) falls back to the dense
+// word-packed vector automatically and permanently; every query gives the
+// same answer in either mode (pinned by the randomized equivalence suite).
+//
+// Queries stay word-parallel in both modes: range queries (`missing_in`)
+// collapse to masked popcounts and the request-window scan of the problem
+// builder jumps straight between gaps via `first_missing_in`. Bulk window
+// reads go through `copy_words` (bit i of word w = chunk 64w + i, bits at or
+// beyond size() always zero) — the compact form materializes its words on
+// the fly, so there is no raw span accessor.
 #ifndef P2PCD_VOD_BUFFER_MAP_H
 #define P2PCD_VOD_BUFFER_MAP_H
 
+#include <algorithm>
+#include <array>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <span>
 #include <vector>
 
 #include "common/contracts.h"
@@ -20,23 +33,51 @@ namespace p2pcd::vod {
 
 class buffer_map {
 public:
+    // Words tracked past the complete prefix before the compact form gives
+    // up: 256 chunks comfortably covers a viewer whose prefetch window (100
+    // chunks) sits just past its watched prefix, while keeping the object at
+    // two cache lines.
+    static constexpr std::size_t frontier_word_count = 4;
+
     buffer_map() = default;
-    explicit buffer_map(std::size_t num_chunks)
-        : size_(num_chunks), have_((num_chunks + 63) / 64, 0) {}
+    explicit buffer_map(std::size_t num_chunks) {
+        expects(num_chunks <= 0xffffffffu, "buffer_map holds fewer than 2^32 chunks");
+        size_ = static_cast<std::uint32_t>(num_chunks);
+    }
 
     [[nodiscard]] std::size_t size() const noexcept { return size_; }
     [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    // True once the map fell back to the dense word vector.
+    [[nodiscard]] bool is_dense() const noexcept { return !dense_.empty(); }
 
     [[nodiscard]] bool has(std::size_t index) const {
         expects(index < size_, "buffer index out of range");
-        return (have_[index >> 6] >> (index & 63)) & 1u;
+        const std::size_t w = index >> 6;
+        if (is_dense()) return (dense_[w] >> (index & 63)) & 1u;
+        if (w < base_) return true;
+        if (w < base_ + frontier_word_count)
+            return (frontier_[w - base_] >> (index & 63)) & 1u;
+        return false;
     }
 
     // Returns true when this set() newly added the chunk.
     bool set(std::size_t index) {
         expects(index < size_, "buffer index out of range");
+        const std::size_t w = index >> 6;
         const std::uint64_t bit = std::uint64_t{1} << (index & 63);
-        std::uint64_t& word = have_[index >> 6];
+        if (!is_dense()) {
+            if (w < base_) return false;  // inside the complete prefix
+            if (w < base_ + frontier_word_count) {
+                std::uint64_t& word = frontier_[w - base_];
+                if (word & bit) return false;
+                word |= bit;
+                ++count_;
+                advance_prefix();
+                return true;
+            }
+            densify();  // hole outran the window — permanent dense fallback
+        }
+        std::uint64_t& word = dense_[w];
         if (word & bit) return false;
         word |= bit;
         ++count_;
@@ -46,17 +87,42 @@ public:
     // Marks chunks [0, end) as present (seeding / watched-prefix setup).
     void fill_prefix(std::size_t end) {
         expects(end <= size_, "prefix end out of range");
-        const std::size_t full_words = end >> 6;
-        for (std::size_t w = 0; w < full_words; ++w) {
-            count_ += 64 - static_cast<std::size_t>(std::popcount(have_[w]));
-            have_[w] = ~std::uint64_t{0};
+        if (end == 0) return;
+        if (is_dense()) {
+            const std::size_t full_words = end >> 6;
+            for (std::size_t w = 0; w < full_words; ++w) {
+                count_ += 64 - static_cast<std::uint32_t>(std::popcount(dense_[w]));
+                dense_[w] = ~std::uint64_t{0};
+            }
+            if (end & 63) {
+                const std::uint64_t mask = (std::uint64_t{1} << (end & 63)) - 1;
+                std::uint64_t& word = dense_[full_words];
+                count_ += static_cast<std::uint32_t>(std::popcount(mask & ~word));
+                word |= mask;
+            }
+            return;
         }
-        if (end & 63) {
-            const std::uint64_t mask = (std::uint64_t{1} << (end & 63)) - 1;
-            std::uint64_t& word = have_[full_words];
-            count_ += static_cast<std::size_t>(std::popcount(mask & ~word));
-            word |= mask;
+        count_ += static_cast<std::uint32_t>(missing_in(0, end));
+        const std::size_t ew = end >> 6;  // words fully inside [0, end)
+        if (ew > base_) {
+            // Slide the window up to start at ew; words dropped off the low
+            // side land inside the new prefix, so nothing is lost.
+            const std::size_t shift = ew - base_;
+            if (shift >= frontier_word_count) {
+                frontier_.fill(0);
+            } else {
+                for (std::size_t i = 0; i + shift < frontier_word_count; ++i)
+                    frontier_[i] = frontier_[i + shift];
+                for (std::size_t i = frontier_word_count - shift;
+                     i < frontier_word_count; ++i)
+                    frontier_[i] = 0;
+            }
+            base_ = static_cast<std::uint32_t>(ew);
         }
+        // ew < base_ means the tail bits already sit inside the prefix.
+        if ((end & 63) && ew == base_)
+            frontier_[0] |= (std::uint64_t{1} << (end & 63)) - 1;
+        advance_prefix();
     }
 
     void fill_all() { fill_prefix(size_); }
@@ -67,18 +133,31 @@ public:
     [[nodiscard]] std::size_t missing_in(std::size_t begin, std::size_t end) const {
         expects(begin <= end && end <= size_, "range out of bounds");
         if (begin == end) return 0;
-        const std::size_t first = begin >> 6;
-        const std::size_t last = (end - 1) >> 6;  // inclusive word index
-        const std::uint64_t head = ~std::uint64_t{0} << (begin & 63);
-        const std::uint64_t tail = ~std::uint64_t{0} >> (63 - ((end - 1) & 63));
+        if (is_dense()) return (end - begin) - present_dense(begin, end);
         std::size_t present = 0;
-        if (first == last) {
-            present = static_cast<std::size_t>(std::popcount(have_[first] & head & tail));
-        } else {
-            present = static_cast<std::size_t>(std::popcount(have_[first] & head));
-            for (std::size_t w = first + 1; w < last; ++w)
-                present += static_cast<std::size_t>(std::popcount(have_[w]));
-            present += static_cast<std::size_t>(std::popcount(have_[last] & tail));
+        const std::size_t prefix_end = static_cast<std::size_t>(base_) << 6;
+        if (begin < prefix_end) present += std::min(end, prefix_end) - begin;
+        const std::size_t win_end =
+            (static_cast<std::size_t>(base_) + frontier_word_count) << 6;
+        const std::size_t lo = std::max(begin, prefix_end);
+        const std::size_t hi = std::min(end, win_end);
+        if (lo < hi) {
+            const std::size_t first = lo >> 6;
+            const std::size_t last = (hi - 1) >> 6;  // inclusive word index
+            const std::uint64_t head = ~std::uint64_t{0} << (lo & 63);
+            const std::uint64_t tail = ~std::uint64_t{0} >> (63 - ((hi - 1) & 63));
+            if (first == last) {
+                present += static_cast<std::size_t>(
+                    std::popcount(frontier_[first - base_] & head & tail));
+            } else {
+                present += static_cast<std::size_t>(
+                    std::popcount(frontier_[first - base_] & head));
+                for (std::size_t w = first + 1; w < last; ++w)
+                    present +=
+                        static_cast<std::size_t>(std::popcount(frontier_[w - base_]));
+                present += static_cast<std::size_t>(
+                    std::popcount(frontier_[last - base_] & tail));
+            }
         }
         return (end - begin) - present;
     }
@@ -89,39 +168,126 @@ public:
                                                std::size_t end) const {
         expects(begin <= end && end <= size_, "range out of bounds");
         if (begin == end) return end;
-        std::size_t w = begin >> 6;
-        const std::size_t last = (end - 1) >> 6;
-        std::uint64_t gaps = ~have_[w] & (~std::uint64_t{0} << (begin & 63));
-        while (gaps == 0) {
-            if (++w > last) return end;
-            gaps = ~have_[w];
+        if (is_dense()) {
+            std::size_t w = begin >> 6;
+            const std::size_t last = (end - 1) >> 6;
+            std::uint64_t gaps = ~dense_[w] & (~std::uint64_t{0} << (begin & 63));
+            while (gaps == 0) {
+                if (++w > last) return end;
+                gaps = ~dense_[w];
+            }
+            const std::size_t index =
+                (w << 6) + static_cast<std::size_t>(std::countr_zero(gaps));
+            return index < end ? index : end;
         }
-        const std::size_t index =
-            (w << 6) + static_cast<std::size_t>(std::countr_zero(gaps));
+        const std::size_t prefix_end = static_cast<std::size_t>(base_) << 6;
+        const std::size_t from = std::max(begin, prefix_end);
+        if (from >= end) return end;
+        const std::size_t win_words =
+            static_cast<std::size_t>(base_) + frontier_word_count;
+        std::size_t w = from >> 6;
+        if (w < win_words) {
+            std::uint64_t gaps = ~frontier_[w - base_] & (~std::uint64_t{0} << (from & 63));
+            while (true) {
+                if (gaps != 0) {
+                    const std::size_t index =
+                        (w << 6) + static_cast<std::size_t>(std::countr_zero(gaps));
+                    return index < end ? index : end;
+                }
+                if (++w >= win_words) break;
+                gaps = ~frontier_[w - base_];
+            }
+        }
+        // Past the frontier window everything is missing.
+        const std::size_t index = std::max(begin, win_words << 6);
         return index < end ? index : end;
     }
 
-    // Raw backing words (bit i of word w = chunk 64w + i) for bulk window
-    // operations — the problem builder gathers each neighbor's window words
-    // once instead of probing bits across the table. Bits at or beyond
-    // size() are zero.
-    [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
-        return have_;
+    // Copies words [word_lo, word_lo + n) of the bitmap into `out` (bit i of
+    // out[k] = chunk 64·(word_lo + k) + i) — the problem builder gathers each
+    // neighbor's window words once instead of probing bits across the table.
+    // Bits at or beyond size() are zero, exactly like the dense backing.
+    void copy_words(std::size_t word_lo, std::size_t n, std::uint64_t* out) const {
+        expects(word_lo + n <= (static_cast<std::size_t>(size_) + 63) / 64,
+                "word range out of bounds");
+        if (is_dense()) {
+            std::copy_n(dense_.data() + word_lo, n, out);
+            return;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::size_t w = word_lo + k;
+            out[k] = w < base_                        ? ~std::uint64_t{0}
+                     : w < base_ + frontier_word_count ? frontier_[w - base_]
+                                                       : 0;
+        }
+    }
+
+    // Bytes retained beyond sizeof(*this) — only the dense fallback owns
+    // heap. Part of the memory_footprint() protocol.
+    [[nodiscard]] std::size_t heap_bytes() const noexcept {
+        return dense_.capacity() * sizeof(std::uint64_t);
     }
 
     // Drops the storage (size and count become 0). The emulator reclaims the
     // buffers of departed peers this way: nothing reads them post-departure,
     // and at metro scale dead bitmaps would otherwise accumulate forever.
     void release() noexcept {
-        std::vector<std::uint64_t>().swap(have_);
+        std::vector<std::uint64_t>().swap(dense_);
+        frontier_.fill(0);
         size_ = 0;
         count_ = 0;
+        base_ = 0;
     }
 
 private:
-    std::size_t size_ = 0;
-    std::vector<std::uint64_t> have_;  // bit i of word w = chunk 64w + i
-    std::size_t count_ = 0;
+    // Hoists completed frontier words into the prefix mark. A frontier word
+    // can only be all-ones when all 64 of its chunks are below size() (bits
+    // beyond size() are never set), so 64·base_ <= size() is invariant.
+    void advance_prefix() noexcept {
+        while (frontier_[0] == ~std::uint64_t{0}) {
+            for (std::size_t i = 0; i + 1 < frontier_word_count; ++i)
+                frontier_[i] = frontier_[i + 1];
+            frontier_[frontier_word_count - 1] = 0;
+            ++base_;
+        }
+    }
+
+    // One-way door: materialize the full word vector and stop maintaining
+    // the compact bookkeeping.
+    void densify() {
+        const std::size_t words = (static_cast<std::size_t>(size_) + 63) / 64;
+        dense_.assign(words, 0);
+        std::fill_n(dense_.begin(), std::min<std::size_t>(base_, words),
+                    ~std::uint64_t{0});
+        for (std::size_t i = 0; i < frontier_word_count; ++i)
+            if (base_ + i < words) dense_[base_ + i] = frontier_[i];
+        base_ = 0;
+        frontier_.fill(0);
+    }
+
+    [[nodiscard]] std::size_t present_dense(std::size_t begin, std::size_t end) const {
+        const std::size_t first = begin >> 6;
+        const std::size_t last = (end - 1) >> 6;  // inclusive word index
+        const std::uint64_t head = ~std::uint64_t{0} << (begin & 63);
+        const std::uint64_t tail = ~std::uint64_t{0} >> (63 - ((end - 1) & 63));
+        if (first == last)
+            return static_cast<std::size_t>(std::popcount(dense_[first] & head & tail));
+        std::size_t present =
+            static_cast<std::size_t>(std::popcount(dense_[first] & head));
+        for (std::size_t w = first + 1; w < last; ++w)
+            present += static_cast<std::size_t>(std::popcount(dense_[w]));
+        present += static_cast<std::size_t>(std::popcount(dense_[last] & tail));
+        return present;
+    }
+
+    std::uint32_t size_ = 0;
+    std::uint32_t count_ = 0;
+    // Compact form: chunks below 64·base_ are all present; the next
+    // frontier_word_count words live in frontier_; everything past the
+    // window is absent. Dead (zeroed) once dense_ is engaged.
+    std::uint32_t base_ = 0;
+    std::array<std::uint64_t, frontier_word_count> frontier_{};
+    std::vector<std::uint64_t> dense_;  // engaged = dense fallback mode
 };
 
 }  // namespace p2pcd::vod

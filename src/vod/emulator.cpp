@@ -15,16 +15,22 @@ namespace p2pcd::vod {
 
 emulator::emulator(emulator_options options)
     : options_(std::move(options)),
-      catalog_(options_.config.num_videos, options_.config.chunks_per_video(),
-               options_.config.chunks_per_second()),
+      assets_(options_.assets ? options_.assets
+                              : shared_assets::make(options_.config)),
       topology_(options_.config.num_isps),
       rng_factory_(options_.config.master_seed),
       arrival_rng_(rng_factory_.stream("arrivals")),
-      peer_rng_(rng_factory_.stream("peers")),
-      video_popularity_(options_.config.num_videos, 0.78, 4.0),
-      valuation_(options_.config.valuation_alpha, options_.config.valuation_beta,
-                 options_.config.valuation_min, options_.config.valuation_max) {
+      peer_rng_(rng_factory_.stream("peers")) {
     options_.config.validate();
+    // Externally-provided assets must match what this config would build —
+    // sharing may never change behavior.
+    expects(assets_->catalog.num_videos() == options_.config.num_videos &&
+                assets_->catalog.chunks_per_video() ==
+                    options_.config.chunks_per_video() &&
+                assets_->catalog.chunks_per_second() ==
+                    options_.config.chunks_per_second() &&
+                assets_->video_popularity.size() == options_.config.num_videos,
+            "shared assets built from an incompatible scenario");
 
     // Resolve the scheduling algorithm by name, once; the instance lives as
     // long as the emulator so its workspaces stay warm across rounds.
@@ -92,8 +98,8 @@ std::size_t emulator::spawn_viewer(double join_time, bool pre_warmed) {
     // "distributed in the 5 ISPs evenly"
     viewer.isp = isp_id(static_cast<std::int32_t>(
         static_cast<std::size_t>(viewer.id.value()) % cfg.num_isps));
-    viewer.video = video_id(
-        static_cast<std::int32_t>(video_popularity_.sample(peer_rng_) - 1));
+    viewer.video = video_id(static_cast<std::int32_t>(
+        assets_->video_popularity.sample(peer_rng_) - 1));
     double multiple = peer_rng_.uniform_real(cfg.peer_upload_min_multiple,
                                              cfg.peer_upload_max_multiple);
     viewer.upload_capacity = static_cast<std::int32_t>(
@@ -153,7 +159,7 @@ void emulator::process_arrivals(double until) {
 void emulator::process_departures() {
     bool any = false;
     for (std::uint32_t row : active_viewers_) {
-        bool finished = peers_.finished(row, catalog_.chunks_per_video());
+        bool finished = peers_.finished(row, assets_->catalog.chunks_per_video());
         bool quits = peers_.planned_departure(row) >= 0.0 &&
                      peers_.planned_departure(row) <= now_;
         if (!finished && !quits) continue;
@@ -176,7 +182,8 @@ void emulator::refresh_neighbors() {
     neighbor_rows_.clear();
     for (std::uint32_t row : active_viewers_) {
         tracker_.bootstrap(row, options_.config.neighbor_count, neighbor_rows_);
-        neighbor_offsets_[row + 1] = neighbor_rows_.size();
+        expects(neighbor_rows_.size() <= 0xffffffffu, "neighbor arena exceeds u32");
+        neighbor_offsets_[row + 1] = static_cast<std::uint32_t>(neighbor_rows_.size());
     }
     // Rows that did not bootstrap (seeds, departed) get empty ranges.
     for (std::size_t r = 1; r <= rows; ++r)
@@ -206,7 +213,11 @@ void emulator::build_problem(double now,
                              const std::vector<std::int32_t>& round_capacity) {
     slot_problem& sp = round_problem_;
     sp.problem.clear();  // arena reuse: capacity from previous rounds persists
-    sp.uploader_of_peer.assign(peers_.rows(), SIZE_MAX);
+    // The arena was shed at the previous slot's end; one reserve at the
+    // remembered high water replaces the geometric regrowth (first slot: all
+    // zeros, plain growth).
+    sp.problem.reserve(hw_uploaders_, hw_requests_, hw_candidates_);
+    sp.uploader_of_peer.assign(peers_.rows(), UINT32_MAX);
     sp.uploader_row.clear();
     sp.request_row.clear();
     // Seeds occupy the first rows and never depart; live viewers follow in
@@ -214,14 +225,14 @@ void emulator::build_problem(double now,
     // scan minus the departed.
     for (std::size_t row = 0; row < num_seeds_; ++row) {
         if (round_capacity[row] <= 0) continue;
-        sp.uploader_of_peer[row] =
-            sp.problem.add_uploader(peers_.id(row), round_capacity[row]);
+        sp.uploader_of_peer[row] = static_cast<std::uint32_t>(
+            sp.problem.add_uploader(peers_.id(row), round_capacity[row]));
         sp.uploader_row.push_back(static_cast<std::uint32_t>(row));
     }
     for (std::uint32_t row : active_viewers_) {
         if (round_capacity[row] <= 0) continue;
-        sp.uploader_of_peer[row] =
-            sp.problem.add_uploader(peers_.id(row), round_capacity[row]);
+        sp.uploader_of_peer[row] = static_cast<std::uint32_t>(
+            sp.problem.add_uploader(peers_.id(row), round_capacity[row]));
         sp.uploader_row.push_back(row);
     }
 
@@ -254,11 +265,12 @@ void emulator::build_problem(double now,
         for (std::size_t k = nbr_begin; k < nbr_end; ++k) {
             const std::uint32_t n_row = neighbor_rows_[k];
             if (peers_.departed(n_row)) continue;
-            const std::size_t uploader = sp.uploader_of_peer[n_row];
-            if (uploader == SIZE_MAX) continue;
-            const auto words = peers_.buffer(n_row).words();
-            for (std::size_t w = 0; w < n_words; ++w)
-                cand_words_.push_back(words[word_lo + w]);
+            const std::uint32_t uploader = sp.uploader_of_peer[n_row];
+            if (uploader == UINT32_MAX) continue;
+            const std::size_t at = cand_words_.size();
+            cand_words_.resize(at + n_words);
+            peers_.buffer(n_row).copy_words(word_lo, n_words,
+                                            cand_words_.data() + at);
             cand_uploader_.push_back(uploader);
             cand_cost_.push_back(neighbor_costs_[k]);
         }
@@ -280,14 +292,17 @@ void emulator::build_problem(double now,
                 if (((cand_words_[j * n_words + word] >> shift) & 1u) == 0) continue;
                 if (request == SIZE_MAX) {
                     request = sp.problem.add_request(
-                        peers_.id(row), catalog_.chunk_of(video, idx),
-                        valuation_.value(ttl));
+                        peers_.id(row), assets_->catalog.chunk_of(video, idx),
+                        assets_->valuation.value(ttl));
                     sp.request_row.push_back(row);
                 }
                 sp.problem.append_candidate(cand_uploader_[j], cand_cost_[j]);
             }
         }
     }
+    hw_uploaders_ = std::max(hw_uploaders_, sp.problem.num_uploaders());
+    hw_requests_ = std::max(hw_requests_, sp.problem.num_requests());
+    hw_candidates_ = std::max(hw_candidates_, sp.problem.num_candidates());
 }
 
 core::schedule emulator::dispatch(double round_start, double duration,
@@ -372,10 +387,10 @@ void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics
         std::ptrdiff_t choice = sched.choice[r];
         if (choice == core::no_candidate) continue;
         const auto& request = sp.problem.request(r);
-        const auto& cand = sp.problem.candidates(r)[static_cast<std::size_t>(choice)];
+        const auto cand = sp.problem.candidates(r)[static_cast<std::size_t>(choice)];
 
         const std::uint32_t downstream_row = sp.request_row[r];
-        std::size_t idx = catalog_.index_of(request.chunk);
+        std::size_t idx = assets_->catalog.index_of(request.chunk);
         if (!peers_.buffer(downstream_row).set(idx)) continue;  // duplicate delivery guard
         ++peers_.lifetime(downstream_row).chunks_downloaded;
         const std::uint32_t seller_row = sp.uploader_row[cand.uploader];
@@ -520,6 +535,12 @@ const slot_metrics& emulator::step() {
         clock.lap(phase_totals_.playback);
     }
 
+    // Slot-end memory discipline: the problem arena and solver slabs are only
+    // needed while this shard's slot is in flight — return them now so a
+    // fleet's resident set scales with its thread count, not its swarm count.
+    shed_slot_memory();
+    clock.lap(phase_totals_.shed);
+
     slots_.push_back(metrics);
     now_ = slot_end;
     // Epoch boundary: ISPs re-price off the slots metered since the last
@@ -528,6 +549,38 @@ const slot_metrics& emulator::step() {
         slots_.size() % options_.config.economy.slots_per_epoch == 0)
         price_controller_->end_epoch(*ledger_);
     return slots_.back();
+}
+
+void emulator::shed_slot_memory() {
+    slot_problem& sp = round_problem_;
+    sp.problem.shed();
+    std::vector<std::uint32_t>().swap(sp.uploader_of_peer);
+    std::vector<std::uint32_t>().swap(sp.uploader_row);
+    std::vector<std::uint32_t>().swap(sp.request_row);
+    scheduler_->shed_memory();
+}
+
+memory_breakdown emulator::memory_footprint() const {
+    memory_breakdown mb;
+    mb.peer_table = peers_.memory_bytes();
+    mb.buffers = peers_.buffer_heap_bytes();
+    mb.tracker = tracker_.memory_bytes();
+    mb.neighbor_arena = neighbor_offsets_.capacity() * sizeof(std::uint32_t) +
+                        neighbor_rows_.capacity() * sizeof(std::uint32_t) +
+                        neighbor_costs_.capacity() * sizeof(double);
+    mb.problem_arena = round_problem_.memory_bytes();
+    mb.solver = scheduler_->workspace_bytes();
+    mb.cost_cache = costs_->cache_bytes();
+    mb.ledger = ledger_ ? ledger_->memory_bytes() : 0;
+    mb.scratch = slot_prices_.capacity() * sizeof(double) +
+                 remaining_scratch_.capacity() * sizeof(std::int32_t) +
+                 round_capacity_scratch_.capacity() * sizeof(std::int32_t) +
+                 batch_ids_.capacity() * sizeof(peer_id) +
+                 cand_words_.capacity() * sizeof(std::uint64_t) +
+                 cand_uploader_.capacity() * sizeof(std::uint32_t) +
+                 cand_cost_.capacity() * sizeof(double);
+    mb.shared = assets_->memory_bytes();
+    return mb;
 }
 
 const isp::traffic_ledger& emulator::ledger() const {

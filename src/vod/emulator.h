@@ -58,6 +58,7 @@
 #include "sim/rng.h"
 #include "vod/catalog.h"
 #include "vod/peer_table.h"
+#include "vod/shared_assets.h"
 #include "vod/tracker.h"
 #include "vod/valuation.h"
 #include "workload/scenario.h"
@@ -66,6 +67,13 @@ namespace p2pcd::vod {
 
 struct emulator_options {
     workload::scenario_config config;
+
+    // Immutable per-scenario assets (catalog, valuation curve, popularity
+    // CDF). When null the emulator builds its own from `config`; a fleet
+    // builds one instance per base scenario and shares it read-only across
+    // all shards. Must have been built from a config with the same catalog
+    // and valuation parameters as `config` (enforced at construction).
+    std::shared_ptr<const shared_assets> assets;
 
     // Scheduling algorithm, resolved by name at construction through
     // `registry` (default: every built-in — "auction", "exact",
@@ -117,10 +125,11 @@ struct slot_phase_totals {
     double build = 0.0;             // scheduling_problem construction
     double solve = 0.0;             // scheduler dispatch (incl. distributed)
     double apply = 0.0;             // transfer application + metering
+    double shed = 0.0;              // slot-end arena/solver release + reserve
 
     [[nodiscard]] double total() const noexcept {
         return arrivals + departures + playback + neighbor_refresh + build +
-               solve + apply;
+               solve + apply + shed;
     }
     [[nodiscard]] double non_solve() const noexcept { return total() - solve; }
 };
@@ -137,6 +146,41 @@ struct slot_metrics {
     std::size_t chunks_missed = 0;
     double miss_rate = 0.0;  // of this slot's due chunks
     std::uint64_t auction_bids = 0;
+};
+
+// Per-subsystem bytes held by one emulator (capacities, including shed-able
+// arenas at their current state). `shared` counts the read-only assets once
+// even though every shard holds a pointer to them — fleet aggregation adds
+// it a single time.
+struct memory_breakdown {
+    std::size_t peer_table = 0;      // SoA columns + id map + free list
+    std::size_t buffers = 0;         // dense-fallback buffer_map heap
+    std::size_t tracker = 0;         // video pools + per-row records
+    std::size_t neighbor_arena = 0;  // CSR offsets + rows + prefetched costs
+    std::size_t problem_arena = 0;   // slot_problem builder + row maps
+    std::size_t solver = 0;          // scheduler persistent workspaces
+    std::size_t cost_cache = 0;      // link-draw cache + batch scratch
+    std::size_t ledger = 0;          // ISP traffic ledger (economy only)
+    std::size_t scratch = 0;         // per-slot scratch vectors
+    std::size_t shared = 0;          // shared_assets (count once per fleet)
+
+    [[nodiscard]] std::size_t total() const noexcept {
+        return peer_table + buffers + tracker + neighbor_arena + problem_arena +
+               solver + cost_cache + ledger + scratch + shared;
+    }
+    memory_breakdown& operator+=(const memory_breakdown& o) noexcept {
+        peer_table += o.peer_table;
+        buffers += o.buffers;
+        tracker += o.tracker;
+        neighbor_arena += o.neighbor_arena;
+        problem_arena += o.problem_arena;
+        solver += o.solver;
+        cost_cache += o.cost_cache;
+        ledger += o.ledger;
+        scratch += o.scratch;
+        shared += o.shared;
+        return *this;
+    }
 };
 
 class emulator {
@@ -181,7 +225,11 @@ public:
     [[nodiscard]] peer_id probe_peer() const;
 
     [[nodiscard]] const net::isp_topology& topology() const noexcept { return topology_; }
-    [[nodiscard]] const video_catalog& catalog() const noexcept { return catalog_; }
+    [[nodiscard]] const video_catalog& catalog() const noexcept {
+        return assets_->catalog;
+    }
+    // Per-subsystem bytes currently held by this emulator.
+    [[nodiscard]] memory_breakdown memory_footprint() const;
 
     // --- ISP economy (config.economy.enabled; see src/isp/) ---
     // When enabled the emulator owns a peering graph (attached to the cost
@@ -205,9 +253,18 @@ public:
 private:
     struct slot_problem {
         core::scheduling_problem problem;
-        std::vector<std::size_t> uploader_of_peer;  // table row -> uploader
-        std::vector<std::uint32_t> uploader_row;    // uploader -> table row
-        std::vector<std::uint32_t> request_row;     // request -> downstream row
+        // Table row -> uploader ordinal; u32 (UINT32_MAX = not uploading)
+        // since uploader counts are u32 in the problem itself.
+        std::vector<std::uint32_t> uploader_of_peer;
+        std::vector<std::uint32_t> uploader_row;  // uploader -> table row
+        std::vector<std::uint32_t> request_row;   // request -> downstream row
+
+        [[nodiscard]] std::size_t memory_bytes() const noexcept {
+            return problem.memory_bytes() +
+                   uploader_of_peer.capacity() * sizeof(std::uint32_t) +
+                   uploader_row.capacity() * sizeof(std::uint32_t) +
+                   request_row.capacity() * sizeof(std::uint32_t);
+        }
     };
 
     void add_seeds();
@@ -233,9 +290,15 @@ private:
                             std::vector<double>& slot_prices);
     void apply_schedule(const core::schedule& sched, slot_metrics& metrics,
                         std::vector<std::int32_t>& remaining_capacity);
+    // Slot-end memory discipline: returns the problem arena, its row maps and
+    // the solver workspaces to the allocator, remembering their high-water
+    // sizes so the next slot's build can reserve() once instead of regrowing.
+    // With shards stepped slot-lockstep this keeps only ~threads() slabs
+    // resident at a time instead of one per swarm forever.
+    void shed_slot_memory();
 
     emulator_options options_;
-    video_catalog catalog_;
+    std::shared_ptr<const shared_assets> assets_;
     net::isp_topology topology_;
     sim::rng_factory rng_factory_;
     sim::rng_stream arrival_rng_;
@@ -248,8 +311,6 @@ private:
     std::optional<isp::peering_graph> peering_;
     std::optional<isp::traffic_ledger> ledger_;
     std::optional<isp::price_controller> price_controller_;
-    sim::zipf_mandelbrot video_popularity_;
-    deadline_valuation valuation_;
     tracker tracker_;
 
     // Long-lived scheduler from the registry; `auction_` / `par_auction_`
@@ -271,7 +332,8 @@ private:
     // the u→d link cost of each prefetched into the parallel
     // neighbor_costs_ (one cost-model probe per link per slot; link costs
     // are constant within a slot — peering prices move only at epoch close).
-    std::vector<std::size_t> neighbor_offsets_;
+    // Offsets are u32: the arena holds < 2^32 links (enforced in refresh).
+    std::vector<std::uint32_t> neighbor_offsets_;
     std::vector<std::uint32_t> neighbor_rows_;
     std::vector<double> neighbor_costs_;
 
@@ -282,8 +344,13 @@ private:
     slot_phase_totals phase_totals_;
     bool has_run_ = false;
 
-    // Round-problem arena, reused (cleared, not reallocated) across rounds.
+    // Round-problem arena, reused (cleared, not reallocated) across the
+    // rounds of one slot, then shed at slot end; the high-water sizes below
+    // pre-size the next slot's build.
     slot_problem round_problem_;
+    std::size_t hw_uploaders_ = 0;
+    std::size_t hw_requests_ = 0;
+    std::size_t hw_candidates_ = 0;
     // Per-slot scratch, reused across slots (allocation-free once warm).
     std::vector<double> slot_prices_;
     std::vector<std::int32_t> remaining_scratch_;
@@ -293,7 +360,7 @@ private:
     // neighbor's buffer gathered side by side, so the candidate loop tests
     // bits in L1 instead of probing every neighbor's bitmap per chunk.
     std::vector<std::uint64_t> cand_words_;
-    std::vector<std::size_t> cand_uploader_;
+    std::vector<std::uint32_t> cand_uploader_;
     std::vector<double> cand_cost_;
 
     // Raw λ-change log from distributed slots plus the slot starts, from

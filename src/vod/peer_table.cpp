@@ -13,6 +13,7 @@ std::size_t peer_table::add(const peer_spawn& spawn, buffer_map buffer) {
         row = free_.back();
         free_.pop_back();
     } else {
+        expects(ids_.size() < npos32, "peer table exceeds u32 rows");
         row = ids_.size();
         ids_.emplace_back();
         isps_.emplace_back();
@@ -42,8 +43,8 @@ std::size_t peer_table::add(const peer_spawn& spawn, buffer_map buffer) {
 
     const auto v =
         static_cast<std::size_t>(static_cast<std::uint32_t>(spawn.id.value()));
-    if (v >= row_of_.size()) row_of_.resize(v + 1, npos);
-    row_of_[v] = row;
+    if (v >= row_of_.size()) row_of_.resize(v + 1, npos32);
+    row_of_[v] = static_cast<std::uint32_t>(row);
     ++num_peers_;
     return row;
 }
@@ -53,11 +54,53 @@ void peer_table::release(std::size_t row) {
     expects(departed_[row] != 0, "only departed rows can be released");
     const auto v =
         static_cast<std::size_t>(static_cast<std::uint32_t>(ids_[row].value()));
-    row_of_[v] = npos;
+    row_of_[v] = npos32;
     ids_[row] = peer_id{};  // invalid marks the hole
     buffers_[row].release();
     free_.push_back(row);
     --num_peers_;
+}
+
+std::size_t peer_table::memory_bytes() const noexcept {
+    return ids_.capacity() * sizeof(peer_id) + isps_.capacity() * sizeof(isp_id) +
+           videos_.capacity() * sizeof(video_id) +
+           seed_.capacity() + departed_.capacity() +
+           capacity_.capacity() * sizeof(std::int32_t) +
+           positions_.capacity() * sizeof(double) +
+           playback_start_.capacity() * sizeof(double) +
+           buffers_.capacity() * sizeof(buffer_map) +
+           join_time_.capacity() * sizeof(double) +
+           planned_departure_.capacity() * sizeof(double) +
+           lifetime_.capacity() * sizeof(lifetime_counters) +
+           row_of_.capacity() * sizeof(std::uint32_t) +
+           free_.capacity() * sizeof(std::size_t);
+}
+
+std::size_t peer_table::buffer_heap_bytes() const noexcept {
+    std::size_t bytes = 0;
+    for (const auto& b : buffers_) bytes += b.heap_bytes();
+    return bytes;
+}
+
+void peer_table::compact() {
+    // Drop the id map's unmapped tail before trimming: after churn the map
+    // extends to the highest id ever seen, while the live ids may end far
+    // earlier.
+    while (!row_of_.empty() && row_of_.back() == npos32) row_of_.pop_back();
+    row_of_.shrink_to_fit();
+    free_.shrink_to_fit();
+    ids_.shrink_to_fit();
+    isps_.shrink_to_fit();
+    videos_.shrink_to_fit();
+    seed_.shrink_to_fit();
+    departed_.shrink_to_fit();
+    capacity_.shrink_to_fit();
+    positions_.shrink_to_fit();
+    playback_start_.shrink_to_fit();
+    buffers_.shrink_to_fit();
+    join_time_.shrink_to_fit();
+    planned_departure_.shrink_to_fit();
+    lifetime_.shrink_to_fit();
 }
 
 }  // namespace p2pcd::vod

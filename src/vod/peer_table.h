@@ -73,7 +73,8 @@ public:
     // Row of an id, or npos when the id is unknown/released.
     [[nodiscard]] std::size_t row_of(peer_id id) const noexcept {
         const auto v = static_cast<std::size_t>(static_cast<std::uint32_t>(id.value()));
-        return id.valid() && v < row_of_.size() ? row_of_[v] : npos;
+        if (!id.valid() || v >= row_of_.size() || row_of_[v] == npos32) return npos;
+        return row_of_[v];
     }
 
     // --- hot columns ---
@@ -125,7 +126,27 @@ public:
         return positions_[check(row)] >= static_cast<double>(chunks_per_video);
     }
 
+    // --- capacity accounting & reclamation (memory_footprint() protocol) ---
+    // Row slots currently allocated (rows() plus any reserve slack).
+    [[nodiscard]] std::size_t capacity_rows() const noexcept {
+        return ids_.capacity();
+    }
+    // Bytes held by the column arrays, the id map and the free list
+    // (capacity, not size), excluding the buffers' own heap.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+    // Bytes held by the buffer maps beyond their in-row footprint (i.e. the
+    // dense-fallback word vectors).
+    [[nodiscard]] std::size_t buffer_heap_bytes() const noexcept;
+    // Trims every column, the free list and the id map to fit. The id map is
+    // dense by id value and grows with the highest id ever added, so after
+    // heavy churn (many released rows) it can dwarf the live population;
+    // compact() also drops its unmapped tail. Rows and ids are unchanged —
+    // only capacity is returned to the allocator.
+    void compact();
+
 private:
+    static constexpr std::uint32_t npos32 = 0xffffffffu;
+
     std::size_t check(std::size_t row) const {
         expects(row < ids_.size() && ids_[row].valid(), "peer row out of range");
         return row;
@@ -146,8 +167,10 @@ private:
     std::vector<double> planned_departure_;
     std::vector<lifetime_counters> lifetime_;
 
-    std::vector<std::size_t> row_of_;  // dense by id value; npos = unmapped
-    std::vector<std::size_t> free_;    // released rows, LIFO
+    // Dense by id value; npos32 = unmapped. Rows fit in 32 bits (enforced by
+    // add()), and ids are minted densely, so u32 cells halve the map.
+    std::vector<std::uint32_t> row_of_;
+    std::vector<std::size_t> free_;  // released rows, LIFO
     std::size_t num_peers_ = 0;
 };
 

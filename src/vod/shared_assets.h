@@ -1,0 +1,49 @@
+// Immutable per-scenario assets shared across emulators.
+//
+// The catalog, the deadline-valuation curve and the video-popularity
+// distribution are pure functions of the scenario config, and every query on
+// them is const (zipf_mandelbrot::sample draws from the caller's rng stream).
+// A fleet builds one instance per base scenario and hands the same
+// shared_ptr to all 100–200 shards, instead of each vod::emulator carrying
+// its own copy — the popularity CDF alone is num_videos doubles per swarm.
+#ifndef P2PCD_VOD_SHARED_ASSETS_H
+#define P2PCD_VOD_SHARED_ASSETS_H
+
+#include <memory>
+
+#include "sim/distributions.h"
+#include "vod/catalog.h"
+#include "vod/valuation.h"
+#include "workload/scenario.h"
+
+namespace p2pcd::vod {
+
+struct shared_assets {
+    video_catalog catalog;
+    deadline_valuation valuation;
+    sim::zipf_mandelbrot video_popularity;
+
+    // Builds the assets exactly as emulator construction always has — same
+    // catalog dimensions, same valuation knobs, same zipf(0.78, 4.0)
+    // popularity — so sharing is observationally identical to per-emulator
+    // construction (the compatibility check in the emulator enforces it).
+    [[nodiscard]] static std::shared_ptr<const shared_assets> make(
+        const workload::scenario_config& config) {
+        return std::make_shared<const shared_assets>(shared_assets{
+            video_catalog(config.num_videos, config.chunks_per_video(),
+                          config.chunks_per_second()),
+            deadline_valuation(config.valuation_alpha, config.valuation_beta,
+                               config.valuation_min, config.valuation_max),
+            sim::zipf_mandelbrot(config.num_videos, 0.78, 4.0)});
+    }
+
+    // Heap bytes behind one instance (the popularity CDF) — shared, so a
+    // fleet counts it once, not per shard.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return sizeof(shared_assets) + video_popularity.cdf_bytes();
+    }
+};
+
+}  // namespace p2pcd::vod
+
+#endif  // P2PCD_VOD_SHARED_ASSETS_H

@@ -65,6 +65,17 @@ public:
     std::size_t bootstrap(std::size_t who, std::size_t count,
                           std::vector<std::uint32_t>& out);
 
+    // Bytes held by the pools and the per-row records (capacity, not size) —
+    // memory_footprint() protocol.
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        std::size_t bytes = pools_.capacity() * sizeof(video_pool) +
+                            recs_.capacity() * sizeof(peer_rec);
+        for (const auto& p : pools_)
+            bytes += p.seeds.capacity() * sizeof(std::uint32_t) +
+                     p.viewers.capacity() * sizeof(viewer_entry);
+        return bytes;
+    }
+
 private:
     struct viewer_entry {
         double position = 0.0;

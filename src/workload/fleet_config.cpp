@@ -29,6 +29,17 @@ fleet_config fleet_config::metro_100x5k() {
     return config;
 }
 
+fleet_config fleet_config::metro_200x5k() {
+    fleet_config config;
+    config.swarm_scenario = "metro_5k";
+    config.num_swarms = 200;
+    config.total_peers = 1'000'000;
+    // Same per-swarm floor as the 100-swarm fleet: even rank 200 stays a
+    // real swarm after the Zipf split.
+    config.min_swarm_peers = 500;
+    return config;
+}
+
 fleet_config fleet_config::metro_20x20k() {
     fleet_config config;
     config.swarm_scenario = "metro_20k";
@@ -141,6 +152,10 @@ const fleet_registry& builtin_fleets() {
         r.add("fleet_metro_100x5k",
               "100 metro swarms, 500 000 viewers total (bench/fleet_scaling)",
               [] { return fleet_config::metro_100x5k(); });
+        r.add("fleet_metro_200x5k",
+              "200 metro swarms, 1 000 000 viewers total (the single-process "
+              "memory headline)",
+              [] { return fleet_config::metro_200x5k(); });
         r.add("fleet_metro_20x20k",
               "20 dense-metro swarms of the metro_20k scenario, 400 000 "
               "viewers total (slot-pipeline scale)",

@@ -17,6 +17,8 @@
 // Built-in fleets (builtin_fleets()):
 //   fleet_metro_100x5k — 100 metro swarms, 500 000 viewers total (the
 //                        bench/fleet_scaling headline workload)
+//   fleet_metro_200x5k — 200 metro swarms, 1 000 000 viewers total (the
+//                        single-process memory headline)
 //   fleet_metro_20x20k — 20 dense-metro swarms of metro_20k, 400 000
 //                        viewers total (slot-pipeline scale)
 //   fleet_flash_crowd  — 20 arrival-driven flash-crowd swarms, ~200 000
@@ -64,6 +66,10 @@ struct fleet_config {
     [[nodiscard]] fleet_config with_swarms(std::size_t swarms) const;
 
     [[nodiscard]] static fleet_config metro_100x5k();
+    // 200 metro swarms, 1 000 000 viewers — the single-process memory
+    // headline the compressed buffer maps / shared assets / arena shedding
+    // stack was built for.
+    [[nodiscard]] static fleet_config metro_200x5k();
     // 20 swarms of metro_20k, 400 000 viewers — the dense-metro fleet the
     // slot-pipeline refactor (dense peer table + incremental tracker) opened.
     [[nodiscard]] static fleet_config metro_20x20k();

@@ -1,0 +1,189 @@
+// Randomized equivalence: buffer_map (compact prefix+frontier form with its
+// automatic dense fallback) against a plain bit-vector reference model. The
+// compact form is a pure memory optimization — every query must answer
+// exactly as the dense backing would, through any interleaving of set() and
+// fill_prefix() and across the one-way densify() transition. Streaming
+// access patterns (the emulator's: a watched prefix plus a prefetch window
+// just past it) must additionally never leave the compact form.
+#include "vod/buffer_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/contracts.h"
+
+namespace p2pcd::vod {
+namespace {
+
+// The reference model: one byte per chunk, every query by linear scan.
+class reference_map {
+public:
+    explicit reference_map(std::size_t n) : bits_(n, 0) {}
+
+    void set(std::size_t i) { bits_[i] = 1; }
+    void fill_prefix(std::size_t end) {
+        for (std::size_t i = 0; i < end; ++i) bits_[i] = 1;
+    }
+
+    [[nodiscard]] std::size_t size() const { return bits_.size(); }
+    [[nodiscard]] bool has(std::size_t i) const { return bits_[i] != 0; }
+    [[nodiscard]] std::size_t count() const {
+        std::size_t c = 0;
+        for (const char b : bits_) c += static_cast<std::size_t>(b);
+        return c;
+    }
+    [[nodiscard]] std::size_t missing_in(std::size_t begin, std::size_t end) const {
+        std::size_t m = 0;
+        for (std::size_t i = begin; i < end; ++i) m += bits_[i] == 0;
+        return m;
+    }
+    [[nodiscard]] std::size_t first_missing_in(std::size_t begin,
+                                               std::size_t end) const {
+        for (std::size_t i = begin; i < end; ++i)
+            if (bits_[i] == 0) return i;
+        return end;
+    }
+    [[nodiscard]] std::uint64_t word(std::size_t w) const {
+        std::uint64_t out = 0;
+        for (std::size_t b = 0; b < 64; ++b) {
+            const std::size_t i = (w << 6) + b;
+            if (i < bits_.size() && bits_[i] != 0) out |= std::uint64_t{1} << b;
+        }
+        return out;
+    }
+
+private:
+    std::vector<char> bits_;
+};
+
+// Full cross-check of every query the emulator issues.
+void expect_equivalent(const buffer_map& b, const reference_map& ref,
+                       std::mt19937_64& rng) {
+    const std::size_t n = ref.size();
+    ASSERT_EQ(b.size(), n);
+    const std::size_t cnt = ref.count();
+    EXPECT_EQ(b.count(), cnt);
+    EXPECT_EQ(b.complete(), cnt == n);
+
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(b.has(i), ref.has(i)) << i;
+
+    // Random sub-ranges, plus the degenerate and full ones.
+    for (int t = 0; t < 16; ++t) {
+        std::size_t lo = rng() % (n + 1);
+        std::size_t hi = rng() % (n + 1);
+        if (lo > hi) std::swap(lo, hi);
+        if (t == 0) lo = hi = 0;
+        if (t == 1) lo = 0, hi = n;
+        EXPECT_EQ(b.missing_in(lo, hi), ref.missing_in(lo, hi))
+            << "[" << lo << ", " << hi << ")";
+        EXPECT_EQ(b.first_missing_in(lo, hi), ref.first_missing_in(lo, hi))
+            << "[" << lo << ", " << hi << ")";
+    }
+
+    const std::size_t words = (n + 63) / 64;
+    std::vector<std::uint64_t> got(words, ~std::uint64_t{0});
+    if (words > 0) b.copy_words(0, words, got.data());
+    for (std::size_t w = 0; w < words; ++w) EXPECT_EQ(got[w], ref.word(w)) << w;
+}
+
+// Uniform random sets + occasional prefix fills: outruns the frontier window
+// almost immediately, so this pins the dense fallback (and the transition).
+TEST(buffer_map_equivalence, uniform_random_operations) {
+    for (const std::size_t n : {1u, 63u, 64u, 65u, 200u, 512u, 777u}) {
+        std::mt19937_64 rng(0x9e3779b97f4a7c15ull ^ n);
+        buffer_map b(n);
+        reference_map ref(n);
+        for (int step = 0; step < 200; ++step) {
+            if (rng() % 8 == 0) {
+                const std::size_t end = rng() % (n + 1);
+                b.fill_prefix(end);
+                ref.fill_prefix(end);
+            } else {
+                const std::size_t i = rng() % n;
+                const bool fresh = !ref.has(i);
+                EXPECT_EQ(b.set(i), fresh) << i;
+                ref.set(i);
+            }
+            if (step % 20 == 0) expect_equivalent(b, ref, rng);
+        }
+        expect_equivalent(b, ref, rng);
+        b.fill_all();
+        ref.fill_prefix(n);
+        expect_equivalent(b, ref, rng);
+    }
+}
+
+// The emulator's streaming shape: sets clustered in a window that tracks the
+// playback frontier, with prefix fills as the player advances. Must match
+// the reference *and* never leave the compact form.
+TEST(buffer_map_equivalence, streaming_pattern_stays_compact) {
+    const std::size_t n = 4096;
+    std::mt19937_64 rng(42);
+    buffer_map b(n);
+    reference_map ref(n);
+    std::size_t pos = 0;  // playback frontier
+    while (pos < n) {
+        // Prefetch: random chunks within 100 of the frontier.
+        for (int k = 0; k < 30; ++k) {
+            const std::size_t i = std::min(n - 1, pos + rng() % 100);
+            EXPECT_EQ(b.set(i), !ref.has(i));
+            ref.set(i);
+        }
+        // The player consumed everything behind the new frontier.
+        pos = std::min(n, pos + 40 + rng() % 30);
+        b.fill_prefix(pos);
+        ref.fill_prefix(pos);
+        EXPECT_FALSE(b.is_dense());
+        EXPECT_EQ(b.heap_bytes(), 0u);
+    }
+    expect_equivalent(b, ref, rng);
+    EXPECT_TRUE(b.complete());
+    EXPECT_FALSE(b.is_dense());
+}
+
+// A hole that outruns the frontier window forces the permanent dense
+// fallback; answers are unchanged across the transition.
+TEST(buffer_map_equivalence, densify_transition_preserves_answers) {
+    const std::size_t n = 1024;
+    std::mt19937_64 rng(7);
+    buffer_map b(n);
+    reference_map ref(n);
+    b.fill_prefix(100);
+    ref.fill_prefix(100);
+    EXPECT_FALSE(b.is_dense());
+    expect_equivalent(b, ref, rng);
+
+    b.set(900);  // 800 chunks past the frontier window
+    ref.set(900);
+    EXPECT_TRUE(b.is_dense());
+    EXPECT_GT(b.heap_bytes(), 0u);
+    expect_equivalent(b, ref, rng);
+
+    for (int k = 0; k < 100; ++k) {
+        const std::size_t i = rng() % n;
+        EXPECT_EQ(b.set(i), !ref.has(i));
+        ref.set(i);
+    }
+    expect_equivalent(b, ref, rng);
+}
+
+// Seeds call fill_all on a fresh map — the whole video must cost no heap.
+TEST(buffer_map_equivalence, full_seed_is_heap_free) {
+    const std::size_t n = 3000;
+    buffer_map b(n);
+    b.fill_all();
+    EXPECT_TRUE(b.complete());
+    EXPECT_FALSE(b.is_dense());
+    EXPECT_EQ(b.heap_bytes(), 0u);
+    std::mt19937_64 rng(1);
+    reference_map ref(n);
+    ref.fill_prefix(n);
+    expect_equivalent(b, ref, rng);
+}
+
+}  // namespace
+}  // namespace p2pcd::vod

@@ -111,14 +111,19 @@ TEST(buffer_map, first_missing_in_agrees_with_has_scan) {
     }
 }
 
-TEST(buffer_map, words_expose_the_packed_bits) {
+TEST(buffer_map, copy_words_exposes_the_packed_bits) {
     buffer_map b(70);
     b.set(0);
     b.set(65);
-    auto words = b.words();
-    ASSERT_EQ(words.size(), 2u);
+    std::uint64_t words[2] = {~0ull, ~0ull};
+    b.copy_words(0, 2, words);
     EXPECT_EQ(words[0], 1ull);
     EXPECT_EQ(words[1], 2ull);
+    // Partial ranges work word-by-word.
+    std::uint64_t tail = 0;
+    b.copy_words(1, 1, &tail);
+    EXPECT_EQ(tail, 2ull);
+    EXPECT_THROW(b.copy_words(1, 2, words), contract_violation);
 }
 
 TEST(buffer_map, release_drops_storage) {
@@ -127,7 +132,7 @@ TEST(buffer_map, release_drops_storage) {
     b.release();
     EXPECT_EQ(b.size(), 0u);
     EXPECT_EQ(b.count(), 0u);
-    EXPECT_TRUE(b.words().empty());
+    EXPECT_EQ(b.heap_bytes(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// The memory_footprint() protocol and the reclamation paths it audits:
+// peer_table capacity accounting under churn (the id-dense row map used to
+// grow forever), compact()'s trim-to-fit contract, the emulator's
+// per-subsystem breakdown, and the fleet aggregation that counts the shared
+// read-only assets exactly once.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/contracts.h"
+#include "engine/fleet.h"
+#include "metrics/process_stats.h"
+#include "vod/buffer_map.h"
+#include "vod/emulator.h"
+#include "vod/peer_table.h"
+#include "vod/shared_assets.h"
+#include "workload/fleet_config.h"
+#include "workload/scenario.h"
+
+namespace p2pcd {
+namespace {
+
+vod::peer_table::peer_spawn spawn_of(int id) {
+    vod::peer_table::peer_spawn s;
+    s.id = peer_id(id);
+    s.isp = isp_id(0);
+    s.video = video_id(0);
+    s.upload_capacity = 4;
+    return s;
+}
+
+// Ten generations of peers with fresh (never-reused) ids: the id-dense row
+// map grows with the highest id ever seen, so without compact() the table
+// retains ~10x the map a single generation needs. compact() must return
+// that — and any column slack — to the allocator without disturbing rows.
+TEST(peer_table_memory, churned_id_map_is_reclaimable) {
+    vod::peer_table table;
+    int next_id = 0;
+    std::size_t after_first_cycle = 0;
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        std::vector<std::size_t> rows;
+        rows.reserve(1000);
+        for (int i = 0; i < 1000; ++i)
+            rows.push_back(table.add(spawn_of(next_id++), vod::buffer_map(256)));
+        for (const std::size_t r : rows) {
+            table.mark_departed(r);
+            table.release(r);
+        }
+        if (cycle == 0) after_first_cycle = table.memory_bytes();
+    }
+    EXPECT_EQ(table.num_peers(), 0u);
+    EXPECT_EQ(table.rows(), 1000u);  // freed rows were recycled, not appended
+
+    const std::size_t before = table.memory_bytes();
+    // The regression this pins: ten id generations kept ~10x the row map.
+    EXPECT_GT(before, after_first_cycle);
+    table.compact();
+    const std::size_t after = table.memory_bytes();
+    EXPECT_LT(after, before);
+    EXPECT_LE(after, after_first_cycle);
+    EXPECT_LE(table.capacity_rows(), 1000u);
+
+    // The table still works: a new add reuses a freed row and resolves.
+    const std::size_t row = table.add(spawn_of(next_id), vod::buffer_map(256));
+    EXPECT_LT(row, 1000u);
+    EXPECT_EQ(table.row_of(peer_id(next_id)), row);
+    EXPECT_EQ(table.id(row), peer_id(next_id));
+}
+
+TEST(peer_table_memory, compact_preserves_live_rows) {
+    vod::peer_table table;
+    std::vector<std::size_t> rows;
+    for (int i = 0; i < 100; ++i)
+        rows.push_back(table.add(spawn_of(i), vod::buffer_map(128)));
+    for (int i = 0; i < 100; i += 2) {
+        table.mark_departed(rows[i]);
+        table.release(rows[i]);
+    }
+    table.compact();
+    for (int i = 1; i < 100; i += 2) {
+        EXPECT_EQ(table.row_of(peer_id(i)), rows[i]);
+        EXPECT_EQ(table.id(rows[i]), peer_id(i));
+        EXPECT_EQ(table.upload_capacity(rows[i]), 4);
+    }
+    for (int i = 0; i < 100; i += 2)
+        EXPECT_EQ(table.row_of(peer_id(i)), vod::peer_table::npos);
+    EXPECT_EQ(table.num_peers(), 50u);
+}
+
+TEST(peer_table_memory, buffer_heap_tracks_dense_fallbacks) {
+    vod::peer_table table;
+    const std::size_t r0 = table.add(spawn_of(0), vod::buffer_map(1024));
+    EXPECT_EQ(table.buffer_heap_bytes(), 0u);  // compact form owns no heap
+    table.buffer(r0).set(1000);                // far hole → dense fallback
+    EXPECT_GT(table.buffer_heap_bytes(), 0u);
+    EXPECT_EQ(table.buffer_heap_bytes(), table.buffer(r0).heap_bytes());
+}
+
+TEST(emulator_memory, footprint_components_sum_to_total) {
+    vod::emulator_options opts;
+    opts.config = workload::scenario_config::small_test();
+    vod::emulator emu(opts);
+    for (int k = 0; k < 3; ++k) emu.step();
+
+    const vod::memory_breakdown fp = emu.memory_footprint();
+    EXPECT_GT(fp.peer_table, 0u);
+    EXPECT_GT(fp.tracker, 0u);
+    EXPECT_GT(fp.shared, 0u);
+    EXPECT_EQ(fp.total(), fp.peer_table + fp.buffers + fp.tracker +
+                              fp.neighbor_arena + fp.problem_arena + fp.solver +
+                              fp.cost_cache + fp.ledger + fp.scratch + fp.shared);
+}
+
+TEST(fleet_memory, shared_assets_are_counted_once) {
+    engine::fleet_options opts;
+    opts.config = workload::fleet_config::smoke();
+    opts.threads = 2;
+    engine::fleet f(opts);
+    ASSERT_EQ(f.num_swarms(), 3u);
+
+    // Every shard points at the same shared_assets instance the fleet built.
+    const vod::memory_breakdown shard0 = f.shard_at(0).emulator().memory_footprint();
+    const vod::memory_breakdown total = f.memory_footprint();
+    EXPECT_GT(shard0.shared, 0u);
+    EXPECT_EQ(total.shared, shard0.shared);
+    EXPECT_GE(total.peer_table, shard0.peer_table);
+}
+
+TEST(fleet_memory, rss_phases_are_sampled) {
+    engine::fleet_options opts;
+    opts.config = workload::fleet_config::smoke();
+    engine::fleet f(opts);
+    const double post_construct = f.rss_phases().post_construct_mb;
+    EXPECT_DOUBLE_EQ(f.rss_phases().mid_run_mb, 0.0);
+    EXPECT_DOUBLE_EQ(f.rss_phases().end_mb, 0.0);
+    f.run();
+    if (metrics::current_rss_mb() > 0.0) {  // sampling supported here
+        EXPECT_GT(post_construct, 0.0);
+        EXPECT_GT(f.rss_phases().mid_run_mb, 0.0);
+        EXPECT_GT(f.rss_phases().end_mb, 0.0);
+        EXPECT_LE(f.rss_phases().end_mb, f.peak_rss_mb() + 1.0);
+    }
+}
+
+// Handing two emulators the same shared assets is observationally identical
+// to each building its own (same catalog dimensions, same valuation knobs,
+// same popularity law) — the welfare trajectory must be bit-identical.
+TEST(emulator_memory, shared_assets_do_not_change_results) {
+    vod::emulator_options own;
+    own.config = workload::scenario_config::small_test();
+    vod::emulator a(own);
+    a.run();
+
+    vod::emulator_options shared = own;
+    shared.assets = vod::shared_assets::make(shared.config);
+    vod::emulator b(shared);
+    b.run();
+
+    ASSERT_EQ(a.slots().size(), b.slots().size());
+    for (std::size_t k = 0; k < a.slots().size(); ++k) {
+        EXPECT_EQ(a.slots()[k].social_welfare, b.slots()[k].social_welfare);
+        EXPECT_EQ(a.slots()[k].transfers, b.slots()[k].transfers);
+        EXPECT_EQ(a.slots()[k].chunks_missed, b.slots()[k].chunks_missed);
+    }
+}
+
+// Mismatched assets must be rejected loudly, not silently skew the run.
+TEST(emulator_memory, incompatible_assets_are_rejected) {
+    vod::emulator_options opts;
+    opts.config = workload::scenario_config::small_test();
+    workload::scenario_config other = opts.config;
+    other.num_videos = opts.config.num_videos + 1;
+    opts.assets = vod::shared_assets::make(other);
+    EXPECT_THROW(vod::emulator{opts}, contract_violation);
+}
+
+}  // namespace
+}  // namespace p2pcd

@@ -82,9 +82,10 @@ TEST(problem, view_exposes_the_csr_layout) {
     ASSERT_EQ(view.candidates(r1).size(), 1u);
     EXPECT_EQ(view.candidates(r1)[0].uploader, u1);
     EXPECT_DOUBLE_EQ(view.net_value(r1, 0), 5.5);
-    // The flat array is contiguous: row r1 starts right after row r0.
-    EXPECT_EQ(view.all_candidates().data() + view.candidate_offset(r1),
-              view.candidates(r1).data());
+    // The flat slabs are contiguous: row r1 starts right after row r0.
+    const std::size_t r1_off = view.candidate_offset(r1);
+    EXPECT_EQ(view.cand_uploaders()[r1_off], view.candidates(r1)[0].uploader);
+    EXPECT_DOUBLE_EQ(view.cand_costs()[r1_off], view.candidates(r1)[0].cost);
     EXPECT_THROW((void)view.candidates(7), contract_violation);
     EXPECT_THROW((void)view.net_value(r1, 3), contract_violation);
 }
