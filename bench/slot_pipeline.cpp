@@ -1,28 +1,41 @@
-// slot_pipeline — per-phase timing of the emulator's slot data path.
+// slot_pipeline — per-phase timing of the emulator's slot data path, plus
+// the telemetry overhead contract.
 //
-// Runs one scenario end to end and reports wall-clock seconds per slot phase
-// (arrivals / departures / playback / neighbor-refresh / build / solve /
-// apply), next to the *pre-refactor* measurement of the same scenario
-// captured before the dense-peer-table + incremental-tracker refactor — so
-// one artifact records both sides of the comparison and the per-phase
-// speedups. The golden metrics/neighbor hashes double as a schedule
-// equivalence check: the run must still be bit-identical to the
-// pre-refactor emulator (exit code 1 otherwise).
+// Runs one scenario end to end TWICE:
+//   pass 1 (telemetry off) — no sink, no spans: the slot loop performs zero
+//     timestamp syscalls; wall time is measured around the whole loop;
+//   pass 2 (telemetry on)  — span recorder enabled, counters sampled, and
+//     per-slot JSONL records streamed into an in-memory sink (memory, not
+//     disk, so the ≤2% overhead bar measures the telemetry layer and not the
+//     filesystem).
+// Both passes must produce bit-identical schedules (golden metric/neighbor
+// hashes compared across passes — exit 1 on any divergence, any toolchain)
+// and, on the golden toolchain, must match the committed pre-refactor golden.
+//
+// The per-phase table comes from pass 2's spans, reported next to the
+// *pre-refactor* measurement of the same scenario captured before the
+// dense-peer-table + incremental-tracker refactor — one artifact records
+// both sides of the comparison, the per-phase speedups, the telemetry
+// overhead, and the counter registry (cache hit/miss/flush, tracker
+// repair/inversion, solver rounds/bids — previously measured but
+// unreported).
 //
 // Usage: slot_pipeline [--scenario NAME]   (default: metro_5k)
 //
 // Phase times are thread-independent (the emulator is single-threaded), so
 // the speedups hold on any host; the committed artifact was produced on a
 // 1-core container (hardware_concurrency recorded in the artifact).
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "metrics/process_stats.h"
+#include "obs/jsonl_sink.h"
 #include "vod/pipeline_golden.h"
 
 namespace {
@@ -71,6 +84,36 @@ const scenario_baseline* baseline_for(const std::string& scenario) {
     return nullptr;
 }
 
+struct pass_result {
+    std::uint64_t h_neighbors = p2pcd::vod::golden_seed;
+    std::uint64_t h_metrics = p2pcd::vod::golden_seed;
+    double wall_seconds = 0.0;
+    std::size_t peers_final = 0;
+};
+
+// One full telemetry-off run of the scenario; hashes every slot's metrics
+// and neighbor arena into the pass result. Wall time brackets the slot loop
+// only (not construction), so the two passes compare the same code region.
+pass_result run_pass(p2pcd::vod::emulator_options opts, std::size_t num_slots) {
+    using clock = std::chrono::steady_clock;
+    p2pcd::vod::emulator emu(std::move(opts));
+
+    pass_result r;
+    const clock::time_point t0 = clock::now();
+    for (std::size_t k = 0; k < num_slots; ++k) {
+        const auto& m = emu.step();
+        std::uint64_t h_slot_nbr = p2pcd::vod::golden_seed;
+        p2pcd::vod::golden_mix_neighbors(h_slot_nbr, emu);
+        std::uint64_t h_slot_met = p2pcd::vod::golden_seed;
+        p2pcd::vod::golden_mix_metrics(h_slot_met, m);
+        p2pcd::vod::golden_mix(r.h_neighbors, h_slot_nbr);
+        p2pcd::vod::golden_mix(r.h_metrics, h_slot_met);
+    }
+    r.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    r.peers_final = emu.peers().rows();
+    return r;
+}
+
 void usage() {
     std::printf("usage: slot_pipeline [--scenario NAME]\n");
 }
@@ -98,34 +141,55 @@ int main(int argc, char** argv) {
     vod::emulator_options opts;
     opts.config = workload::builtin_scenarios().make(scenario);
     const std::size_t num_slots = opts.config.num_slots();
-    vod::emulator emu(std::move(opts));
-    const double rss_post_construct = metrics::current_rss_mb();
-    double rss_mid_run = 0.0;
-
-    std::uint64_t h_neighbors = vod::golden_seed;
-    std::uint64_t h_metrics = vod::golden_seed;
-    for (std::size_t k = 0; k < num_slots; ++k) {
-        const auto& m = emu.step();
-        if (k + 1 == (num_slots + 1) / 2) rss_mid_run = metrics::current_rss_mb();
-        std::uint64_t h_slot_nbr = vod::golden_seed;
-        vod::golden_mix_neighbors(h_slot_nbr, emu);
-        std::uint64_t h_slot_met = vod::golden_seed;
-        vod::golden_mix_metrics(h_slot_met, m);
-        vod::golden_mix(h_neighbors, h_slot_nbr);
-        vod::golden_mix(h_metrics, h_slot_met);
-    }
-    const slot_phase_totals& post = emu.phase_totals();
-    const scenario_baseline* base = baseline_for(scenario);
 
     std::printf("=== slot_pipeline: per-phase slot data path timing ===\n");
-    std::printf("scenario: %s  slots: %zu  peers: %zu  hardware_concurrency: %u\n\n",
-                scenario.c_str(), num_slots, emu.peers().rows(),
+    std::printf("scenario: %s  slots: %zu  hardware_concurrency: %u\n\n",
+                scenario.c_str(), num_slots,
                 std::thread::hardware_concurrency());
+
+    // Pass 1: telemetry off. The slot loop reads no clock; only the bracket
+    // around the whole loop is timed.
+    std::printf("pass 1/2: telemetry off...\n");
+    const pass_result off = run_pass(opts, num_slots);
+
+    // Pass 2: telemetry on — spans + counters + per-slot JSONL into memory.
+    // Runs second so allocator warm-up (if any) favors neither direction of
+    // the overhead comparison's numerator.
+    std::printf("pass 2/2: telemetry on (spans + counters + JSONL)...\n");
+    std::ostringstream telemetry_out;
+    obs::jsonl_sink sink(telemetry_out);
+    opts.telemetry.sink = &sink;
+    opts.telemetry.record_spans = true;
+
+    double rss_post_construct = 0.0;
+    double rss_mid_run = 0.0;
+    vod::emulator emu_on(opts);
+    rss_post_construct = metrics::current_rss_mb();
+    pass_result on;
+    {
+        using clock = std::chrono::steady_clock;
+        const clock::time_point t0 = clock::now();
+        for (std::size_t k = 0; k < num_slots; ++k) {
+            const auto& m = emu_on.step();
+            if (k + 1 == (num_slots + 1) / 2) rss_mid_run = metrics::current_rss_mb();
+            std::uint64_t h_slot_nbr = vod::golden_seed;
+            vod::golden_mix_neighbors(h_slot_nbr, emu_on);
+            std::uint64_t h_slot_met = vod::golden_seed;
+            vod::golden_mix_metrics(h_slot_met, m);
+            vod::golden_mix(on.h_neighbors, h_slot_nbr);
+            vod::golden_mix(on.h_metrics, h_slot_met);
+        }
+        on.wall_seconds = std::chrono::duration<double>(clock::now() - t0).count();
+        on.peers_final = emu_on.peers().rows();
+    }
+    sink.flush();
+    const slot_phase_totals post = emu_on.phase_totals();
+    const scenario_baseline* base = baseline_for(scenario);
 
     metrics::json_report rep("slot_pipeline");
     rep.add_scalar("scenario", scenario);
     rep.add_scalar("slots", static_cast<double>(num_slots));
-    rep.add_scalar("peers_final", static_cast<double>(emu.peers().rows()));
+    rep.add_scalar("peers_final", static_cast<double>(on.peers_final));
     rep.add_scalar("hardware_concurrency",
                    static_cast<double>(std::thread::hardware_concurrency()));
     rep.add_scalar("peak_rss_mb", metrics::peak_rss_mb());
@@ -177,27 +241,82 @@ int main(int argc, char** argv) {
                        ratio(base->phases.non_solve(), post.non_solve()));
     }
 
-    // Schedule equivalence against the pre-refactor golden (when known).
+    // Telemetry overhead contract: spans + counters + per-slot JSONL must
+    // cost ≤ 2% of the telemetry-off slot-loop wall time.
+    const double overhead_pct =
+        off.wall_seconds > 0.0
+            ? 100.0 * (on.wall_seconds - off.wall_seconds) / off.wall_seconds
+            : 0.0;
+    const bool overhead_ok = overhead_pct <= 2.0;
+    rep.add_scalar("slot_time_off_s", off.wall_seconds);
+    rep.add_scalar("slot_time_on_s", on.wall_seconds);
+    rep.add_scalar("telemetry_overhead_pct", overhead_pct);
+    rep.add_scalar("telemetry_overhead_ok", overhead_ok);
+    rep.add_scalar("telemetry_lines", static_cast<double>(sink.lines_written()));
+    rep.add_scalar("telemetry_bytes", static_cast<double>(sink.bytes_written()));
+    rep.add_scalar("telemetry_flushes", static_cast<double>(sink.flushes()));
+    std::printf(
+        "\ntelemetry overhead: off %.3f s, on %.3f s (%+.2f%%, bar: +2%%) %s\n",
+        off.wall_seconds, on.wall_seconds, overhead_pct,
+        overhead_ok ? "OK" : "OVER");
+    std::printf("telemetry stream: %" PRIu64 " lines, %" PRIu64 " bytes\n",
+                sink.lines_written(), sink.bytes_written());
+
+    // The counter registry (cache behavior, tracker maintenance, solver
+    // work) — previously measured but unreported.
+    obs::counter_registry& counters = emu_on.counters();
+    metrics::table ct({"counter", "value"});
+    for (std::size_t i = 0; i < counters.entries().size(); ++i) {
+        const auto& e = counters.entries()[i];
+        const std::string value =
+            e.kind == obs::metric_kind::counter
+                ? std::to_string(counters.counter_at(i))
+                : metrics::format_double(counters.gauge_at(i), 0);
+        ct.add_row({e.name, value});
+        if (e.kind == obs::metric_kind::counter)
+            rep.add_scalar("counter." + e.name,
+                           static_cast<double>(counters.counter_at(i)));
+        else
+            rep.add_scalar("counter." + e.name, counters.gauge_at(i));
+    }
+    std::printf("\n");
+    ct.print(std::cout);
+
+    // Schedule equivalence: both passes against each other (telemetry may
+    // never change a schedule — enforced on every toolchain), and against
+    // the pre-refactor golden when known.
+    const bool passes_agree =
+        off.h_metrics == on.h_metrics && off.h_neighbors == on.h_neighbors;
     const vod::golden_run_hashes* golden = vod::golden_for(scenario);
     bool golden_known = golden != nullptr;
-    bool golden_ok = golden_known && h_metrics == golden->metrics &&
-                     h_neighbors == golden->neighbors;
+    bool golden_ok = golden_known && on.h_metrics == golden->metrics &&
+                     on.h_neighbors == golden->neighbors;
     char hash_hex[32];
-    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, h_metrics);
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, on.h_metrics);
     rep.add_scalar("metrics_hash", hash_hex);
-    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, h_neighbors);
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, on.h_neighbors);
     rep.add_scalar("neighbors_hash", hash_hex);
+    rep.add_scalar("telemetry_schedule_identical", passes_agree);
     rep.add_scalar("golden_known", golden_known);
     rep.add_scalar("golden_ok", golden_ok);
 
     std::printf("\nnon-solve slot time: %.3f s (pre %.3f s)\n", post.non_solve(),
                 base != nullptr ? base->phases.non_solve() : 0.0);
+    std::printf("schedules %s across telemetry on/off\n",
+                passes_agree ? "MATCH" : "DIVERGED");
     if (golden_known)
         std::printf("schedules %s pre-refactor golden\n",
                     golden_ok ? "MATCH" : "DIVERGED from");
 
     bench::write_artifact("slot_pipeline", rep);
 
+    if (!passes_agree) {
+        std::fprintf(stderr,
+                     "error: telemetry changed the schedule (off metrics "
+                     "%016" PRIx64 " vs on %016" PRIx64 ")\n",
+                     off.h_metrics, on.h_metrics);
+        return 1;
+    }
     // The golden constants pin exact IEEE doubles; only fail hard on the
     // toolchain family they were captured with — mirroring
     // tests/slot_golden_test.cpp.
@@ -207,7 +326,7 @@ int main(int argc, char** argv) {
                      "%s: run diverged from the pre-refactor golden "
                      "(metrics %016" PRIx64 " neighbors %016" PRIx64 ")\n",
                      golden_enforced ? "error" : "note (unenforced toolchain)",
-                     h_metrics, h_neighbors);
+                     on.h_metrics, on.h_neighbors);
         if (golden_enforced) return 1;
     }
     return 0;

@@ -51,6 +51,13 @@
 //                    implies --isp-economy
 //   --epoch-slots N  pricing-epoch length in slots (0 = static prices);
 //                    implies --isp-economy
+//   --telemetry-out FILE   stream per-slot/per-epoch JSONL records (src/obs/
+//                    schema, versioned; see docs/REPRODUCING.md) to FILE; in
+//                    --fleet mode streams the merged fleet_slot records
+//   --telemetry-every N    emit a slot record every N slots          [1]
+//   --trace-out FILE enable the per-phase span recorder and write a Chrome
+//                    trace_event JSON (chrome://tracing / Perfetto) to FILE;
+//                    in --fleet mode the trace is swarm 0's
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -64,6 +71,8 @@
 #include "isp/economy_report.h"
 #include "metrics/report.h"
 #include "metrics/time_series.h"
+#include "obs/jsonl_sink.h"
+#include "obs/span_recorder.h"
 #include "vod/emulator.h"
 #include "workload/fleet_config.h"
 #include "workload/scenario_registry.h"
@@ -122,12 +131,16 @@ void print_economy(const isp::traffic_ledger& ledger,
 int run_fleet(workload::fleet_config cfg, std::size_t threads,
               const vod::emulator_options& swarm_options,
               const std::optional<workload::scenario_config>& base_scenario,
-              const std::string& csv_path) {
+              const std::string& csv_path, obs::jsonl_sink* telemetry_sink,
+              std::size_t telemetry_every, const std::string& trace_path) {
     engine::fleet_options options;
     options.config = std::move(cfg);
     options.threads = threads;
     options.swarm_options = swarm_options;
     options.base_scenario = base_scenario;
+    options.telemetry.sink = telemetry_sink;
+    options.telemetry.every_slots = telemetry_every;
+    options.telemetry.record_spans = !trace_path.empty();
 
     engine::fleet fleet(std::move(options));
     std::cout << "fleet: " << fleet.num_swarms() << " swarms, ~"
@@ -163,6 +176,13 @@ int run_fleet(workload::fleet_config cfg, std::size_t threads,
                                  &fleet.inter_isp_series(), &fleet.miss_rate_series()});
         std::cout << "per-slot fleet series written to " << csv_path << '\n';
     }
+    if (telemetry_sink != nullptr) telemetry_sink->flush();
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) usage("cannot open trace path '" + trace_path + "'");
+        fleet.shard_at(0).emulator().spans().export_trace_json(out, /*pid=*/0);
+        std::cout << "swarm-0 phase trace written to " << trace_path << '\n';
+    }
     return 0;
 }
 
@@ -181,6 +201,9 @@ int main(int argc, char** argv) {
     cfg.arrival_rate = 0.0;
     std::string csv_path;
     std::string fleet_name;
+    std::string telemetry_path;
+    std::string trace_path;
+    std::size_t telemetry_every = 1;
     std::size_t threads = 1;
     std::size_t swarms_override = 0;
     bool seed_given = false;
@@ -233,6 +256,9 @@ int main(int argc, char** argv) {
         else if (flag == "--epsilon") opts.auction.bidding.epsilon = std::stod(next());
         else if (flag == "--warm-rounds") opts.warm_start_rounds = true;
         else if (flag == "--csv") csv_path = next();
+        else if (flag == "--telemetry-out") telemetry_path = next();
+        else if (flag == "--telemetry-every") telemetry_every = std::stoul(next());
+        else if (flag == "--trace-out") trace_path = next();
         else if (flag == "--isp-economy") economy_requested = true;
         else if (flag == "--peering") { peering_override = next(); economy_requested = true; }
         else if (flag == "--epoch-slots") {
@@ -253,6 +279,9 @@ int main(int argc, char** argv) {
     if (!baseline::builtin_schedulers().contains(opts.scheduler))
         usage("unknown scheduler '" + opts.scheduler + "' (try --list)");
 
+    std::optional<obs::jsonl_sink> telemetry_sink;
+    if (!telemetry_path.empty()) telemetry_sink.emplace(telemetry_path);
+
     if (!fleet_name.empty()) {
         if (!workload::builtin_fleets().contains(fleet_name))
             usage("unknown fleet '" + fleet_name + "' (try --list)");
@@ -265,7 +294,9 @@ int main(int argc, char** argv) {
             base = workload::builtin_scenarios().make(fleet_cfg.swarm_scenario);
             apply_economy(*base);
         }
-        return run_fleet(std::move(fleet_cfg), threads, opts, base, csv_path);
+        return run_fleet(std::move(fleet_cfg), threads, opts, base, csv_path,
+                         telemetry_sink ? &*telemetry_sink : nullptr,
+                         telemetry_every, trace_path);
     }
 
     try {
@@ -273,6 +304,10 @@ int main(int argc, char** argv) {
     } catch (const contract_violation& broken) {
         usage(broken.what());
     }
+
+    opts.telemetry.sink = telemetry_sink ? &*telemetry_sink : nullptr;
+    opts.telemetry.every_slots = telemetry_every;
+    opts.telemetry.record_spans = !trace_path.empty();
 
     vod::emulator emu(opts);
     metrics::time_series welfare("welfare");
@@ -309,6 +344,17 @@ int main(int argc, char** argv) {
         if (!out) usage("cannot open CSV path '" + csv_path + "'");
         metrics::write_csv(out, {&viewers, &welfare, &inter, &miss});
         std::cout << "per-slot series written to " << csv_path << '\n';
+    }
+    if (telemetry_sink) {
+        telemetry_sink->flush();
+        std::cout << "telemetry stream written to " << telemetry_path << " ("
+                  << telemetry_sink->lines_written() << " lines)\n";
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) usage("cannot open trace path '" + trace_path + "'");
+        emu.spans().export_trace_json(out);
+        std::cout << "phase trace written to " << trace_path << '\n';
     }
     return 0;
 }

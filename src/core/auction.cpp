@@ -205,6 +205,7 @@ auction_result auction_solver::run(const problem_view& problem,
         phase.bids_submitted += result.bids_submitted;
         phase.evictions += result.evictions;
         phase.abstentions += result.abstentions;
+        phase.phases_run = result.phases_run + 1;
         phase.phase_trace = std::move(result.phase_trace);
         result = std::move(phase);
         if (options_.record_phase_trace)

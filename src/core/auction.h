@@ -77,6 +77,8 @@ struct auction_result {
     std::uint64_t evictions = 0;
     std::uint64_t abstentions = 0;
     std::uint64_t parked_at_termination = 0;
+    // ε phases the solve descended (1 unless ε-scaling engaged a ladder).
+    std::uint64_t phases_run = 0;
     bool converged = false;
     // One entry per ε phase, only when options.record_phase_trace is set.
     std::vector<auction_phase_snapshot> phase_trace;

@@ -364,6 +364,7 @@ auction_result parallel_auction_solver::run_impl(
         phase.bids_submitted += result.bids_submitted;
         phase.evictions += result.evictions;
         phase.abstentions += result.abstentions;
+        phase.phases_run = result.phases_run + 1;
         phase.phase_trace = std::move(result.phase_trace);
         result = std::move(phase);
         if (options_.record_phase_trace)

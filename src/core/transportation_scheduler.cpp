@@ -41,6 +41,8 @@ transportation_result transportation_simplex_scheduler::run(
     result.welfare = sol.welfare;
     result.prices = std::move(sol.sink_price);
     result.request_utility = std::move(sol.source_utility);
+    result.pivots = sol.pivots;
+    total_pivots_ += sol.pivots;
     return result;
 }
 

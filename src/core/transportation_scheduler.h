@@ -25,6 +25,7 @@ struct transportation_result {
     double welfare = 0.0;
     std::vector<double> prices;           // optimal λ per uploader
     std::vector<double> request_utility;  // optimal η per request
+    std::uint64_t pivots = 0;             // simplex pivots this solve
 };
 
 class transportation_simplex_scheduler final : public scheduler {
@@ -35,9 +36,14 @@ public:
     [[nodiscard]] std::string_view name() const override {
         return "transportation-simplex";
     }
+    // Cumulative pivots over every solve of this instance's lifetime.
+    [[nodiscard]] std::uint64_t total_pivots() const noexcept {
+        return total_pivots_;
+    }
 
 private:
     opt::transportation_instance instance_;  // persistent arena
+    std::uint64_t total_pivots_ = 0;
 };
 
 }  // namespace p2pcd::core

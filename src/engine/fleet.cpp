@@ -1,9 +1,12 @@
 #include "engine/fleet.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/contracts.h"
 #include "metrics/process_stats.h"
+#include "obs/jsonl_sink.h"
 #include "workload/scenario_registry.h"
 
 namespace p2pcd::engine {
@@ -30,6 +33,12 @@ fleet::fleet(fleet_options options)
 
     options_.swarm_options.scheduler = options_.config.scheduler;
 
+    // The fleet emits the merged telemetry stream itself; shards must not
+    // write to the sink (and must not know it exists), but span recording is
+    // forwarded so per-shard phase traces remain available.
+    options_.swarm_options.telemetry = options_.telemetry;
+    options_.swarm_options.telemetry.sink = nullptr;
+
     // Catalog, valuation curve and popularity CDF are pure functions of the
     // base scenario — build them once and share the instance read-only
     // across every shard instead of paying for one copy per swarm.
@@ -49,6 +58,13 @@ fleet::fleet(fleet_options options)
 }
 
 const fleet_slot_metrics& fleet::step() {
+    // Wall-clock around the whole step, only when a telemetry sink will
+    // consume it — a sink-less fleet reads no clock here (matching the
+    // emulator's zero-syscall telemetry-off contract).
+    const bool timed = options_.telemetry.sink != nullptr;
+    const auto t0 = timed ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+
     // Parallel phase: each shard advances one slot, writing only its own
     // scratch entry. Barrier before any merging.
     pool_.parallel_for_each(shards_.size(),
@@ -86,7 +102,86 @@ const fleet_slot_metrics& fleet::step() {
     slots_.push_back(merged);
     if (num_slots_ > 0 && slots_.size() == (num_slots_ + 1) / 2)
         rss_phases_.mid_run_mb = metrics::current_rss_mb();
+
+    if (timed) {
+        const double step_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        if (!header_emitted_) emit_header();
+        const std::size_t every =
+            std::max<std::size_t>(1, options_.telemetry.every_slots);
+        if ((slots_.size() - 1) % every == 0)
+            emit_slot_record(slots_.back(), step_seconds);
+    }
     return slots_.back();
+}
+
+obs::counter_registry fleet::merged_counters() {
+    expects(!shards_.empty(), "merged_counters() requires at least one swarm");
+    // Swarm-index order: integer counters sum exactly; gauge sums see the
+    // same addend order regardless of which worker stepped which shard.
+    obs::counter_registry merged = shards_.front()->emulator().counters();
+    for (std::size_t i = 1; i < shards_.size(); ++i)
+        merged.merge(shards_[i]->emulator().counters());
+    return merged;
+}
+
+void fleet::emit_header() {
+    header_emitted_ = true;
+    obs::counter_registry merged = merged_counters();
+    std::string metric_names;
+    for (const auto& e : merged.entries()) {
+        if (!metric_names.empty()) metric_names += ',';
+        metric_names += e.name;
+    }
+    obs::json_line line;
+    line.field("v", obs::jsonl_schema_version)
+        .field("kind", "header")
+        .field("scheduler", options_.config.scheduler)
+        .field("fleet_seed", options_.config.fleet_seed)
+        .field("num_swarms", shards_.size())
+        .field("num_slots", num_slots_)
+        .field("slot_seconds", slot_seconds_)
+        .field("economy", economy_enabled())
+        .field("metrics", metric_names);
+    // Environment facts — everything here may differ between two runs of
+    // the same (config, seed) and is stripped by obs::semantic_view().
+    line.begin_object("env")
+        .field("threads", pool_.size())
+        .field("hardware_concurrency",
+               static_cast<std::uint64_t>(std::thread::hardware_concurrency()))
+        .field("spans", options_.telemetry.record_spans)
+        .field("every_slots", options_.telemetry.every_slots)
+        .end_object();
+    options_.telemetry.sink->write_line(line.finish());
+}
+
+void fleet::emit_slot_record(const fleet_slot_metrics& m, double step_seconds) {
+    obs::counter_registry merged = merged_counters();
+    obs::json_line line;
+    line.field("v", obs::jsonl_schema_version)
+        .field("kind", "fleet_slot")
+        .field("slot", slots_.size() - 1)
+        .field("time", m.time)
+        .field("online_peers", m.online_peers)
+        .field("requests", m.requests)
+        .field("transfers", m.transfers)
+        .field("inter_isp_transfers", m.inter_isp_transfers)
+        .field("inter_isp_fraction", m.inter_isp_fraction)
+        .field("social_welfare", m.social_welfare)
+        .field("chunks_due", m.chunks_due)
+        .field("chunks_missed", m.chunks_missed)
+        .field("miss_rate", m.miss_rate)
+        .field("auction_bids", m.auction_bids);
+    for (std::size_t i = 0; i < merged.entries().size(); ++i) {
+        const auto& e = merged.entries()[i];
+        if (e.kind == obs::metric_kind::counter)
+            line.field(e.name, merged.counter_at(i));
+        else
+            line.field(e.name, merged.gauge_at(i));
+    }
+    line.begin_object("wall").field("step_s", step_seconds).end_object();
+    options_.telemetry.sink->write_line(line.finish());
 }
 
 void fleet::run() {

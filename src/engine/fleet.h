@@ -27,6 +27,8 @@
 #include "isp/billing.h"
 #include "isp/traffic_ledger.h"
 #include "metrics/time_series.h"
+#include "obs/counters.h"
+#include "obs/telemetry.h"
 #include "vod/emulator.h"
 #include "workload/fleet_config.h"
 
@@ -49,6 +51,13 @@ struct fleet_options {
     // specs / `config.scheduler`; everything else (bid rounds, auction ε,
     // warm-start, custom scheduler registry) applies to every swarm.
     vod::emulator_options swarm_options;
+
+    // Fleet-level telemetry. The fleet emits the merged "fleet_slot" stream
+    // itself: shards never see the sink (their copy of these options has it
+    // cleared), but record_spans/span_capacity are forwarded so per-shard
+    // phase traces still work. Semantic fields of the merged stream are
+    // accumulated in swarm-index order — bit-identical for any `threads`.
+    obs::telemetry_options telemetry;
 };
 
 // Process RSS sampled at the fleet's lifecycle phases (MiB; 0 until the
@@ -135,6 +144,11 @@ public:
     // instance the fleet built).
     [[nodiscard]] vod::memory_breakdown memory_footprint() const;
 
+    // The shards' counter registries merged in swarm-index order (integer
+    // sums; gauges summed in a fixed order) — bit-identical for any thread
+    // count. Samples each shard's lazy counter sources first.
+    [[nodiscard]] obs::counter_registry merged_counters();
+
     // --- ISP economy (when the base scenario enables it; see src/isp/) ---
     [[nodiscard]] bool economy_enabled() const;
     // Fleet-wide per-ISP-pair ledger: the shards' ledgers merged in
@@ -145,6 +159,9 @@ public:
     [[nodiscard]] isp::billing_statement merged_bill() const;
 
 private:
+    void emit_header();
+    void emit_slot_record(const fleet_slot_metrics& m, double step_seconds);
+
     fleet_options options_;
     thread_pool pool_;
     std::vector<std::unique_ptr<shard>> shards_;
@@ -160,6 +177,7 @@ private:
     bool has_run_ = false;
     double peak_rss_mb_ = 0.0;
     fleet_rss_phases rss_phases_;
+    bool header_emitted_ = false;
 };
 
 }  // namespace p2pcd::engine

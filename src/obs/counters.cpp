@@ -1,0 +1,91 @@
+#include "obs/counters.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::obs {
+
+namespace {
+
+bool name_taken(const std::vector<counter_registry::entry>& entries,
+                const std::string& name) {
+    for (const auto& e : entries)
+        if (e.name == name) return true;
+    return false;
+}
+
+}  // namespace
+
+counter_id counter_registry::add_counter(const std::string& name) {
+    expects(!name.empty(), "metric name must be non-empty");
+    expects(!name_taken(entries_, name), "metric name already registered");
+    const auto slot = static_cast<std::uint32_t>(counters_.size());
+    counters_.push_back(0);
+    entries_.push_back({name, metric_kind::counter, slot});
+    return counter_id{slot};
+}
+
+gauge_id counter_registry::add_gauge(const std::string& name) {
+    expects(!name.empty(), "metric name must be non-empty");
+    expects(!name_taken(entries_, name), "metric name already registered");
+    const auto slot = static_cast<std::uint32_t>(gauges_.size());
+    gauges_.push_back(0.0);
+    entries_.push_back({name, metric_kind::gauge, slot});
+    return gauge_id{slot};
+}
+
+std::uint64_t counter_registry::counter_at(std::size_t entry_index) const {
+    expects(entry_index < entries_.size(), "entry index out of range");
+    const entry& e = entries_[entry_index];
+    expects(e.kind == metric_kind::counter, "entry is not a counter");
+    return counters_[e.slot];
+}
+
+double counter_registry::gauge_at(std::size_t entry_index) const {
+    expects(entry_index < entries_.size(), "entry index out of range");
+    const entry& e = entries_[entry_index];
+    expects(e.kind == metric_kind::gauge, "entry is not a gauge");
+    return gauges_[e.slot];
+}
+
+const counter_registry::entry& counter_registry::find(const std::string& name,
+                                                      metric_kind kind) const {
+    for (const auto& e : entries_)
+        if (e.kind == kind && e.name == name) return e;
+    expects(false, "no metric registered under that name/kind");
+    // Unreachable: expects(false, ...) always throws.
+    throw contract_violation("unreachable");
+}
+
+std::uint64_t counter_registry::counter_named(const std::string& name) const {
+    return counters_[find(name, metric_kind::counter).slot];
+}
+
+double counter_registry::gauge_named(const std::string& name) const {
+    return gauges_[find(name, metric_kind::gauge).slot];
+}
+
+bool counter_registry::same_layout(const counter_registry& other) const {
+    if (entries_.size() != other.entries_.size()) return false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (entries_[i].kind != other.entries_[i].kind ||
+            entries_[i].slot != other.entries_[i].slot ||
+            entries_[i].name != other.entries_[i].name)
+            return false;
+    }
+    return true;
+}
+
+void counter_registry::merge(const counter_registry& other) {
+    expects(same_layout(other), "cannot merge registries with different layouts");
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        counters_[i] += other.counters_[i];
+    for (std::size_t i = 0; i < gauges_.size(); ++i)
+        gauges_[i] += other.gauges_[i];
+}
+
+void counter_registry::reset() noexcept {
+    for (auto& c : counters_) c = 0;
+    for (auto& g : gauges_) g = 0.0;
+}
+
+}  // namespace p2pcd::obs

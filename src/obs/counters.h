@@ -1,0 +1,105 @@
+// Flat, registration-ordered registry of named telemetry metrics.
+//
+// Two metric kinds:
+//  * counter — a monotonic u64. Hot paths bump it with inc() (one flat array
+//    add, no hashing, no locking); subsystems that already keep their own
+//    cumulative counters (cost-model cache stats, tracker repair stats,
+//    simplex pivots) publish them with set() at sample points instead of
+//    instrumenting their inner loops.
+//  * gauge — a double accumulated with add() or overwritten with set()
+//    (ledger byte volumes, high-water marks).
+//
+// Ids are dense indices handed out at registration; the instrumented code
+// holds them as members, so a metric update is `values[id] += delta` — cheap
+// enough to leave always on, which is what keeps the registry *semantic*:
+// every value is a pure function of (config, seed), never of thread count or
+// wall clock. One registry instance belongs to one owner (an emulator); a
+// fleet merges its shards' registries in swarm-index order with merge(), so
+// merged values are bit-identical for any `--threads` (counters are integer
+// sums; gauges sum in a fixed order).
+//
+// There are deliberately no global/static registries: per-owner instances
+// are what makes the fleet's concurrent shards race-free by construction
+// (each worker touches only its own shard's registry; merging is serial).
+#ifndef P2PCD_OBS_COUNTERS_H
+#define P2PCD_OBS_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2pcd::obs {
+
+enum class metric_kind : std::uint8_t { counter, gauge };
+
+struct counter_id {
+    std::uint32_t index = 0;
+};
+struct gauge_id {
+    std::uint32_t index = 0;
+};
+
+class counter_registry {
+public:
+    struct entry {
+        std::string name;
+        metric_kind kind = metric_kind::counter;
+        std::uint32_t slot = 0;  // index into the kind's value array
+    };
+
+    // Registration: names must be unique across both kinds (enforced).
+    // Registration order is the one schema order every consumer sees.
+    counter_id add_counter(const std::string& name);
+    gauge_id add_gauge(const std::string& name);
+
+    // --- hot-path updates (bounds unchecked beyond the vector's own) ---
+    void inc(counter_id id, std::uint64_t delta = 1) noexcept {
+        counters_[id.index] += delta;
+    }
+    // Publishes an externally-maintained cumulative counter (absolute value).
+    void set(counter_id id, std::uint64_t absolute) noexcept {
+        counters_[id.index] = absolute;
+    }
+    void add(gauge_id id, double delta) noexcept { gauges_[id.index] += delta; }
+    void set(gauge_id id, double value) noexcept { gauges_[id.index] = value; }
+
+    [[nodiscard]] std::uint64_t counter(counter_id id) const {
+        return counters_[id.index];
+    }
+    [[nodiscard]] double gauge(gauge_id id) const { return gauges_[id.index]; }
+
+    // Registration-ordered entries; values by entry index.
+    [[nodiscard]] const std::vector<entry>& entries() const noexcept {
+        return entries_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+    [[nodiscard]] std::uint64_t counter_at(std::size_t entry_index) const;
+    [[nodiscard]] double gauge_at(std::size_t entry_index) const;
+    // Value of entry i by name lookup; throws contract_violation when absent.
+    [[nodiscard]] std::uint64_t counter_named(const std::string& name) const;
+    [[nodiscard]] double gauge_named(const std::string& name) const;
+
+    // True when `other` registered the same names/kinds in the same order —
+    // the precondition for merge().
+    [[nodiscard]] bool same_layout(const counter_registry& other) const;
+
+    // Element-wise accumulate (counters: integer sums; gauges: double sums).
+    // The fleet calls this in swarm-index order, so merged gauges are
+    // order-deterministic. Requires same_layout(other).
+    void merge(const counter_registry& other);
+
+    // Zeroes every value; the layout stays registered.
+    void reset() noexcept;
+
+private:
+    [[nodiscard]] const entry& find(const std::string& name,
+                                    metric_kind kind) const;
+
+    std::vector<entry> entries_;
+    std::vector<std::uint64_t> counters_;
+    std::vector<double> gauges_;
+};
+
+}  // namespace p2pcd::obs
+
+#endif  // P2PCD_OBS_COUNTERS_H

@@ -1,0 +1,191 @@
+#include "obs/jsonl_sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.h"
+
+namespace p2pcd::obs {
+
+json_line::json_line() : buf_("{") {}
+
+namespace {
+
+void append_escaped(std::string& buf, std::string_view s) {
+    for (char c : s) {
+        switch (c) {
+            case '"': buf += "\\\""; break;
+            case '\\': buf += "\\\\"; break;
+            case '\n': buf += "\\n"; break;
+            case '\t': buf += "\\t"; break;
+            case '\r': buf += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char esc[8];
+                    std::snprintf(esc, sizeof(esc), "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    buf += esc;
+                } else {
+                    buf += c;
+                }
+        }
+    }
+}
+
+}  // namespace
+
+json_line& json_line::field(std::string_view key, std::uint64_t v) {
+    char num[32];
+    std::snprintf(num, sizeof(num), "%" PRIu64, v);
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":";
+    buf_ += num;
+    need_comma_ = true;
+    return *this;
+}
+
+json_line& json_line::field(std::string_view key, std::int64_t v) {
+    char num[32];
+    std::snprintf(num, sizeof(num), "%" PRId64, v);
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":";
+    buf_ += num;
+    need_comma_ = true;
+    return *this;
+}
+
+json_line& json_line::field(std::string_view key, double v) {
+    char num[40];
+    std::snprintf(num, sizeof(num), "%.17g", v);
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":";
+    buf_ += num;
+    need_comma_ = true;
+    return *this;
+}
+
+json_line& json_line::field(std::string_view key, std::string_view v) {
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":\"";
+    append_escaped(buf_, v);
+    buf_ += '"';
+    need_comma_ = true;
+    return *this;
+}
+
+json_line& json_line::field(std::string_view key, bool v) {
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":";
+    buf_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+}
+
+json_line& json_line::begin_object(std::string_view key) {
+    expects(!in_object_, "telemetry sub-objects do not nest");
+    if (need_comma_) buf_ += ',';
+    buf_ += '"';
+    buf_.append(key);
+    buf_ += "\":{";
+    need_comma_ = false;
+    in_object_ = true;
+    return *this;
+}
+
+json_line& json_line::end_object() {
+    expects(in_object_, "end_object without begin_object");
+    buf_ += '}';
+    in_object_ = false;
+    need_comma_ = true;
+    return *this;
+}
+
+std::string json_line::finish() {
+    expects(!in_object_, "finish inside an open sub-object");
+    expects(!finished_, "json_line already finished");
+    finished_ = true;
+    buf_ += "}\n";
+    return std::move(buf_);
+}
+
+std::string semantic_view(std::string_view line) {
+    // Remove `,"wall":{...}` / `,"env":{...}` (or leading-position variants).
+    // The sub-objects are flat by construction, so scanning to the first '}'
+    // is exact — no brace counting needed.
+    std::string out;
+    out.reserve(line.size());
+    std::size_t i = 0;
+    while (i < line.size()) {
+        bool stripped = false;
+        for (std::string_view key : {"\"wall\":{", "\"env\":{"}) {
+            if (line.compare(i, key.size(), key) != 0) continue;
+            std::size_t close = line.find('}', i + key.size());
+            if (close == std::string_view::npos) break;
+            std::size_t end = close + 1;
+            if (!out.empty() && out.back() == ',') {
+                out.pop_back();  // `,"wall":{...}` — drop the leading comma
+            } else if (end < line.size() && line[end] == ',') {
+                ++end;  // `"wall":{...},` at object start — drop the trailing one
+            }
+            i = end;
+            stripped = true;
+            break;
+        }
+        if (!stripped) out += line[i++];
+    }
+    return out;
+}
+
+jsonl_sink::jsonl_sink(std::ostream& out, std::size_t buffer_bytes)
+    : out_(&out), buffer_bytes_(buffer_bytes) {
+    buffer_.reserve(buffer_bytes_);
+}
+
+jsonl_sink::jsonl_sink(const std::string& path, std::size_t buffer_bytes)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      out_(owned_.get()),
+      buffer_bytes_(buffer_bytes) {
+    expects(owned_->is_open(), "jsonl_sink could not open output file");
+    buffer_.reserve(buffer_bytes_);
+}
+
+jsonl_sink::~jsonl_sink() {
+    // Best effort on teardown; flush() is available for checked shutdown.
+    if (!buffer_.empty() && out_ != nullptr) {
+        out_->write(buffer_.data(),
+                    static_cast<std::streamsize>(buffer_.size()));
+        out_->flush();
+    }
+}
+
+void jsonl_sink::write_line(std::string_view line) {
+    expects(!line.empty() && line.back() == '\n',
+            "telemetry lines must be newline-terminated");
+    if (!buffer_.empty() && buffer_.size() + line.size() > buffer_bytes_)
+        flush();
+    buffer_.append(line);
+    ++lines_;
+    bytes_ += line.size();
+    if (buffer_.size() >= buffer_bytes_) flush();
+}
+
+void jsonl_sink::flush() {
+    if (buffer_.empty()) return;
+    out_->write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    out_->flush();
+    buffer_.clear();
+    ++flushes_;
+}
+
+}  // namespace p2pcd::obs

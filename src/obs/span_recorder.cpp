@@ -1,0 +1,87 @@
+#include "obs/span_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+#include "common/contracts.h"
+
+namespace p2pcd::obs {
+
+const char* phase_name(phase p) noexcept {
+    switch (p) {
+        case phase::arrivals: return "arrivals";
+        case phase::departures: return "departures";
+        case phase::playback: return "playback";
+        case phase::neighbor_refresh: return "neighbor_refresh";
+        case phase::build: return "build";
+        case phase::solve: return "solve";
+        case phase::apply: return "apply";
+        case phase::shed: return "shed";
+        case phase::count: break;
+    }
+    return "?";
+}
+
+span_recorder::span_recorder(bool enabled, std::size_t ring_capacity)
+    : enabled_(enabled) {
+    if (!enabled_) return;
+    expects(ring_capacity > 0, "span ring capacity must be positive");
+    ring_.resize(ring_capacity);
+    epoch_ = clock::now();
+    mark_ = epoch_;
+}
+
+void span_recorder::begin_slot(std::uint32_t slot) {
+    expects(enabled_, "timing entry points require an enabled recorder");
+    current_slot_ = slot;
+    mark_ = clock::now();
+}
+
+void span_recorder::lap(phase p) {
+    expects(enabled_, "timing entry points require an enabled recorder");
+    const clock::time_point now = clock::now();
+    const double start = seconds_since_epoch(mark_);
+    const double duration = seconds_since_epoch(now) - start;
+    totals_[static_cast<std::size_t>(p)] += duration;
+    ring_[recorded_ % ring_.size()] = {current_slot_, p, start, duration};
+    ++recorded_;
+    mark_ = now;
+}
+
+void span_recorder::skip() {
+    expects(enabled_, "timing entry points require an enabled recorder");
+    mark_ = clock::now();
+}
+
+std::vector<span> span_recorder::spans() const {
+    std::vector<span> out;
+    if (ring_.empty()) return out;
+    const std::uint64_t live =
+        recorded_ < ring_.size() ? recorded_ : ring_.size();
+    out.reserve(live);
+    const std::uint64_t first = recorded_ - live;
+    for (std::uint64_t i = 0; i < live; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+void span_recorder::export_trace_json(std::ostream& out, std::uint32_t pid) const {
+    out << "{\"traceEvents\":[";
+    const std::vector<span> live = spans();
+    char buf[256];
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const span& s = live[i];
+        // trace_event ts/dur are microseconds; ph:"X" is a complete event.
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%" PRIu32
+                      ",\"tid\":%" PRIu32 ",\"ts\":%.3f,\"dur\":%.3f,"
+                      "\"args\":{\"slot\":%" PRIu32 "}}",
+                      i == 0 ? "" : ",", phase_name(s.which), pid, pid,
+                      s.start_s * 1e6, s.duration_s * 1e6, s.slot);
+        out << buf;
+    }
+    out << "]}\n";
+}
+
+}  // namespace p2pcd::obs

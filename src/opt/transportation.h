@@ -44,6 +44,9 @@ struct transportation_solution {
     // Dual prices: λ per sink (bandwidth price), η per source (request utility).
     std::vector<double> sink_price;
     std::vector<double> source_utility;
+    // Simplex pivots performed (0 for solve_exact): a deterministic measure
+    // of how hard the instance fought, surfaced through obs::counters.
+    std::uint64_t pivots = 0;
 };
 
 [[nodiscard]] transportation_solution solve_exact(const transportation_instance& instance);

@@ -301,6 +301,8 @@ transportation_solution solve_transportation_simplex(
         st.pivot(best_arc);
     }
 
+    sol.pivots = pivots;
+
     // Primal extraction: a unit on a real arc assigns its source.
     for (std::size_t a = 0; a < num_real; ++a) {
         if (st.flow[a] <= 0) continue;

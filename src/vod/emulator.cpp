@@ -1,13 +1,14 @@
 #include "vod/emulator.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <string>
 
 #include "baseline/registry.h"
 #include "common/contracts.h"
+#include "core/transportation_scheduler.h"
 #include "core/welfare.h"
+#include "obs/jsonl_sink.h"
 #include "vod/auction_runtime.h"
 #include "workload/peering_gen.h"
 
@@ -44,6 +45,11 @@ emulator::emulator(emulator_options options)
     scheduler_ = registry.make(options_.scheduler, params);
     auction_ = dynamic_cast<core::auction_solver*>(scheduler_.get());
     par_auction_ = dynamic_cast<core::parallel_auction_solver*>(scheduler_.get());
+    trans_ = dynamic_cast<core::transportation_simplex_scheduler*>(scheduler_.get());
+
+    register_metrics();
+    spans_ = obs::span_recorder(options_.telemetry.record_spans,
+                                options_.telemetry.span_capacity);
 
     auto cost_rng = rng_factory_.stream("costs");
     costs_.emplace(topology_, options_.config.costs, cost_rng);
@@ -56,6 +62,17 @@ emulator::emulator(emulator_options options)
         if (economy.slots_per_epoch > 0)
             price_controller_.emplace(*peering_, economy.policy);
         costs_->attach_peering(&*peering_);
+        // Relationship class per directed ISP pair, flattened so the
+        // per-transfer ledger-byte gauges cost one byte load to classify.
+        const std::size_t n = options_.config.num_isps;
+        link_class_.resize(n * n);
+        for (std::size_t m = 0; m < n; ++m)
+            for (std::size_t k = 0; k < n; ++k)
+                link_class_[m * n + k] = static_cast<std::uint8_t>(
+                    peering_
+                        ->link(isp_id(static_cast<std::int32_t>(m)),
+                               isp_id(static_cast<std::int32_t>(k)))
+                        .rel);
     }
 
     add_seeds();
@@ -64,6 +81,135 @@ emulator::emulator(emulator_options options)
         arrivals_.emplace(options_.config.arrival_rate);
         next_arrival_ = arrivals_->next_arrival(arrival_rng_);
     }
+}
+
+// The emulator's metric set, in the registration order that is the one
+// schema order every consumer (JSONL records, fleet merge, bench artifact)
+// sees. Counters are cumulative over the run; gauges are byte volumes.
+void emulator::register_metrics() {
+    c_arrivals_ = counters_.add_counter("peers.arrivals");
+    c_departures_ = counters_.add_counter("peers.departures");
+    c_solver_rounds_ = counters_.add_counter("solver.rounds");
+    c_solver_bids_ = counters_.add_counter("solver.bids");
+    c_solver_phases_ = counters_.add_counter("solver.phases");
+    c_solver_pivots_ = counters_.add_counter("solver.pivots");
+    c_tracker_repairs_ = counters_.add_counter("tracker.repairs");
+    c_tracker_inversions_ = counters_.add_counter("tracker.inversions");
+    c_cache_hits_ = counters_.add_counter("cost.cache_hits");
+    c_cache_misses_ = counters_.add_counter("cost.cache_misses");
+    c_cache_flushes_ = counters_.add_counter("cost.cache_flushes");
+    c_shed_events_ = counters_.add_counter("shed.events");
+    g_bytes_sibling_ = counters_.add_gauge("ledger.bytes_sibling");
+    g_bytes_peer_ = counters_.add_gauge("ledger.bytes_peer");
+    g_bytes_transit_ = counters_.add_gauge("ledger.bytes_transit");
+}
+
+void emulator::sample_counters() {
+    const net::cost_cache_stats cs = costs_->cache_stats();
+    counters_.set(c_cache_hits_, cs.hits);
+    counters_.set(c_cache_misses_, cs.misses);
+    counters_.set(c_cache_flushes_, cs.flushes);
+    const tracker_stats& ts = tracker_.stats();
+    counters_.set(c_tracker_repairs_, ts.repairs);
+    counters_.set(c_tracker_inversions_, ts.inversions);
+    if (trans_ != nullptr) counters_.set(c_solver_pivots_, trans_->total_pivots());
+}
+
+obs::counter_registry& emulator::counters() {
+    sample_counters();
+    return counters_;
+}
+
+slot_phase_totals emulator::phase_totals() const noexcept {
+    slot_phase_totals t;
+    t.arrivals = spans_.total_seconds(obs::phase::arrivals);
+    t.departures = spans_.total_seconds(obs::phase::departures);
+    t.playback = spans_.total_seconds(obs::phase::playback);
+    t.neighbor_refresh = spans_.total_seconds(obs::phase::neighbor_refresh);
+    t.build = spans_.total_seconds(obs::phase::build);
+    t.solve = spans_.total_seconds(obs::phase::solve);
+    t.apply = spans_.total_seconds(obs::phase::apply);
+    t.shed = spans_.total_seconds(obs::phase::shed);
+    return t;
+}
+
+void emulator::emit_header() {
+    header_emitted_ = true;
+    // Counter schema as one comma-joined list (the registry's registration
+    // order — the same order "slot" records serialize values in).
+    std::string metric_names;
+    for (const auto& e : counters_.entries()) {
+        if (!metric_names.empty()) metric_names += ',';
+        metric_names += e.name;
+    }
+    obs::json_line line;
+    line.field("v", obs::jsonl_schema_version)
+        .field("kind", "header")
+        .field("scheduler", options_.scheduler)
+        .field("master_seed", options_.config.master_seed)
+        .field("num_isps", options_.config.num_isps)
+        .field("num_videos", options_.config.num_videos)
+        .field("initial_peers", options_.config.initial_peers)
+        .field("arrival_rate", options_.config.arrival_rate)
+        .field("slot_seconds", options_.config.slot_seconds)
+        .field("num_slots", options_.config.num_slots())
+        .field("economy", economy_enabled())
+        .field("metrics", metric_names);
+    line.begin_object("env")
+        .field("spans", spans_.enabled())
+        .field("every_slots", options_.telemetry.every_slots)
+        .end_object();
+    options_.telemetry.sink->write_line(line.finish());
+}
+
+void emulator::emit_slot_record(const slot_metrics& m) {
+    sample_counters();
+    obs::json_line line;
+    line.field("v", obs::jsonl_schema_version)
+        .field("kind", "slot")
+        .field("slot", slots_.size() - 1)
+        .field("time", m.time)
+        .field("online_peers", m.online_peers)
+        .field("requests", m.requests)
+        .field("transfers", m.transfers)
+        .field("inter_isp_transfers", m.inter_isp_transfers)
+        .field("inter_isp_fraction", m.inter_isp_fraction)
+        .field("social_welfare", m.social_welfare)
+        .field("chunks_due", m.chunks_due)
+        .field("chunks_missed", m.chunks_missed)
+        .field("miss_rate", m.miss_rate)
+        .field("auction_bids", m.auction_bids);
+    for (std::size_t i = 0; i < counters_.entries().size(); ++i) {
+        const auto& e = counters_.entries()[i];
+        if (e.kind == obs::metric_kind::counter)
+            line.field(e.name, counters_.counter_at(i));
+        else
+            line.field(e.name, counters_.gauge_at(i));
+    }
+    if (spans_.enabled()) {
+        // Wall-clock delta since the previous record — segregated so the
+        // semantic projection of two runs still compares byte-for-byte.
+        const double total = phase_totals().total();
+        line.begin_object("wall")
+            .field("slot_s", total - last_wall_total_)
+            .end_object();
+        last_wall_total_ = total;
+    }
+    options_.telemetry.sink->write_line(line.finish());
+}
+
+void emulator::emit_epoch_record(const isp::epoch_summary& e) {
+    obs::json_line line;
+    line.field("v", obs::jsonl_schema_version)
+        .field("kind", "epoch")
+        .field("epoch", e.epoch)
+        .field("first_slot", e.first_slot)
+        .field("num_slots", e.num_slots)
+        .field("cross_chunks", e.cross_chunks)
+        .field("raised", e.raised)
+        .field("lowered", e.lowered)
+        .field("mean_inter_price", e.mean_inter_price);
+    options_.telemetry.sink->write_line(line.finish());
 }
 
 void emulator::add_seeds() {
@@ -140,6 +286,7 @@ std::size_t emulator::spawn_viewer(double join_time, bool pre_warmed) {
                            viewer.playback_position);
     // Rows are minted in id order, so appending keeps the list ascending.
     active_viewers_.push_back(static_cast<std::uint32_t>(row));
+    counters_.inc(c_arrivals_);
     return row;
 }
 
@@ -169,6 +316,7 @@ void emulator::process_departures() {
         // Nothing reads a departed peer's buffer again (requests, candidates
         // and playback all draw from the active list) — reclaim it.
         peers_.buffer(row).release();
+        counters_.inc(c_departures_);
         any = true;
     }
     if (any)
@@ -310,6 +458,7 @@ core::schedule emulator::dispatch(double round_start, double duration,
                                   std::vector<double>& slot_prices) {
     const slot_problem& sp = round_problem_;
     const core::problem_view view = sp.problem.view();
+    counters_.inc(c_solver_rounds_);
 
     if (auction_ != nullptr) {
         bool distributed = round_start >= options_.distributed_from &&
@@ -335,6 +484,8 @@ core::schedule emulator::dispatch(double round_start, double duration,
                     {view.uploader(ev.uploader).who, ev.time, ev.price});
             price_series_built_ = false;
             metrics.auction_bids += result.auction.bids_submitted;
+            counters_.inc(c_solver_bids_, result.auction.bids_submitted);
+            counters_.inc(c_solver_phases_, result.auction.phases_run);
             return std::move(result.auction.sched);
         }
         core::auction_result result;
@@ -351,6 +502,8 @@ core::schedule emulator::dispatch(double round_start, double duration,
             result = auction_->run(view);
         }
         metrics.auction_bids += result.bids_submitted;
+        counters_.inc(c_solver_bids_, result.bids_submitted);
+        counters_.inc(c_solver_phases_, result.phases_run);
         return std::move(result.sched);
     }
 
@@ -369,6 +522,8 @@ core::schedule emulator::dispatch(double round_start, double duration,
             result = par_auction_->run(view);
         }
         metrics.auction_bids += result.bids_submitted;
+        counters_.inc(c_solver_bids_, result.bids_submitted);
+        counters_.inc(c_solver_phases_, result.phases_run);
         return std::move(result.sched);
     }
 
@@ -402,9 +557,25 @@ void emulator::apply_schedule(const core::schedule& sched, slot_metrics& metrics
         const isp_id seller_isp = peers_.isp(seller_row);
         const isp_id downstream_isp = peers_.isp(downstream_row);
         if (seller_isp != downstream_isp) ++metrics.inter_isp_transfers;
-        if (ledger_)
-            ledger_->record(seller_isp, downstream_isp, 1,
-                            options_.config.chunk_size_kb * 1024.0);
+        if (ledger_) {
+            const double bytes = options_.config.chunk_size_kb * 1024.0;
+            ledger_->record(seller_isp, downstream_isp, 1, bytes);
+            const std::size_t n = options_.config.num_isps;
+            const auto rel = static_cast<isp::relationship>(
+                link_class_[static_cast<std::size_t>(seller_isp.value()) * n +
+                            static_cast<std::size_t>(downstream_isp.value())]);
+            switch (rel) {
+                case isp::relationship::sibling:
+                    counters_.add(g_bytes_sibling_, bytes);
+                    break;
+                case isp::relationship::peer:
+                    counters_.add(g_bytes_peer_, bytes);
+                    break;
+                case isp::relationship::transit:
+                    counters_.add(g_bytes_transit_, bytes);
+                    break;
+            }
+        }
     }
     metrics.inter_isp_fraction =
         metrics.transfers == 0
@@ -446,40 +617,25 @@ void emulator::advance_playback(double from, double to, slot_metrics& metrics) {
                                   static_cast<double>(metrics.chunks_due);
 }
 
-namespace {
-// Phase stopwatch: accumulates the elapsed seconds since the previous lap
-// into the given phase counter. ~10 clock reads per slot — negligible even
-// at smoke scale, so the pipeline profile is always on.
-class phase_clock {
-public:
-    phase_clock() : last_(std::chrono::steady_clock::now()) {}
-    void lap(double& into) {
-        auto now = std::chrono::steady_clock::now();
-        into += std::chrono::duration<double>(now - last_).count();
-        last_ = now;
-    }
-    void skip() { last_ = std::chrono::steady_clock::now(); }
-
-private:
-    std::chrono::steady_clock::time_point last_;
-};
-}  // namespace
-
 const slot_metrics& emulator::step() {
     const double slot_start = now_;
     const double slot_end = now_ + options_.config.slot_seconds;
 
-    phase_clock clock;
+    // Phase timing goes through the span recorder, and only when it is
+    // enabled — a telemetry-off slot loop performs zero timestamp syscalls
+    // (every entry point sits behind this one branch).
+    const bool timed = spans_.enabled();
+    if (timed) spans_.begin_slot(static_cast<std::uint32_t>(slots_.size()));
     process_arrivals(slot_start);
-    clock.lap(phase_totals_.arrivals);
+    if (timed) spans_.lap(obs::phase::arrivals);
     process_departures();
-    clock.lap(phase_totals_.departures);
+    if (timed) spans_.lap(obs::phase::departures);
     refresh_neighbors();
-    clock.lap(phase_totals_.neighbor_refresh);
+    if (timed) spans_.lap(obs::phase::neighbor_refresh);
     // Accounted to build: the link prefetch replaces the per-candidate cost
     // lookups the pre-refactor build loop performed.
     prefetch_link_costs();
-    clock.lap(phase_totals_.build);
+    if (timed) spans_.lap(obs::phase::build);
     if (ledger_) ledger_->begin_slot(slot_start);
 
     slot_metrics metrics;
@@ -519,35 +675,46 @@ const slot_metrics& emulator::step() {
             round_capacity_scratch_[row] =
                 (remaining_scratch_[row] + rounds_left - 1) / rounds_left;
 
-        clock.skip();
+        if (timed) spans_.skip();
         build_problem(round_start, round_capacity_scratch_);
-        clock.lap(phase_totals_.build);
+        if (timed) spans_.lap(obs::phase::build);
         metrics.requests += round_problem_.problem.num_requests();
 
         auto sched = dispatch(round_start, round_length, r, metrics, slot_prices_);
-        clock.lap(phase_totals_.solve);
+        if (timed) spans_.lap(obs::phase::solve);
         apply_schedule(sched, metrics, remaining_scratch_);
-        clock.lap(phase_totals_.apply);
+        if (timed) spans_.lap(obs::phase::apply);
 
         // Playback of this round is checked against the post-transfer buffer:
         // transfers complete within the bidding round.
         advance_playback(round_start, round_end, metrics);
-        clock.lap(phase_totals_.playback);
+        if (timed) spans_.lap(obs::phase::playback);
     }
 
     // Slot-end memory discipline: the problem arena and solver slabs are only
     // needed while this shard's slot is in flight — return them now so a
     // fleet's resident set scales with its thread count, not its swarm count.
     shed_slot_memory();
-    clock.lap(phase_totals_.shed);
+    if (timed) spans_.lap(obs::phase::shed);
 
     slots_.push_back(metrics);
     now_ = slot_end;
     // Epoch boundary: ISPs re-price off the slots metered since the last
     // close; the updated prices steer every subsequent slot's costs.
-    if (price_controller_ &&
-        slots_.size() % options_.config.economy.slots_per_epoch == 0)
-        price_controller_->end_epoch(*ledger_);
+    const bool epoch_closed =
+        price_controller_ &&
+        slots_.size() % options_.config.economy.slots_per_epoch == 0;
+    if (epoch_closed) price_controller_->end_epoch(*ledger_);
+
+    // Telemetry records, outside the timed region: emission never perturbs
+    // the phase profile, and a null sink costs one branch.
+    if (options_.telemetry.sink != nullptr) {
+        if (!header_emitted_) emit_header();
+        const std::size_t every =
+            std::max<std::size_t>(1, options_.telemetry.every_slots);
+        if ((slots_.size() - 1) % every == 0) emit_slot_record(slots_.back());
+        if (epoch_closed) emit_epoch_record(price_controller_->history().back());
+    }
     return slots_.back();
 }
 
@@ -558,6 +725,7 @@ void emulator::shed_slot_memory() {
     std::vector<std::uint32_t>().swap(sp.uploader_row);
     std::vector<std::uint32_t>().swap(sp.request_row);
     scheduler_->shed_memory();
+    counters_.inc(c_shed_events_);
 }
 
 memory_breakdown emulator::memory_footprint() const {

@@ -53,6 +53,9 @@
 #include "isp/traffic_ledger.h"
 #include "metrics/time_series.h"
 #include "net/cost_model.h"
+#include "obs/counters.h"
+#include "obs/span_recorder.h"
+#include "obs/telemetry.h"
 #include "net/isp_topology.h"
 #include "sim/distributions.h"
 #include "sim/rng.h"
@@ -62,6 +65,10 @@
 #include "vod/tracker.h"
 #include "vod/valuation.h"
 #include "workload/scenario.h"
+
+namespace p2pcd::core {
+class transportation_simplex_scheduler;  // core/transportation_scheduler.h
+}  // namespace p2pcd::core
 
 namespace p2pcd::vod {
 
@@ -112,11 +119,19 @@ struct emulator_options {
     double distributed_to = -1.0;
     // One-way latency = latency_per_cost × w_{u→d} seconds.
     double latency_per_cost = 0.05;
+
+    // Telemetry (src/obs/). Default-off: no sink, no spans — the slot loop
+    // reads no clock and builds no JSONL. Counters stay on unconditionally
+    // (semantic, deterministic, a handful of integer adds per slot).
+    obs::telemetry_options telemetry;
 };
 
 // Wall-clock seconds per slot phase, accumulated across every step() of one
 // emulator. The solve phase is the scheduler (dispatch); everything else is
 // the emulator's own per-slot data path — the subject of bench/slot_pipeline.
+// Since PR 8 this is a compat view assembled from the obs::span_recorder's
+// per-phase totals: it is all zeros unless telemetry.record_spans is set
+// (a telemetry-off slot loop performs zero timestamp syscalls).
 struct slot_phase_totals {
     double arrivals = 0.0;          // Poisson spawns (tracker/topology inserts)
     double departures = 0.0;        // finished/quitting peers unregistered
@@ -198,9 +213,16 @@ public:
     [[nodiscard]] const std::vector<slot_metrics>& slots() const noexcept {
         return slots_;
     }
-    // Per-phase wall-clock totals over every slot stepped so far.
-    [[nodiscard]] const slot_phase_totals& phase_totals() const noexcept {
-        return phase_totals_;
+    // Per-phase wall-clock totals over every slot stepped so far — a compat
+    // shim over the span recorder's totals. All zeros when spans are off.
+    [[nodiscard]] slot_phase_totals phase_totals() const noexcept;
+    // Semantic counters/gauges (registration-ordered; see register_metrics()
+    // in emulator.cpp for the full list). Non-const: lazily-sampled sources
+    // (cache stats, tracker stats, pivots) are refreshed first.
+    [[nodiscard]] obs::counter_registry& counters();
+    // Wall-clock phase spans (enabled by telemetry.record_spans).
+    [[nodiscard]] const obs::span_recorder& spans() const noexcept {
+        return spans_;
     }
     // The peer table (read-only): rows, flags, buffers, lifetime counters.
     [[nodiscard]] const peer_table& peers() const noexcept { return peers_; }
@@ -267,6 +289,14 @@ private:
         }
     };
 
+    void register_metrics();
+    // Publishes the lazily-sampled counter sources (cost-model cache stats,
+    // tracker repair stats, simplex pivots) into the registry.
+    void sample_counters();
+    void emit_header();
+    void emit_slot_record(const slot_metrics& m);
+    void emit_epoch_record(const isp::epoch_summary& e);
+
     void add_seeds();
     void add_initial_peers();
     std::size_t spawn_viewer(double join_time, bool pre_warmed);
@@ -319,6 +349,7 @@ private:
     std::unique_ptr<core::scheduler> scheduler_;
     core::auction_solver* auction_ = nullptr;
     core::parallel_auction_solver* par_auction_ = nullptr;
+    core::transportation_simplex_scheduler* trans_ = nullptr;
 
     peer_table peers_;          // rows stable and id-ordered; departed flagged
     std::size_t num_seeds_ = 0;  // rows [0, num_seeds_) are the seeds
@@ -341,8 +372,22 @@ private:
     double next_arrival_ = 0.0;
     std::optional<sim::poisson_process> arrivals_;
     std::vector<slot_metrics> slots_;
-    slot_phase_totals phase_totals_;
     bool has_run_ = false;
+
+    // --- telemetry (src/obs/) ---
+    obs::counter_registry counters_;
+    obs::span_recorder spans_;
+    bool header_emitted_ = false;
+    double last_wall_total_ = 0.0;  // spans total at the previous slot record
+    obs::counter_id c_arrivals_, c_departures_, c_solver_rounds_, c_solver_bids_,
+        c_solver_phases_, c_solver_pivots_, c_tracker_repairs_,
+        c_tracker_inversions_, c_cache_hits_, c_cache_misses_, c_cache_flushes_,
+        c_shed_events_;
+    obs::gauge_id g_bytes_sibling_, g_bytes_peer_, g_bytes_transit_;
+    // Row-major num_isps × num_isps relationship class of each directed ISP
+    // pair (values of isp::relationship), precomputed so apply_schedule's
+    // per-transfer gauge add is one byte load. Empty when the economy is off.
+    std::vector<std::uint8_t> link_class_;
 
     // Round-problem arena, reused (cleared, not reallocated) across the
     // rounds of one slot, then shed at slot end; the high-water sizes below

@@ -86,6 +86,7 @@ void tracker::restore_order(video_pool& pool) {
                (a.position == b.position && a.seq < b.seq);
     };
     auto& v = pool.viewers;
+    ++stats_.repairs;
     for (std::size_t i = 1; i < v.size(); ++i) {
         if (!less(v[i], v[i - 1])) continue;
         viewer_entry tmp = v[i];
@@ -94,6 +95,7 @@ void tracker::restore_order(video_pool& pool) {
             v[j] = v[j - 1];
             recs_[v[j].peer].rank = static_cast<std::uint32_t>(j);
             --j;
+            ++stats_.inversions;
         } while (j > 0 && less(tmp, v[j - 1]));
         v[j] = tmp;
         recs_[tmp.peer].rank = static_cast<std::uint32_t>(j);

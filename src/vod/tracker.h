@@ -37,6 +37,15 @@
 
 namespace p2pcd::vod {
 
+// Cumulative maintenance counters: how often the lazy sorted-pool invariant
+// actually had to be repaired, and how many element shifts the repairs cost.
+// Pure functions of (config, seed) — surfaced through obs::counters and the
+// slot_pipeline artifact.
+struct tracker_stats {
+    std::uint64_t repairs = 0;     // restore_order passes on a dirty pool
+    std::uint64_t inversions = 0;  // element shifts performed by those passes
+};
+
 class tracker {
 public:
     // Registers `peer` (a dense table row) as online under `video`.
@@ -58,6 +67,7 @@ public:
     }
     [[nodiscard]] std::size_t num_online() const noexcept { return num_online_; }
     [[nodiscard]] std::size_t num_online(video_id video) const;
+    [[nodiscard]] const tracker_stats& stats() const noexcept { return stats_; }
 
     // Appends `who`'s neighbor rows (order documented above, at most `count`)
     // to `out` and returns how many were appended. Non-const: restores the
@@ -102,6 +112,7 @@ private:
     std::vector<peer_rec> recs_;     // dense by peer row
     std::uint64_t next_seq_ = 0;
     std::size_t num_online_ = 0;
+    tracker_stats stats_;
 };
 
 }  // namespace p2pcd::vod

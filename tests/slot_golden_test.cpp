@@ -16,8 +16,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
+#include <sstream>
 #include <string>
 
+#include "obs/jsonl_sink.h"
 #include "vod/emulator.h"
 #include "vod/pipeline_golden.h"
 #include "workload/scenario_registry.h"
@@ -37,6 +40,7 @@ struct scenario_run_options {
     std::size_t solver_threads = 1;  // auction-par only
     bool warm_start = false;
     std::size_t max_slots = 0;  // 0 = the scenario's full horizon
+    bool telemetry = false;  // full pipeline: counters + spans + JSONL sink
 };
 
 run_hashes run_scenario(const std::string& name,
@@ -46,6 +50,13 @@ run_hashes run_scenario(const std::string& name,
     opts.scheduler = ro.scheduler;
     opts.parallel_auction.num_threads = ro.solver_threads;
     opts.warm_start_rounds = ro.warm_start;
+    std::ostringstream telemetry_out;
+    std::optional<obs::jsonl_sink> sink;
+    if (ro.telemetry) {
+        sink.emplace(telemetry_out);
+        opts.telemetry.sink = &*sink;
+        opts.telemetry.record_spans = true;
+    }
     std::size_t total = opts.config.num_slots();
     if (ro.max_slots != 0) total = std::min(total, ro.max_slots);
     emulator emu(std::move(opts));
@@ -174,6 +185,24 @@ TEST(slot_golden, parallel_auction_thread_invariant_metro_5k) {
 // keeps four full-scale runs affordable on the CI box.
 TEST(slot_golden, parallel_auction_thread_invariant_flash_crowd_10k) {
     check_thread_invariance("flash_crowd_10k", false, 150);
+}
+
+// Telemetry may observe, never steer: the goldens must hold with the full
+// observability pipeline enabled (counters + span recorder + JSONL sink),
+// and the hashes must be bit-identical to a telemetry-off run. The
+// cross-mode comparison is self-contained, so it is enforced on every
+// toolchain; the golden comparison follows the usual toolchain gate.
+TEST(slot_golden, telemetry_on_and_off_schedules_identical) {
+    const run_hashes off = run_scenario("economy_smoke");
+    const run_hashes on = run_scenario("economy_smoke", {.telemetry = true});
+    EXPECT_EQ(on.neighbors, off.neighbors) << "telemetry changed neighbor lists";
+    EXPECT_EQ(on.metrics, off.metrics) << "telemetry changed schedules";
+    EXPECT_EQ(on.final_state, off.final_state) << "telemetry changed peer state";
+}
+
+TEST(slot_golden, economy_smoke_with_telemetry_matches_pre_refactor_emulator) {
+    check_against("economy_smoke", "-TELEMETRY", golden_for("economy_smoke"),
+                  run_scenario("economy_smoke", {.telemetry = true}));
 }
 
 // CI smoke pin for the transportation simplex: 3 slots of economy_smoke,
