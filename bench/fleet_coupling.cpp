@@ -1,0 +1,301 @@
+// Cross-swarm coupling: what shared ISP-pair links, shared seeder uplinks
+// and backpressure admission (src/capacity/) do to a fleet that the
+// uncoupled engine treats as embarrassingly parallel.
+//
+// Three run families over one registered coupled fleet:
+//
+//   coupled    — the fleet as registered (shared link pools, surcharges,
+//                uplink splits, admission gates), once per --threads value.
+//                The merged welfare / inter-ISP / miss / deferral numbers
+//                must be bit-identical across the sweep (the serial-hook
+//                determinism guarantee) — asserted as `determinism_ok`.
+//   uncoupled  — the same fleet with a default (never-configured) coupling
+//                struct: the pre-coupling engine path. The coupled-vs-
+//                uncoupled deltas (welfare, transit bill, deferrals) are the
+//                headline of the artifact.
+//   off        — the same fleet with every coupling knob still set but
+//                `enabled = false`. Must reproduce the uncoupled run's
+//                welfare / inter-ISP / miss / transit scalars bit-for-bit —
+//                asserted as `coupling_off_identical` (a disabled coupling
+//                config is not allowed to perturb anything).
+//
+// The bench exits non-zero unless: both assertions hold, the coupled run
+// saturated at least one managed pair, deferred at least one arrival, and
+// billed strictly positive transit.
+//
+// Flags:
+//   --fleet NAME       a registered *coupled* fleet (workload::
+//                      builtin_fleets()) [fleet_coupled_flash]
+//   --threads LIST     comma-separated pool sizes for the coupled sweep;
+//                      "hw" = hardware_concurrency [1,4]
+//   --swarms N         override the swarm count (total_peers scales along)
+//   --total-peers N    override the fleet viewer target
+//   --capacity-scale X override coupling.link_capacity_scale
+//
+// Environment knobs (standard, see bench_common.h): P2PCD_BENCH_SCALE
+// ("full" runs the fleet as registered; default "ci" shrinks populations to
+// seconds of wall time and tightens the link pools so the smaller fleet
+// still saturates them), P2PCD_BENCH_SEED, P2PCD_BENCH_OUT.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+#include "capacity/coupling.h"
+#include "engine/fleet.h"
+#include "engine/thread_pool.h"
+#include "isp/billing.h"
+#include "metrics/report.h"
+#include "obs/counters.h"
+#include "workload/fleet_config.h"
+
+namespace {
+
+using namespace p2pcd;
+
+[[noreturn]] void usage(const std::string& complaint) {
+    std::cerr << "fleet_coupling: " << complaint
+              << "\nsee the header of bench/fleet_coupling.cpp for flags\n";
+    std::exit(2);
+}
+
+std::vector<std::size_t> parse_threads(const std::string& list) {
+    auto threads = bench::parse_thread_list(list);  // strict: see bench_common.h
+    if (!threads)
+        usage("--threads needs a comma-separated list of counts in [1, 1024] "
+              "(or 'hw')");
+    return *threads;
+}
+
+// Everything one run contributes to the tables and the cross-run checks.
+struct run_result {
+    double run_seconds = 0.0;
+    double welfare = 0.0;
+    double inter_isp = 0.0;
+    double miss = 0.0;
+    double transit_cost = 0.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t deferred = 0;
+    std::uint64_t abandoned = 0;
+    std::size_t saturated_pairs_peak = 0;
+    double max_utilization_peak = 0.0;
+    std::size_t saturated_slots = 0;  // slots with >= 1 saturated pair
+    std::size_t slots = 0;
+    std::size_t price_epochs = 0;
+    double viewers = 0.0;
+};
+
+run_result run_fleet(const workload::fleet_config& cfg,
+                     const workload::scenario_config& base, std::size_t threads) {
+    engine::fleet_options options;
+    options.config = cfg;
+    options.base_scenario = base;
+    options.threads = threads;
+
+    engine::fleet fleet(std::move(options));
+    run_result r;
+    // Peak saturation over the horizon: link_stats() only describes the last
+    // closed slot, so sample it from a slot hook (runs after the coupling
+    // step each slot).
+    if (fleet.coupling_enabled()) {
+        fleet.add_slot_hook([&fleet, &r](const engine::slot_hook_context&) {
+            const capacity::link_stats& s = fleet.link_stats();
+            r.saturated_pairs_peak = std::max(r.saturated_pairs_peak, s.saturated_pairs);
+            r.max_utilization_peak = std::max(r.max_utilization_peak, s.max_utilization);
+            if (s.saturated_pairs > 0) ++r.saturated_slots;
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet.run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    r.run_seconds = std::chrono::duration<double>(t1 - t0).count();
+    r.welfare = fleet.total_welfare();
+    r.inter_isp = fleet.overall_inter_isp_fraction();
+    r.miss = fleet.overall_miss_rate();
+    r.slots = fleet.num_slots();
+    r.viewers = fleet.total_expected_viewers();
+    if (fleet.economy_enabled()) r.transit_cost = fleet.merged_bill().total_cost;
+    obs::counter_registry counters = fleet.merged_counters();
+    r.admitted = counters.counter_named("admission.admitted");
+    r.deferred = counters.counter_named("admission.deferred");
+    r.abandoned = counters.counter_named("admission.abandoned");
+    if (fleet.coupling_enabled()) r.price_epochs = fleet.fleet_price_epochs().size();
+    return r;
+}
+
+std::string fmt(double v, int digits) { return metrics::format_double(v, digits); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const bool full = bench::full_scale();
+
+    std::string fleet_name = "fleet_coupled_flash";
+    std::vector<std::size_t> thread_counts;
+    std::size_t swarms_override = 0;
+    std::size_t total_peers_override = 0;
+    double capacity_scale_override = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) usage("flag " + flag + " needs a value");
+            return argv[++i];
+        };
+        if (flag == "--fleet") fleet_name = next();
+        else if (flag == "--threads") thread_counts = parse_threads(next());
+        else if (flag == "--swarms") swarms_override = std::stoul(next());
+        else if (flag == "--total-peers") total_peers_override = std::stoul(next());
+        else if (flag == "--capacity-scale") capacity_scale_override = std::stod(next());
+        else usage("unknown flag '" + flag + "'");
+    }
+    if (thread_counts.empty()) thread_counts = parse_threads("1,4");
+
+    const auto& fleets = workload::builtin_fleets();
+    if (!fleets.contains(fleet_name)) usage("unknown fleet '" + fleet_name + "'");
+
+    workload::fleet_config coupled_cfg = fleets.make(fleet_name);
+    if (!coupled_cfg.coupling.enabled)
+        usage("'" + fleet_name + "' is not a coupled fleet");
+    coupled_cfg.fleet_seed = bench::bench_seed();
+    if (swarms_override > 0) coupled_cfg = coupled_cfg.with_swarms(swarms_override);
+    if (total_peers_override > 0) coupled_cfg.total_peers = total_peers_override;
+
+    workload::scenario_config base =
+        workload::builtin_scenarios().make(coupled_cfg.swarm_scenario);
+    if (!full) {
+        bench::apply_ci_scale(base);
+        if (swarms_override == 0 && coupled_cfg.num_swarms > 3)
+            coupled_cfg.num_swarms = 3;
+        if (total_peers_override == 0)
+            coupled_cfg.total_peers = 300 * coupled_cfg.num_swarms;
+        coupled_cfg.min_swarm_peers =
+            std::min<std::size_t>(coupled_cfg.min_swarm_peers, 50);
+        // The peering capacity hints are absolute (chunks/slot) while the CI
+        // populations are ~10x smaller, so the registered scale would never
+        // saturate — tighten the pools to keep the contention regime.
+        if (capacity_scale_override == 0.0) coupled_cfg.coupling.link_capacity_scale = 0.05;
+    }
+    if (capacity_scale_override > 0.0)
+        coupled_cfg.coupling.link_capacity_scale = capacity_scale_override;
+
+    // The uncoupled baseline: a default coupling struct, i.e. the fleet
+    // config as it existed before src/capacity/. The off-identity config
+    // keeps every knob but flips the master switch.
+    workload::fleet_config uncoupled_cfg = coupled_cfg;
+    uncoupled_cfg.coupling = capacity::coupling_config{};
+    workload::fleet_config off_cfg = coupled_cfg;
+    off_cfg.coupling.enabled = false;
+
+    std::cout << "=== Fleet coupling: shared links, uplinks and admission vs "
+                 "the uncoupled engine ===\n"
+              << "scale: " << (full ? "full" : "ci (smoke)") << "  fleet: "
+              << fleet_name << "  swarms: " << coupled_cfg.num_swarms
+              << "  link_capacity_scale: "
+              << fmt(coupled_cfg.coupling.link_capacity_scale, 3)
+              << "  seed: " << bench::bench_seed() << "  hardware_concurrency: "
+              << engine::thread_pool::default_thread_count() << "\n\n";
+
+    metrics::table t({"mode", "threads", "run_s", "welfare", "inter_isp_%",
+                      "miss_%", "transit_cost", "admitted", "deferred",
+                      "abandoned", "sat_pairs_peak", "max_util_peak",
+                      "sat_slots"});
+    auto add_row = [&t](const std::string& mode, std::size_t threads,
+                        const run_result& r) {
+        t.add_row({mode, std::to_string(threads), fmt(r.run_seconds, 2),
+                   fmt(r.welfare, 1), fmt(100.0 * r.inter_isp, 2),
+                   fmt(100.0 * r.miss, 2), fmt(r.transit_cost, 2),
+                   std::to_string(r.admitted), std::to_string(r.deferred),
+                   std::to_string(r.abandoned),
+                   std::to_string(r.saturated_pairs_peak),
+                   fmt(r.max_utilization_peak, 2),
+                   std::to_string(r.saturated_slots)});
+    };
+
+    // Coupled sweep: one run per thread count, first row is the headline.
+    std::vector<run_result> coupled_runs;
+    for (const std::size_t threads : thread_counts) {
+        coupled_runs.push_back(run_fleet(coupled_cfg, base, threads));
+        add_row("coupled", threads, coupled_runs.back());
+    }
+    const run_result& coupled = coupled_runs.front();
+
+    const run_result uncoupled = run_fleet(uncoupled_cfg, base, 1);
+    add_row("uncoupled", 1, uncoupled);
+    const run_result off = run_fleet(off_cfg, base, 1);
+    add_row("off", 1, off);
+
+    // The serial-hook determinism guarantee: every coupled scalar the
+    // artifact reports must be independent of the thread count.
+    bool determinism_ok = true;
+    for (const run_result& r : coupled_runs)
+        determinism_ok = determinism_ok && r.welfare == coupled.welfare &&
+                         r.inter_isp == coupled.inter_isp &&
+                         r.miss == coupled.miss &&
+                         r.transit_cost == coupled.transit_cost &&
+                         r.admitted == coupled.admitted &&
+                         r.deferred == coupled.deferred &&
+                         r.abandoned == coupled.abandoned;
+
+    // A disabled coupling config must compile down to the uncoupled path.
+    const bool coupling_off_identical =
+        off.welfare == uncoupled.welfare && off.inter_isp == uncoupled.inter_isp &&
+        off.miss == uncoupled.miss && off.transit_cost == uncoupled.transit_cost;
+
+    // Non-vacuity: the coupled run must actually have hit the shared limits.
+    const bool saturated = coupled.saturated_pairs_peak > 0;
+    const bool gated = coupled.deferred > 0;
+    const bool billed = coupled.transit_cost > 0.0;
+
+    t.print(std::cout);
+    std::cout << "\nwelfare delta (uncoupled - coupled): "
+              << fmt(uncoupled.welfare - coupled.welfare, 1)
+              << "\ntransit delta (coupled - uncoupled): "
+              << fmt(coupled.transit_cost - uncoupled.transit_cost, 2)
+              << "\ncoupled scalars identical across thread counts: "
+              << (determinism_ok ? "yes" : "NO — DETERMINISM BUG")
+              << "\ncoupling off == never configured: "
+              << (coupling_off_identical ? "yes" : "NO — OFF PATH PERTURBED")
+              << "\nsaturated >= 1 managed pair: " << (saturated ? "yes" : "NO")
+              << "\ndeferred >= 1 arrival: " << (gated ? "yes" : "NO")
+              << "\ntransit bill > 0: " << (billed ? "yes" : "NO") << "\n";
+
+    metrics::json_report rep("fleet_coupling");
+    rep.add_scalar("scale", full ? "full" : "ci");
+    rep.add_scalar("seed", static_cast<double>(bench::bench_seed()));
+    rep.add_scalar("fleet", fleet_name);
+    rep.add_scalar("num_swarms", static_cast<double>(coupled_cfg.num_swarms));
+    rep.add_scalar("scheduler", coupled_cfg.scheduler);
+    rep.add_scalar("link_capacity_scale", coupled_cfg.coupling.link_capacity_scale);
+    rep.add_scalar("total_expected_viewers", coupled.viewers);
+    rep.add_scalar("welfare_coupled", coupled.welfare);
+    rep.add_scalar("welfare_uncoupled", uncoupled.welfare);
+    rep.add_scalar("welfare_delta", uncoupled.welfare - coupled.welfare);
+    rep.add_scalar("transit_cost_coupled", coupled.transit_cost);
+    rep.add_scalar("transit_cost_uncoupled", uncoupled.transit_cost);
+    rep.add_scalar("admitted", static_cast<double>(coupled.admitted));
+    rep.add_scalar("deferred", static_cast<double>(coupled.deferred));
+    rep.add_scalar("abandoned", static_cast<double>(coupled.abandoned));
+    rep.add_scalar("saturated_pairs_peak",
+                   static_cast<double>(coupled.saturated_pairs_peak));
+    rep.add_scalar("max_utilization_peak", coupled.max_utilization_peak);
+    rep.add_scalar("saturated_slot_fraction",
+                   coupled.slots > 0 ? static_cast<double>(coupled.saturated_slots) /
+                                           static_cast<double>(coupled.slots)
+                                     : 0.0);
+    rep.add_scalar("fleet_price_epochs", static_cast<double>(coupled.price_epochs));
+    rep.add_scalar("determinism_ok", determinism_ok);
+    rep.add_scalar("coupling_off_identical", coupling_off_identical);
+    rep.add_table("runs", t);
+    bench::write_artifact("fleet_coupling", rep);
+
+    return determinism_ok && coupling_off_identical && saturated && gated && billed
+               ? 0
+               : 1;
+}

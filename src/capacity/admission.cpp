@@ -1,0 +1,90 @@
+#include "capacity/admission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "capacity/fair_share.h"
+#include "common/contracts.h"
+
+namespace p2pcd::capacity {
+
+admission_controller::admission_controller(std::size_t num_swarms,
+                                           std::size_t num_isps,
+                                           const coupling_config& config)
+    : num_swarms_(num_swarms), num_isps_(num_isps), config_(config) {
+    expects(num_swarms_ > 0 && num_isps_ > 0,
+            "admission controller needs swarms and ISPs");
+    budgets_.assign(num_swarms_ * num_isps_, admission_unlimited);
+}
+
+void admission_controller::compute_budgets(
+    std::span<const double> headroom, std::span<const std::uint8_t> gated,
+    std::span<const std::uint32_t> queue_lens,
+    std::span<const double> swarm_weights) {
+    expects(headroom.size() == num_isps_ && gated.size() == num_isps_,
+            "compute_budgets needs one headroom entry per ISP");
+    expects(queue_lens.size() == num_swarms_ * num_isps_,
+            "compute_budgets needs swarm-major queue lengths");
+    expects(swarm_weights.size() == num_swarms_,
+            "compute_budgets needs one weight per swarm");
+
+    demand_scratch_.resize(num_swarms_);
+    quota_scratch_.resize(num_swarms_);
+    for (std::size_t m = 0; m < num_isps_; ++m) {
+        if (gated[m] == 0) {
+            for (std::size_t w = 0; w < num_swarms_; ++w)
+                budgets_[w * num_isps_ + m] = admission_unlimited;
+            continue;
+        }
+        double pool = std::floor(config_.admission_gain * headroom[m] /
+                                 config_.viewer_demand_chunks);
+        // Trickle floor: a gated ISP with *any* headroom admits at least one
+        // viewer per slot. Without it a pool smaller than the demand hint
+        // floors to zero on an empty fleet — which then never generates the
+        // traffic the gate is supposed to measure, and deadlocks shut.
+        if (headroom[m] > 0.0 && pool < 1.0) pool = 1.0;
+        // Demand = queued viewers + one slot's worth of fresh arrivals each
+        // swarm should be able to admit when the pool allows.
+        double total_demand = 0.0;
+        for (std::size_t w = 0; w < num_swarms_; ++w) {
+            demand_scratch_[w] =
+                static_cast<double>(queue_lens[w * num_isps_ + m]) + 1.0;
+            total_demand += demand_scratch_[w];
+        }
+        fair_share(pool, demand_scratch_, swarm_weights, quota_scratch_);
+        std::uint64_t granted = 0;
+        for (std::size_t w = 0; w < num_swarms_; ++w) {
+            const auto quota =
+                static_cast<std::uint32_t>(std::floor(quota_scratch_[w]));
+            budgets_[w * num_isps_ + m] = quota;
+            granted += quota;
+        }
+        // Flooring loses < 1 unit per swarm; hand the remainder out one unit
+        // at a time in swarm-index order (to swarms still under demand) so a
+        // small pool is not rounded away entirely.
+        std::uint64_t leftover =
+            static_cast<std::uint64_t>(std::min(pool, total_demand)) - granted;
+        for (std::size_t w = 0; w < num_swarms_ && leftover > 0; ++w) {
+            std::uint32_t& budget = budgets_[w * num_isps_ + m];
+            if (budget < static_cast<std::uint32_t>(demand_scratch_[w])) {
+                ++budget;
+                --leftover;
+            }
+        }
+    }
+}
+
+std::span<const std::uint32_t> admission_controller::budgets(
+    std::size_t swarm) const {
+    expects(swarm < num_swarms_, "budget swarm out of range");
+    return std::span<const std::uint32_t>(budgets_)
+        .subspan(swarm * num_isps_, num_isps_);
+}
+
+std::size_t admission_controller::memory_bytes() const noexcept {
+    return budgets_.capacity() * sizeof(std::uint32_t) +
+           (demand_scratch_.capacity() + quota_scratch_.capacity()) *
+               sizeof(double);
+}
+
+}  // namespace p2pcd::capacity

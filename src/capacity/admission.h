@@ -1,0 +1,84 @@
+// Backpressure admission control (the IRON-style entry gate).
+//
+// New viewers are the fleet's load knob: once the shared interconnects
+// saturate, admitting more arrivals only converts welfare into missed
+// deadlines and transit overage. Following IRON's queue-differential
+// design, each (swarm, ISP) keeps a virtual queue of deferred viewers at
+// the overlay entry point, and arrivals are admitted only while the
+// differential against the destination ISP's inbound link headroom is
+// positive:
+//
+//   budget(ISP m) = floor(admission_gain × headroom(m) / demand hint)
+//
+// (floored at one whenever headroom(m) > 0 — the backpressure trickle that
+// keeps an empty fleet from deadlocking shut), split across the swarms
+// requesting entry at m by weighted max-min fair share (demands = queue
+// length + 1 so an empty-queue swarm can still admit its first arrival;
+// weights = swarm popularity; the flooring remainder is granted one unit at
+// a time in swarm-index order). A saturated pair zeroes the headroom and
+// the gate closes; as traffic drains, headroom returns and the queues drain
+// monotonically. ISPs with no managed inbound pair are never gated.
+//
+// compute_budgets is a pure function — the fleet calls it from the serial
+// inter-slot hook with swarm-index-ordered inputs, so admission decisions
+// are bit-identical for any thread count. The emulator-side gating knobs
+// (retry delay, retry cap) travel in admission_params.
+#ifndef P2PCD_CAPACITY_ADMISSION_H
+#define P2PCD_CAPACITY_ADMISSION_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "capacity/coupling.h"
+
+namespace p2pcd::capacity {
+
+// Per-shard arrival-gating knobs, copied into vod::emulator_options by the
+// fleet. `enabled == false` keeps the emulator's arrival path bit-identical
+// to the pre-coupling code.
+struct admission_params {
+    bool enabled = false;
+    std::size_t retry_slots = 2;   // deferred viewers retry after this many
+    std::size_t max_retries = 8;   // then abandon
+};
+
+// Budget sentinel: "not link-gated this slot".
+inline constexpr std::uint32_t admission_unlimited =
+    std::numeric_limits<std::uint32_t>::max();
+
+class admission_controller {
+public:
+    admission_controller(std::size_t num_swarms, std::size_t num_isps,
+                         const coupling_config& config);
+
+    // Recomputes every (swarm, ISP) arrival budget for the next slot.
+    //   headroom[m]   — inbound chunk headroom of ISP m (link_budget);
+    //   gated[m]      — whether ISP m has any managed inbound pair at all;
+    //   queue_lens    — swarm-major num_swarms × num_isps deferred-queue
+    //                   lengths, gathered in swarm-index order;
+    //   swarm_weights — max-min weights (swarm popularity).
+    void compute_budgets(std::span<const double> headroom,
+                         std::span<const std::uint8_t> gated,
+                         std::span<const std::uint32_t> queue_lens,
+                         std::span<const double> swarm_weights);
+
+    // Swarm `swarm`'s per-ISP budgets for the coming slot (admission_unlimited
+    // on ungated ISPs). Valid after the first compute_budgets.
+    [[nodiscard]] std::span<const std::uint32_t> budgets(std::size_t swarm) const;
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    std::size_t num_swarms_ = 0;
+    std::size_t num_isps_ = 0;
+    coupling_config config_;
+    std::vector<std::uint32_t> budgets_;  // swarm-major num_swarms × num_isps
+    std::vector<double> demand_scratch_, quota_scratch_;
+};
+
+}  // namespace p2pcd::capacity
+
+#endif  // P2PCD_CAPACITY_ADMISSION_H

@@ -1,0 +1,24 @@
+#include "capacity/coupling.h"
+
+#include "common/contracts.h"
+
+namespace p2pcd::capacity {
+
+void coupling_config::validate() const {
+    if (!enabled) return;
+    expects(link_capacity_scale > 0.0, "link capacity scale must be positive");
+    expects(surcharge_gain >= 0.0, "surcharge gain must be non-negative");
+    expects(max_surcharge >= 1.0, "max surcharge must be at least 1");
+    expects(surcharge_relax >= 0.0 && surcharge_relax < 1.0,
+            "surcharge relax must lie in [0, 1)");
+    expects(uplink_budget_multiple > 0.0,
+            "uplink budget multiple must be positive");
+    expects(uplink_min_share >= 0.0 && uplink_min_share <= 1.0,
+            "uplink min share must lie in [0, 1]");
+    expects(admission_gain > 0.0, "admission gain must be positive");
+    expects(viewer_demand_chunks > 0.0,
+            "viewer demand hint must be positive");
+    expects(admission_retry_slots > 0, "retry delay must be at least one slot");
+}
+
+}  // namespace p2pcd::capacity

@@ -1,0 +1,85 @@
+// Cross-swarm coupling configuration.
+//
+// The fleet engine treats swarms as embarrassingly parallel; that makes
+// fleet-scale welfare and transit bills optimistic fictions, because a real
+// deployment shares two physical resources across swarms: the ISP-pair
+// interconnects (one m → n link carries *all* swarms' cross traffic) and the
+// seeder uplinks (one seed box serves every video it is a seed for). This
+// config switches on the three coupling mechanisms of src/capacity/:
+//
+//   * link_budget  — per-ISP-pair capacity pools charged each slot from the
+//     per-swarm traffic ledgers (serial, swarm-index order), with weighted
+//     max-min fair-share quotas and a congestion surcharge handed back to
+//     each shard's cost model on saturated pairs;
+//   * uplink_broker — one shared uplink budget per physical seeder identity
+//     (ISP, seed ordinal), split across swarms per pricing epoch in
+//     proportion to last-epoch demand;
+//   * admission    — IRON-style backpressure at the arrival entry points:
+//     per-(swarm, ISP) virtual queues gated by inbound link headroom,
+//     deferred viewers retrying with deterministic seed-derived jitter.
+//
+// Everything here is driven from engine::fleet's serial inter-slot hook, so
+// coupled results stay bit-identical for any --threads; `enabled = false`
+// compiles every hook down to the pre-coupling code path bit-for-bit.
+#ifndef P2PCD_CAPACITY_COUPLING_H
+#define P2PCD_CAPACITY_COUPLING_H
+
+#include <cstddef>
+
+namespace p2pcd::capacity {
+
+struct coupling_config {
+    // Master switch. Off: the fleet runs the uncoupled (pre-coupling)
+    // per-swarm economies, bit-identical to a config without this struct.
+    bool enabled = false;
+
+    // --- link_budget ---
+    // Fleet-wide pool per directed ISP pair = the base scenario's peering
+    // capacity_hint × this scale, in chunks per slot. The hint was sized as
+    // a *per-swarm* budget, so any scale below num_swarms models genuine
+    // cross-swarm contention; hint-0 pairs stay unmanaged (unbounded).
+    double link_capacity_scale = 1.0;
+    // Surcharge slope: a pair at utilization u > 1 costs its over-quota
+    // swarms a factor ≈ 1 + surcharge_gain × (u − 1) more per chunk.
+    double surcharge_gain = 1.0;
+    // Clamp on the multiplicative surcharge factor.
+    double max_surcharge = 8.0;
+    // Per-slot decay of a pair's surcharge toward 1 once the pair drains
+    // (next = max(target, 1 + (prev − 1) × relax)).
+    double surcharge_relax = 0.7;
+
+    // --- uplink_broker ---
+    // Share seeder uplinks across swarms (identity = (ISP, seed ordinal)).
+    bool share_seed_uplinks = true;
+    // Shared budget per seeder identity, as a multiple of the base
+    // scenario's per-swarm seed capacity. 1.0 means the fleet's S virtual
+    // copies of a seed box split exactly one box's uplink.
+    double uplink_budget_multiple = 1.0;
+    // Guaranteed floor per swarm, as a fraction of the equal split — keeps
+    // a cold swarm from being starved to zero by last-epoch demand.
+    double uplink_min_share = 0.25;
+
+    // --- admission ---
+    // Gate new-viewer arrivals on inbound link headroom.
+    bool admission_control = true;
+    // Arrival budget per ISP per slot = gain × headroom / demand hint.
+    double admission_gain = 1.0;
+    // Expected per-viewer demand *on managed inbound links*, in chunks per
+    // slot. A viewer's full playback demand is ~chunks_per_slot() (100 at
+    // the default bitrate), but only the cross-ISP slice touches the gated
+    // interconnects — the default assumes roughly the locality baselines'
+    // ~16% inter-ISP share. Gated ISPs with positive headroom always admit
+    // at least one viewer per slot regardless (the backpressure trickle).
+    double viewer_demand_chunks = 16.0;
+    // A deferred viewer retries after this many slots (+ 0/1 jitter drawn
+    // from the shard's dedicated "admission" rng stream), and abandons after
+    // this many failed attempts.
+    std::size_t admission_retry_slots = 2;
+    std::size_t admission_max_retries = 8;
+
+    void validate() const;  // throws contract_violation on nonsense configs
+};
+
+}  // namespace p2pcd::capacity
+
+#endif  // P2PCD_CAPACITY_COUPLING_H

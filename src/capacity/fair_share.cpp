@@ -1,0 +1,66 @@
+#include "capacity/fair_share.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+
+#include "common/contracts.h"
+
+namespace p2pcd::capacity {
+
+void fair_share(double capacity, std::span<const double> demands,
+                std::span<const double> weights, std::span<double> out) {
+    expects(demands.size() == weights.size() && out.size() == demands.size(),
+            "fair_share spans must agree in size");
+    expects(capacity >= 0.0, "fair_share capacity must be non-negative");
+
+    const std::size_t n = demands.size();
+    std::fill(out.begin(), out.end(), 0.0);
+    if (n == 0 || capacity == 0.0) return;
+
+    // Water-filling in ascending demand/weight order: requesters whose
+    // normalized demand sits under the current water level are served in
+    // full; the rest split the remainder by weight. Index-order tie-breaks
+    // keep the order (and therefore the floating-point arithmetic)
+    // independent of the caller's input permutation.
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (demands[i] <= 0.0) continue;
+        expects(weights[i] > 0.0,
+                "fair_share requires a positive weight for every positive demand");
+        order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const double da = demands[a] / weights[a];
+        const double db = demands[b] / weights[b];
+        if (da != db) return da < db;
+        return a < b;
+    });
+
+    double remaining = capacity;
+    double weight_left = 0.0;
+    for (std::size_t i : order) weight_left += weights[i];
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const std::size_t i = order[k];
+        const double level = remaining / weight_left;  // weight_left > 0 here
+        const double grant = std::min(demands[i], level * weights[i]);
+        out[i] = grant;
+        remaining -= grant;
+        weight_left -= weights[i];
+        if (remaining <= 0.0) {
+            remaining = 0.0;
+            // Everyone later in the order gets 0 (already initialized).
+            break;
+        }
+    }
+}
+
+std::vector<double> fair_share(double capacity, std::span<const double> demands,
+                               std::span<const double> weights) {
+    std::vector<double> out(demands.size(), 0.0);
+    fair_share(capacity, demands, weights, out);
+    return out;
+}
+
+}  // namespace p2pcd::capacity

@@ -1,0 +1,37 @@
+// Weighted max-min fair allocation (water-filling).
+//
+// Splits a capacity among requesters so that no requester gets more than it
+// demands, the total never exceeds the capacity, and spare capacity flows to
+// the unsatisfied requesters in proportion to their weights — the classic
+// weighted max-min fairness both the link quotas and the admission budgets
+// of src/capacity/ are built on.
+//
+// The allocation is a pure function of (capacity, demands, weights): ties
+// break on index order and the water level is computed in ascending
+// demand/weight order, so two calls with permuted inputs return the same
+// allocation permuted — the determinism property the fleet's serial
+// coupling step relies on (and tests/capacity_test.cpp asserts).
+#ifndef P2PCD_CAPACITY_FAIR_SHARE_H
+#define P2PCD_CAPACITY_FAIR_SHARE_H
+
+#include <span>
+#include <vector>
+
+namespace p2pcd::capacity {
+
+// out[i] = the weighted max-min share of `capacity` granted to requester i.
+// Guarantees out[i] <= demands[i], Σ out <= capacity, and out[i] == demands[i]
+// for every i whose demand lies under the final water level. Weights must be
+// positive wherever the demand is positive; zero-demand entries get 0.
+// `out` must have demands.size() entries.
+void fair_share(double capacity, std::span<const double> demands,
+                std::span<const double> weights, std::span<double> out);
+
+// Convenience allocating overload.
+[[nodiscard]] std::vector<double> fair_share(double capacity,
+                                             std::span<const double> demands,
+                                             std::span<const double> weights);
+
+}  // namespace p2pcd::capacity
+
+#endif  // P2PCD_CAPACITY_FAIR_SHARE_H

@@ -1,0 +1,153 @@
+#include "capacity/link_budget.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "capacity/fair_share.h"
+#include "common/contracts.h"
+
+namespace p2pcd::capacity {
+
+link_budget::link_budget(const isp::peering_graph& graph, std::size_t num_swarms,
+                         const coupling_config& config)
+    : n_(graph.num_isps()), num_swarms_(num_swarms), config_(config) {
+    expects(num_swarms_ > 0, "link budget needs at least one swarm");
+    config_.validate();
+    pool_.assign(n_ * n_, 0.0);
+    for (std::size_t m = 0; m < n_; ++m) {
+        for (std::size_t k = 0; k < n_; ++k) {
+            if (m == k) continue;  // intra-ISP volume is never link-managed
+            const auto& link =
+                graph.link(isp_id(static_cast<std::int32_t>(m)),
+                           isp_id(static_cast<std::int32_t>(k)));
+            if (link.capacity_hint <= 0.0) continue;
+            pool_[pair_at(m, k)] = link.capacity_hint * config_.link_capacity_scale;
+            ++stats_.managed_pairs;
+        }
+    }
+    demand_.assign(num_swarms_ * n_ * n_, 0);
+    pair_demand_.assign(n_ * n_, 0);
+    surcharge_.assign(num_swarms_ * n_ * n_, 1.0);
+}
+
+void link_budget::begin_slot() {
+    std::fill(demand_.begin(), demand_.end(), std::uint64_t{0});
+    std::fill(pair_demand_.begin(), pair_demand_.end(), std::uint64_t{0});
+}
+
+void link_budget::charge(std::size_t swarm, std::size_t from, std::size_t to,
+                         std::uint64_t chunks) {
+    expects(swarm < num_swarms_ && from < n_ && to < n_,
+            "link_budget::charge out of range");
+    if (chunks == 0) return;
+    demand_[swarm * n_ * n_ + pair_at(from, to)] += chunks;
+    pair_demand_[pair_at(from, to)] += chunks;
+}
+
+const link_stats& link_budget::close_slot(std::span<const double> swarm_weights) {
+    expects(swarm_weights.size() == num_swarms_,
+            "close_slot needs one weight per swarm");
+    const std::size_t managed = stats_.managed_pairs;
+    stats_ = link_stats{};
+    stats_.managed_pairs = managed;
+
+    double util_sum = 0.0;
+    demand_scratch_.resize(num_swarms_);
+    weight_scratch_.resize(num_swarms_);
+    quota_scratch_.resize(num_swarms_);
+    for (std::size_t m = 0; m < n_; ++m) {
+        for (std::size_t k = 0; k < n_; ++k) {
+            const std::size_t p = pair_at(m, k);
+            const double pool = pool_[p];
+            if (pool <= 0.0) continue;
+            const double util = static_cast<double>(pair_demand_[p]) / pool;
+            util_sum += util;
+            stats_.max_utilization = std::max(stats_.max_utilization, util);
+            const bool saturated = util > 1.0;
+            if (saturated) {
+                ++stats_.saturated_pairs;
+                // Fair-share quotas over the swarms that actually used the
+                // pair this slot; over-quota swarms get a proportionally
+                // steeper surcharge.
+                for (std::size_t w = 0; w < num_swarms_; ++w) {
+                    demand_scratch_[w] =
+                        static_cast<double>(demand_[w * n_ * n_ + p]);
+                    weight_scratch_[w] = swarm_weights[w];
+                }
+                fair_share(pool, demand_scratch_, weight_scratch_, quota_scratch_);
+                for (std::size_t w = 0; w < num_swarms_; ++w) {
+                    double& s = surcharge_[w * n_ * n_ + p];
+                    if (demand_scratch_[w] <= 0.0) {
+                        // Idle swarm on a hot pair: relax like an unsaturated
+                        // pair — it caused none of the congestion.
+                        s = 1.0 + (s - 1.0) * config_.surcharge_relax;
+                        continue;
+                    }
+                    const double over =
+                        quota_scratch_[w] > 0.0
+                            ? std::max(1.0, demand_scratch_[w] / quota_scratch_[w])
+                            : config_.max_surcharge;
+                    const double target = std::min(
+                        config_.max_surcharge,
+                        1.0 + config_.surcharge_gain * (util - 1.0) * over);
+                    s = std::max(target, 1.0 + (s - 1.0) * config_.surcharge_relax);
+                }
+            } else {
+                for (std::size_t w = 0; w < num_swarms_; ++w) {
+                    double& s = surcharge_[w * n_ * n_ + p];
+                    s = 1.0 + (s - 1.0) * config_.surcharge_relax;
+                }
+            }
+        }
+    }
+    stats_.mean_utilization =
+        managed == 0 ? 0.0 : util_sum / static_cast<double>(managed);
+    ++slots_closed_;
+    return stats_;
+}
+
+const double* link_budget::surcharge_table(std::size_t swarm) const {
+    expects(swarm < num_swarms_, "surcharge table swarm out of range");
+    return surcharge_.data() + swarm * n_ * n_;
+}
+
+double link_budget::pair_capacity(std::size_t from, std::size_t to) const {
+    expects(from < n_ && to < n_, "pair out of range");
+    return pool_[pair_at(from, to)];
+}
+
+std::uint64_t link_budget::pair_demand(std::size_t from, std::size_t to) const {
+    expects(from < n_ && to < n_, "pair out of range");
+    return pair_demand_[pair_at(from, to)];
+}
+
+double link_budget::inbound_headroom(std::size_t m) const {
+    expects(m < n_, "ISP out of range");
+    double headroom = 0.0;
+    for (std::size_t k = 0; k < n_; ++k) {
+        if (k == m) continue;
+        const std::size_t p = pair_at(k, m);
+        if (pool_[p] <= 0.0) continue;
+        headroom += std::max(0.0, pool_[p] - static_cast<double>(pair_demand_[p]));
+    }
+    return headroom;
+}
+
+bool link_budget::any_managed_inbound(std::size_t m) const {
+    expects(m < n_, "ISP out of range");
+    for (std::size_t k = 0; k < n_; ++k)
+        if (k != m && pool_[pair_at(k, m)] > 0.0) return true;
+    return false;
+}
+
+std::size_t link_budget::memory_bytes() const noexcept {
+    return pool_.capacity() * sizeof(double) +
+           demand_.capacity() * sizeof(std::uint64_t) +
+           pair_demand_.capacity() * sizeof(std::uint64_t) +
+           surcharge_.capacity() * sizeof(double) +
+           (quota_scratch_.capacity() + demand_scratch_.capacity() +
+            weight_scratch_.capacity()) *
+               sizeof(double);
+}
+
+}  // namespace p2pcd::capacity

@@ -1,0 +1,103 @@
+// Shared per-ISP-pair link capacity pools.
+//
+// One directed interconnect m → n physically carries every swarm's m → n
+// traffic. The fleet charges this budget each slot from the per-swarm
+// traffic ledgers (serially, in swarm-index order), then:
+//
+//   * computes each managed pair's utilization = fleet demand / pool;
+//   * on saturated pairs (utilization > 1), splits the pool among the
+//     requesting swarms by weighted max-min fair share (weights = swarm
+//     popularity) and raises a per-(swarm, pair) congestion surcharge —
+//     swarms over their quota pay proportionally more. Each shard's
+//     cost_model multiplies its link costs by its surcharge table, so the
+//     next slot's scheduling decisions feel the congestion;
+//   * exposes per-ISP inbound headroom, the signal the admission controller
+//     gates arrivals on;
+//   * decays surcharges toward 1 once a pair drains (geometric relax).
+//
+// All state is written only from the fleet's serial inter-slot hook and read
+// by shards during the parallel phase — the pool barrier orders the two, so
+// results are bit-identical for any thread count.
+#ifndef P2PCD_CAPACITY_LINK_BUDGET_H
+#define P2PCD_CAPACITY_LINK_BUDGET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "capacity/coupling.h"
+#include "isp/peering_graph.h"
+
+namespace p2pcd::capacity {
+
+// One slot's saturation summary over the managed (capacity-hinted,
+// non-sibling-diagonal) directed pairs.
+struct link_stats {
+    std::size_t managed_pairs = 0;
+    std::size_t saturated_pairs = 0;  // fleet demand > pool this slot
+    double max_utilization = 0.0;
+    double mean_utilization = 0.0;  // over managed pairs
+};
+
+class link_budget {
+public:
+    // Pools come from `graph`'s capacity hints × config.link_capacity_scale;
+    // hint-0 pairs (and the diagonal) are unmanaged — never charged, never
+    // surcharged. The graph is only read at construction.
+    link_budget(const isp::peering_graph& graph, std::size_t num_swarms,
+                const coupling_config& config);
+
+    [[nodiscard]] std::size_t num_isps() const noexcept { return n_; }
+    [[nodiscard]] std::size_t num_swarms() const noexcept { return num_swarms_; }
+
+    // --- per-slot protocol (serial; fleet hook only) ---
+    void begin_slot();
+    // Adds `chunks` of swarm `swarm`'s traffic on the directed pair
+    // from → to. Call in swarm-index order for reproducible accounting.
+    void charge(std::size_t swarm, std::size_t from, std::size_t to,
+                std::uint64_t chunks);
+    // Closes the slot: utilization, fair-share quotas, surcharges, headroom.
+    // `swarm_weights` (one per swarm, positive) weight the max-min split.
+    const link_stats& close_slot(std::span<const double> swarm_weights);
+
+    // --- read side (shards, admission, telemetry) ---
+    // Swarm `swarm`'s n × n row-major surcharge multiplier table (all-1
+    // before the first saturated slot). Stable address for the fleet's
+    // lifetime — shards attach it to their cost models once.
+    [[nodiscard]] const double* surcharge_table(std::size_t swarm) const;
+    // Pool size of a directed pair in chunks per slot (0 = unmanaged).
+    [[nodiscard]] double pair_capacity(std::size_t from, std::size_t to) const;
+    // Fleet demand on a pair during the last closed slot.
+    [[nodiscard]] std::uint64_t pair_demand(std::size_t from, std::size_t to) const;
+    // Σ over managed cross pairs k → m of max(0, pool − demand), from the
+    // last closed slot — the admission controller's congestion signal.
+    [[nodiscard]] double inbound_headroom(std::size_t m) const;
+    // Whether any managed pair points into ISP m (no managed inbound pair
+    // means arrivals into m are never link-gated).
+    [[nodiscard]] bool any_managed_inbound(std::size_t m) const;
+    [[nodiscard]] const link_stats& stats() const noexcept { return stats_; }
+    [[nodiscard]] std::size_t slots_closed() const noexcept { return slots_closed_; }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    [[nodiscard]] std::size_t pair_at(std::size_t from, std::size_t to) const {
+        return from * n_ + to;
+    }
+
+    std::size_t n_ = 0;
+    std::size_t num_swarms_ = 0;
+    coupling_config config_;
+    std::vector<double> pool_;             // n × n chunks/slot; 0 = unmanaged
+    std::vector<std::uint64_t> demand_;    // per swarm × pair, this slot
+    std::vector<std::uint64_t> pair_demand_;  // fleet total per pair
+    std::vector<double> surcharge_;        // per swarm × pair multiplier
+    std::vector<double> quota_scratch_, demand_scratch_, weight_scratch_;
+    link_stats stats_;
+    std::size_t slots_closed_ = 0;
+};
+
+}  // namespace p2pcd::capacity
+
+#endif  // P2PCD_CAPACITY_LINK_BUDGET_H

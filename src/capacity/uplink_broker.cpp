@@ -1,0 +1,84 @@
+#include "capacity/uplink_broker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.h"
+
+namespace p2pcd::capacity {
+
+uplink_broker::uplink_broker(std::size_t num_swarms, std::size_t num_isps,
+                             std::size_t seeds_per_isp,
+                             double budget_chunks_per_slot,
+                             const coupling_config& config)
+    : num_swarms_(num_swarms),
+      num_isps_(num_isps),
+      seeds_per_isp_(seeds_per_isp),
+      budget_(budget_chunks_per_slot),
+      config_(config) {
+    expects(num_swarms_ > 0 && num_isps_ > 0 && seeds_per_isp_ > 0,
+            "uplink broker needs swarms, ISPs and seeds");
+    expects(budget_ > 0.0, "shared uplink budget must be positive");
+    cumulative_.assign(num_swarms_ * num_identities(), 0);
+    previous_.assign(num_swarms_ * num_identities(), 0);
+    allocation_.assign(num_swarms_ * num_identities(), 0);
+}
+
+void uplink_broker::record_uploads(std::size_t swarm, std::size_t isp,
+                                   std::size_t ordinal,
+                                   std::uint64_t cumulative_chunks) {
+    cumulative_[at(swarm, isp, ordinal)] = cumulative_chunks;
+}
+
+void uplink_broker::close_epoch(std::span<const double> swarm_weights) {
+    expects(swarm_weights.size() == num_swarms_,
+            "close_epoch needs one weight per swarm");
+    const double floor_share = config_.uplink_min_share * budget_ /
+                               static_cast<double>(num_swarms_);
+    for (std::size_t isp = 0; isp < num_isps_; ++isp) {
+        for (std::size_t s = 0; s < seeds_per_isp_; ++s) {
+            // Epoch demand per swarm = delta of cumulative uploads.
+            double total_demand = 0.0;
+            double total_weight = 0.0;
+            for (std::size_t w = 0; w < num_swarms_; ++w) {
+                const std::size_t i = at(w, isp, s);
+                total_demand +=
+                    static_cast<double>(cumulative_[i] - previous_[i]);
+                total_weight += swarm_weights[w];
+            }
+            const double remainder =
+                std::max(0.0, budget_ - floor_share *
+                                            static_cast<double>(num_swarms_));
+            for (std::size_t w = 0; w < num_swarms_; ++w) {
+                const std::size_t i = at(w, isp, s);
+                const double share =
+                    total_demand > 0.0
+                        ? static_cast<double>(cumulative_[i] - previous_[i]) /
+                              total_demand
+                        : swarm_weights[w] / total_weight;
+                // Never below 1 chunk/slot: a starved swarm's seed keeps a
+                // trickle so its demand signal can recover next epoch.
+                allocation_[i] = std::max<std::int32_t>(
+                    1, static_cast<std::int32_t>(
+                           std::floor(floor_share + remainder * share)));
+                previous_[i] = cumulative_[i];
+            }
+        }
+    }
+    ++epochs_;
+}
+
+std::int32_t uplink_broker::allocation(std::size_t swarm, std::size_t isp,
+                                       std::size_t ordinal) const {
+    expects(swarm < num_swarms_ && isp < num_isps_ && ordinal < seeds_per_isp_,
+            "uplink allocation index out of range");
+    return allocation_[at(swarm, isp, ordinal)];
+}
+
+std::size_t uplink_broker::memory_bytes() const noexcept {
+    return cumulative_.capacity() * sizeof(std::uint64_t) +
+           previous_.capacity() * sizeof(std::uint64_t) +
+           allocation_.capacity() * sizeof(std::int32_t);
+}
+
+}  // namespace p2pcd::capacity

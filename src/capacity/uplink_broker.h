@@ -1,0 +1,83 @@
+// Shared seeder-uplink budgets.
+//
+// A physical seeder box is identified by (ISP, seed ordinal): the fleet's
+// expansion plants one virtual copy of it in every swarm (and for every
+// video of a swarm's in-swarm catalog), but its uplink is one pipe. The
+// broker gives each identity a shared budget of
+// base-seed-capacity × uplink_budget_multiple chunks per slot and splits it
+// across swarms once per pricing epoch:
+//
+//   share(swarm) = floor guarantee (uplink_min_share × equal split)
+//                + remainder × swarm's share of last-epoch demand
+//
+// where demand is the chunks the identity actually uploaded in that swarm
+// during the closing epoch (delta of cumulative lifetime uploads, gathered
+// serially in swarm-index order). With no demand yet (the first epoch) the
+// remainder splits by the provided swarm weights. All arithmetic is a pure
+// function of the recorded demands, so allocations are bit-identical for
+// any thread count.
+#ifndef P2PCD_CAPACITY_UPLINK_BROKER_H
+#define P2PCD_CAPACITY_UPLINK_BROKER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "capacity/coupling.h"
+
+namespace p2pcd::capacity {
+
+class uplink_broker {
+public:
+    // `budget_chunks_per_slot` is the shared per-identity uplink (already
+    // scaled by config.uplink_budget_multiple by the caller).
+    uplink_broker(std::size_t num_swarms, std::size_t num_isps,
+                  std::size_t seeds_per_isp, double budget_chunks_per_slot,
+                  const coupling_config& config);
+
+    [[nodiscard]] std::size_t num_swarms() const noexcept { return num_swarms_; }
+    [[nodiscard]] std::size_t num_identities() const noexcept {
+        return num_isps_ * seeds_per_isp_;
+    }
+
+    // Records identity (isp, ordinal)'s cumulative lifetime uploads in
+    // `swarm` (the broker differences consecutive epochs itself). Call in
+    // swarm-index order from the serial fleet hook.
+    void record_uploads(std::size_t swarm, std::size_t isp, std::size_t ordinal,
+                        std::uint64_t cumulative_chunks);
+
+    // Closes the epoch: converts the recorded cumulative uploads into
+    // per-epoch demand deltas and recomputes every identity's per-swarm
+    // allocation. `swarm_weights` break the zero-demand (first epoch) split.
+    void close_epoch(std::span<const double> swarm_weights);
+
+    // Chunks per slot granted to identity (isp, ordinal) in `swarm` under
+    // the current split (valid after the first close_epoch; never below 1 so
+    // a starved swarm's seed still trickles).
+    [[nodiscard]] std::int32_t allocation(std::size_t swarm, std::size_t isp,
+                                          std::size_t ordinal) const;
+
+    [[nodiscard]] std::size_t epochs_closed() const noexcept { return epochs_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    [[nodiscard]] std::size_t at(std::size_t swarm, std::size_t isp,
+                                 std::size_t ordinal) const {
+        return (swarm * num_isps_ + isp) * seeds_per_isp_ + ordinal;
+    }
+
+    std::size_t num_swarms_ = 0;
+    std::size_t num_isps_ = 0;
+    std::size_t seeds_per_isp_ = 0;
+    double budget_ = 0.0;
+    coupling_config config_;
+    std::vector<std::uint64_t> cumulative_;  // latest recorded lifetime uploads
+    std::vector<std::uint64_t> previous_;    // snapshot at last epoch close
+    std::vector<std::int32_t> allocation_;   // per (swarm, identity) chunks/slot
+    std::size_t epochs_ = 0;
+};
+
+}  // namespace p2pcd::capacity
+
+#endif  // P2PCD_CAPACITY_UPLINK_BROKER_H

@@ -18,13 +18,19 @@
 #define P2PCD_ENGINE_FLEET_H
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "capacity/admission.h"
+#include "capacity/link_budget.h"
+#include "capacity/uplink_broker.h"
 #include "engine/shard.h"
 #include "engine/thread_pool.h"
 #include "isp/billing.h"
+#include "isp/peering_graph.h"
+#include "isp/price_controller.h"
 #include "isp/traffic_ledger.h"
 #include "metrics/time_series.h"
 #include "obs/counters.h"
@@ -86,6 +92,18 @@ struct fleet_slot_metrics {
     std::uint64_t auction_bids = 0;
 };
 
+// What a slot hook sees: the slot just merged. Hooks run serially on the
+// calling thread, after the parallel shard phase and the swarm-index-ordered
+// merge — the one place fleet-global state (capacity coupling, telemetry,
+// pricing) may read every shard and write state the next slot's parallel
+// phase reads (the pool barrier orders the two).
+struct slot_hook_context {
+    std::size_t slot = 0;  // index of the slot just stepped
+    const fleet_slot_metrics& merged;
+    double step_seconds = 0.0;  // wall clock around the step; 0 unless timed
+    bool timed = false;         // a telemetry sink is attached
+};
+
 class fleet {
 public:
     explicit fleet(fleet_options options);
@@ -93,6 +111,13 @@ public:
     // Advances every shard exactly one slot (in parallel) and returns the
     // merged metrics.
     const fleet_slot_metrics& step();
+
+    // Registers a serial inter-slot hook (run in registration order at the
+    // end of every step()). The capacity-coupling step and the telemetry
+    // emitter register through this; tests and benches can append their own.
+    void add_slot_hook(std::function<void(const slot_hook_context&)> hook) {
+        hooks_.push_back(std::move(hook));
+    }
 
     // Runs the full horizon. Single-shot, like vod::emulator::run.
     void run();
@@ -155,16 +180,50 @@ public:
     // swarm-index order, so totals are bit-identical for any thread count.
     [[nodiscard]] isp::traffic_ledger merged_ledger() const;
     // Σ of the per-swarm billing statements (each billed against its own
-    // swarm's final prices), accumulated in swarm-index order.
+    // swarm's final prices — the shared fleet prices when coupled),
+    // accumulated in swarm-index order.
     [[nodiscard]] isp::billing_statement merged_bill() const;
+
+    // --- cross-swarm coupling (config.coupling.enabled; src/capacity/) ---
+    [[nodiscard]] bool coupling_enabled() const noexcept {
+        return link_budget_.has_value();
+    }
+    // Last closed slot's link saturation summary (requires coupling).
+    [[nodiscard]] const capacity::link_stats& link_stats() const;
+    // The fleet-shared peering graph every coupled shard prices against.
+    [[nodiscard]] const isp::peering_graph& fleet_peering() const;
+    // Fleet-global pricing epochs closed over the merged cross-swarm ledger
+    // (empty when uncoupled or the epoch loop is off).
+    [[nodiscard]] const std::vector<isp::epoch_summary>& fleet_price_epochs() const;
 
 private:
     void emit_header();
     void emit_slot_record(const fleet_slot_metrics& m, double step_seconds);
+    void emit_fleet_epoch_record(const isp::epoch_summary& e);
+    // The serial capacity-coupling step: merged-ledger accumulation, link
+    // pools + surcharges, admission budgets, epoch-global re-pricing and
+    // uplink re-splits. Registered as the first slot hook when coupled.
+    void coupling_step(const slot_hook_context& ctx);
+    void apply_seed_allocations();
 
     fleet_options options_;
+    workload::scenario_config base_;  // the resolved base scenario
     thread_pool pool_;
+    // Coupled-fleet state. Declared before shards_ so the peering graph the
+    // shards' cost models point at outlives them.
+    std::optional<isp::peering_graph> fleet_peering_;
+    std::optional<isp::traffic_ledger> fleet_ledger_;
+    std::optional<isp::price_controller> fleet_price_controller_;
+    std::optional<capacity::link_budget> link_budget_;
+    std::optional<capacity::admission_controller> admission_;
+    std::optional<capacity::uplink_broker> broker_;
+    std::vector<double> swarm_weights_;  // Zipf popularity, swarm-index order
+    // coupling_step scratch (serial hook only).
+    std::vector<double> headroom_scratch_;
+    std::vector<std::uint8_t> gated_scratch_;
+    std::vector<std::uint32_t> queue_scratch_;
     std::vector<std::unique_ptr<shard>> shards_;
+    std::vector<std::function<void(const slot_hook_context&)>> hooks_;
     std::size_t num_slots_ = 0;
     double slot_seconds_ = 0.0;
 

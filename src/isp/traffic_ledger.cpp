@@ -88,6 +88,20 @@ bool operator==(const traffic_ledger& a, const traffic_ledger& b) {
     return a.n_ == b.n_ && a.times_ == b.times_ && a.cells_ == b.cells_;
 }
 
+void traffic_ledger::add_slot(const traffic_ledger& other, std::size_t slot) {
+    expects(other.n_ == n_, "cannot accumulate ledgers over different ISP sets");
+    expects(!times_.empty(), "add_slot needs an open slot");
+    expects(slot < other.times_.size(), "source ledger slot out of range");
+    expects(other.times_[slot] == times_.back(),
+            "cannot accumulate slots with different start times");
+    const std::size_t dst = (times_.size() - 1) * n_ * n_;
+    const std::size_t src = slot * n_ * n_;
+    for (std::size_t i = 0; i < n_ * n_; ++i) {
+        cells_[dst + i].chunks += other.cells_[src + i].chunks;
+        cells_[dst + i].bytes += other.cells_[src + i].bytes;
+    }
+}
+
 void traffic_ledger::merge(const traffic_ledger& other) {
     expects(other.n_ == n_, "cannot merge ledgers over different ISP sets");
     expects(other.times_.size() == times_.size(),

@@ -62,6 +62,13 @@ public:
     // this in swarm-index order, so merged doubles are order-deterministic.
     void merge(const traffic_ledger& other);
 
+    // Adds one slot of `other` into this ledger's currently open (last)
+    // slot — the fleet's incremental per-slot merge, so the fleet-global
+    // pricing epoch can close over live cross-swarm volume without
+    // re-merging whole ledgers. Requires the same ISP set, an open slot, and
+    // matching slot start times; call in swarm-index order.
+    void add_slot(const traffic_ledger& other, std::size_t slot);
+
     // Exact equality: same ISP set, slot grid and every per-slot cell
     // (chunk counts are integers and byte sums accumulate in a fixed order,
     // so == is the right comparison). This is what the determinism checks

@@ -25,6 +25,15 @@ void cost_model::attach_peering(const isp::peering_graph* graph) {
     peering_ = graph;
 }
 
+void cost_model::attach_surcharge(const double* table) { surcharge_ = table; }
+
+void cost_model::shed_cache() {
+    std::vector<std::uint64_t>().swap(cache_keys_);
+    std::vector<double>().swap(cache_vals_);
+    std::vector<std::uint64_t>().swap(keys_scratch_);
+    cache_count_ = 0;
+}
+
 cost_cache_stats cost_model::cache_stats() const noexcept {
     return {cache_hits_, cache_misses_, cache_flushes_, cache_count_,
             params_.cache_capacity};
@@ -124,14 +133,20 @@ double cost_model::cost(peer_id u, peer_id d) const {
     const isp_id n = topology_->isp_of(d);
     const bool crosses = m != n;
     const double draw = cached_draw(link_key(u, d, crosses));
-    if (peering_ == nullptr) return draw;
+    const double surcharge =
+        surcharge_ == nullptr
+            ? 1.0
+            : surcharge_[static_cast<std::size_t>(m.value()) *
+                             topology_->num_isps() +
+                         static_cast<std::size_t>(n.value())];
+    if (peering_ == nullptr) return draw * surcharge;
 
     // Economy mode: the flat draw acts as unit jitter around the live
     // directed pair price (direction taken before canonicalization, so
     // asymmetric pricing survives symmetric jitter).
     const double mean = crosses ? params_.inter_mean : params_.intra_mean;
     const double price = peering_->price(m, n);
-    return mean > 0.0 ? draw / mean * price : price;
+    return (mean > 0.0 ? draw / mean * price : price) * surcharge;
 }
 
 void cost_model::cost_batch(std::span<const peer_id> uploaders, peer_id d,
@@ -150,16 +165,24 @@ void cost_model::cost_batch(std::span<const peer_id> uploaders, peer_id d,
         for (std::uint64_t key : keys_scratch_)
             __builtin_prefetch(&cache_keys_[cache_slot_hash(key) & mask]);
     }
+    const std::size_t num_isps = topology_->num_isps();
     for (std::size_t i = 0; i < uploaders.size(); ++i) {
         const double draw = cached_draw(keys_scratch_[i]);
+        const double surcharge =
+            surcharge_ == nullptr
+                ? 1.0
+                : surcharge_[static_cast<std::size_t>(
+                                 topology_->isp_of(uploaders[i]).value()) *
+                                 num_isps +
+                             static_cast<std::size_t>(n.value())];
         if (peering_ == nullptr) {
-            out[i] = draw;
+            out[i] = draw * surcharge;
             continue;
         }
         const bool crosses = (keys_scratch_[i] >> 63) != 0;
         const double mean = crosses ? params_.inter_mean : params_.intra_mean;
         const double price = peering_->price(topology_->isp_of(uploaders[i]), n);
-        out[i] = mean > 0.0 ? draw / mean * price : price;
+        out[i] = (mean > 0.0 ? draw / mean * price : price) * surcharge;
     }
 }
 

@@ -94,6 +94,24 @@ public:
     void attach_peering(const isp::peering_graph* graph);
     [[nodiscard]] bool has_peering() const noexcept { return peering_ != nullptr; }
 
+    // Attaches a num_isps × num_isps row-major congestion-surcharge table
+    // (src/capacity/link_budget): every cost()/cost_batch() result is
+    // multiplied by table[isp(u) × n + isp(d)] at query time. The caller
+    // owns the table and only mutates it while no query is in flight (the
+    // fleet writes it from its serial inter-slot hook). nullptr detaches;
+    // detached behavior is bit-identical to pre-surcharge code.
+    void attach_surcharge(const double* table);
+    [[nodiscard]] bool has_surcharge() const noexcept {
+        return surcharge_ != nullptr;
+    }
+
+    // Returns the link-draw cache's storage to the allocator (stats and
+    // behavior survive: draws are pure functions of the link key, so every
+    // future query re-derives the same cost — only hit/miss counters move).
+    // The fleet calls this per shard at slot end so a 200-swarm run keeps
+    // ~threads warm caches instead of one per swarm forever.
+    void shed_cache();
+
     [[nodiscard]] const cost_params& params() const noexcept { return params_; }
     [[nodiscard]] cost_cache_stats cache_stats() const noexcept;
     // Bytes held by the link cache and its scratch (capacity, not size) —
@@ -107,6 +125,7 @@ public:
 private:
     const isp_topology* topology_;
     const isp::peering_graph* peering_ = nullptr;
+    const double* surcharge_ = nullptr;  // n × n row-major multipliers
     cost_params params_;
     std::uint64_t link_seed_;
     sim::truncated_normal inter_;

@@ -8,6 +8,10 @@
 //   "kind" — "header" | "slot" | "epoch" | "fleet_slot";
 //   semantic fields — pure functions of (config, seed): counters, volumes,
 //     prices, welfare. Bit-identical across `--threads` and across runs.
+//     Since v2 a coupled fleet's "fleet_slot" lines additionally carry the
+//     flat semantic sub-objects "admission" (admitted/deferred/abandoned/
+//     queued totals) and "link_saturation" (saturated pairs + utilization) —
+//     additive: every v1 line is also a valid v2 line.
 //   "wall" / "env" — flat sub-objects holding wall-clock durations and
 //     environment facts (thread count, hardware_concurrency, span config).
 //     These are the ONLY fields allowed to differ between two runs of the
@@ -35,7 +39,10 @@
 namespace p2pcd::obs {
 
 // Bump when a line's field set or meaning changes incompatibly.
-inline constexpr int jsonl_schema_version = 1;
+// v2 (cross-swarm coupling): adds the optional "admission"/"link_saturation"
+// semantic sub-objects on fleet_slot lines and the admission counters to the
+// metric schema — strictly additive, so v1 consumers still parse every line.
+inline constexpr int jsonl_schema_version = 2;
 
 // Builds one JSON object line. Handles comma placement and one level of
 // sub-object nesting ("wall"/"env"); keys are written verbatim (callers use

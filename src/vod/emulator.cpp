@@ -55,24 +55,41 @@ emulator::emulator(emulator_options options)
     costs_.emplace(topology_, options_.config.costs, cost_rng);
 
     const isp::economy_config& economy = options_.config.economy;
+    expects(options_.shared_peering == nullptr || economy.enabled,
+            "shared_peering requires config.economy.enabled");
     if (economy.enabled) {
-        peering_.emplace(
-            workload::make_peering_graph(economy, options_.config.num_isps));
+        if (options_.shared_peering != nullptr) {
+            // Fleet-shared graph: no private copy and no per-swarm price
+            // controller — the fleet closes pricing epochs globally off the
+            // merged cross-swarm ledger and mutates prices between slots.
+            peering_view_ = options_.shared_peering;
+        } else {
+            peering_.emplace(
+                workload::make_peering_graph(economy, options_.config.num_isps));
+            if (economy.slots_per_epoch > 0)
+                price_controller_.emplace(*peering_, economy.policy);
+            peering_view_ = &*peering_;
+        }
         ledger_.emplace(options_.config.num_isps);
-        if (economy.slots_per_epoch > 0)
-            price_controller_.emplace(*peering_, economy.policy);
-        costs_->attach_peering(&*peering_);
+        costs_->attach_peering(peering_view_);
         // Relationship class per directed ISP pair, flattened so the
         // per-transfer ledger-byte gauges cost one byte load to classify.
+        // shared_assets carries the table for every economy config; only a
+        // hand-built assets instance without it falls back to deriving one.
         const std::size_t n = options_.config.num_isps;
-        link_class_.resize(n * n);
-        for (std::size_t m = 0; m < n; ++m)
-            for (std::size_t k = 0; k < n; ++k)
-                link_class_[m * n + k] = static_cast<std::uint8_t>(
-                    peering_
-                        ->link(isp_id(static_cast<std::int32_t>(m)),
-                               isp_id(static_cast<std::int32_t>(k)))
-                        .rel);
+        if (assets_->link_class.size() == n * n) {
+            link_class_ = assets_->link_class.data();
+        } else {
+            own_link_class_.resize(n * n);
+            for (std::size_t m = 0; m < n; ++m)
+                for (std::size_t k = 0; k < n; ++k)
+                    own_link_class_[m * n + k] = static_cast<std::uint8_t>(
+                        peering_view_
+                            ->link(isp_id(static_cast<std::int32_t>(m)),
+                                   isp_id(static_cast<std::int32_t>(k)))
+                            .rel);
+            link_class_ = own_link_class_.data();
+        }
     }
 
     add_seeds();
@@ -80,6 +97,14 @@ emulator::emulator(emulator_options options)
     if (options_.config.arrival_rate > 0.0) {
         arrivals_.emplace(options_.config.arrival_rate);
         next_arrival_ = arrivals_->next_arrival(arrival_rng_);
+    }
+    if (options_.admission.enabled) {
+        expects(options_.admission.retry_slots > 0,
+                "admission retry_slots must be positive");
+        // A dedicated stream: gating never perturbs the "arrivals"/"peers"
+        // draws, so admission-on with open gates spawns the same viewers.
+        admission_rng_.emplace(rng_factory_.stream("admission"));
+        id_base_ = next_peer_id_;
     }
 }
 
@@ -99,9 +124,16 @@ void emulator::register_metrics() {
     c_cache_misses_ = counters_.add_counter("cost.cache_misses");
     c_cache_flushes_ = counters_.add_counter("cost.cache_flushes");
     c_shed_events_ = counters_.add_counter("shed.events");
+    // Admission metrics are registered unconditionally (zero when gating is
+    // off) so every shard of a fleet shares one counter layout and the merge
+    // stays layout-gated.
+    c_admitted_ = counters_.add_counter("admission.admitted");
+    c_deferred_ = counters_.add_counter("admission.deferred");
+    c_abandoned_ = counters_.add_counter("admission.abandoned");
     g_bytes_sibling_ = counters_.add_gauge("ledger.bytes_sibling");
     g_bytes_peer_ = counters_.add_gauge("ledger.bytes_peer");
     g_bytes_transit_ = counters_.add_gauge("ledger.bytes_transit");
+    g_admission_queue_ = counters_.add_gauge("admission.queued");
 }
 
 void emulator::sample_counters() {
@@ -113,6 +145,7 @@ void emulator::sample_counters() {
     counters_.set(c_tracker_repairs_, ts.repairs);
     counters_.set(c_tracker_inversions_, ts.inversions);
     if (trans_ != nullptr) counters_.set(c_solver_pivots_, trans_->total_pivots());
+    counters_.set(g_admission_queue_, static_cast<double>(deferred_.size()));
 }
 
 obs::counter_registry& emulator::counters() {
@@ -237,13 +270,20 @@ void emulator::add_seeds() {
     num_seeds_ = peers_.rows();
 }
 
-std::size_t emulator::spawn_viewer(double join_time, bool pre_warmed) {
+std::size_t emulator::spawn_viewer(double join_time, bool pre_warmed,
+                                   std::int32_t forced_isp) {
     const auto& cfg = options_.config;
     peer_table::peer_spawn viewer;
     viewer.id = peer_id(next_peer_id_++);
-    // "distributed in the 5 ISPs evenly"
-    viewer.isp = isp_id(static_cast<std::int32_t>(
-        static_cast<std::size_t>(viewer.id.value()) % cfg.num_isps));
+    // "distributed in the 5 ISPs evenly". The admission path forces the ISP
+    // assigned at Poisson-arrival time (a deferred viewer keeps its ISP even
+    // though its row — and id — is minted only when it finally passes the
+    // gate).
+    viewer.isp = forced_isp >= 0
+                     ? isp_id(forced_isp)
+                     : isp_id(static_cast<std::int32_t>(
+                           static_cast<std::size_t>(viewer.id.value()) %
+                           cfg.num_isps));
     viewer.video = video_id(static_cast<std::int32_t>(
         assets_->video_popularity.sample(peer_rng_) - 1));
     double multiple = peer_rng_.uniform_real(cfg.peer_upload_min_multiple,
@@ -296,10 +336,112 @@ void emulator::add_initial_peers() {
 }
 
 void emulator::process_arrivals(double until) {
+    if (!options_.admission.enabled) {
+        // Ungated: the pre-coupling arrival path, verbatim (no admission
+        // draws, no sequence bookkeeping) — bit-identical behavior.
+        if (!arrivals_) return;
+        while (next_arrival_ <= until) {
+            spawn_viewer(next_arrival_, /*pre_warmed=*/false);
+            next_arrival_ = arrivals_->next_arrival(arrival_rng_);
+        }
+        return;
+    }
+
+    const std::size_t slot = slots_.size();
+    // Deferred viewers retry first (FIFO): they hold the earliest claim on
+    // whatever budget the fleet granted for this slot.
+    for (std::size_t i = 0; i < deferred_.size();) {
+        deferred_viewer& d = deferred_[i];
+        if (d.retry_slot > slot) {
+            ++i;
+            continue;
+        }
+        if (try_admit(d.isp)) {
+            spawn_viewer(until, /*pre_warmed=*/false,
+                         static_cast<std::int32_t>(d.isp));
+            counters_.inc(c_admitted_);
+            deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else if (++d.retries >= options_.admission.max_retries) {
+            counters_.inc(c_abandoned_);
+            deferred_.erase(deferred_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            d.retry_slot = slot + options_.admission.retry_slots +
+                           static_cast<std::size_t>(admission_rng_->uniform_int(0, 1));
+            ++i;
+        }
+    }
+
     if (!arrivals_) return;
     while (next_arrival_ <= until) {
-        spawn_viewer(next_arrival_, /*pre_warmed=*/false);
+        const double t = next_arrival_;
+        // The ISP a gated arrival lands in is a function of its position in
+        // the arrival sequence — exactly the id the ungated path would have
+        // minted for it — so open gates reproduce the ungated round-robin.
+        const auto isp = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(id_base_) + arrival_seq_) %
+            options_.config.num_isps);
+        ++arrival_seq_;
+        if (try_admit(isp)) {
+            spawn_viewer(t, /*pre_warmed=*/false, static_cast<std::int32_t>(isp));
+            counters_.inc(c_admitted_);
+        } else {
+            counters_.inc(c_deferred_);
+            deferred_.push_back(
+                {isp, 0,
+                 slot + options_.admission.retry_slots +
+                     static_cast<std::size_t>(admission_rng_->uniform_int(0, 1))});
+        }
         next_arrival_ = arrivals_->next_arrival(arrival_rng_);
+    }
+}
+
+bool emulator::try_admit(std::uint32_t isp) {
+    if (admission_budget_.empty()) return true;  // no budgets pushed yet
+    std::uint32_t& budget = admission_budget_[isp];
+    if (budget == capacity::admission_unlimited) return true;
+    if (budget == 0) return false;
+    --budget;
+    return true;
+}
+
+void emulator::set_admission_budgets(std::span<const std::uint32_t> per_isp) {
+    expects(options_.admission.enabled,
+            "admission budgets require options.admission.enabled");
+    expects(per_isp.size() == options_.config.num_isps,
+            "admission budgets need one entry per ISP");
+    admission_budget_.assign(per_isp.begin(), per_isp.end());
+}
+
+std::size_t emulator::admission_queue_len(isp_id isp) const {
+    std::size_t n = 0;
+    for (const deferred_viewer& d : deferred_)
+        if (d.isp == static_cast<std::uint32_t>(isp.value())) ++n;
+    return n;
+}
+
+std::uint64_t emulator::seed_uploads(std::size_t isp, std::size_t ordinal) const {
+    const auto& cfg = options_.config;
+    expects(isp < cfg.num_isps && ordinal < cfg.seeds_per_isp_per_video,
+            "seed identity out of range");
+    std::uint64_t total = 0;
+    for (std::size_t v = 0; v < cfg.num_videos; ++v) {
+        const std::size_t row =
+            (v * cfg.num_isps + isp) * cfg.seeds_per_isp_per_video + ordinal;
+        total += peers_.lifetime(row).chunks_uploaded;
+    }
+    return total;
+}
+
+void emulator::set_seed_capacity(std::size_t isp, std::size_t ordinal,
+                                 std::int32_t chunks_per_slot) {
+    const auto& cfg = options_.config;
+    expects(isp < cfg.num_isps && ordinal < cfg.seeds_per_isp_per_video,
+            "seed identity out of range");
+    expects(chunks_per_slot > 0, "seed capacity must stay positive");
+    for (std::size_t v = 0; v < cfg.num_videos; ++v) {
+        const std::size_t row =
+            (v * cfg.num_isps + isp) * cfg.seeds_per_isp_per_video + ordinal;
+        peers_.set_upload_capacity(row, chunks_per_slot);
     }
 }
 
@@ -725,6 +867,7 @@ void emulator::shed_slot_memory() {
     std::vector<std::uint32_t>().swap(sp.uploader_row);
     std::vector<std::uint32_t>().swap(sp.request_row);
     scheduler_->shed_memory();
+    if (options_.shed_cost_cache) costs_->shed_cache();
     counters_.inc(c_shed_events_);
 }
 
@@ -757,8 +900,9 @@ const isp::traffic_ledger& emulator::ledger() const {
 }
 
 const isp::peering_graph& emulator::peering() const {
-    expects(peering_.has_value(), "peering() requires config.economy.enabled");
-    return *peering_;
+    expects(peering_view_ != nullptr,
+            "peering() requires config.economy.enabled");
+    return *peering_view_;
 }
 
 const std::vector<isp::epoch_summary>& emulator::price_epochs() const {
@@ -767,9 +911,9 @@ const std::vector<isp::epoch_summary>& emulator::price_epochs() const {
 }
 
 isp::billing_statement emulator::bill() const {
-    expects(ledger_.has_value() && peering_.has_value(),
+    expects(ledger_.has_value() && peering_view_ != nullptr,
             "bill() requires config.economy.enabled");
-    return isp::bill(*ledger_, *peering_, options_.config.economy.billing);
+    return isp::bill(*ledger_, *peering_view_, options_.config.economy.billing);
 }
 
 void emulator::run() {

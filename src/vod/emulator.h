@@ -37,6 +37,8 @@
 #ifndef P2PCD_VOD_EMULATOR_H
 #define P2PCD_VOD_EMULATOR_H
 
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <span>
@@ -44,6 +46,7 @@
 #include <vector>
 
 #include "baseline/simple_locality.h"
+#include "capacity/admission.h"
 #include "core/auction.h"
 #include "core/problem.h"
 #include "core/scheduler_registry.h"
@@ -124,6 +127,27 @@ struct emulator_options {
     // reads no clock and builds no JSONL. Counters stay on unconditionally
     // (semantic, deterministic, a handful of integer adds per slot).
     obs::telemetry_options telemetry;
+
+    // --- fleet-coupling hooks (engine::fleet + src/capacity/) ---
+    // Fleet-shared peering graph: when set (requires config.economy.enabled)
+    // the emulator attaches this graph to its cost model instead of building
+    // a private one, and runs no per-swarm price controller — the fleet
+    // re-prices globally from the merged cross-swarm ledger. The caller owns
+    // the graph, keeps it alive for the emulator's lifetime, and mutates its
+    // prices only between slots (the fleet's serial hook).
+    const isp::peering_graph* shared_peering = nullptr;
+
+    // Backpressure admission gating of new-viewer arrivals (IRON-style; see
+    // src/capacity/admission.h). Disabled: the arrival path is bit-identical
+    // to pre-coupling behavior, and no "admission" rng stream is drawn from.
+    capacity::admission_params admission;
+
+    // Return the cost model's link-draw cache to the allocator at every slot
+    // end (draws are pure functions of the link key, so costs never change —
+    // only cache hit/miss counters do). Set by the fleet: with shards stepped
+    // slot-lockstep only ~threads caches are warm at once, so the fleet's
+    // standing footprint drops by the biggest per-shard allocation.
+    bool shed_cost_cache = false;
 };
 
 // Wall-clock seconds per slot phase, accumulated across every step() of one
@@ -267,6 +291,33 @@ public:
     [[nodiscard]] std::size_t online_viewers() const;
     [[nodiscard]] double now() const noexcept { return now_; }
 
+    // --- fleet coupling (engine::fleet + src/capacity/) ---
+    // Replaces the per-ISP admission budgets governing the next slots'
+    // arrivals (requires options.admission.enabled; one entry per ISP,
+    // capacity::admission_unlimited lifts the gate for that ISP). The fleet
+    // pushes fresh budgets from its serial coupling step between slots.
+    void set_admission_budgets(std::span<const std::uint32_t> per_isp);
+    // Viewers currently parked in the admission retry queue, per ISP / total.
+    [[nodiscard]] std::size_t admission_queue_len(isp_id isp) const;
+    [[nodiscard]] std::size_t admission_queue_total() const noexcept {
+        return deferred_.size();
+    }
+    // Lifetime chunks uploaded by seed ordinal `ordinal` of ISP `isp`,
+    // summed over that seed identity's rows across all videos — the uplink
+    // broker's per-epoch demand signal.
+    [[nodiscard]] std::uint64_t seed_uploads(std::size_t isp,
+                                             std::size_t ordinal) const;
+    // Sets the per-slot upload capacity of that same seed identity (applied
+    // to its row in every video) — the broker's allocation for this swarm.
+    void set_seed_capacity(std::size_t isp, std::size_t ordinal,
+                           std::int32_t chunks_per_slot);
+    // Attaches the fleet's per-ISP-pair congestion surcharge table to this
+    // shard's cost model (row-major num_isps²; nullptr detaches). The fleet
+    // owns the table and rewrites it only between slots.
+    void attach_link_surcharge(const double* table) {
+        costs_->attach_surcharge(table);
+    }
+
     // Aggregate outcome over the whole run.
     [[nodiscard]] double total_welfare() const;
     [[nodiscard]] double overall_inter_isp_fraction() const;
@@ -299,8 +350,12 @@ private:
 
     void add_seeds();
     void add_initial_peers();
-    std::size_t spawn_viewer(double join_time, bool pre_warmed);
+    std::size_t spawn_viewer(double join_time, bool pre_warmed,
+                             std::int32_t forced_isp = -1);
     void process_arrivals(double until);
+    // Consumes one unit of admission budget for `isp` if any remains (true),
+    // or reports the gate closed (false). Ungated when budgets are unset.
+    bool try_admit(std::uint32_t isp);
     void process_departures();
     void advance_playback(double from, double to, slot_metrics& metrics);
     void refresh_neighbors();
@@ -339,9 +394,28 @@ private:
     // emulator is never moved after construction (same rule that keeps
     // cost_model's topology pointer safe).
     std::optional<isp::peering_graph> peering_;
+    // The graph actually consulted by bill()/peering(): the fleet-shared one
+    // when options.shared_peering is set, else &*peering_. Null iff the
+    // economy is off.
+    const isp::peering_graph* peering_view_ = nullptr;
     std::optional<isp::traffic_ledger> ledger_;
     std::optional<isp::price_controller> price_controller_;
     tracker tracker_;
+
+    // --- admission gating state (options_.admission.enabled) ---
+    // A viewer deferred at the gate keeps its arrival ISP (assigned from the
+    // arrival sequence exactly as ungated ids would be) and retries at
+    // `retry_slot` with seed-derived jitter; after max_retries it abandons.
+    struct deferred_viewer {
+        std::uint32_t isp = 0;
+        std::uint32_t retries = 0;
+        std::size_t retry_slot = 0;  // earliest slot index allowed to retry
+    };
+    std::deque<deferred_viewer> deferred_;
+    std::vector<std::uint32_t> admission_budget_;  // per ISP; empty = ungated
+    std::optional<sim::rng_stream> admission_rng_;
+    std::int32_t id_base_ = 0;       // next_peer_id_ right after construction
+    std::uint64_t arrival_seq_ = 0;  // Poisson arrivals drawn so far
 
     // Long-lived scheduler from the registry; `auction_` / `par_auction_`
     // are the non-null downcasts when a built-in auction is selected (they
@@ -382,12 +456,17 @@ private:
     obs::counter_id c_arrivals_, c_departures_, c_solver_rounds_, c_solver_bids_,
         c_solver_phases_, c_solver_pivots_, c_tracker_repairs_,
         c_tracker_inversions_, c_cache_hits_, c_cache_misses_, c_cache_flushes_,
-        c_shed_events_;
-    obs::gauge_id g_bytes_sibling_, g_bytes_peer_, g_bytes_transit_;
+        c_shed_events_, c_admitted_, c_deferred_, c_abandoned_;
+    obs::gauge_id g_bytes_sibling_, g_bytes_peer_, g_bytes_transit_,
+        g_admission_queue_;
     // Row-major num_isps × num_isps relationship class of each directed ISP
     // pair (values of isp::relationship), precomputed so apply_schedule's
-    // per-transfer gauge add is one byte load. Empty when the economy is off.
-    std::vector<std::uint8_t> link_class_;
+    // per-transfer gauge add is one byte load. Normally borrowed from the
+    // shared_assets table (one copy per fleet, not per shard);
+    // own_link_class_ is the backing store only when the assets instance
+    // predates the table. Null when the economy is off.
+    const std::uint8_t* link_class_ = nullptr;
+    std::vector<std::uint8_t> own_link_class_;
 
     // Round-problem arena, reused (cleared, not reallocated) across the
     // rounds of one slot, then shed at slot end; the high-water sizes below

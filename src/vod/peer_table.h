@@ -89,6 +89,12 @@ public:
     [[nodiscard]] std::int32_t upload_capacity(std::size_t row) const {
         return capacity_[check(row)];
     }
+    // Re-budgets a peer's uplink (the capacity::uplink_broker re-splits seed
+    // uplinks across swarms at epoch boundaries). Takes effect at the next
+    // slot's capacity snapshot.
+    void set_upload_capacity(std::size_t row, std::int32_t chunks_per_slot) {
+        capacity_[check(row)] = chunks_per_slot;
+    }
     [[nodiscard]] double playback_position(std::size_t row) const {
         return positions_[check(row)];
     }

@@ -1,19 +1,24 @@
 // Immutable per-scenario assets shared across emulators.
 //
-// The catalog, the deadline-valuation curve and the video-popularity
-// distribution are pure functions of the scenario config, and every query on
-// them is const (zipf_mandelbrot::sample draws from the caller's rng stream).
-// A fleet builds one instance per base scenario and hands the same
+// The catalog, the deadline-valuation curve, the video-popularity
+// distribution — and, for economy scenarios, the peering-derived link-class
+// table — are pure functions of the scenario config, and every query on
+// them is const (zipf_mandelbrot::sample draws from the caller's rng
+// stream). A fleet builds one instance per base scenario and hands the same
 // shared_ptr to all 100–200 shards, instead of each vod::emulator carrying
-// its own copy — the popularity CDF alone is num_videos doubles per swarm.
+// its own copy — the popularity CDF alone is num_videos doubles per swarm,
+// and the class table saves every shard a peering-graph construction.
 #ifndef P2PCD_VOD_SHARED_ASSETS_H
 #define P2PCD_VOD_SHARED_ASSETS_H
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "sim/distributions.h"
 #include "vod/catalog.h"
 #include "vod/valuation.h"
+#include "workload/peering_gen.h"
 #include "workload/scenario.h"
 
 namespace p2pcd::vod {
@@ -22,6 +27,12 @@ struct shared_assets {
     video_catalog catalog;
     deadline_valuation valuation;
     sim::zipf_mandelbrot video_popularity;
+    // Row-major num_isps × num_isps relationship class of each directed ISP
+    // pair (values of isp::relationship). Only prices mutate over a run —
+    // relationship classes are a pure function of the economy config, so
+    // every shard of a fleet shares this one table instead of deriving its
+    // own from its private peering graph. Empty when the economy is off.
+    std::vector<std::uint8_t> link_class;
 
     // Builds the assets exactly as emulator construction always has — same
     // catalog dimensions, same valuation knobs, same zipf(0.78, 4.0)
@@ -29,18 +40,34 @@ struct shared_assets {
     // construction (the compatibility check in the emulator enforces it).
     [[nodiscard]] static std::shared_ptr<const shared_assets> make(
         const workload::scenario_config& config) {
+        std::vector<std::uint8_t> link_class;
+        if (config.economy.enabled) {
+            const isp::peering_graph graph =
+                workload::make_peering_graph(config.economy, config.num_isps);
+            const std::size_t n = config.num_isps;
+            link_class.resize(n * n);
+            for (std::size_t m = 0; m < n; ++m)
+                for (std::size_t k = 0; k < n; ++k)
+                    link_class[m * n + k] = static_cast<std::uint8_t>(
+                        graph
+                            .link(isp_id(static_cast<std::int32_t>(m)),
+                                  isp_id(static_cast<std::int32_t>(k)))
+                            .rel);
+        }
         return std::make_shared<const shared_assets>(shared_assets{
             video_catalog(config.num_videos, config.chunks_per_video(),
                           config.chunks_per_second()),
             deadline_valuation(config.valuation_alpha, config.valuation_beta,
                                config.valuation_min, config.valuation_max),
-            sim::zipf_mandelbrot(config.num_videos, 0.78, 4.0)});
+            sim::zipf_mandelbrot(config.num_videos, 0.78, 4.0),
+            std::move(link_class)});
     }
 
-    // Heap bytes behind one instance (the popularity CDF) — shared, so a
-    // fleet counts it once, not per shard.
+    // Heap bytes behind one instance (the popularity CDF and class table) —
+    // shared, so a fleet counts it once, not per shard.
     [[nodiscard]] std::size_t memory_bytes() const noexcept {
-        return sizeof(shared_assets) + video_popularity.cdf_bytes();
+        return sizeof(shared_assets) + video_popularity.cdf_bytes() +
+               link_class.capacity() * sizeof(std::uint8_t);
     }
 };
 

@@ -16,6 +16,7 @@ void fleet_config::validate() const {
     expects(popularity_alpha > 0.0, "fleet popularity exponent must be positive");
     expects(popularity_q >= 0.0, "fleet popularity shift must be non-negative");
     expects(!scheduler.empty(), "fleet needs a scheduler name");
+    coupling.validate();
 }
 
 fleet_config fleet_config::metro_100x5k() {
@@ -83,6 +84,41 @@ fleet_config fleet_config::economy_smoke_fleet() {
     config.num_swarms = 2;
     config.total_peers = 60;
     config.min_swarm_peers = 8;
+    return config;
+}
+
+fleet_config fleet_config::coupled_metro() {
+    fleet_config config = economy_fleet();
+    // The locality baseline actually loads the managed transit links (the
+    // auction routes around them), so halved pools saturate and the coupled
+    // surcharge has real traffic to push back on.
+    config.scheduler = "simple-locality";
+    config.coupling.enabled = true;
+    config.coupling.link_capacity_scale = 0.5;
+    return config;
+}
+
+fleet_config fleet_config::coupled_flash() {
+    fleet_config config;
+    config.swarm_scenario = "flash_economy";
+    config.num_swarms = 8;
+    config.total_peers = 32'000;  // expected joins across the crowds
+    config.min_swarm_peers = 200;
+    config.coupling.enabled = true;
+    config.coupling.link_capacity_scale = 0.5;
+    return config;
+}
+
+fleet_config fleet_config::coupled_smoke_fleet() {
+    fleet_config config;
+    config.swarm_scenario = "coupled_smoke";
+    config.num_swarms = 2;
+    config.total_peers = 120;
+    config.min_swarm_peers = 8;
+    config.coupling.enabled = true;
+    // Quartered pools (2 chunks/slot per managed pair): both swarms saturate
+    // the tier-1 links within a slot or two, so deferrals are guaranteed.
+    config.coupling.link_capacity_scale = 0.25;
     return config;
 }
 
@@ -172,6 +208,18 @@ const fleet_registry& builtin_fleets() {
         r.add("fleet_economy_smoke",
               "seconds-scale 2-swarm economy fleet, 2 pricing epochs (tests/CI)",
               [] { return fleet_config::economy_smoke_fleet(); });
+        r.add("fleet_coupled_metro",
+              "6 coupled metro-economy swarms on halved link pools "
+              "(bench/fleet_coupling)",
+              [] { return fleet_config::coupled_metro(); });
+        r.add("fleet_coupled_flash",
+              "8 coupled flash-economy swarms, ~32 000 gated joins "
+              "(bench/fleet_coupling)",
+              [] { return fleet_config::coupled_flash(); });
+        r.add("fleet_coupled_smoke",
+              "seconds-scale 2-swarm coupled fleet on quartered pools "
+              "(tests/CI)",
+              [] { return fleet_config::coupled_smoke_fleet(); });
         return r;
     }();
     return registry;

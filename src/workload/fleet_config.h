@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "capacity/coupling.h"
 #include "workload/scenario.h"
 #include "workload/scenario_registry.h"
 
@@ -59,6 +60,13 @@ struct fleet_config {
 
     std::uint64_t fleet_seed = 42;
 
+    // Cross-swarm coupling (src/capacity/): shared ISP-pair link pools,
+    // shared seeder uplinks and backpressure admission across the fleet's
+    // swarms. Off by default — an uncoupled fleet is bit-identical to N
+    // independent emulators merged in swarm-index order. Requires an
+    // economy-enabled base scenario when enabled.
+    capacity::coupling_config coupling;
+
     void validate() const;  // throws contract_violation on nonsense configs
 
     // This fleet resized to `swarms` swarms, the viewer target scaled
@@ -79,6 +87,17 @@ struct fleet_config {
     // billing + pricing-epoch loop of its base scenario.
     [[nodiscard]] static fleet_config economy_fleet();
     [[nodiscard]] static fleet_config economy_smoke_fleet();
+    // Coupled fleets (bench/fleet_coupling): swarms contend for shared
+    // ISP-pair pools, split seeder uplinks and pass an admission gate.
+    //  * fleet_coupled_metro — 6 metro_economy swarms on halved link pools
+    //    under the locality baseline (which actually loads transit links);
+    //  * fleet_coupled_flash — 8 arrival-driven flash_economy swarms, the
+    //    admission-gating headline;
+    //  * fleet_coupled_smoke — seconds-scale 2-swarm variant on quartered
+    //    pools for tests and CI.
+    [[nodiscard]] static fleet_config coupled_metro();
+    [[nodiscard]] static fleet_config coupled_flash();
+    [[nodiscard]] static fleet_config coupled_smoke_fleet();
 };
 
 // The deterministic per-swarm seed: derived from (fleet_seed, swarm_index)

@@ -106,6 +106,29 @@ scenario_config scenario_config::economy_smoke() {
     return config;
 }
 
+scenario_config scenario_config::coupled_smoke() {
+    // economy_smoke plus a live arrival process — admission gating needs
+    // arrivals to gate. ~2 joins/s over the 60 s horizon stays seconds-scale
+    // while still pressuring a capacity-constrained peering pair.
+    scenario_config config = economy_smoke();
+    config.arrival_rate = 2.0;
+    config.initial_peers = 20;
+    return config;
+}
+
+scenario_config scenario_config::flash_economy() {
+    // The flash crowd with an ISP economy underneath: 10 ISPs in 2 regions
+    // and per-pair capacity hints, so simultaneous arrival-driven swarms
+    // contend for the same managed links — the cross-swarm coupling topology.
+    scenario_config config = flash_crowd_10k();
+    config.economy.enabled = true;
+    config.economy.peering = "hierarchical";
+    config.economy.region_size = 5;  // 10 ISPs → 2 regions
+    config.economy.capacity_hint = 60.0;
+    config.economy.slots_per_epoch = 5;
+    return config;
+}
+
 scenario_config scenario_config::small_test() {
     scenario_config config;
     config.num_videos = 5;

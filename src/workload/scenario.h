@@ -109,6 +109,13 @@ struct scenario_config {
     //    (two epochs over the 6-slot horizon) for tests and CI smoke runs.
     [[nodiscard]] static scenario_config metro_economy();
     [[nodiscard]] static scenario_config economy_smoke();
+    // Cross-swarm coupling scenarios (src/capacity/):
+    //  * coupled_smoke — economy_smoke with live Poisson arrivals, so the
+    //    admission gate has a stream to gate (tests and CI smoke runs);
+    //  * flash_economy — flash_crowd_10k over a 2-region hierarchical
+    //    economy with managed link capacities (the coupled-fleet stress).
+    [[nodiscard]] static scenario_config coupled_smoke();
+    [[nodiscard]] static scenario_config flash_economy();
 };
 
 }  // namespace p2pcd::workload

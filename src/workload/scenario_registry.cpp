@@ -28,6 +28,14 @@ const scenario_registry& builtin_scenarios() {
         r.add("economy_smoke",
               "small_test with a tiered ISP economy, 2 pricing epochs (tests/CI)",
               [] { return scenario_config::economy_smoke(); });
+        r.add("coupled_smoke",
+              "economy_smoke with Poisson(2/s) arrivals for admission gating "
+              "(tests/CI)",
+              [] { return scenario_config::coupled_smoke(); });
+        r.add("flash_economy",
+              "flash_crowd_10k over a 2-region hierarchical economy with "
+              "managed link capacities",
+              [] { return scenario_config::flash_economy(); });
         return r;
     }();
     return registry;

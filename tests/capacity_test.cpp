@@ -1,0 +1,398 @@
+// src/capacity/: weighted max-min fair share, shared link pools with
+// congestion surcharges, shared seeder uplink splits, and backpressure
+// admission — the pure-function invariants the fleet's serial coupling step
+// relies on, plus the emulator-level gate (defer, retry, drain).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "capacity/admission.h"
+#include "capacity/coupling.h"
+#include "capacity/fair_share.h"
+#include "capacity/link_budget.h"
+#include "capacity/uplink_broker.h"
+#include "common/contracts.h"
+#include "isp/peering_graph.h"
+#include "vod/emulator.h"
+#include "workload/scenario.h"
+
+namespace p2pcd {
+namespace {
+
+// --- fair_share --------------------------------------------------------
+
+TEST(fair_share, never_exceeds_capacity_or_demand) {
+    const std::vector<double> demands = {5.0, 12.0, 0.0, 7.5, 30.0};
+    const std::vector<double> weights = {1.0, 2.0, 1.0, 0.5, 1.0};
+    for (const double capacity : {0.0, 3.0, 11.0, 40.0, 100.0}) {
+        const auto out = capacity::fair_share(capacity, demands, weights);
+        double total = 0.0;
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            EXPECT_GE(out[i], 0.0);
+            EXPECT_LE(out[i], demands[i]);
+            total += out[i];
+        }
+        EXPECT_LE(total, capacity + 1e-9);
+        // No unused capacity while someone is still unsatisfied.
+        const double total_demand =
+            std::accumulate(demands.begin(), demands.end(), 0.0);
+        EXPECT_NEAR(total, std::min(capacity, total_demand), 1e-9);
+    }
+}
+
+TEST(fair_share, abundant_capacity_grants_every_demand) {
+    const std::vector<double> demands = {2.0, 9.0, 4.0};
+    const std::vector<double> weights = {1.0, 1.0, 1.0};
+    const auto out = capacity::fair_share(100.0, demands, weights);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_DOUBLE_EQ(out[i], demands[i]);
+}
+
+TEST(fair_share, zero_demand_gets_zero) {
+    const auto out = capacity::fair_share(10.0, std::vector<double>{0.0, 6.0},
+                                          std::vector<double>{1.0, 1.0});
+    EXPECT_DOUBLE_EQ(out[0], 0.0);
+    EXPECT_DOUBLE_EQ(out[1], 6.0);
+}
+
+TEST(fair_share, weights_bias_the_contended_split) {
+    // Both want everything; the weight-2 requester gets twice the share.
+    const auto out = capacity::fair_share(9.0, std::vector<double>{50.0, 50.0},
+                                          std::vector<double>{1.0, 2.0});
+    EXPECT_NEAR(out[0], 3.0, 1e-9);
+    EXPECT_NEAR(out[1], 6.0, 1e-9);
+}
+
+TEST(fair_share, allocation_is_permutation_equivariant) {
+    const std::vector<double> demands = {8.0, 3.0, 15.0, 1.0};
+    const std::vector<double> weights = {1.0, 2.0, 0.5, 1.5};
+    const auto base = capacity::fair_share(12.0, demands, weights);
+    const std::vector<std::size_t> perm = {2, 0, 3, 1};
+    std::vector<double> pd(4), pw(4);
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        pd[i] = demands[perm[i]];
+        pw[i] = weights[perm[i]];
+    }
+    const auto permuted = capacity::fair_share(12.0, pd, pw);
+    for (std::size_t i = 0; i < perm.size(); ++i)
+        EXPECT_DOUBLE_EQ(permuted[i], base[perm[i]]) << i;
+}
+
+TEST(fair_share, saturated_requesters_share_the_water_level) {
+    // Equal weights, one modest demand: it is met in full, the two big
+    // demands split the rest equally (classic max-min).
+    const auto out =
+        capacity::fair_share(10.0, std::vector<double>{2.0, 20.0, 20.0},
+                             std::vector<double>{1.0, 1.0, 1.0});
+    EXPECT_NEAR(out[0], 2.0, 1e-9);
+    EXPECT_NEAR(out[1], 4.0, 1e-9);
+    EXPECT_NEAR(out[2], 4.0, 1e-9);
+}
+
+// --- link_budget --------------------------------------------------------
+
+capacity::coupling_config coupled_config() {
+    capacity::coupling_config config;
+    config.enabled = true;
+    return config;
+}
+
+// 2 ISPs, one managed pair 0 → 1 with a 10-chunk pool; 1 → 0 unmanaged.
+isp::peering_graph two_isp_graph() {
+    isp::peering_graph g(2);
+    g.set_link(isp_id(0), isp_id(1), {5.0, 10.0, isp::relationship::transit});
+    g.set_link(isp_id(1), isp_id(0), {5.0, 0.0, isp::relationship::transit});
+    return g;
+}
+
+TEST(link_budget, pools_scale_from_capacity_hints) {
+    auto config = coupled_config();
+    config.link_capacity_scale = 0.5;
+    const auto graph = two_isp_graph();
+    capacity::link_budget budget(graph, 2, config);
+    EXPECT_DOUBLE_EQ(budget.pair_capacity(0, 1), 5.0);
+    EXPECT_DOUBLE_EQ(budget.pair_capacity(1, 0), 0.0);  // unmanaged
+    // The managed-pair census is static topology, known at construction.
+    EXPECT_EQ(budget.stats().managed_pairs, 1u);
+}
+
+TEST(link_budget, under_capacity_traffic_is_never_surcharged) {
+    const auto graph = two_isp_graph();
+    capacity::link_budget budget(graph, 2, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0};
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 4);
+    budget.charge(1, 0, 1, 5);  // fleet total 9 < pool 10
+    const auto& stats = budget.close_slot(weights);
+    EXPECT_EQ(stats.managed_pairs, 1u);
+    EXPECT_EQ(stats.saturated_pairs, 0u);
+    EXPECT_DOUBLE_EQ(stats.max_utilization, 0.9);
+    for (std::size_t swarm : {0u, 1u})
+        for (std::size_t pair = 0; pair < 4; ++pair)
+            EXPECT_DOUBLE_EQ(budget.surcharge_table(swarm)[pair], 1.0) << swarm;
+}
+
+TEST(link_budget, saturation_surcharges_the_over_quota_swarm) {
+    const auto graph = two_isp_graph();
+    capacity::link_budget budget(graph, 2, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0};
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 18);  // over its 5-chunk fair quota
+    budget.charge(1, 0, 1, 2);   // under quota
+    const auto& stats = budget.close_slot(weights);
+    EXPECT_EQ(stats.saturated_pairs, 1u);
+    EXPECT_DOUBLE_EQ(stats.max_utilization, 2.0);
+    EXPECT_EQ(budget.pair_demand(0, 1), 20u);
+    // Row-major pair 0 → 1 is index 1 of the 2 × 2 table. Congestion
+    // pricing hits everyone on the hot pair, proportionally steeper for
+    // the over-quota swarm.
+    EXPECT_GT(budget.surcharge_table(0)[1], budget.surcharge_table(1)[1]);
+    EXPECT_GT(budget.surcharge_table(1)[1], 1.0) << "under quota still pays base";
+    EXPECT_LE(budget.surcharge_table(0)[1], coupled_config().max_surcharge);
+    // The unmanaged reverse pair is never touched.
+    EXPECT_DOUBLE_EQ(budget.surcharge_table(0)[2], 1.0);
+}
+
+TEST(link_budget, surcharge_decays_once_the_pair_drains) {
+    const auto graph = two_isp_graph();
+    auto config = coupled_config();
+    capacity::link_budget budget(graph, 2, config);
+    const std::vector<double> weights = {1.0, 1.0};
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 30);
+    budget.close_slot(weights);
+    const double peak = budget.surcharge_table(0)[1];
+    ASSERT_GT(peak, 1.0);
+    double previous = peak;
+    for (int k = 0; k < 20; ++k) {
+        budget.begin_slot();  // no traffic: the pair drained
+        budget.close_slot(weights);
+        const double now = budget.surcharge_table(0)[1];
+        EXPECT_LE(now, previous) << "slot " << k;
+        previous = now;
+    }
+    // Geometric relax: after 20 empty slots the multiplier is back at ~1.
+    EXPECT_NEAR(previous, 1.0, 1e-2);
+}
+
+TEST(link_budget, headroom_tracks_demand_and_gates_only_managed_inbound) {
+    const auto graph = two_isp_graph();
+    capacity::link_budget budget(graph, 2, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0};
+    EXPECT_TRUE(budget.any_managed_inbound(1));
+    EXPECT_FALSE(budget.any_managed_inbound(0));  // only unmanaged points in
+
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 4);
+    budget.close_slot(weights);
+    EXPECT_DOUBLE_EQ(budget.inbound_headroom(1), 6.0);
+
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 25);  // saturated: headroom clamps at zero
+    budget.close_slot(weights);
+    EXPECT_DOUBLE_EQ(budget.inbound_headroom(1), 0.0);
+}
+
+// --- uplink_broker ------------------------------------------------------
+
+TEST(uplink_broker, first_epoch_splits_by_weight_with_a_floor) {
+    capacity::uplink_broker broker(2, 1, 1, 100.0, coupled_config());
+    const std::vector<double> weights = {3.0, 1.0};
+    broker.close_epoch(weights);
+    const std::int32_t a = broker.allocation(0, 0, 0);
+    const std::int32_t b = broker.allocation(1, 0, 0);
+    EXPECT_GE(a, 1);
+    EXPECT_GE(b, 1);
+    EXPECT_LE(a + b, 100);
+    EXPECT_GT(a, b) << "weight 3 swarm gets the bigger first-epoch share";
+    // min_share floor: nobody falls under 25% of the equal split.
+    EXPECT_GE(b, static_cast<std::int32_t>(0.25 * 100.0 / 2.0));
+}
+
+TEST(uplink_broker, demand_redistributes_the_next_epoch) {
+    capacity::uplink_broker broker(2, 1, 1, 100.0, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0};
+    broker.close_epoch(weights);
+    // Swarm 0 uploaded 10x swarm 1's chunks through the shared box.
+    broker.record_uploads(0, 0, 0, 1000);
+    broker.record_uploads(1, 0, 0, 100);
+    broker.close_epoch(weights);
+    EXPECT_EQ(broker.epochs_closed(), 2u);
+    const std::int32_t hot = broker.allocation(0, 0, 0);
+    const std::int32_t cold = broker.allocation(1, 0, 0);
+    EXPECT_GT(hot, cold);
+    EXPECT_GE(cold, static_cast<std::int32_t>(0.25 * 100.0 / 2.0))
+        << "the floor still protects the cold swarm";
+    EXPECT_LE(hot + cold, 100);
+}
+
+TEST(uplink_broker, cumulative_uploads_are_differenced_per_epoch) {
+    capacity::uplink_broker broker(2, 1, 1, 100.0, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0};
+    broker.close_epoch(weights);
+    broker.record_uploads(0, 0, 0, 500);
+    broker.record_uploads(1, 0, 0, 50);
+    broker.close_epoch(weights);
+    // Epoch 3: swarm 1 did all the *new* work even though swarm 0's
+    // lifetime total is still larger.
+    broker.record_uploads(0, 0, 0, 500);
+    broker.record_uploads(1, 0, 0, 450);
+    broker.close_epoch(weights);
+    EXPECT_GT(broker.allocation(1, 0, 0), broker.allocation(0, 0, 0));
+}
+
+// --- admission_controller ----------------------------------------------
+
+TEST(admission, ungated_isps_stay_unlimited) {
+    capacity::admission_controller gate(2, 2, coupled_config());
+    const std::vector<double> headroom = {0.0, 50.0};
+    const std::vector<std::uint8_t> gated = {0, 1};  // ISP 0 has no managed inbound
+    const std::vector<std::uint32_t> queues = {0, 0, 0, 0};
+    const std::vector<double> weights = {1.0, 1.0};
+    gate.compute_budgets(headroom, gated, queues, weights);
+    EXPECT_EQ(gate.budgets(0)[0], capacity::admission_unlimited);
+    EXPECT_EQ(gate.budgets(1)[0], capacity::admission_unlimited);
+    EXPECT_NE(gate.budgets(0)[1], capacity::admission_unlimited);
+}
+
+TEST(admission, zero_headroom_closes_the_gate) {
+    capacity::admission_controller gate(2, 1, coupled_config());
+    const std::vector<double> headroom = {0.0};
+    const std::vector<std::uint8_t> gated = {1};
+    const std::vector<std::uint32_t> queues = {7, 3};
+    const std::vector<double> weights = {1.0, 1.0};
+    gate.compute_budgets(headroom, gated, queues, weights);
+    EXPECT_EQ(gate.budgets(0)[0], 0u);
+    EXPECT_EQ(gate.budgets(1)[0], 0u);
+}
+
+TEST(admission, any_headroom_admits_at_least_one_viewer) {
+    // Headroom far below the per-viewer demand hint: the old flooring would
+    // grant zero forever and deadlock an empty fleet. The trickle floor
+    // keeps exactly one admit alive.
+    capacity::coupling_config config = coupled_config();
+    config.viewer_demand_chunks = 16.0;
+    capacity::admission_controller gate(2, 1, config);
+    const std::vector<double> headroom = {1.0};
+    const std::vector<std::uint8_t> gated = {1};
+    const std::vector<std::uint32_t> queues = {0, 0};
+    const std::vector<double> weights = {1.0, 1.0};
+    gate.compute_budgets(headroom, gated, queues, weights);
+    EXPECT_EQ(gate.budgets(0)[0] + gate.budgets(1)[0], 1u);
+}
+
+TEST(admission, abundant_headroom_covers_queues_plus_one) {
+    capacity::coupling_config config = coupled_config();
+    config.viewer_demand_chunks = 1.0;
+    capacity::admission_controller gate(2, 1, config);
+    const std::vector<double> headroom = {1000.0};
+    const std::vector<std::uint8_t> gated = {1};
+    const std::vector<std::uint32_t> queues = {5, 9};
+    const std::vector<double> weights = {1.0, 1.0};
+    gate.compute_budgets(headroom, gated, queues, weights);
+    EXPECT_EQ(gate.budgets(0)[0], 6u);
+    EXPECT_EQ(gate.budgets(1)[0], 10u);
+}
+
+TEST(admission, scarce_budget_splits_without_rounding_away) {
+    // Pool of 3 across two swarms with equal weights and demands 8 and 2:
+    // every unit must land somewhere (the flooring remainder is granted in
+    // swarm-index order).
+    capacity::coupling_config config = coupled_config();
+    config.viewer_demand_chunks = 1.0;
+    capacity::admission_controller gate(2, 1, config);
+    const std::vector<double> headroom = {3.0};
+    const std::vector<std::uint8_t> gated = {1};
+    const std::vector<std::uint32_t> queues = {7, 1};
+    const std::vector<double> weights = {1.0, 1.0};
+    gate.compute_budgets(headroom, gated, queues, weights);
+    EXPECT_EQ(gate.budgets(0)[0] + gate.budgets(1)[0], 3u);
+    EXPECT_LE(gate.budgets(1)[0], 2u);
+}
+
+// --- emulator backpressure ----------------------------------------------
+
+vod::emulator_options gated_options() {
+    vod::emulator_options opts;
+    opts.config = workload::scenario_config::coupled_smoke();
+    opts.scheduler = "auction";
+    opts.admission.enabled = true;
+    opts.admission.retry_slots = 1;
+    opts.admission.max_retries = 50;  // keep everyone queued, not abandoned
+    return opts;
+}
+
+TEST(emulator_admission, closed_gate_defers_every_arrival) {
+    vod::emulator emu(gated_options());
+    const std::vector<std::uint32_t> closed(emu.topology().num_isps(), 0);
+    emu.set_admission_budgets(closed);
+    (void)emu.step();
+    (void)emu.step();
+    EXPECT_EQ(emu.counters().counter_named("admission.admitted"), 0u);
+    const std::uint64_t deferred = emu.counters().counter_named("admission.deferred");
+    EXPECT_GT(deferred, 0u);
+    EXPECT_GT(emu.admission_queue_total(), 0u);
+}
+
+TEST(emulator_admission, open_gate_drains_the_queue) {
+    vod::emulator emu(gated_options());
+    const std::size_t n = emu.topology().num_isps();
+    emu.set_admission_budgets(std::vector<std::uint32_t>(n, 0));
+    (void)emu.step();
+    (void)emu.step();
+    const std::size_t queued = emu.admission_queue_total();
+    ASSERT_GT(queued, 0u);
+    // Open the gate wide: the deferred viewers re-enter within retry_slots.
+    emu.set_admission_budgets(
+        std::vector<std::uint32_t>(n, capacity::admission_unlimited));
+    (void)emu.step();
+    (void)emu.step();
+    EXPECT_EQ(emu.admission_queue_total(), 0u);
+    EXPECT_GT(emu.counters().counter_named("admission.admitted"), 0u);
+    EXPECT_EQ(emu.counters().counter_named("admission.abandoned"), 0u);
+    EXPECT_GT(emu.online_viewers(), 0u);
+}
+
+TEST(emulator_admission, budget_one_admits_exactly_one_per_isp_per_slot) {
+    vod::emulator emu(gated_options());
+    const std::size_t n = emu.topology().num_isps();
+    emu.set_admission_budgets(std::vector<std::uint32_t>(n, 1));
+    (void)emu.step();
+    EXPECT_LE(emu.counters().counter_named("admission.admitted"), n);
+}
+
+TEST(emulator_admission, exhausted_retries_abandon) {
+    auto opts = gated_options();
+    opts.admission.retry_slots = 1;
+    opts.admission.max_retries = 1;
+    vod::emulator emu(opts);
+    emu.set_admission_budgets(std::vector<std::uint32_t>(emu.topology().num_isps(), 0));
+    for (int k = 0; k < 4; ++k) (void)emu.step();
+    EXPECT_GT(emu.counters().counter_named("admission.abandoned"), 0u);
+}
+
+TEST(emulator_admission, ungated_run_matches_admission_disabled_run) {
+    // Admission enabled but every gate wide open must reproduce the plain
+    // arrival path bit-for-bit (ids, ISPs, start slots all line up).
+    auto gated = gated_options();
+    vod::emulator a(gated);
+    a.set_admission_budgets(std::vector<std::uint32_t>(
+        a.topology().num_isps(), capacity::admission_unlimited));
+
+    auto plain = gated_options();
+    plain.admission = {};
+    vod::emulator b(plain);
+
+    for (int k = 0; k < 3; ++k) {
+        const auto& ma = a.step();
+        const auto& mb = b.step();
+        EXPECT_EQ(ma.online_peers, mb.online_peers) << k;
+        EXPECT_EQ(ma.transfers, mb.transfers) << k;
+        EXPECT_EQ(ma.social_welfare, mb.social_welfare) << k;
+    }
+}
+
+}  // namespace
+}  // namespace p2pcd

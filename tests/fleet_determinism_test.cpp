@@ -133,6 +133,75 @@ TEST(fleet_determinism, parallel_auction_fleet_identical_across_both_pools) {
     expect_bit_identical(*reference, *run_parallel_auction_fleet(4, 2));
 }
 
+std::unique_ptr<engine::fleet> run_coupled_fleet(std::size_t threads) {
+    engine::fleet_options options;
+    options.config = workload::builtin_fleets().make("fleet_coupled_smoke");
+    options.threads = threads;
+    auto fleet = std::make_unique<engine::fleet>(std::move(options));
+    fleet->run();
+    return fleet;
+}
+
+// The coupled fleet threads shared state — link pools, surcharges, uplink
+// splits, admission queues — through every slot, all of it written from the
+// serial inter-slot hook. The guarantee must survive: bit-identical merged
+// metrics, ledgers, bills and admission counters for any thread count.
+TEST(fleet_determinism, coupled_fleet_identical_for_1_2_4_and_16_threads) {
+    const auto reference = run_coupled_fleet(1);
+    ASSERT_TRUE(reference->coupling_enabled());
+    EXPECT_GT(reference->total_welfare(), 0.0);
+    obs::counter_registry ref_counters = reference->merged_counters();
+    // Non-vacuity: the quartered pools actually deferred arrivals, so the
+    // comparison covers the gated path, not just open gates.
+    EXPECT_GT(ref_counters.counter_named("admission.deferred"), 0u);
+    EXPECT_GT(ref_counters.counter_named("admission.admitted"), 0u);
+    const isp::billing_statement ref_bill = reference->merged_bill();
+
+    for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{16}}) {
+        const auto fleet = run_coupled_fleet(threads);
+        expect_bit_identical(*reference, *fleet);
+        EXPECT_TRUE(fleet->merged_ledger() == reference->merged_ledger())
+            << threads << " threads";
+        EXPECT_EQ(fleet->merged_bill().total_cost, ref_bill.total_cost) << threads;
+        obs::counter_registry counters = fleet->merged_counters();
+        EXPECT_EQ(counters.counter_named("admission.admitted"),
+                  ref_counters.counter_named("admission.admitted"))
+            << threads;
+        EXPECT_EQ(counters.counter_named("admission.deferred"),
+                  ref_counters.counter_named("admission.deferred"))
+            << threads;
+        EXPECT_EQ(counters.counter_named("admission.abandoned"),
+                  ref_counters.counter_named("admission.abandoned"))
+            << threads;
+        ASSERT_EQ(fleet->fleet_price_epochs().size(),
+                  reference->fleet_price_epochs().size());
+    }
+}
+
+// A coupling config that is fully parameterized but *disabled* must leave
+// the fleet bit-identical to one that never saw a coupling struct at all —
+// the "off == never configured" contract the bench also asserts.
+TEST(fleet_determinism, disabled_coupling_is_bit_identical_to_unconfigured) {
+    engine::fleet_options plain_options;
+    plain_options.config = workload::builtin_fleets().make("fleet_economy_smoke");
+    plain_options.threads = 2;
+    engine::fleet plain(std::move(plain_options));
+    plain.run();
+
+    engine::fleet_options off_options;
+    off_options.config = workload::builtin_fleets().make("fleet_economy_smoke");
+    off_options.config.coupling = workload::fleet_config::coupled_smoke_fleet().coupling;
+    off_options.config.coupling.enabled = false;
+    off_options.threads = 2;
+    engine::fleet off(std::move(off_options));
+    off.run();
+
+    EXPECT_FALSE(off.coupling_enabled());
+    expect_bit_identical(plain, off);
+    EXPECT_TRUE(plain.merged_ledger() == off.merged_ledger());
+    EXPECT_EQ(plain.merged_bill().total_cost, off.merged_bill().total_cost);
+}
+
 TEST(fleet_determinism, fleet_seed_actually_matters) {
     const auto a = run_smoke_fleet(1, 42);
     const auto b = run_smoke_fleet(1, 43);

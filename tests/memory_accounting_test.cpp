@@ -127,6 +127,48 @@ TEST(fleet_memory, shared_assets_are_counted_once) {
     EXPECT_GE(total.peer_table, shard0.peer_table);
 }
 
+// Fleet shards shed their link-cost caches every slot (shed_cost_cache is
+// forced on for shards): after a run the fleet's cost-cache line is zero
+// bytes, where a standalone emulator of the same scenario keeps its cache
+// warm. This is the per-swarm memory line the fleet_scaling memory table
+// tracks — without shedding it scales with swarm count, not thread count.
+TEST(fleet_memory, fleet_shards_shed_cost_caches) {
+    vod::emulator_options standalone_opts;
+    standalone_opts.config = workload::scenario_config::small_test();
+    vod::emulator standalone(standalone_opts);
+    for (int k = 0; k < 3; ++k) standalone.step();
+    EXPECT_GT(standalone.memory_footprint().cost_cache, 0u)
+        << "standalone keeps the cache — the comparison would be vacuous";
+
+    engine::fleet_options opts;
+    opts.config = workload::fleet_config::smoke();
+    engine::fleet f(opts);
+    f.run();
+    EXPECT_EQ(f.memory_footprint().cost_cache, 0u);
+}
+
+// A coupled fleet prices against ONE peering graph: every shard's cost model
+// and billing view point at the fleet's instance instead of building a
+// per-swarm copy (the peering-derived link-class table rides along in the
+// shared assets).
+TEST(fleet_memory, coupled_shards_share_the_fleet_peering_graph) {
+    engine::fleet_options opts;
+    opts.config = workload::builtin_fleets().make("fleet_coupled_smoke");
+    engine::fleet f(opts);
+    ASSERT_TRUE(f.coupling_enabled());
+    for (std::size_t w = 0; w < f.num_swarms(); ++w)
+        EXPECT_EQ(&f.shard_at(w).emulator().peering(), &f.fleet_peering()) << w;
+
+    // An uncoupled economy fleet keeps per-swarm graphs: the instances are
+    // distinct (per-swarm pricing epochs mutate them independently).
+    engine::fleet_options plain_opts;
+    plain_opts.config = workload::builtin_fleets().make("fleet_economy_smoke");
+    engine::fleet plain(plain_opts);
+    ASSERT_GE(plain.num_swarms(), 2u);
+    EXPECT_NE(&plain.shard_at(0).emulator().peering(),
+              &plain.shard_at(1).emulator().peering());
+}
+
 TEST(fleet_memory, rss_phases_are_sampled) {
     engine::fleet_options opts;
     opts.config = workload::fleet_config::smoke();

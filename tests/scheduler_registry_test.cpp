@@ -121,13 +121,14 @@ TEST(scenario_registry, builtin_names_round_trip) {
     for (const char* expected : {"paper_dynamic", "paper_static_500", "paper_churn",
                                  "small_test", "metro_5k", "metro_20k",
                                  "flash_crowd_10k", "metro_economy",
-                                 "economy_smoke"}) {
+                                 "economy_smoke", "coupled_smoke",
+                                 "flash_economy"}) {
         EXPECT_TRUE(registry.contains(expected)) << expected;
         EXPECT_FALSE(registry.describe(expected).empty());
         auto cfg = registry.make(expected);  // make() validates
         EXPECT_GT(cfg.num_slots(), 0u);
     }
-    EXPECT_EQ(registry.names().size(), 9u);
+    EXPECT_EQ(registry.names().size(), 11u);
 }
 
 TEST(scenario_registry, large_scenarios_have_the_advertised_scale) {

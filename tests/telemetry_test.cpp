@@ -347,12 +347,12 @@ TEST(json_line, builds_one_flat_object_with_typed_fields) {
         .field("b", true);
     line.begin_object("wall").field("step_s", 0.5).end_object();
     const std::string text = line.finish();
-    EXPECT_EQ(text,
-              "{\"v\":1,\"n\":18446744073709551615,\"i\":-3,"
-              "\"s\":\"quote\\\" slash\\\\ nl\\n\",\"b\":true,"
-              "\"wall\":{\"step_s\":0.5}}\n");
+    EXPECT_EQ(text, "{\"v\":" + std::to_string(obs::jsonl_schema_version) +
+                        ",\"n\":18446744073709551615,\"i\":-3,"
+                        "\"s\":\"quote\\\" slash\\\\ nl\\n\",\"b\":true,"
+                        "\"wall\":{\"step_s\":0.5}}\n");
     const parsed_line parsed = parse_or_fail(text.substr(0, text.size() - 1));
-    EXPECT_EQ(parsed.scalars.at("v"), "1");
+    EXPECT_EQ(parsed.scalars.at("v"), std::to_string(obs::jsonl_schema_version));
     EXPECT_EQ(parsed.objects.at("wall").at("step_s"), "0.5");
 }
 
@@ -687,6 +687,101 @@ TEST(telemetry_determinism, churn_fleet_stream_identical_across_threads) {
     const obs::counter_registry counters = probe.fleet->merged_counters();
     EXPECT_GT(counters.counter_named("peers.departures"), 0u);
     EXPECT_GT(counters.counter_named("tracker.repairs"), 0u);
+    expect_fleet_stream_thread_invariant(options);
+}
+
+// Schema v2 added the coupled-fleet sub-objects *additively*: a v1 consumer
+// of scalar fields keeps working, and recorded v1 streams still parse with
+// today's tooling. These literal lines are frozen from a v1 (PR 8) run — do
+// not regenerate them.
+TEST(telemetry_schema, v1_lines_still_parse) {
+    const std::string v1_slot =
+        "{\"v\":1,\"kind\":\"slot\",\"slot\":3,\"time\":30,\"online_peers\":42,"
+        "\"social_welfare\":1287.5,\"miss_rate\":0.03125,"
+        "\"solver.bids\":911,\"cost.cache_hits\":100,"
+        "\"wall\":{\"step_s\":0.25}}";
+    const parsed_line slot = parse_or_fail(v1_slot);
+    EXPECT_EQ(slot.scalars.at("v"), "1");
+    EXPECT_EQ(slot.scalars.at("kind"), "\"slot\"");
+    EXPECT_EQ(slot.scalars.at("social_welfare"), "1287.5");
+    EXPECT_EQ(slot.objects.at("wall").at("step_s"), "0.25");
+    // The semantic projection of a v1 line is unchanged by the v2 tooling.
+    EXPECT_EQ(obs::semantic_view(v1_slot + "\n"),
+              "{\"v\":1,\"kind\":\"slot\",\"slot\":3,\"time\":30,"
+              "\"online_peers\":42,\"social_welfare\":1287.5,"
+              "\"miss_rate\":0.03125,\"solver.bids\":911,"
+              "\"cost.cache_hits\":100}\n");
+
+    const std::string v1_header =
+        "{\"v\":1,\"kind\":\"header\",\"master_seed\":42,"
+        "\"scheduler\":\"auction\",\"env\":{\"threads\":4}}";
+    const parsed_line header = parse_or_fail(v1_header);
+    EXPECT_EQ(header.scalars.at("v"), "1");
+    EXPECT_TRUE(header.objects.contains("env"));
+}
+
+TEST(telemetry_schema, schema_version_is_2) {
+    EXPECT_EQ(obs::jsonl_schema_version, 2);
+}
+
+// The v2 additions: a coupled fleet's merged stream carries "admission" and
+// "link_saturation" sub-objects on every fleet_slot record, plus
+// "fleet_epoch" records for the fleet-global pricing loop. Both sub-objects
+// are semantic (pure functions of config and seed), so semantic_view keeps
+// them and the thread-invariance tests above cover them automatically.
+TEST(telemetry_schema, coupled_fleet_stream_has_admission_and_saturation) {
+    engine::fleet_options options;
+    options.config = workload::builtin_fleets().make("fleet_coupled_smoke");
+    const fleet_capture run = run_fleet_stream(std::move(options), 2);
+    ASSERT_TRUE(run.fleet->coupling_enabled());
+    const std::vector<std::string> lines = split_lines(run.stream);
+    ASSERT_FALSE(lines.empty());
+    std::size_t slot_records = 0;
+    std::size_t epoch_records = 0;
+    std::uint64_t deferred_seen = 0;
+    for (const std::string& line : lines) {
+        const parsed_line parsed = parse_or_fail(line);
+        EXPECT_EQ(parsed.scalars.at("v"),
+                  std::to_string(obs::jsonl_schema_version));
+        const std::string kind = parsed.scalars.at("kind");
+        if (kind == "\"fleet_slot\"") {
+            ++slot_records;
+            ASSERT_TRUE(parsed.objects.contains("admission")) << line;
+            const auto& admission = parsed.objects.at("admission");
+            EXPECT_TRUE(admission.contains("admitted"));
+            EXPECT_TRUE(admission.contains("deferred"));
+            EXPECT_TRUE(admission.contains("abandoned"));
+            EXPECT_TRUE(admission.contains("queued"));
+            deferred_seen = std::strtoull(admission.at("deferred").c_str(),
+                                          nullptr, 10);
+            ASSERT_TRUE(parsed.objects.contains("link_saturation")) << line;
+            const auto& saturation = parsed.objects.at("link_saturation");
+            EXPECT_TRUE(saturation.contains("managed_pairs"));
+            EXPECT_TRUE(saturation.contains("saturated_pairs"));
+            EXPECT_TRUE(saturation.contains("max_utilization"));
+            // Both sub-objects survive the semantic projection: they are
+            // results, not environment.
+            const std::string semantic = obs::semantic_view(line + "\n");
+            EXPECT_NE(semantic.find("\"admission\""), std::string::npos);
+            EXPECT_NE(semantic.find("\"link_saturation\""), std::string::npos);
+            EXPECT_EQ(semantic.find("\"wall\""), std::string::npos);
+        } else if (kind == "\"fleet_epoch\"") {
+            ++epoch_records;
+            EXPECT_TRUE(parsed.scalars.contains("cross_chunks"));
+            EXPECT_TRUE(parsed.scalars.contains("mean_inter_price"));
+        }
+    }
+    EXPECT_EQ(slot_records, run.fleet->num_slots());
+    EXPECT_EQ(epoch_records, run.fleet->fleet_price_epochs().size());
+    EXPECT_GT(epoch_records, 0u);
+    // The quartered smoke pools actually gate: the final cumulative
+    // deferral count on the last slot record is positive.
+    EXPECT_GT(deferred_seen, 0u);
+}
+
+TEST(telemetry_determinism, coupled_fleet_stream_identical_across_threads) {
+    engine::fleet_options options;
+    options.config = workload::builtin_fleets().make("fleet_coupled_smoke");
     expect_fleet_stream_thread_invariant(options);
 }
 
