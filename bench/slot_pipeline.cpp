@@ -1,24 +1,32 @@
-// slot_pipeline — per-phase timing of the emulator's slot data path, plus
-// the telemetry overhead contract.
+// slot_pipeline — per-phase timing of the emulator's slot data path, the
+// telemetry overhead contract, and the full-vs-delta pipeline comparison.
 //
-// Runs one scenario end to end TWICE:
-//   pass 1 (telemetry off) — no sink, no spans: the slot loop performs zero
-//     timestamp syscalls; wall time is measured around the whole loop;
-//   pass 2 (telemetry on)  — span recorder enabled, counters sampled, and
-//     per-slot JSONL records streamed into an in-memory sink (memory, not
-//     disk, so the ≤2% overhead bar measures the telemetry layer and not the
-//     filesystem).
-// Both passes must produce bit-identical schedules (golden metric/neighbor
-// hashes compared across passes — exit 1 on any divergence, any toolchain)
-// and, on the golden toolchain, must match the committed pre-refactor golden.
+// Runs one scenario end to end in five passes:
+//   pass 1 (full, telemetry off)  — no sink, no spans: the slot loop performs
+//     zero timestamp syscalls; wall time brackets the whole loop;
+//   pass 2 (full, telemetry on)   — span recorder enabled, counters sampled,
+//     per-slot JSONL streamed into an in-memory sink (memory, not disk, so
+//     the ≤2% overhead bar measures the telemetry layer, not the filesystem);
+//   pass 3 (delta, telemetry off) — incremental problem builds
+//     (delta_build), same solver configuration as pass 1: required to hash
+//     bit-identical to pass 1 (`delta_identical`, exit 1 on divergence, any
+//     toolchain);
+//   pass 4 (delta+warm, telemetry off) — the whole delta pipeline: delta
+//     builds plus cross-slot solver state reuse (warm_start_slots). Its wall
+//     time against pass 1 defines `delta_speedup`. Warm starts change
+//     schedules on purpose; those are pinned by their own goldens
+//     (vod::golden_warm_slots_*), not compared here;
+//   pass 5 (delta+warm, telemetry on) — per-phase table for the delta
+//     pipeline and the delta counters (dirty/reused rows, early-exit slots).
+//
+// Both full passes must produce bit-identical schedules (golden hashes
+// compared across passes — exit 1 on divergence, any toolchain) and, on the
+// golden toolchain, must match the committed pre-refactor golden.
 //
 // The per-phase table comes from pass 2's spans, reported next to the
 // *pre-refactor* measurement of the same scenario captured before the
-// dense-peer-table + incremental-tracker refactor — one artifact records
-// both sides of the comparison, the per-phase speedups, the telemetry
-// overhead, and the counter registry (cache hit/miss/flush, tracker
-// repair/inversion, solver rounds/bids — previously measured but
-// unreported).
+// dense-peer-table + incremental-tracker refactor; a second table compares
+// pass 2 against pass 5 phase by phase.
 //
 // Usage: slot_pipeline [--scenario NAME]   (default: metro_5k)
 //
@@ -93,7 +101,7 @@ struct pass_result {
 
 // One full telemetry-off run of the scenario; hashes every slot's metrics
 // and neighbor arena into the pass result. Wall time brackets the slot loop
-// only (not construction), so the two passes compare the same code region.
+// only (not construction), so all passes compare the same code region.
 pass_result run_pass(p2pcd::vod::emulator_options opts, std::size_t num_slots) {
     using clock = std::chrono::steady_clock;
     p2pcd::vod::emulator emu(std::move(opts));
@@ -147,15 +155,15 @@ int main(int argc, char** argv) {
                 scenario.c_str(), num_slots,
                 std::thread::hardware_concurrency());
 
-    // Pass 1: telemetry off. The slot loop reads no clock; only the bracket
-    // around the whole loop is timed.
-    std::printf("pass 1/2: telemetry off...\n");
+    // Pass 1: full rebuilds, telemetry off. The slot loop reads no clock;
+    // only the bracket around the whole loop is timed.
+    std::printf("pass 1/5: full build, telemetry off...\n");
     const pass_result off = run_pass(opts, num_slots);
 
-    // Pass 2: telemetry on — spans + counters + per-slot JSONL into memory.
-    // Runs second so allocator warm-up (if any) favors neither direction of
-    // the overhead comparison's numerator.
-    std::printf("pass 2/2: telemetry on (spans + counters + JSONL)...\n");
+    // Pass 2: full rebuilds, telemetry on — spans + counters + per-slot
+    // JSONL into memory. Runs second so allocator warm-up (if any) favors
+    // neither direction of the overhead comparison's numerator.
+    std::printf("pass 2/5: full build, telemetry on (spans + counters + JSONL)...\n");
     std::ostringstream telemetry_out;
     obs::jsonl_sink sink(telemetry_out);
     opts.telemetry.sink = &sink;
@@ -186,6 +194,36 @@ int main(int argc, char** argv) {
     const slot_phase_totals post = emu_on.phase_totals();
     const scenario_baseline* base = baseline_for(scenario);
 
+    // Pass 3: delta builds, same (cold) solver configuration as pass 1 —
+    // the bit-identity arm of the comparison.
+    std::printf("pass 3/5: delta build, telemetry off (identity arm)...\n");
+    vod::emulator_options delta_opts;
+    delta_opts.config = workload::builtin_scenarios().make(scenario);
+    delta_opts.delta_build = true;
+    const pass_result dcold = run_pass(delta_opts, num_slots);
+    const bool delta_identical = dcold.h_metrics == off.h_metrics &&
+                                 dcold.h_neighbors == off.h_neighbors;
+
+    // Pass 4: the whole delta pipeline — incremental builds plus cross-slot
+    // solver state reuse. This arm defines delta_speedup.
+    std::printf("pass 4/5: delta build + warm slot reuse, telemetry off...\n");
+    delta_opts.warm_start_slots = true;
+    const pass_result dwarm = run_pass(delta_opts, num_slots);
+
+    // Pass 5: delta pipeline again with spans + counters, for the per-phase
+    // delta table and the dirty/reused/early-exit counters.
+    std::printf("pass 5/5: delta build + warm slot reuse, telemetry on...\n");
+    std::ostringstream delta_telemetry_out;
+    obs::jsonl_sink delta_sink(delta_telemetry_out);
+    delta_opts.telemetry.sink = &delta_sink;
+    delta_opts.telemetry.record_spans = true;
+    vod::emulator emu_delta(delta_opts);
+    for (std::size_t k = 0; k < num_slots; ++k) {
+        emu_delta.step();
+    }
+    delta_sink.flush();
+    const slot_phase_totals delta_phases = emu_delta.phase_totals();
+
     metrics::json_report rep("slot_pipeline");
     rep.add_scalar("scenario", scenario);
     rep.add_scalar("slots", static_cast<double>(num_slots));
@@ -214,20 +252,32 @@ int main(int argc, char** argv) {
     };
 
     metrics::table t({"phase", "pre_seconds", "post_seconds", "speedup"});
-    auto add_phase = [&](const char* name, double pre, double now) {
+    auto add_phase = [&](metrics::table& table, const char* name, double pre,
+                         double now) {
         const double speedup = now > 0.0 && pre > 0.0 ? pre / now : 0.0;
-        t.add_row({name, metrics::format_double(pre, 6),
-                   metrics::format_double(now, 6),
-                   metrics::format_double(speedup, 2)});
+        table.add_row({name, metrics::format_double(pre, 6),
+                       metrics::format_double(now, 6),
+                       metrics::format_double(speedup, 2)});
     };
     for (const auto& row : phase_rows)
-        add_phase(row.name, base != nullptr ? base->phases.*(row.field) : 0.0,
+        add_phase(t, row.name, base != nullptr ? base->phases.*(row.field) : 0.0,
                   post.*(row.field));
-    add_phase("non_solve_total", base != nullptr ? base->phases.non_solve() : 0.0,
-              post.non_solve());
-    add_phase("total", base != nullptr ? base->phases.total() : 0.0, post.total());
+    add_phase(t, "non_solve_total",
+              base != nullptr ? base->phases.non_solve() : 0.0, post.non_solve());
+    add_phase(t, "total", base != nullptr ? base->phases.total() : 0.0,
+              post.total());
     t.print(std::cout);
     rep.add_table("phases", t);
+
+    // Full vs delta pipeline, phase by phase (both from telemetry-on runs).
+    metrics::table dt({"phase", "full_seconds", "delta_seconds", "speedup"});
+    for (const auto& row : phase_rows)
+        add_phase(dt, row.name, post.*(row.field), delta_phases.*(row.field));
+    add_phase(dt, "non_solve_total", post.non_solve(), delta_phases.non_solve());
+    add_phase(dt, "total", post.total(), delta_phases.total());
+    std::printf("\n");
+    dt.print(std::cout);
+    rep.add_table("delta_phases", dt);
 
     if (base != nullptr) {
         // Coarse clocks can report 0.0 for a micro-scale phase; report a 0
@@ -262,29 +312,58 @@ int main(int argc, char** argv) {
     std::printf("telemetry stream: %" PRIu64 " lines, %" PRIu64 " bytes\n",
                 sink.lines_written(), sink.bytes_written());
 
+    // The delta pipeline contract: bit-identity against the full rebuild at
+    // equal solver configuration, and total-slot-time speedup once cross-slot
+    // solver reuse is enabled on top.
+    const auto ratio_of = [](double pre, double now) {
+        return now > 0.0 && pre > 0.0 ? pre / now : 0.0;
+    };
+    const double delta_speedup = ratio_of(off.wall_seconds, dwarm.wall_seconds);
+    const double delta_cold_speedup =
+        ratio_of(off.wall_seconds, dcold.wall_seconds);
+    rep.add_scalar("delta_identical", delta_identical);
+    rep.add_scalar("delta_speedup", delta_speedup);
+    rep.add_scalar("delta_cold_speedup", delta_cold_speedup);
+    rep.add_scalar("slot_time_delta_cold_s", dcold.wall_seconds);
+    rep.add_scalar("slot_time_delta_s", dwarm.wall_seconds);
+    std::printf(
+        "\ndelta pipeline: full %.3f s, delta(cold) %.3f s (%.2fx), "
+        "delta+warm %.3f s (%.2fx) — schedules %s\n",
+        off.wall_seconds, dcold.wall_seconds, delta_cold_speedup,
+        dwarm.wall_seconds, delta_speedup,
+        delta_identical ? "IDENTICAL" : "DIVERGED");
+
     // The counter registry (cache behavior, tracker maintenance, solver
-    // work) — previously measured but unreported.
+    // work) — the full pass feeds the legacy counter.* keys; the delta.*
+    // counters come from the delta-pipeline pass (they are zero on the full
+    // path by construction).
     obs::counter_registry& counters = emu_on.counters();
-    metrics::table ct({"counter", "value"});
+    obs::counter_registry& delta_counters = emu_delta.counters();
+    metrics::table ct({"counter", "full", "delta"});
     for (std::size_t i = 0; i < counters.entries().size(); ++i) {
         const auto& e = counters.entries()[i];
-        const std::string value =
-            e.kind == obs::metric_kind::counter
-                ? std::to_string(counters.counter_at(i))
-                : metrics::format_double(counters.gauge_at(i), 0);
-        ct.add_row({e.name, value});
-        if (e.kind == obs::metric_kind::counter)
+        const bool is_counter = e.kind == obs::metric_kind::counter;
+        const std::string full_value =
+            is_counter ? std::to_string(counters.counter_at(i))
+                       : metrics::format_double(counters.gauge_at(i), 0);
+        const std::string delta_value =
+            is_counter ? std::to_string(delta_counters.counter_at(i))
+                       : metrics::format_double(delta_counters.gauge_at(i), 0);
+        ct.add_row({e.name, full_value, delta_value});
+        const bool delta_counter = e.name.rfind("delta.", 0) == 0;
+        obs::counter_registry& source = delta_counter ? delta_counters : counters;
+        if (is_counter)
             rep.add_scalar("counter." + e.name,
-                           static_cast<double>(counters.counter_at(i)));
+                           static_cast<double>(source.counter_at(i)));
         else
-            rep.add_scalar("counter." + e.name, counters.gauge_at(i));
+            rep.add_scalar("counter." + e.name, source.gauge_at(i));
     }
     std::printf("\n");
     ct.print(std::cout);
 
-    // Schedule equivalence: both passes against each other (telemetry may
-    // never change a schedule — enforced on every toolchain), and against
-    // the pre-refactor golden when known.
+    // Schedule equivalence: both full passes against each other (telemetry
+    // may never change a schedule — enforced on every toolchain), and
+    // against the pre-refactor golden when known.
     const bool passes_agree =
         off.h_metrics == on.h_metrics && off.h_neighbors == on.h_neighbors;
     const vod::golden_run_hashes* golden = vod::golden_for(scenario);
@@ -296,6 +375,8 @@ int main(int argc, char** argv) {
     rep.add_scalar("metrics_hash", hash_hex);
     std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, on.h_neighbors);
     rep.add_scalar("neighbors_hash", hash_hex);
+    std::snprintf(hash_hex, sizeof(hash_hex), "%016" PRIx64, dwarm.h_metrics);
+    rep.add_scalar("delta_warm_metrics_hash", hash_hex);
     rep.add_scalar("telemetry_schedule_identical", passes_agree);
     rep.add_scalar("golden_known", golden_known);
     rep.add_scalar("golden_ok", golden_ok);
@@ -315,6 +396,13 @@ int main(int argc, char** argv) {
                      "error: telemetry changed the schedule (off metrics "
                      "%016" PRIx64 " vs on %016" PRIx64 ")\n",
                      off.h_metrics, on.h_metrics);
+        return 1;
+    }
+    if (!delta_identical) {
+        std::fprintf(stderr,
+                     "error: delta build diverged from the full rebuild "
+                     "(full metrics %016" PRIx64 " vs delta %016" PRIx64 ")\n",
+                     off.h_metrics, dcold.h_metrics);
         return 1;
     }
     // The golden constants pin exact IEEE doubles; only fail hard on the

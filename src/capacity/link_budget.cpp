@@ -67,14 +67,31 @@ const link_stats& link_budget::close_slot(std::span<const double> swarm_weights)
             if (saturated) {
                 ++stats_.saturated_pairs;
                 // Fair-share quotas over the swarms that actually used the
-                // pair this slot; over-quota swarms get a proportionally
-                // steeper surcharge.
+                // pair this slot.
                 for (std::size_t w = 0; w < num_swarms_; ++w) {
                     demand_scratch_[w] =
                         static_cast<double>(demand_[w * n_ * n_ + p]);
                     weight_scratch_[w] = swarm_weights[w];
                 }
                 fair_share(pool, demand_scratch_, weight_scratch_, quota_scratch_);
+                // Apportion the pair's congestion mass by over-quota share:
+                // with u = 1 + gain·(util − 1) the old uniform multiplier,
+                // the mass M = Σ_w demand_w·(u − 1) is carried entirely by
+                // the swarms above their fair-share quota, pro-rata to their
+                // overage — swarms within quota pay nothing. Before the
+                // max_surcharge clamp, Σ_w demand_w·(s_w − 1) == M, so the
+                // pair-level price signal is unchanged; only its incidence
+                // moves onto the swarms that caused the congestion.
+                const double uniform = 1.0 + config_.surcharge_gain * (util - 1.0);
+                double mass = 0.0;
+                double total_over = 0.0;
+                over_scratch_.resize(num_swarms_);
+                for (std::size_t w = 0; w < num_swarms_; ++w) {
+                    over_scratch_[w] =
+                        std::max(0.0, demand_scratch_[w] - quota_scratch_[w]);
+                    total_over += over_scratch_[w];
+                    mass += demand_scratch_[w] * (uniform - 1.0);
+                }
                 for (std::size_t w = 0; w < num_swarms_; ++w) {
                     double& s = surcharge_[w * n_ * n_ + p];
                     if (demand_scratch_[w] <= 0.0) {
@@ -83,13 +100,17 @@ const link_stats& link_budget::close_slot(std::span<const double> swarm_weights)
                         s = 1.0 + (s - 1.0) * config_.surcharge_relax;
                         continue;
                     }
-                    const double over =
-                        quota_scratch_[w] > 0.0
-                            ? std::max(1.0, demand_scratch_[w] / quota_scratch_[w])
-                            : config_.max_surcharge;
+                    // Quotas sum to the pool < demand on a saturated pair, so
+                    // total_over > 0 barring FP degeneracy; fall back to the
+                    // uniform multiplier if it is not.
                     const double target = std::min(
                         config_.max_surcharge,
-                        1.0 + config_.surcharge_gain * (util - 1.0) * over);
+                        total_over > 0.0
+                            ? (over_scratch_[w] > 0.0
+                                   ? 1.0 + mass * (over_scratch_[w] / total_over) /
+                                               demand_scratch_[w]
+                                   : 1.0)
+                            : uniform);
                     s = std::max(target, 1.0 + (s - 1.0) * config_.surcharge_relax);
                 }
             } else {
@@ -146,7 +167,7 @@ std::size_t link_budget::memory_bytes() const noexcept {
            pair_demand_.capacity() * sizeof(std::uint64_t) +
            surcharge_.capacity() * sizeof(double) +
            (quota_scratch_.capacity() + demand_scratch_.capacity() +
-            weight_scratch_.capacity()) *
+            weight_scratch_.capacity() + over_scratch_.capacity()) *
                sizeof(double);
 }
 

@@ -7,10 +7,13 @@
 //   * computes each managed pair's utilization = fleet demand / pool;
 //   * on saturated pairs (utilization > 1), splits the pool among the
 //     requesting swarms by weighted max-min fair share (weights = swarm
-//     popularity) and raises a per-(swarm, pair) congestion surcharge —
-//     swarms over their quota pay proportionally more. Each shard's
-//     cost_model multiplies its link costs by its surcharge table, so the
-//     next slot's scheduling decisions feel the congestion;
+//     popularity) and apportions the pair's congestion mass — what a uniform
+//     1 + gain·(util − 1) multiplier would have collected across all demand
+//     — onto the over-quota swarms pro-rata to their overage; swarms within
+//     quota pay nothing, and Σ demand·(surcharge − 1) is preserved before
+//     the max_surcharge clamp. Each shard's cost_model multiplies its link
+//     costs by its surcharge table, so the next slot's scheduling decisions
+//     feel the congestion;
 //   * exposes per-ISP inbound headroom, the signal the admission controller
 //     gates arrivals on;
 //   * decays surcharges toward 1 once a pair drains (geometric relax).
@@ -93,7 +96,8 @@ private:
     std::vector<std::uint64_t> demand_;    // per swarm × pair, this slot
     std::vector<std::uint64_t> pair_demand_;  // fleet total per pair
     std::vector<double> surcharge_;        // per swarm × pair multiplier
-    std::vector<double> quota_scratch_, demand_scratch_, weight_scratch_;
+    std::vector<double> quota_scratch_, demand_scratch_, weight_scratch_,
+        over_scratch_;
     link_stats stats_;
     std::size_t slots_closed_ = 0;
 };

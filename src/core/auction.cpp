@@ -188,10 +188,20 @@ auction_result auction_solver::run(const problem_view& problem,
     net_values_.resize(problem.num_candidates());
 
     // The ε schedule: a single phase normally; a geometric descent from the
-    // initial ε down to the target when scaling is on.
-    const std::vector<double> schedule = epsilon_schedule(
-        problem, options_.bidding.epsilon, options_.scaling_initial_epsilon,
-        options_.scaling_factor, options_.epsilon_scaling, options_.adaptive_scaling);
+    // initial ε down to the target when scaling is on. A warm start from a
+    // converged solve may collapse the ladder to the target rung outright —
+    // decided before epsilon_schedule so the adaptive max(v−w) instance
+    // sweep is skipped along with the coarse phases.
+    const bool early_exit = options_.warm_start_early_exit &&
+                            options_.epsilon_scaling && !initial_prices.empty() &&
+                            last_run_converged_;
+    const std::vector<double> schedule =
+        early_exit ? std::vector<double>{options_.bidding.epsilon}
+                   : epsilon_schedule(problem, options_.bidding.epsilon,
+                                      options_.scaling_initial_epsilon,
+                                      options_.scaling_factor,
+                                      options_.epsilon_scaling,
+                                      options_.adaptive_scaling);
 
     auction_result result;
     std::vector<double> prices(nu, 0.0);
@@ -229,23 +239,28 @@ auction_result auction_solver::run(const problem_view& problem,
     }
 
     result.prices = std::move(prices);
-    // Dual recovery. With zero-capacity uploaders present the general helper
-    // handles their price lift; the common all-positive case reuses the flat
-    // v − w array (identical arithmetic: (v − w) − λ in both paths).
-    bool any_zero_capacity = false;
-    for (std::size_t u = 0; u < nu && !any_zero_capacity; ++u)
-        any_zero_capacity = problem.uploader(u).capacity == 0;
-    if (any_zero_capacity) {
-        result.request_utility = derive_request_utilities(problem, result.prices);
-    } else {
-        result.request_utility.assign(nr, 0.0);
-        for (std::size_t r = 0; r < nr; ++r) {
-            double best = 0.0;
-            for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
-                double margin = net_values_[k] - result.prices[cand_up[k]];
-                if (margin > best) best = margin;
+    result.early_exited = early_exit;
+    last_run_converged_ = result.converged;
+    // Dual recovery (skippable — schedule-only consumers never read η). With
+    // zero-capacity uploaders present the general helper handles their price
+    // lift; the common all-positive case reuses the flat v − w array
+    // (identical arithmetic: (v − w) − λ in both paths).
+    if (options_.compute_request_utilities) {
+        bool any_zero_capacity = false;
+        for (std::size_t u = 0; u < nu && !any_zero_capacity; ++u)
+            any_zero_capacity = problem.uploader(u).capacity == 0;
+        if (any_zero_capacity) {
+            result.request_utility = derive_request_utilities(problem, result.prices);
+        } else {
+            result.request_utility.assign(nr, 0.0);
+            for (std::size_t r = 0; r < nr; ++r) {
+                double best = 0.0;
+                for (std::size_t k = offsets[r]; k < offsets[r + 1]; ++k) {
+                    double margin = net_values_[k] - result.prices[cand_up[k]];
+                    if (margin > best) best = margin;
+                }
+                result.request_utility[r] = best;
             }
-            result.request_utility[r] = best;
         }
     }
     return result;

@@ -53,6 +53,23 @@ struct auction_options {
     // the phase left them, before the inter-phase spare-capacity repair).
     // Off by default: the trace exists for the ε-CS property tests.
     bool record_phase_trace = false;
+
+    // Dual recovery (η per request) is a full candidate sweep per solve.
+    // Consumers that only read the schedule and λ (the emulator's delta
+    // pipeline) turn it off; `result.request_utility` comes back empty.
+    // Never changes the schedule or the prices.
+    bool compute_request_utilities = true;
+
+    // Cross-slot solver reuse: when a solve is warm-started from prices of a
+    // converged solve on a near-identical instance (the emulator's
+    // `warm_start_slots` mode), the warm prices already satisfy ε-CS almost
+    // everywhere, so the coarse rungs of the ε ladder only re-derive what the
+    // previous slot knew. With this flag the ladder collapses to the target ε
+    // whenever warm prices are present and the previous run() converged —
+    // including skipping the adaptive schedule's max(v−w) instance sweep.
+    // Changes schedules (pinned by the warm-start slot goldens); no effect on
+    // cold starts or single-phase (scaling-off) configurations.
+    bool warm_start_early_exit = false;
 };
 
 // Phase-boundary state of an ε-scaling run, recorded when
@@ -80,6 +97,8 @@ struct auction_result {
     // ε phases the solve descended (1 unless ε-scaling engaged a ladder).
     std::uint64_t phases_run = 0;
     bool converged = false;
+    // The ε ladder was collapsed to its target rung by warm_start_early_exit.
+    bool early_exited = false;
     // One entry per ε phase, only when options.record_phase_trace is set.
     std::vector<auction_phase_snapshot> phase_trace;
 };
@@ -129,6 +148,9 @@ private:
                    bool fill_flat_arrays);
 
     auction_options options_;
+    // Whether the previous run() reached ε-CS — the warm_start_early_exit
+    // precondition (a warm start from a diverged solve must re-descend).
+    bool last_run_converged_ = false;
 
     // --- persistent workspaces (cleared/resized per solve, never shrunk) ---
     std::vector<auctioneer> sellers_;

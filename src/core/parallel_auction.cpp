@@ -348,9 +348,19 @@ auction_result parallel_auction_solver::run_impl(
     expects(slab_total <= 0xffffffffu, "seller slab exceeds 32-bit offsets");
     heap_slab_.resize(slab_total);
 
-    const std::vector<double> schedule = epsilon_schedule(
-        problem, options_.bidding.epsilon, options_.scaling_initial_epsilon,
-        options_.scaling_factor, options_.epsilon_scaling, options_.adaptive_scaling);
+    // A warm start from a converged solve collapses the ladder to its target
+    // rung (and skips the adaptive schedule's instance sweep) — same contract
+    // as the synchronous solver.
+    const bool early_exit = options_.warm_start_early_exit &&
+                            options_.epsilon_scaling && !initial_prices.empty() &&
+                            last_run_converged_;
+    const std::vector<double> schedule =
+        early_exit ? std::vector<double>{options_.bidding.epsilon}
+                   : epsilon_schedule(problem, options_.bidding.epsilon,
+                                      options_.scaling_initial_epsilon,
+                                      options_.scaling_factor,
+                                      options_.epsilon_scaling,
+                                      options_.adaptive_scaling);
 
     auction_result result;
     std::vector<double> prices(nu, 0.0);
@@ -386,7 +396,9 @@ auction_result parallel_auction_solver::run_impl(
     }
 
     result.prices = std::move(prices);
-    if (recover_duals) {
+    result.early_exited = early_exit;
+    last_run_converged_ = result.converged;
+    if (recover_duals && options_.compute_request_utilities) {
         // Dual recovery, as in the synchronous solver: the general helper
         // when zero-capacity uploaders need their price lift, the flat-array
         // sweep (parallel here) otherwise.

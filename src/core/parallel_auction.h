@@ -56,6 +56,12 @@ struct parallel_auction_options {
     double scaling_initial_epsilon = 1.0;
     double scaling_factor = 4.0;
     bool record_phase_trace = false;
+    // Same contracts as the synchronous solver (core/auction.h): dual
+    // recovery is skippable by schedule-only consumers, and a warm start from
+    // a converged solve may collapse the ε ladder to its target rung
+    // (warm-start slot goldens pin the resulting schedules).
+    bool compute_request_utilities = true;
+    bool warm_start_early_exit = false;
 
     // Worker threads for the bid/merge phases. 1 runs everything inline on
     // the calling thread (no pool); 0 resolves to the hardware count. The
@@ -117,6 +123,8 @@ private:
 
     parallel_auction_options options_;
     std::unique_ptr<engine::thread_pool> pool_;
+    // Whether the previous run reached ε-CS (warm_start_early_exit gate).
+    bool last_run_converged_ = false;
 
     // --- persistent workspaces (cleared/resized per solve, never shrunk) ---
     // Seller state lives in one flat slab instead of per-uploader auctioneer

@@ -58,6 +58,33 @@ void scheduling_problem::reserve(std::size_t uploaders, std::size_t requests,
     cand_cost_.reserve(candidates);
 }
 
+bool scheduling_problem::identical_to(const scheduling_problem& other) const noexcept {
+    const auto same_bits = [](double a, double b) {
+        return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+    };
+    if (uploaders_.size() != other.uploaders_.size() ||
+        requests_.size() != other.requests_.size() ||
+        offsets_.size() != other.offsets_.size() ||
+        cand_uploader_.size() != other.cand_uploader_.size())
+        return false;
+    for (std::size_t u = 0; u < uploaders_.size(); ++u)
+        if (uploaders_[u].who != other.uploaders_[u].who ||
+            uploaders_[u].capacity != other.uploaders_[u].capacity)
+            return false;
+    for (std::size_t r = 0; r < requests_.size(); ++r)
+        if (requests_[r].downstream != other.requests_[r].downstream ||
+            requests_[r].chunk != other.requests_[r].chunk ||
+            !same_bits(requests_[r].valuation, other.requests_[r].valuation))
+            return false;
+    if (!std::equal(offsets_.begin(), offsets_.end(), other.offsets_.begin()) ||
+        !std::equal(cand_uploader_.begin(), cand_uploader_.end(),
+                    other.cand_uploader_.begin()))
+        return false;
+    for (std::size_t k = 0; k < cand_cost_.size(); ++k)
+        if (!same_bits(cand_cost_[k], other.cand_cost_[k])) return false;
+    return true;
+}
+
 void scheduling_problem::shed() noexcept {
     std::vector<uploader_info>().swap(uploaders_);
     std::vector<request_info>().swap(requests_);

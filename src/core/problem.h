@@ -24,6 +24,7 @@
 #ifndef P2PCD_CORE_PROBLEM_H
 #define P2PCD_CORE_PROBLEM_H
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
@@ -215,6 +216,44 @@ public:
         cand_cost_.push_back(cost);
         ++offsets_.back();
     }
+
+    // Mask-driven bulk append (the delta build's emission kernel): for each
+    // set bit j of `mask`, ascending, appends candidate (uploaders[j],
+    // costs[j]) to the most recently added request — one contract check per
+    // row instead of one per candidate. Returns how many were appended.
+    std::size_t append_candidates_masked(const std::uint32_t* uploaders,
+                                         const double* costs,
+                                         std::uint32_t mask) {
+        expects(!requests_.empty(), "append_candidates_masked needs an open request");
+        const auto n = static_cast<std::uint32_t>(std::popcount(mask));
+        expects(cand_uploader_.size() + n <= 0xffffffffu, "candidate slab exceeds u32");
+        while (mask != 0) {
+            const auto j = static_cast<std::uint32_t>(std::countr_zero(mask));
+            mask &= mask - 1;
+            cand_uploader_.push_back(uploaders[j]);
+            cand_cost_.push_back(costs[j]);
+        }
+        offsets_.back() += n;
+        return n;
+    }
+
+    // Contiguous bulk append to the most recently added request — the delta
+    // build's fast path for a per-row constant candidate prefix (seed
+    // uploaders match every chunk, so their block is precomputed once per
+    // row and copied per request).
+    void append_candidates_block(const std::uint32_t* uploaders,
+                                 const double* costs, std::uint32_t n) {
+        expects(!requests_.empty(), "append_candidates_block needs an open request");
+        expects(cand_uploader_.size() + n <= 0xffffffffu, "candidate slab exceeds u32");
+        cand_uploader_.insert(cand_uploader_.end(), uploaders, uploaders + n);
+        cand_cost_.insert(cand_cost_.end(), costs, costs + n);
+        offsets_.back() += n;
+    }
+
+    // Exact (bit-level) equality of the built instance — the delta pipeline's
+    // shadow-build cross-check. Doubles compare by bit pattern, so a ±0.0 or
+    // NaN discrepancy counts as a divergence.
+    [[nodiscard]] bool identical_to(const scheduling_problem& other) const noexcept;
 
     // Drops all content but keeps the allocated arenas, so a builder reused
     // across bidding rounds/slots stops allocating once warm.

@@ -55,9 +55,12 @@ struct cost_params {
     double intra_hi = 2.0;
     bool symmetric = true;  // w(u,d) == w(d,u)
     // Link-cache bound: the cache is flushed when it reaches this many
-    // entries (must be >= 1). The default comfortably holds the working set
-    // of a 5 000-peer metro swarm while capping churn-driven growth.
-    std::size_t cache_capacity = 1u << 20;
+    // entries (must be >= 1). Sized from measured working sets: a 5 000-peer
+    // metro slot touches ~107k distinct links (bench/slot_pipeline
+    // counter.cost.cache_misses), so 2^19 entries still never flushes there
+    // while halving the per-shard slot-array footprint (the fleet's largest
+    // standing allocation per the memory_footprint() audit).
+    std::size_t cache_capacity = 1u << 19;
 };
 
 struct cost_cache_stats {

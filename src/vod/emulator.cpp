@@ -1,7 +1,9 @@
 #include "vod/emulator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "baseline/registry.h"
@@ -40,12 +42,27 @@ emulator::emulator(emulator_options options)
     core::scheduler_params params;
     params.auction = options_.auction;
     params.parallel_auction = options_.parallel_auction;
+    if (options_.delta_build) {
+        // Nothing in the slot loop reads request utilities; the delta
+        // pipeline skips the solvers' dual-recovery sweep outright.
+        params.auction.compute_request_utilities = false;
+        params.parallel_auction.compute_request_utilities = false;
+    }
+    if (options_.warm_start_slots) {
+        params.auction.warm_start_early_exit = true;
+        params.parallel_auction.warm_start_early_exit = true;
+    }
     params.locality_max_rounds = options_.locality.max_rounds;
     params.seed = options_.config.master_seed;
     scheduler_ = registry.make(options_.scheduler, params);
     auction_ = dynamic_cast<core::auction_solver*>(scheduler_.get());
     par_auction_ = dynamic_cast<core::parallel_auction_solver*>(scheduler_.get());
     trans_ = dynamic_cast<core::transportation_simplex_scheduler*>(scheduler_.get());
+
+    // Mask window span: the widest word range a prefetch window can touch
+    // (begin mod 64 + prefetch chunks, rounded out), clamped to the video.
+    mask_words_ = std::min((options_.config.prefetch_chunks >> 6) + 2,
+                           (options_.config.chunks_per_video() + 63) >> 6);
 
     register_metrics();
     spans_ = obs::span_recorder(options_.telemetry.record_spans,
@@ -134,6 +151,11 @@ void emulator::register_metrics() {
     g_bytes_peer_ = counters_.add_gauge("ledger.bytes_peer");
     g_bytes_transit_ = counters_.add_gauge("ledger.bytes_transit");
     g_admission_queue_ = counters_.add_gauge("admission.queued");
+    // Delta-pipeline counters (zero when options.delta_build is off); new
+    // names append after every v1 metric so the slot-record prefix is stable.
+    c_delta_dirty_ = counters_.add_counter("delta.dirty_rows");
+    c_delta_reused_ = counters_.add_counter("delta.reused_rows");
+    c_delta_early_exit_ = counters_.add_counter("delta.early_exit_slots");
 }
 
 void emulator::sample_counters() {
@@ -501,7 +523,26 @@ void emulator::prefetch_link_costs() {
 
 void emulator::build_problem(double now,
                              const std::vector<std::int32_t>& round_capacity) {
-    slot_problem& sp = round_problem_;
+    if (options_.delta_build) {
+        build_problem_delta(now, round_capacity);
+        if (options_.delta_shadow_check) {
+            build_problem_full(now, round_capacity, shadow_problem_);
+            expects(round_problem_.problem.identical_to(shadow_problem_.problem) &&
+                        round_problem_.request_row == shadow_problem_.request_row &&
+                        round_problem_.uploader_row == shadow_problem_.uploader_row,
+                    "delta build diverged from the full rebuild");
+        }
+    } else {
+        build_problem_full(now, round_capacity, round_problem_);
+    }
+    const slot_problem& sp = round_problem_;
+    hw_uploaders_ = std::max(hw_uploaders_, sp.problem.num_uploaders());
+    hw_requests_ = std::max(hw_requests_, sp.problem.num_requests());
+    hw_candidates_ = std::max(hw_candidates_, sp.problem.num_candidates());
+}
+
+void emulator::register_uploaders(slot_problem& sp,
+                                  const std::vector<std::int32_t>& round_capacity) {
     sp.problem.clear();  // arena reuse: capacity from previous rounds persists
     // The arena was shed at the previous slot's end; one reserve at the
     // remembered high water replaces the geometric regrowth (first slot: all
@@ -525,9 +566,135 @@ void emulator::build_problem(double now,
             sp.problem.add_uploader(peers_.id(row), round_capacity[row]));
         sp.uploader_row.push_back(row);
     }
+}
+
+void emulator::append_viewer_row(slot_problem& sp, std::uint32_t row, double now) {
+    const auto& cfg = options_.config;
+    const std::size_t n_chunks = cfg.chunks_per_video();
+    const double position = peers_.playback_position(row);
+    const double playback_start = peers_.playback_start(row);
+    const video_id video = peers_.video(row);
+    const buffer_map& buffer = peers_.buffer(row);
+    auto window_begin = static_cast<std::size_t>(std::ceil(position));
+    std::size_t window_end = std::min(window_begin + cfg.prefetch_chunks, n_chunks);
+    std::size_t idx = buffer.first_missing_in(window_begin, window_end);
+    if (idx >= window_end) return;  // window fully buffered
+
+    // Gather each eligible neighbor's window words next to its uploader
+    // ordinal and prefetched cost: the per-chunk candidate test below
+    // becomes a bit probe into this L1-resident scratch instead of a
+    // random read into every neighbor's bitmap. Skipping departed or
+    // capacity-less neighbors here preserves the candidate order (the
+    // filter is chunk-independent).
+    const std::size_t word_lo = window_begin >> 6;
+    const std::size_t n_words = ((window_end + 63) >> 6) - word_lo;
+    cand_words_.clear();
+    cand_uploader_.clear();
+    cand_cost_.clear();
+    const std::size_t nbr_begin = neighbor_offsets_[row];
+    const std::size_t nbr_end = neighbor_offsets_[row + 1];
+    for (std::size_t k = nbr_begin; k < nbr_end; ++k) {
+        const std::uint32_t n_row = neighbor_rows_[k];
+        if (peers_.departed(n_row)) continue;
+        const std::uint32_t uploader = sp.uploader_of_peer[n_row];
+        if (uploader == UINT32_MAX) continue;
+        const std::size_t at = cand_words_.size();
+        cand_words_.resize(at + n_words);
+        peers_.buffer(n_row).copy_words(word_lo, n_words,
+                                        cand_words_.data() + at);
+        cand_uploader_.push_back(uploader);
+        cand_cost_.push_back(neighbor_costs_[k]);
+    }
+    if (cand_uploader_.empty()) return;
+
+    for (; idx < window_end; idx = buffer.first_missing_in(idx + 1, window_end)) {
+        // Deadline: the moment playback reaches this chunk.
+        double deadline =
+            now < playback_start
+                ? playback_start +
+                      static_cast<double>(idx) / cfg.chunks_per_second()
+                : now + (static_cast<double>(idx) - position) /
+                            cfg.chunks_per_second();
+        double ttl = std::max(0.0, deadline - now);
+        const std::size_t word = (idx >> 6) - word_lo;
+        const std::size_t shift = idx & 63;
+        std::size_t request = SIZE_MAX;
+        for (std::size_t j = 0; j < cand_uploader_.size(); ++j) {
+            if (((cand_words_[j * n_words + word] >> shift) & 1u) == 0) continue;
+            if (request == SIZE_MAX) {
+                request = sp.problem.add_request(
+                    peers_.id(row), assets_->catalog.chunk_of(video, idx),
+                    assets_->valuation.value(ttl));
+                sp.request_row.push_back(row);
+            }
+            sp.problem.append_candidate(cand_uploader_[j], cand_cost_[j]);
+        }
+    }
+}
+
+void emulator::build_problem_full(double now,
+                                  const std::vector<std::int32_t>& round_capacity,
+                                  slot_problem& sp) {
+    register_uploaders(sp, round_capacity);
+    for (std::uint32_t row : active_viewers_) {
+        if (peers_.join_time(row) > now) continue;
+        append_viewer_row(sp, row, now);
+    }
+}
+
+namespace {
+// Scatters the set bits of one buffer word into 64 consecutive chunk masks:
+// buffer bit c (= chunk base+c present at neighbor j) becomes bit j of
+// mask64[c].
+inline void scatter_word(std::uint32_t* mask64, std::uint64_t word,
+                         std::uint32_t bit) noexcept {
+    while (word != 0) {
+        mask64[std::countr_zero(word)] |= bit;
+        word &= word - 1;
+    }
+}
+}  // namespace
+
+double emulator::deadline_value(double ttl) {
+    const auto bits = std::bit_cast<std::uint64_t>(ttl);
+    // Direct-mapped on the ttl's exact bit pattern: a hit returns the very
+    // double value() computed for those bits, so caching is unobservable.
+    const std::size_t cell = (bits * 0x9e3779b97f4a7c15ull) >> 51;  // 13 bits
+    if (val_keys_[cell] == bits) return val_vals_[cell];
+    const double v = assets_->valuation.value(ttl);
+    val_keys_[cell] = bits;
+    val_vals_[cell] = v;
+    return v;
+}
+
+void emulator::build_problem_delta(double now,
+                                   const std::vector<std::int32_t>& round_capacity) {
+    slot_problem& sp = round_problem_;
+    register_uploaders(sp, round_capacity);
 
     const auto& cfg = options_.config;
     const std::size_t n_chunks = cfg.chunks_per_video();
+    const std::size_t buf_words = (n_chunks + 63) >> 6;
+    const auto slot_idx = static_cast<std::uint32_t>(slots_.size());
+    const std::size_t rows = peers_.rows();
+    if (delta_rows_.size() < rows) {
+        delta_rows_.resize(rows);
+        delta_masks_.resize(rows * mask_words_ * 64);
+        delta_snap_.resize(rows * delta_seg_cap * mask_words_);
+        delta_segs_.resize(rows * delta_seg_cap);
+    }
+    if (val_keys_.empty()) {
+        // ttl ≥ 0, so an all-ones key (negative NaN) can never collide.
+        val_keys_.assign(std::size_t{1} << 13, ~std::uint64_t{0});
+        val_vals_.assign(std::size_t{1} << 13, 0.0);
+    }
+    delta_up_scratch_.resize(delta_seg_cap);
+    word_scratch_.resize(mask_words_);
+    seed_blk_up_.resize(delta_seg_cap);
+    seed_blk_cost_.resize(delta_seg_cap);
+    std::uint64_t dirty = 0;
+    std::uint64_t reused = 0;
+
     for (std::uint32_t row : active_viewers_) {
         if (peers_.join_time(row) > now) continue;
         const double position = peers_.playback_position(row);
@@ -539,35 +706,132 @@ void emulator::build_problem(double now,
         std::size_t idx = buffer.first_missing_in(window_begin, window_end);
         if (idx >= window_end) continue;  // window fully buffered
 
-        // Gather each eligible neighbor's window words next to its uploader
-        // ordinal and prefetched cost: the per-chunk candidate test below
-        // becomes a bit probe into this L1-resident scratch instead of a
-        // random read into every neighbor's bitmap. Skipping departed or
-        // capacity-less neighbors here preserves the candidate order (the
-        // filter is chunk-independent).
-        const std::size_t word_lo = window_begin >> 6;
-        const std::size_t n_words = ((window_end + 63) >> 6) - word_lo;
-        cand_words_.clear();
-        cand_uploader_.clear();
-        cand_cost_.clear();
-        const std::size_t nbr_begin = neighbor_offsets_[row];
-        const std::size_t nbr_end = neighbor_offsets_[row + 1];
-        for (std::size_t k = nbr_begin; k < nbr_end; ++k) {
-            const std::uint32_t n_row = neighbor_rows_[k];
-            if (peers_.departed(n_row)) continue;
-            const std::uint32_t uploader = sp.uploader_of_peer[n_row];
-            if (uploader == UINT32_MAX) continue;
-            const std::size_t at = cand_words_.size();
-            cand_words_.resize(at + n_words);
-            peers_.buffer(n_row).copy_words(word_lo, n_words,
-                                            cand_words_.data() + at);
-            cand_uploader_.push_back(uploader);
-            cand_cost_.push_back(neighbor_costs_[k]);
+        delta_row_state& ds = delta_rows_[row];
+        std::uint32_t* seg = delta_segs_.data() + row * delta_seg_cap;
+        // Per-slot segment validation: the tracker re-bootstrapped between
+        // slots, so the neighbor list may have changed (churn, repair,
+        // playback reordering). Within a slot the arena is immutable.
+        if (ds.slot != slot_idx) {
+            const std::size_t nbr_begin = neighbor_offsets_[row];
+            const std::size_t nbr_end = neighbor_offsets_[row + 1];
+            const std::size_t len = nbr_end - nbr_begin;
+            // The masks only represent segments of ≤ 32 live neighbors whose
+            // order equals the arena's (the departed filter a mid-slot
+            // bootstrap could in principle trip never fires here — arrivals
+            // and departures both precede the refresh — but a row that
+            // violates either assumption just runs the reference path).
+            bool representable = len <= delta_seg_cap;
+            if (representable)
+                for (std::size_t k = nbr_begin; k < nbr_end; ++k)
+                    if (peers_.departed(neighbor_rows_[k])) {
+                        representable = false;
+                        break;
+                    }
+            ds.slot = slot_idx;
+            ds.fallback = representable ? 0 : 1;
+            if (representable) {
+                const std::uint32_t* arena = neighbor_rows_.data() + nbr_begin;
+                const bool same = ds.valid != 0 && ds.seg_len == len &&
+                                  std::equal(arena, arena + len, seg);
+                if (!same) {
+                    std::copy_n(arena, len, seg);
+                    ds.seg_len = static_cast<std::uint32_t>(len);
+                    std::uint32_t sc = 0;
+                    while (sc < len && seg[sc] < num_seeds_) ++sc;
+                    ds.seed_count = sc;
+                    ds.valid = 0;  // forces the full mask transpose below
+                }
+                ds.nbr_begin = static_cast<std::uint32_t>(nbr_begin);
+            }
         }
-        if (cand_uploader_.empty()) continue;
+        if (ds.fallback != 0) {
+            ++dirty;
+            append_viewer_row(sp, row, now);
+            continue;
+        }
 
+        // --- mask maintenance ---
+        const std::size_t word_lo = window_begin >> 6;
+        const std::size_t cover = std::min(mask_words_, buf_words - word_lo);
+        std::uint32_t* masks = delta_masks_.data() + row * mask_words_ * 64;
+        std::uint64_t* snap = delta_snap_.data() + row * delta_seg_cap * mask_words_;
+        if (ds.valid == 0) {
+            // Full transpose: every viewer-neighbor's window words, fresh.
+            std::fill_n(masks, cover * 64, 0u);
+            for (std::uint32_t j = ds.seed_count; j < ds.seg_len; ++j) {
+                std::uint64_t* sj = snap + j * mask_words_;
+                peers_.buffer(seg[j]).copy_words(word_lo, cover, sj);
+                const std::uint32_t bit = 1u << j;
+                for (std::size_t w = 0; w < cover; ++w)
+                    scatter_word(masks + w * 64, sj[w], bit);
+            }
+            ds.word_lo = static_cast<std::uint32_t>(word_lo);
+            ds.cover = static_cast<std::uint32_t>(cover);
+            ds.valid = 1;
+            ++dirty;
+        } else {
+            // Incremental: re-base the window (playback only moves forward),
+            // transpose the frontier words, OR in each neighbor's new bits.
+            const std::size_t shift = word_lo - ds.word_lo;
+            const std::size_t retained =
+                shift >= ds.cover ? 0
+                                  : std::min<std::size_t>(ds.cover - shift, cover);
+            if (shift > 0 && retained > 0)
+                std::memmove(masks, masks + shift * 64,
+                             retained * 64 * sizeof(std::uint32_t));
+            if (retained < cover)
+                std::fill_n(masks + retained * 64, (cover - retained) * 64, 0u);
+            for (std::uint32_t j = ds.seed_count; j < ds.seg_len; ++j) {
+                std::uint64_t* sj = snap + j * mask_words_;
+                if (shift > 0 && retained > 0)
+                    std::memmove(sj, sj + shift, retained * sizeof(std::uint64_t));
+                peers_.buffer(seg[j]).copy_words(word_lo, cover,
+                                                 word_scratch_.data());
+                const std::uint32_t bit = 1u << j;
+                for (std::size_t w = 0; w < retained; ++w) {
+                    // Live buffers are monotone: the diff is exactly the
+                    // chunks this neighbor gained since the last round.
+                    const std::uint64_t fresh = word_scratch_[w] & ~sj[w];
+                    if (fresh != 0) scatter_word(masks + w * 64, fresh, bit);
+                }
+                for (std::size_t w = retained; w < cover; ++w)
+                    if (word_scratch_[w] != 0)
+                        scatter_word(masks + w * 64, word_scratch_[w], bit);
+                std::copy_n(word_scratch_.data(), cover, sj);
+            }
+            ds.word_lo = static_cast<std::uint32_t>(word_lo);
+            ds.cover = static_cast<std::uint32_t>(cover);
+            ++reused;
+        }
+
+        // --- emission: the reference builder's candidate order, bit j of
+        // (mask | seed_mask) & eligibility == gathered-candidate ordinal ---
+        const double* seg_costs = neighbor_costs_.data() + ds.nbr_begin;
+        std::uint32_t elig = 0;
+        for (std::uint32_t j = 0; j < ds.seg_len; ++j) {
+            const std::uint32_t up = sp.uploader_of_peer[seg[j]];
+            delta_up_scratch_[j] = up;
+            if (up != UINT32_MAX) elig |= 1u << j;
+        }
+        if (elig == 0) continue;
+        const std::uint32_t seed_mask =
+            ds.seed_count >= 32 ? 0xffffffffu : (1u << ds.seed_count) - 1u;
+        // Seed buffers are full, so every eligible seed matches every chunk:
+        // the row's leading candidates are identical across its requests.
+        // Precompute that block once and bulk-copy it per request (the masks
+        // never carry seed bits — seeds are exempt from the transpose).
+        std::uint32_t n_seed = 0;
+        for (std::uint32_t se = elig & seed_mask; se != 0; se &= se - 1) {
+            const auto j = static_cast<std::uint32_t>(std::countr_zero(se));
+            seed_blk_up_[n_seed] = delta_up_scratch_[j];
+            seed_blk_cost_[n_seed] = seg_costs[j];
+            ++n_seed;
+        }
+        const std::uint32_t viewer_elig = elig & ~seed_mask;
+        const std::size_t base = word_lo << 6;
         for (; idx < window_end; idx = buffer.first_missing_in(idx + 1, window_end)) {
-            // Deadline: the moment playback reaches this chunk.
+            const std::uint32_t mv = masks[idx - base] & viewer_elig;
+            if (mv == 0 && n_seed == 0) continue;
             double deadline =
                 now < playback_start
                     ? playback_start +
@@ -575,24 +839,20 @@ void emulator::build_problem(double now,
                     : now + (static_cast<double>(idx) - position) /
                                 cfg.chunks_per_second();
             double ttl = std::max(0.0, deadline - now);
-            const std::size_t word = (idx >> 6) - word_lo;
-            const std::size_t shift = idx & 63;
-            std::size_t request = SIZE_MAX;
-            for (std::size_t j = 0; j < cand_uploader_.size(); ++j) {
-                if (((cand_words_[j * n_words + word] >> shift) & 1u) == 0) continue;
-                if (request == SIZE_MAX) {
-                    request = sp.problem.add_request(
-                        peers_.id(row), assets_->catalog.chunk_of(video, idx),
-                        assets_->valuation.value(ttl));
-                    sp.request_row.push_back(row);
-                }
-                sp.problem.append_candidate(cand_uploader_[j], cand_cost_[j]);
-            }
+            sp.problem.add_request(peers_.id(row),
+                                   assets_->catalog.chunk_of(video, idx),
+                                   deadline_value(ttl));
+            sp.request_row.push_back(row);
+            if (n_seed != 0)
+                sp.problem.append_candidates_block(seed_blk_up_.data(),
+                                                   seed_blk_cost_.data(), n_seed);
+            if (mv != 0)
+                sp.problem.append_candidates_masked(delta_up_scratch_.data(),
+                                                    seg_costs, mv);
         }
     }
-    hw_uploaders_ = std::max(hw_uploaders_, sp.problem.num_uploaders());
-    hw_requests_ = std::max(hw_requests_, sp.problem.num_requests());
-    hw_candidates_ = std::max(hw_candidates_, sp.problem.num_candidates());
+    counters_.inc(c_delta_dirty_, dirty);
+    counters_.inc(c_delta_reused_, reused);
 }
 
 core::schedule emulator::dispatch(double round_start, double duration,
@@ -631,9 +891,11 @@ core::schedule emulator::dispatch(double round_start, double duration,
             return std::move(result.auction.sched);
         }
         core::auction_result result;
-        if (options_.warm_start_rounds) {
+        if (options_.warm_start_rounds || options_.warm_start_slots) {
             // Thread the slot's λ through its bidding rounds (Sec. IV-C's
-            // price cycle), exactly like the distributed path above.
+            // price cycle), exactly like the distributed path above. With
+            // warm_start_slots the carried prices survive slot boundaries
+            // too (step() stops resetting them).
             std::vector<double> initial(view.num_uploaders(), 0.0);
             for (std::size_t u = 0; u < view.num_uploaders(); ++u)
                 initial[u] = slot_prices[sp.uploader_row[u]];
@@ -643,6 +905,7 @@ core::schedule emulator::dispatch(double round_start, double duration,
         } else {
             result = auction_->run(view);
         }
+        if (result.early_exited) slot_saw_early_exit_ = true;
         metrics.auction_bids += result.bids_submitted;
         counters_.inc(c_solver_bids_, result.bids_submitted);
         counters_.inc(c_solver_phases_, result.phases_run);
@@ -653,7 +916,7 @@ core::schedule emulator::dispatch(double round_start, double duration,
         // Same round contract as the synchronous auction, minus the
         // distributed window (the Jacobi solver is a solver, not a protocol).
         core::auction_result result;
-        if (options_.warm_start_rounds) {
+        if (options_.warm_start_rounds || options_.warm_start_slots) {
             std::vector<double> initial(view.num_uploaders(), 0.0);
             for (std::size_t u = 0; u < view.num_uploaders(); ++u)
                 initial[u] = slot_prices[sp.uploader_row[u]];
@@ -663,6 +926,7 @@ core::schedule emulator::dispatch(double round_start, double duration,
         } else {
             result = par_auction_->run(view);
         }
+        if (result.early_exited) slot_saw_early_exit_ = true;
         metrics.auction_bids += result.bids_submitted;
         counters_.inc(c_solver_bids_, result.bids_submitted);
         counters_.inc(c_solver_phases_, result.phases_run);
@@ -793,8 +1057,14 @@ const slot_metrics& emulator::step() {
                                 static_cast<double>(rounds);
     const std::size_t rows = peers_.rows();
     // Prices persist across the rounds of one slot and reset at slot
-    // boundaries — the slot is the bidding cycle of Sec. IV-C.
-    slot_prices_.assign(rows, 0.0);
+    // boundaries — the slot is the bidding cycle of Sec. IV-C. With
+    // warm_start_slots they carry over instead (rows are never recycled, so
+    // resize keeps every existing uploader's λ and zeroes only new rows).
+    if (options_.warm_start_slots)
+        slot_prices_.resize(rows, 0.0);
+    else
+        slot_prices_.assign(rows, 0.0);
+    slot_saw_early_exit_ = false;
 
     remaining_scratch_.assign(rows, 0);
     for (std::size_t row = 0; row < num_seeds_; ++row)
@@ -838,6 +1108,7 @@ const slot_metrics& emulator::step() {
     // fleet's resident set scales with its thread count, not its swarm count.
     shed_slot_memory();
     if (timed) spans_.lap(obs::phase::shed);
+    if (slot_saw_early_exit_) counters_.inc(c_delta_early_exit_);
 
     slots_.push_back(metrics);
     now_ = slot_end;
@@ -861,6 +1132,16 @@ const slot_metrics& emulator::step() {
 }
 
 void emulator::shed_slot_memory() {
+    if (options_.delta_build) {
+        // Cross-slot state reuse is the delta pipeline's point: the CSR
+        // arena, its row maps and the solver slabs stay warm. Only the
+        // fleet's cost-cache residency contract is still honored.
+        if (options_.shed_cost_cache) {
+            costs_->shed_cache();
+            counters_.inc(c_shed_events_);
+        }
+        return;
+    }
     slot_problem& sp = round_problem_;
     sp.problem.shed();
     std::vector<std::uint32_t>().swap(sp.uploader_of_peer);
@@ -879,7 +1160,12 @@ memory_breakdown emulator::memory_footprint() const {
     mb.neighbor_arena = neighbor_offsets_.capacity() * sizeof(std::uint32_t) +
                         neighbor_rows_.capacity() * sizeof(std::uint32_t) +
                         neighbor_costs_.capacity() * sizeof(double);
-    mb.problem_arena = round_problem_.memory_bytes();
+    mb.problem_arena = round_problem_.memory_bytes() +
+                       shadow_problem_.memory_bytes() +
+                       delta_rows_.capacity() * sizeof(delta_row_state) +
+                       delta_masks_.capacity() * sizeof(std::uint32_t) +
+                       delta_snap_.capacity() * sizeof(std::uint64_t) +
+                       delta_segs_.capacity() * sizeof(std::uint32_t);
     mb.solver = scheduler_->workspace_bytes();
     mb.cost_cache = costs_->cache_bytes();
     mb.ledger = ledger_ ? ledger_->memory_bytes() : 0;
@@ -889,7 +1175,13 @@ memory_breakdown emulator::memory_footprint() const {
                  batch_ids_.capacity() * sizeof(peer_id) +
                  cand_words_.capacity() * sizeof(std::uint64_t) +
                  cand_uploader_.capacity() * sizeof(std::uint32_t) +
-                 cand_cost_.capacity() * sizeof(double);
+                 cand_cost_.capacity() * sizeof(double) +
+                 delta_up_scratch_.capacity() * sizeof(std::uint32_t) +
+                 word_scratch_.capacity() * sizeof(std::uint64_t) +
+                 seed_blk_up_.capacity() * sizeof(std::uint32_t) +
+                 seed_blk_cost_.capacity() * sizeof(double) +
+                 val_keys_.capacity() * sizeof(std::uint64_t) +
+                 val_vals_.capacity() * sizeof(double);
     mb.shared = assets_->memory_bytes();
     return mb;
 }

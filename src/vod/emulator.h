@@ -148,6 +148,32 @@ struct emulator_options {
     // slot-lockstep only ~threads caches are warm at once, so the fleet's
     // standing footprint drops by the biggest per-shard allocation.
     bool shed_cost_cache = false;
+
+    // --- delta slot pipeline (bench/slot_pipeline's delta arm) ---
+    // Incremental problem builds: the emulator keeps per-viewer candidate
+    // availability masks alive across rounds and slots and re-derives only
+    // what the slot's dirty set (transfers, arrivals, departures, playback
+    // advance, cost re-prices) actually changed, instead of re-gathering and
+    // re-probing every neighbor buffer each round. The built problem is
+    // bit-identical to the full rebuild (cross-checked by the shadow build
+    // below and the slot-golden suite). Also keeps the CSR arena, its row
+    // maps and the solver slabs warm across slots, and skips the solver's
+    // dual-recovery sweep (the emulator never reads request utilities).
+    bool delta_build = false;
+    // Debug cross-check: after every delta build, run the full rebuild into
+    // a shadow arena and require bit-level equality. Default-on in debug
+    // builds; the randomized churn property suite turns it on explicitly.
+#ifdef NDEBUG
+    bool delta_shadow_check = false;
+#else
+    bool delta_shadow_check = true;
+#endif
+    // Carry each uploader's λ across slot boundaries instead of resetting to
+    // 0 (extends warm_start_rounds' intra-slot price cycle to the whole run)
+    // and let a warm-started solver collapse its ε ladder to the target rung
+    // when the previous run converged. Changes schedules — separate pinned
+    // slot goldens cover this configuration.
+    bool warm_start_slots = false;
 };
 
 // Wall-clock seconds per slot phase, accumulated across every step() of one
@@ -365,7 +391,30 @@ private:
     void prefetch_link_costs();
     // (Re)builds the round's problem into the reused arena `round_problem_`;
     // `round_capacity[row]` is what table row `row` may upload this round.
+    // Dispatches to the full rebuild or (options_.delta_build) the
+    // incremental build, optionally shadow-checking the latter.
     void build_problem(double now, const std::vector<std::int32_t>& round_capacity);
+    // Registers this round's uploaders (seeds first, then live viewers in
+    // row order) into `sp` — shared prologue of both build paths.
+    void register_uploaders(slot_problem& sp,
+                            const std::vector<std::int32_t>& round_capacity);
+    // The pre-delta builder: gathers every eligible neighbor's window words
+    // and probes them per missing chunk. Still the reference semantics — the
+    // delta build must reproduce its output bit for bit.
+    void build_problem_full(double now,
+                            const std::vector<std::int32_t>& round_capacity,
+                            slot_problem& sp);
+    // One viewer row of the full build (gather + per-chunk probe); also the
+    // delta build's fallback for rows its masks cannot represent.
+    void append_viewer_row(slot_problem& sp, std::uint32_t row, double now);
+    // The incremental builder (options_.delta_build); see the "Delta
+    // pipeline" section of docs/ARCHITECTURE.md.
+    void build_problem_delta(double now,
+                             const std::vector<std::int32_t>& round_capacity);
+    // Memoized assets_->valuation.value(ttl) (bit-exact; direct-mapped on the
+    // ttl's bit pattern) — the delta build's request loop is hot enough that
+    // the valuation's log() shows up.
+    double deadline_value(double ttl);
     // `slot_prices` carries each uploader's λ across the bidding rounds of
     // one distributed (or warm-started synchronous) slot — prices reset at
     // slot boundaries, Sec. IV-C. Dense by table row. `round` is the round
@@ -459,6 +508,9 @@ private:
         c_shed_events_, c_admitted_, c_deferred_, c_abandoned_;
     obs::gauge_id g_bytes_sibling_, g_bytes_peer_, g_bytes_transit_,
         g_admission_queue_;
+    // Delta-pipeline counters (schema v2 additions — registered last so the
+    // v1 record prefix is byte-stable).
+    obs::counter_id c_delta_dirty_, c_delta_reused_, c_delta_early_exit_;
     // Row-major num_isps × num_isps relationship class of each directed ISP
     // pair (values of isp::relationship), precomputed so apply_schedule's
     // per-transfer gauge add is one byte load. Normally borrowed from the
@@ -486,6 +538,45 @@ private:
     std::vector<std::uint64_t> cand_words_;
     std::vector<std::uint32_t> cand_uploader_;
     std::vector<double> cand_cost_;
+
+    // --- delta pipeline state (options_.delta_build) ---
+    // Per-viewer chunk×neighbor availability masks: for table row r with
+    // segment (= this slot's neighbor list, identically ordered) of length
+    // seg_len ≤ 32, mask word c holds bit j iff segment neighbor j's buffer
+    // has chunk (word_lo<<6)+c. Seeds occupy the segment's leading run and
+    // their (full, immutable) buffers are the constant seed_mask instead of
+    // mask bits. Buffer bits are monotone for live peers, so round-to-round
+    // maintenance is an OR of each neighbor's snapshot-diffed new words;
+    // playback advance re-bases the window by memmove and transposes only
+    // the frontier words. Per-round eligibility (capacity left) and the
+    // slot's fresh link costs are applied at emission time, so the masks
+    // survive capacity exhaustion and cost re-prices untouched.
+    struct delta_row_state {
+        std::uint8_t valid = 0;     // masks/snapshots below are live
+        std::uint8_t fallback = 0;  // this slot runs the legacy row path
+        // Slot index of the last segment check; the sentinel forces a first
+        // validation (slot 0 is a real index).
+        std::uint32_t slot = 0xffffffffu;
+        std::uint32_t nbr_begin = 0;  // this slot's neighbor-arena offset
+        std::uint32_t seg_len = 0;
+        std::uint32_t seed_count = 0;  // leading seed rows → seed_mask
+        std::uint32_t word_lo = 0;     // first buffer word the masks cover
+        std::uint32_t cover = 0;       // covered words (≤ mask_words_)
+    };
+    static constexpr std::size_t delta_seg_cap = 32;  // mask bits per chunk
+    std::size_t mask_words_ = 0;  // buffer words one mask window spans
+    std::vector<delta_row_state> delta_rows_;     // by table row
+    std::vector<std::uint32_t> delta_masks_;      // row × (mask_words_·64)
+    std::vector<std::uint64_t> delta_snap_;       // row × seg × mask_words_
+    std::vector<std::uint32_t> delta_segs_;       // row × seg: last seg rows
+    std::vector<std::uint32_t> delta_up_scratch_; // uploader per segment pos
+    std::vector<std::uint64_t> word_scratch_;     // one neighbor's cur words
+    std::vector<std::uint32_t> seed_blk_up_;      // eligible-seed block: uploaders
+    std::vector<double> seed_blk_cost_;           // eligible-seed block: costs
+    std::vector<std::uint64_t> val_keys_;  // deadline_value cache (ttl bits)
+    std::vector<double> val_vals_;
+    slot_problem shadow_problem_;  // delta_shadow_check rebuild target
+    bool slot_saw_early_exit_ = false;  // any round's solver early-exited
 
     // Raw λ-change log from distributed slots plus the slot starts, from
     // which the representative peer's series is assembled on demand.

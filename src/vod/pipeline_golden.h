@@ -112,6 +112,20 @@ inline constexpr const golden_run_hashes* golden_parallel_for(
     return nullptr;
 }
 
+// Cross-slot warm starts (emulator_options::warm_start_slots: a slot's
+// final prices seed the next slot's first round, and under ε-scaling a
+// converged solver re-runs on the collapsed {target ε} ladder) change
+// schedules on purpose, so they are pinned by their own constants. The
+// delta build must reproduce these same hashes (bit-identity holds for
+// every solver configuration). Captured 2026-08-09 on GCC / x86-64,
+// default options otherwise.
+inline constexpr golden_run_hashes golden_warm_slots_economy = {
+    "economy_smoke", 0xba4895265c419f4bull, 0xb6a61c45ee985223ull,
+    0x0af3986d1cf5a356ull};
+inline constexpr golden_run_hashes golden_warm_slots_economy_par = {
+    "economy_smoke", 0xba4895265c419f4bull, 0x4cf4d7c38a1dd468ull,
+    0x49d9cbac4010b3b4ull};
+
 // Metrics hash of the first 3 slots of economy_smoke under the
 // transportation-simplex scheduler — the CI smoke pin for the exact solver
 // (see the scheduler_scaling step in .github/workflows/ci.yml). Captured

@@ -146,13 +146,42 @@ TEST(link_budget, saturation_surcharges_the_over_quota_swarm) {
     EXPECT_DOUBLE_EQ(stats.max_utilization, 2.0);
     EXPECT_EQ(budget.pair_demand(0, 1), 20u);
     // Row-major pair 0 → 1 is index 1 of the 2 × 2 table. Congestion
-    // pricing hits everyone on the hot pair, proportionally steeper for
-    // the over-quota swarm.
+    // pricing lands only on the swarms above their fair-share quota —
+    // within-quota traffic rides at base cost.
     EXPECT_GT(budget.surcharge_table(0)[1], budget.surcharge_table(1)[1]);
-    EXPECT_GT(budget.surcharge_table(1)[1], 1.0) << "under quota still pays base";
+    EXPECT_DOUBLE_EQ(budget.surcharge_table(1)[1], 1.0)
+        << "within quota pays nothing";
     EXPECT_LE(budget.surcharge_table(0)[1], coupled_config().max_surcharge);
     // The unmanaged reverse pair is never touched.
     EXPECT_DOUBLE_EQ(budget.surcharge_table(0)[2], 1.0);
+}
+
+TEST(link_budget, surcharge_split_preserves_the_pair_total) {
+    // The over-quota apportionment must carry exactly the congestion mass
+    // the old uniform multiplier collected: with u = 1 + gain·(util − 1),
+    // Σ_w demand_w·(s_w − 1) == Σ_w demand_w·(u − 1) before the clamp,
+    // while within-quota swarms pay nothing.
+    const auto graph = two_isp_graph();
+    capacity::link_budget budget(graph, 3, coupled_config());
+    const std::vector<double> weights = {1.0, 1.0, 1.0};
+    budget.begin_slot();
+    budget.charge(0, 0, 1, 12);
+    budget.charge(1, 0, 1, 6);
+    budget.charge(2, 0, 1, 2);  // pool 10: fleet total 20, util 2.0
+    budget.close_slot(weights);
+    const auto cfg = coupled_config();
+    const double uniform = 1.0 + cfg.surcharge_gain * (2.0 - 1.0);
+    const double demand[3] = {12.0, 6.0, 2.0};
+    double mass = 0.0;
+    double split = 0.0;
+    for (std::size_t w = 0; w < 3; ++w) {
+        mass += demand[w] * (uniform - 1.0);
+        split += demand[w] * (budget.surcharge_table(w)[1] - 1.0);
+    }
+    EXPECT_NEAR(split, mass, 1e-9 * mass);
+    // Equal weights give quotas {4, 4, 2}: swarm 2 sits within quota.
+    EXPECT_DOUBLE_EQ(budget.surcharge_table(2)[1], 1.0);
+    EXPECT_GT(budget.surcharge_table(0)[1], budget.surcharge_table(1)[1]);
 }
 
 TEST(link_budget, surcharge_decays_once_the_pair_drains) {

@@ -11,6 +11,8 @@
 #include "common/contracts.h"
 #include "engine/fleet.h"
 #include "metrics/process_stats.h"
+#include "net/cost_model.h"
+#include "sim/rng.h"
 #include "vod/buffer_map.h"
 #include "vod/emulator.h"
 #include "vod/peer_table.h"
@@ -95,6 +97,26 @@ TEST(peer_table_memory, buffer_heap_tracks_dense_fallbacks) {
     table.buffer(r0).set(1000);                // far hole → dense fallback
     EXPECT_GT(table.buffer_heap_bytes(), 0u);
     EXPECT_EQ(table.buffer_heap_bytes(), table.buffer(r0).heap_bytes());
+}
+
+// The per-shard link cache is the largest standing allocation in the fleet
+// audit; its default bound (cost_params::cache_capacity = 2^19 entries,
+// open addressing kept at ≤ 50% load) caps the slot array at 2^20 slots.
+// Flood the cache with more distinct links than its capacity: it must flush
+// rather than grow past the cap, and cache_bytes() pins the ceiling.
+TEST(cost_model_memory, link_cache_bytes_stay_bounded) {
+    net::isp_topology topo(5);
+    constexpr int peers = 1100;  // ~605k distinct symmetric links > 2^19
+    for (int i = 0; i < peers; ++i) topo.add_peer(peer_id(i), isp_id(i % 5));
+    sim::rng_stream rng(17);
+    net::cost_model model(topo, net::cost_params{}, rng);
+    for (int u = 0; u < peers; ++u)
+        for (int d = u + 1; d < peers; ++d) model.cost(peer_id(u), peer_id(d));
+    const net::cost_cache_stats stats = model.cache_stats();
+    EXPECT_GE(stats.flushes, 1u) << "flood must overflow the default bound";
+    EXPECT_LE(stats.size, stats.capacity);
+    EXPECT_LE(model.cache_bytes(),
+              (std::size_t{1} << 20) * (sizeof(std::uint64_t) + sizeof(double)));
 }
 
 TEST(emulator_memory, footprint_components_sum_to_total) {

@@ -39,6 +39,8 @@ struct scenario_run_options {
     std::string scheduler = "auction";
     std::size_t solver_threads = 1;  // auction-par only
     bool warm_start = false;
+    bool warm_start_slots = false;  // prices survive slot boundaries
+    bool delta = false;  // incremental problem builds (delta_build)
     std::size_t max_slots = 0;  // 0 = the scenario's full horizon
     bool telemetry = false;  // full pipeline: counters + spans + JSONL sink
 };
@@ -50,6 +52,8 @@ run_hashes run_scenario(const std::string& name,
     opts.scheduler = ro.scheduler;
     opts.parallel_auction.num_threads = ro.solver_threads;
     opts.warm_start_rounds = ro.warm_start;
+    opts.warm_start_slots = ro.warm_start_slots;
+    opts.delta_build = ro.delta;
     std::ostringstream telemetry_out;
     std::optional<obs::jsonl_sink> sink;
     if (ro.telemetry) {
@@ -198,6 +202,53 @@ TEST(slot_golden, telemetry_on_and_off_schedules_identical) {
     EXPECT_EQ(on.neighbors, off.neighbors) << "telemetry changed neighbor lists";
     EXPECT_EQ(on.metrics, off.metrics) << "telemetry changed schedules";
     EXPECT_EQ(on.final_state, off.final_state) << "telemetry changed peer state";
+}
+
+// The delta pipeline's contract is bit-identity with the full rebuild, so a
+// delta_build run must land on the SAME golden constants as the full-build
+// runs above — there is no separate capture for the incremental path.
+TEST(slot_golden, economy_smoke_delta_build_matches_same_golden) {
+    check_against("economy_smoke", "-DELTA", golden_for("economy_smoke"),
+                  run_scenario("economy_smoke", {.delta = true}));
+}
+
+TEST(slot_golden, metro_5k_delta_build_matches_same_golden) {
+    check_against("metro_5k", "-DELTA", golden_for("metro_5k"),
+                  run_scenario("metro_5k", {.delta = true}));
+}
+
+TEST(slot_golden, economy_smoke_delta_parallel_matches_pinned) {
+    check_against("economy_smoke", "-DELTA-PAR",
+                  golden_parallel_for("economy_smoke"),
+                  run_scenario("economy_smoke",
+                               {.scheduler = "auction-par", .delta = true}));
+}
+
+// Cross-slot warm starts intentionally change schedules (final prices seed
+// the next slot, and under ε-scaling a converged re-run collapses the
+// ladder to the target ε), so they are pinned by their own constants
+// (vod::golden_warm_slots_economy{,_par}) rather than the cold-start goldens.
+TEST(slot_golden, economy_smoke_warm_slots_pinned) {
+    check_against("economy_smoke", "-WARMSLOTS", &golden_warm_slots_economy,
+                  run_scenario("economy_smoke", {.warm_start_slots = true}));
+}
+
+TEST(slot_golden, economy_smoke_warm_slots_parallel_pinned) {
+    check_against("economy_smoke", "-WARMSLOTS-PAR",
+                  &golden_warm_slots_economy_par,
+                  run_scenario("economy_smoke", {.scheduler = "auction-par",
+                                                 .warm_start_slots = true}));
+}
+
+// Warm slot reuse composed with the delta build: the early-exit ε schedule
+// must not disturb the bit-identity contract, so the combined run lands on
+// the same warm-slots golden as the full-build warm run.
+TEST(slot_golden, economy_smoke_warm_slots_delta_matches_same_golden) {
+    check_against("economy_smoke", "-WARMSLOTS-DELTA-PAR",
+                  &golden_warm_slots_economy_par,
+                  run_scenario("economy_smoke",
+                               {.scheduler = "auction-par",
+                                .warm_start_slots = true, .delta = true}));
 }
 
 TEST(slot_golden, economy_smoke_with_telemetry_matches_pre_refactor_emulator) {

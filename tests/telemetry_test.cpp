@@ -724,6 +724,58 @@ TEST(telemetry_schema, schema_version_is_2) {
     EXPECT_EQ(obs::jsonl_schema_version, 2);
 }
 
+// The delta pipeline's counters (dirty/reused rows, early-exit slots) ride
+// the slot record like every other registered metric — and additively: they
+// are registered after every v1-era counter, so a v1 consumer's column
+// prefix is byte-stable and recorded v1 streams keep parsing (the frozen
+// lines above). The counters exist on every run; only delta_build moves
+// them off zero.
+TEST(telemetry_schema, slot_records_carry_delta_counters_additively) {
+    std::ostringstream out;
+    obs::jsonl_sink sink(out);
+    vod::emulator_options opts;
+    opts.config = workload::builtin_scenarios().make("economy_smoke");
+    opts.delta_build = true;
+    opts.telemetry.sink = &sink;
+    const std::size_t slots = opts.config.num_slots();
+    vod::emulator emu(std::move(opts));
+    for (std::size_t k = 0; k < slots; ++k) (void)emu.step();
+    sink.flush();
+
+    std::uint64_t dirty = 0;
+    std::uint64_t reused = 0;
+    std::size_t slot_records = 0;
+    for (const std::string& line : split_lines(out.str())) {
+        const parsed_line parsed = parse_or_fail(line);
+        if (parsed.scalars.at("kind") == "\"header\"") {
+            // Registered → declared up front, after every v1-era metric.
+            const std::string metrics = parsed.scalars.at("metrics");
+            for (const char* name :
+                 {"delta.dirty_rows", "delta.reused_rows",
+                  "delta.early_exit_slots"})
+                EXPECT_GT(metrics.find(name), metrics.find("ledger.bytes_transit"))
+                    << metrics;
+            continue;
+        }
+        if (parsed.scalars.at("kind") != "\"slot\"") continue;
+        ++slot_records;
+        ASSERT_TRUE(parsed.scalars.contains("delta.dirty_rows")) << line;
+        ASSERT_TRUE(parsed.scalars.contains("delta.reused_rows")) << line;
+        ASSERT_TRUE(parsed.scalars.contains("delta.early_exit_slots")) << line;
+        EXPECT_GT(line.find("delta.dirty_rows"), line.find("ledger.bytes_transit"))
+            << "delta columns must append after the v1 columns";
+        dirty = std::max<std::uint64_t>(
+            dirty, std::strtoull(parsed.scalars.at("delta.dirty_rows").c_str(),
+                                 nullptr, 10));
+        reused = std::max<std::uint64_t>(
+            reused, std::strtoull(parsed.scalars.at("delta.reused_rows").c_str(),
+                                  nullptr, 10));
+    }
+    EXPECT_EQ(slot_records, slots);
+    EXPECT_GT(dirty, 0u) << "delta_build run must report dirty rows";
+    EXPECT_GT(reused, 0u) << "delta_build run must report reused rows";
+}
+
 // The v2 additions: a coupled fleet's merged stream carries "admission" and
 // "link_saturation" sub-objects on every fleet_slot record, plus
 // "fleet_epoch" records for the fleet-global pricing loop. Both sub-objects
